@@ -1,0 +1,83 @@
+// Command grdf-bench regenerates every experiment table of the reproduction
+// (E1–E11, see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	grdf-bench                 # run everything
+//	grdf-bench -only E5,E6     # selected experiments
+//	grdf-bench -sites 10,50    # override dataset sizes for E6/E9/E10
+//	grdf-bench -requests 200   # cache workload size for E8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E5,E6); empty runs all")
+	sites := flag.String("sites", "", "comma-separated dataset sizes for E6/E9/E10")
+	requests := flag.Int("requests", 0, "request count for the E8 cache workload")
+	flag.Parse()
+
+	var sizes []int
+	if *sites != "" {
+		for _, part := range strings.Split(*sites, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "grdf-bench: bad -sites value %q\n", part)
+				os.Exit(2)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+
+	runners := []struct {
+		id  string
+		run func() *experiments.Table
+	}{
+		{"E1", experiments.E1Ontology},
+		{"E2", experiments.E2Listings},
+		{"E3", experiments.E3Topology},
+		{"E4", experiments.E4GMLRoundTrip},
+		{"E5", experiments.E5ScenarioViews},
+		{"E6", func() *experiments.Table { return experiments.E6FineVsCoarse(sizes) }},
+		{"E7", experiments.E7MergeEnforcement},
+		{"E8", func() *experiments.Table { return experiments.E8QueryCache(*requests) }},
+		{"E9", func() *experiments.Table { return experiments.E9Reasoning(sizes) }},
+		{"E10", func() *experiments.Table { return experiments.E10StoreSparql(sizes) }},
+		{"E11", experiments.E11Alignment},
+		{"E12", experiments.E12PolicyConflicts},
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+		for id := range selected {
+			found := false
+			for _, r := range runners {
+				if r.id == id {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "grdf-bench: unknown experiment %s\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+
+	for _, r := range runners {
+		if len(selected) > 0 && !selected[r.id] {
+			continue
+		}
+		r.run().Render(os.Stdout)
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testGML = `<?xml version="1.0"?>
+<gml:FeatureCollection xmlns:gml="http://www.opengis.net/gml" xmlns:app="http://grdf.org/app#">
+  <gml:featureMember>
+    <app:ChemSite gml:id="demo">
+      <app:hasSiteName>Demo Plant</app:hasSiteName>
+      <gml:boundedBy>
+        <gml:Envelope srsName="http://grdf.org/crs/TX83-NCF">
+          <gml:lowerCorner>0 0</gml:lowerCorner>
+          <gml:upperCorner>100 100</gml:upperCorner>
+        </gml:Envelope>
+      </gml:boundedBy>
+    </app:ChemSite>
+  </gml:featureMember>
+</gml:FeatureCollection>`
+
+func convert(t *testing.T, doc, from, to string) string {
+	t.Helper()
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in")
+	out := filepath.Join(dir, "out")
+	if err := os.WriteFile(in, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(from, to, in, out, "http://grdf.org/app#"); err != nil {
+		t.Fatalf("run(%s->%s): %v", from, to, err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestConvertGMLToEveryFormat(t *testing.T) {
+	for _, to := range []string{"turtle", "rdfxml", "ntriples"} {
+		out := convert(t, testGML, "gml", to)
+		if !strings.Contains(out, "Demo Plant") {
+			t.Errorf("gml->%s lost data:\n%s", to, out)
+		}
+	}
+}
+
+func TestConvertFullCycle(t *testing.T) {
+	ttl := convert(t, testGML, "gml", "turtle")
+	backGML := convert(t, ttl, "turtle", "gml")
+	if !strings.Contains(backGML, "Demo Plant") || !strings.Contains(backGML, "lowerCorner") {
+		t.Errorf("cycle lost data:\n%s", backGML)
+	}
+	nt := convert(t, ttl, "turtle", "ntriples")
+	rdfxml := convert(t, nt, "ntriples", "rdfxml")
+	if !strings.Contains(rdfxml, "Demo Plant") {
+		t.Errorf("nt->rdfxml lost data:\n%s", rdfxml)
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in")
+	os.WriteFile(in, []byte("not xml"), 0o644)
+	if err := run("gml", "turtle", in, filepath.Join(dir, "o"), ""); err == nil {
+		t.Error("bad input accepted")
+	}
+	if err := run("wat", "turtle", in, filepath.Join(dir, "o"), ""); err == nil {
+		t.Error("unknown input format accepted")
+	}
+	os.WriteFile(in, []byte(testGML), 0o644)
+	if err := run("gml", "wat", in, filepath.Join(dir, "o"), ""); err == nil {
+		t.Error("unknown output format accepted")
+	}
+	if err := run("gml", "turtle", filepath.Join(dir, "missing"), filepath.Join(dir, "o"), ""); err == nil {
+		t.Error("missing input accepted")
+	}
+}

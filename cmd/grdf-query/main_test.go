@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testTTL = `
+@prefix app: <http://grdf.org/app#> .
+app:s1 a app:ChemSite ;
+    app:hasSiteName "Plant A" ;
+    grdf:hasGeometry app:s1geom .
+app:s1geom a grdf:Point ;
+    grdf:coordinates "5,5" .
+`
+
+func TestRunQueryOverTurtle(t *testing.T) {
+	f := writeFile(t, "d.ttl", testTTL)
+	if err := run([]string{f}, `SELECT ?n WHERE { ?s app:hasSiteName ?n }`, false, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithReasoningAndValidation(t *testing.T) {
+	f := writeFile(t, "d.ttl", testTTL)
+	if err := run([]string{f}, `SELECT ?f WHERE { ?f a grdf:Feature }`, true, true); err != nil {
+		t.Fatalf("run with -reason -validate: %v", err)
+	}
+}
+
+func TestRunValidationFailure(t *testing.T) {
+	bad := writeFile(t, "bad.ttl", `
+@prefix app: <http://grdf.org/app#> .
+app:g a grdf:LineString ; grdf:coordinates "garbage" .
+`)
+	if err := run([]string{bad}, `ASK {}`, false, true); err == nil {
+		t.Error("validation failure not propagated")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	f := writeFile(t, "d.ttl", testTTL)
+	if err := run([]string{f}, "NOT SPARQL", false, false); err == nil {
+		t.Error("bad query accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.ttl")}, "ASK {}", false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeFile(t, "d.unknown", "x")
+	if err := run([]string{bad}, "ASK {}", false, false); err == nil {
+		t.Error("unknown extension accepted")
+	}
+	if err := run([]string{f}, "   ", false, false); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestLoadQuadsFile(t *testing.T) {
+	nq := writeFile(t, "d.nq", `<http://e/s> <http://e/p> "x" <http://g/one> .`)
+	ds := store.NewDataset()
+	if err := loadFile(ds, nq); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.GraphNames()) != 1 {
+		t.Errorf("graphs = %v", ds.GraphNames())
+	}
+}
+
+func TestPrintResultForms(t *testing.T) {
+	f := writeFile(t, "d.ttl", testTTL)
+	var sb strings.Builder
+	ds := store.NewDataset()
+	if err := loadFile(ds, f); err != nil {
+		t.Fatal(err)
+	}
+	eng := sparql.NewDatasetEngine(ds)
+	for _, q := range []string{
+		`ASK { ?s app:hasSiteName ?n }`,
+		`CONSTRUCT { ?s a app:Named } WHERE { ?s app:hasSiteName ?n }`,
+		`DESCRIBE <http://grdf.org/app#s1>`,
+		`SELECT ?n WHERE { ?s app:hasSiteName ?n }`,
+	} {
+		res, err := eng.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if err := printResult(&sb, res); err != nil {
+			t.Fatalf("printResult(%s): %v", q, err)
+		}
+	}
+	out := sb.String()
+	for _, want := range []string{"true", "app:Named", "Plant A", "(1 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gsacs"
+)
+
+func TestBuildEngineBuiltinScenario(t *testing.T) {
+	e, err := buildEngine("", "", 5, 3, 8)
+	if err != nil {
+		t.Fatalf("buildEngine: %v", err)
+	}
+	if e.Data().Len() == 0 {
+		t.Error("empty scenario data")
+	}
+	if len(e.Policies().Rules) == 0 {
+		t.Error("no policies")
+	}
+	// Serve it and hit an endpoint end to end.
+	srv := httptest.NewServer(gsacs.NewServer(e, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/roles")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("roles = %v %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+func TestBuildEngineCustomData(t *testing.T) {
+	dir := t.TempDir()
+	dataFile := filepath.Join(dir, "data.ttl")
+	policyFile := filepath.Join(dir, "policies.ttl")
+	os.WriteFile(dataFile, []byte(`
+@prefix app: <http://grdf.org/app#> .
+app:s1 a app:ChemSite ; app:hasSiteName "Plant" .
+`), 0o644)
+	os.WriteFile(policyFile, []byte(`
+seconto:Viewer a seconto:Subject ; seconto:hasPolicy seconto:P1 .
+seconto:P1 a seconto:Policy ;
+    seconto:hasAction seconto:View ;
+    seconto:hasPolicyDecision seconto:Permit ;
+    seconto:hasResource app:ChemSite .
+`), 0o644)
+
+	e, err := buildEngine(dataFile, policyFile, 0, 0, 0)
+	if err != nil {
+		t.Fatalf("buildEngine: %v", err)
+	}
+	if len(e.Policies().Rules) != 1 {
+		t.Errorf("rules = %d", len(e.Policies().Rules))
+	}
+
+	// error paths
+	if _, err := buildEngine(dataFile, "", 0, 0, 0); err == nil || !strings.Contains(err.Error(), "requires -policies") {
+		t.Errorf("missing -policies not rejected: %v", err)
+	}
+	if _, err := buildEngine(filepath.Join(dir, "missing.ttl"), policyFile, 0, 0, 0); err == nil {
+		t.Error("missing data file accepted")
+	}
+	badPol := filepath.Join(dir, "bad.ttl")
+	os.WriteFile(badPol, []byte("not turtle @@"), 0o644)
+	if _, err := buildEngine(dataFile, badPol, 0, 0, 0); err == nil {
+		t.Error("bad policy file accepted")
+	}
+}

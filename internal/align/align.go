@@ -1,0 +1,316 @@
+// Package align makes Section 2's related-work discussion executable: an
+// ontology alignment toolkit in the spirit of Kokla & Kavouras's concept
+// matching — lexical similarity (edit distance, token overlap, a synonym
+// table) combined with structural similarity over the class hierarchies, and
+// a greedy stable matching that yields one-to-one correspondences. GRDF
+// anticipates "lower-level ontologies that belong to separate application
+// domains where similar or overlapping concepts could be specified
+// differently; to reconcile the deviation one can use ontology alignment
+// techniques."
+package align
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/rdf"
+)
+
+// Correspondence links a concept of the left ontology to one of the right.
+type Correspondence struct {
+	Left  rdf.IRI
+	Right rdf.IRI
+	Score float64
+}
+
+// Alignment is a set of one-to-one correspondences.
+type Alignment struct {
+	Pairs []Correspondence
+}
+
+// Options weights the matchers.
+type Options struct {
+	// LexicalWeight scales the name-similarity contribution (default 0.7).
+	LexicalWeight float64
+	// StructuralWeight scales the hierarchy-similarity contribution
+	// (default 0.3).
+	StructuralWeight float64
+	// Threshold discards correspondences scoring below it (default 0.55).
+	Threshold float64
+	// Synonyms maps lower-cased tokens to canonical forms, e.g.
+	// {"stream": "watercourse"}.
+	Synonyms map[string]string
+}
+
+func (o *Options) defaults() {
+	if o.LexicalWeight == 0 && o.StructuralWeight == 0 {
+		o.LexicalWeight, o.StructuralWeight = 0.7, 0.3
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.55
+	}
+}
+
+// Concept summarises one class for matching.
+type Concept struct {
+	IRI rdf.IRI
+	// Supers are the local names of direct superclasses.
+	Supers []string
+	// Label is an optional rdfs:label.
+	Label string
+}
+
+// ConceptsOf extracts the owl:Class concepts of a graph.
+func ConceptsOf(g *rdf.Graph) []Concept {
+	var out []Concept
+	for _, t := range g.Match(nil, rdf.RDFType, rdf.OWLClass) {
+		iri, ok := t.Subject.(rdf.IRI)
+		if !ok {
+			continue
+		}
+		c := Concept{IRI: iri}
+		for _, s := range g.Objects(iri, rdf.RDFSSubClassOf) {
+			if sup, ok := s.(rdf.IRI); ok {
+				c.Supers = append(c.Supers, sup.LocalName())
+			}
+		}
+		if l, ok := g.FirstObject(iri, rdf.RDFSLabel); ok {
+			if lit, ok := l.(rdf.Literal); ok {
+				c.Label = lit.Value
+			}
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IRI < out[j].IRI })
+	return out
+}
+
+// Align matches the concepts of the left ontology to the right one.
+func Align(left, right *rdf.Graph, opts Options) *Alignment {
+	opts.defaults()
+	ls, rs := ConceptsOf(left), ConceptsOf(right)
+
+	type cand struct {
+		li, ri int
+		score  float64
+	}
+	var cands []cand
+	for i, l := range ls {
+		for j, r := range rs {
+			lex := LexicalSimilarity(l.IRI.LocalName(), r.IRI.LocalName(), opts.Synonyms)
+			if l.Label != "" && r.Label != "" {
+				if labelSim := LexicalSimilarity(l.Label, r.Label, opts.Synonyms); labelSim > lex {
+					lex = labelSim
+				}
+			}
+			str := structuralSimilarity(l, r, opts.Synonyms)
+			score := opts.LexicalWeight*lex + opts.StructuralWeight*str
+			if score >= opts.Threshold {
+				cands = append(cands, cand{li: i, ri: j, score: score})
+			}
+		}
+	}
+	// Greedy stable matching: best score first, one-to-one.
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		if ls[cands[a].li].IRI != ls[cands[b].li].IRI {
+			return ls[cands[a].li].IRI < ls[cands[b].li].IRI
+		}
+		return rs[cands[a].ri].IRI < rs[cands[b].ri].IRI
+	})
+	usedL := map[int]bool{}
+	usedR := map[int]bool{}
+	out := &Alignment{}
+	for _, c := range cands {
+		if usedL[c.li] || usedR[c.ri] {
+			continue
+		}
+		usedL[c.li] = true
+		usedR[c.ri] = true
+		out.Pairs = append(out.Pairs, Correspondence{
+			Left: ls[c.li].IRI, Right: rs[c.ri].IRI, Score: c.score,
+		})
+	}
+	sort.Slice(out.Pairs, func(i, j int) bool { return out.Pairs[i].Left < out.Pairs[j].Left })
+	return out
+}
+
+// LexicalSimilarity scores two concept names in [0,1]: the maximum of
+// normalized-token Jaccard and 1 - normalized Levenshtein distance, after
+// canonicalizing through the synonym table.
+func LexicalSimilarity(a, b string, synonyms map[string]string) float64 {
+	ta := canonicalTokens(a, synonyms)
+	tb := canonicalTokens(b, synonyms)
+	jac := jaccard(ta, tb)
+	ca := strings.Join(ta, "")
+	cb := strings.Join(tb, "")
+	lev := 1.0
+	if len(ca)+len(cb) > 0 {
+		d := levenshtein(ca, cb)
+		m := max(len(ca), len(cb))
+		lev = 1 - float64(d)/float64(m)
+	}
+	if jac > lev {
+		return jac
+	}
+	return lev
+}
+
+func structuralSimilarity(l, r Concept, synonyms map[string]string) float64 {
+	if len(l.Supers) == 0 || len(r.Supers) == 0 {
+		return 0
+	}
+	best := 0.0
+	for _, a := range l.Supers {
+		for _, b := range r.Supers {
+			if s := LexicalSimilarity(a, b, synonyms); s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// Tokenize splits a concept name on camelCase, digits, '_', '-' and spaces.
+func Tokenize(name string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(name)
+	for i, c := range runes {
+		switch {
+		case c == '_' || c == '-' || c == ' ' || c == '.':
+			flush()
+		case unicode.IsUpper(c):
+			// split at lower→Upper and at Upper followed by lower inside an
+			// acronym run (e.g. "GRDFObject" → "grdf", "object")
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]) && unicode.IsUpper(runes[i-1]))) {
+				flush()
+			}
+			cur.WriteRune(c)
+		default:
+			cur.WriteRune(c)
+		}
+	}
+	flush()
+	return tokens
+}
+
+func canonicalTokens(name string, synonyms map[string]string) []string {
+	toks := Tokenize(name)
+	for i, t := range toks {
+		if c, ok := synonyms[t]; ok {
+			toks[i] = c
+		}
+	}
+	sort.Strings(toks)
+	return toks
+}
+
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	setA := map[string]bool{}
+	for _, t := range a {
+		setA[t] = true
+	}
+	inter, union := 0, len(setA)
+	seenB := map[string]bool{}
+	for _, t := range b {
+		if seenB[t] {
+			continue
+		}
+		seenB[t] = true
+		if setA[t] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	return float64(inter) / float64(union)
+}
+
+// levenshtein computes the edit distance with a two-row DP.
+func levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// Metrics reports alignment quality against a gold standard.
+type Metrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	Correct   int
+	Found     int
+	Expected  int
+}
+
+// Evaluate compares an alignment against gold pairs (left → right).
+func Evaluate(a *Alignment, gold map[rdf.IRI]rdf.IRI) Metrics {
+	m := Metrics{Found: len(a.Pairs), Expected: len(gold)}
+	for _, p := range a.Pairs {
+		if gold[p.Left] == p.Right {
+			m.Correct++
+		}
+	}
+	if m.Found > 0 {
+		m.Precision = float64(m.Correct) / float64(m.Found)
+	}
+	if m.Expected > 0 {
+		m.Recall = float64(m.Correct) / float64(m.Expected)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

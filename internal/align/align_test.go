@@ -1,0 +1,180 @@
+package align
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grdf"
+	"repro/internal/rdf"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"EnvelopeWithTimePeriod", []string{"envelope", "with", "time", "period"}},
+		{"hasCenterLineOf", []string{"has", "center", "line", "of"}},
+		{"chem_site-name", []string{"chem", "site", "name"}},
+		{"TopoSolid", []string{"topo", "solid"}},
+		{"RootGRDFObject", []string{"root", "grdf", "object"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestLexicalSimilarity(t *testing.T) {
+	if s := LexicalSimilarity("Stream", "Stream", nil); s != 1 {
+		t.Errorf("identical = %g", s)
+	}
+	if s := LexicalSimilarity("ChemSite", "chem_site", nil); s != 1 {
+		t.Errorf("case/sep variants = %g", s)
+	}
+	if s := LexicalSimilarity("Stream", "Watercourse", nil); s > 0.5 {
+		t.Errorf("unrelated = %g", s)
+	}
+	syn := map[string]string{"stream": "watercourse"}
+	if s := LexicalSimilarity("Stream", "Watercourse", syn); s != 1 {
+		t.Errorf("synonym = %g", s)
+	}
+	if s := LexicalSimilarity("SiteName", "NameSite", nil); s != 1 {
+		t.Errorf("token order = %g (jaccard should ignore order)", s)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "ab", 2},
+		{"kitten", "sitting", 3}, {"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// buildVariant derives a domain ontology from GRDF by renaming classes.
+func buildVariant(renames map[string]string) (*rdf.Graph, map[rdf.IRI]rdf.IRI) {
+	const domainNS = "http://domain.example/onto#"
+	src := grdf.Ontology()
+	out := rdf.NewGraph()
+	gold := map[rdf.IRI]rdf.IRI{}
+	rename := func(iri rdf.IRI) rdf.IRI {
+		local := iri.LocalName()
+		if alt, ok := renames[local]; ok {
+			local = alt
+		}
+		return rdf.IRI(domainNS + local)
+	}
+	for _, t := range src.Match(nil, rdf.RDFType, rdf.OWLClass) {
+		iri := t.Subject.(rdf.IRI)
+		ren := rename(iri)
+		out.Add(rdf.T(ren, rdf.RDFType, rdf.OWLClass))
+		gold[iri] = ren
+		for _, s := range src.Objects(iri, rdf.RDFSSubClassOf) {
+			if sup, ok := s.(rdf.IRI); ok {
+				out.Add(rdf.T(ren, rdf.RDFSSubClassOf, rename(sup)))
+			}
+		}
+	}
+	return out, gold
+}
+
+func TestAlignIdenticalNames(t *testing.T) {
+	variant, gold := buildVariant(nil)
+	a := Align(grdf.Ontology(), variant, Options{})
+	m := Evaluate(a, gold)
+	if m.Precision < 0.99 || m.Recall < 0.99 {
+		t.Errorf("identical rename: P=%.2f R=%.2f", m.Precision, m.Recall)
+	}
+}
+
+func TestAlignWithRenamings(t *testing.T) {
+	renames := map[string]string{
+		"Feature":     "GeoFeature",
+		"Curve":       "Arc",
+		"Surface":     "Area",
+		"Point":       "Location",
+		"Envelope":    "BoundingBox",
+		"Observation": "Measurement",
+	}
+	variant, gold := buildVariant(renames)
+	syn := map[string]string{
+		"arc": "curve", "area": "surface", "location": "point",
+		"measurement": "observation", "bounding": "envelope", "box": "",
+		"geo": "",
+	}
+	a := Align(grdf.Ontology(), variant, Options{Synonyms: syn})
+	m := Evaluate(a, gold)
+	if m.F1 < 0.85 {
+		t.Errorf("renamed alignment F1 = %.2f (P=%.2f R=%.2f, %d/%d/%d)",
+			m.F1, m.Precision, m.Recall, m.Correct, m.Found, m.Expected)
+	}
+}
+
+func TestAlignOneToOne(t *testing.T) {
+	variant, _ := buildVariant(nil)
+	a := Align(grdf.Ontology(), variant, Options{})
+	seenL := map[rdf.IRI]bool{}
+	seenR := map[rdf.IRI]bool{}
+	for _, p := range a.Pairs {
+		if seenL[p.Left] || seenR[p.Right] {
+			t.Fatalf("alignment not one-to-one at %v", p)
+		}
+		seenL[p.Left] = true
+		seenR[p.Right] = true
+		if p.Score <= 0 || p.Score > 1.0001 {
+			t.Errorf("score out of range: %v", p)
+		}
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	a := &Alignment{Pairs: []Correspondence{
+		{Left: "l1", Right: "r1"}, {Left: "l2", Right: "WRONG"},
+	}}
+	gold := map[rdf.IRI]rdf.IRI{"l1": "r1", "l2": "r2", "l3": "r3"}
+	m := Evaluate(a, gold)
+	if m.Correct != 1 || m.Found != 2 || m.Expected != 3 {
+		t.Errorf("counts = %+v", m)
+	}
+	if math.Abs(m.Precision-0.5) > 1e-9 || math.Abs(m.Recall-1.0/3) > 1e-9 {
+		t.Errorf("P/R = %g %g", m.Precision, m.Recall)
+	}
+	empty := Evaluate(&Alignment{}, map[rdf.IRI]rdf.IRI{})
+	if empty.F1 != 0 {
+		t.Errorf("empty F1 = %g", empty.F1)
+	}
+}
+
+// Property: similarity is symmetric and bounded.
+func TestQuickLexicalSymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 || len(b) > 40 {
+			return true
+		}
+		s1 := LexicalSimilarity(a, b, nil)
+		s2 := LexicalSimilarity(b, a, nil)
+		return math.Abs(s1-s2) < 1e-9 && s1 >= 0 && s1 <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grdf"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/topo"
+)
+
+// HydroTopology derives the topological view of a stream network — the
+// "hydrology topology" the paper's scenario stores (NCTCOG publishes stream
+// *topology*, not just geometry): one Node per distinct stream endpoint
+// (sources, mouths, confluences), one Edge per watercourse, each Edge
+// realized by the stream's centerline.
+//
+// When st is non-nil the topology is additionally encoded as GRDF triples
+// using the Fig. 2 vocabulary (grdf:Node, grdf:Edge, hasStartNode,
+// hasEndNode, realizedBy).
+func HydroTopology(ds *HydrologyDataset, st *store.Store) (*topo.Topology, *topo.Realization, error) {
+	tp := topo.New()
+	real := topo.NewRealization(tp)
+
+	nodeAt := map[geom.Coord]topo.ID{}
+	nodeSeq := 0
+	node := func(c geom.Coord) (topo.ID, error) {
+		if id, ok := nodeAt[c]; ok {
+			return id, nil
+		}
+		nodeSeq++
+		id := topo.ID(fmt.Sprintf("hn%d", nodeSeq))
+		if err := tp.AddNode(topo.Node{ID: id}); err != nil {
+			return "", err
+		}
+		if err := real.RealizeNode(id, geom.Point{C: c}); err != nil {
+			return "", err
+		}
+		nodeAt[c] = id
+		return id, nil
+	}
+
+	for _, s := range ds.Streams {
+		start := s.Geometry.Coords[0]
+		end := s.Geometry.Coords[len(s.Geometry.Coords)-1]
+		startID, err := node(start)
+		if err != nil {
+			return nil, nil, err
+		}
+		endID, err := node(end)
+		if err != nil {
+			return nil, nil, err
+		}
+		edgeID := topo.ID(s.IRI.LocalName())
+		if err := tp.AddEdge(topo.Edge{ID: edgeID, Start: startID, End: endID}); err != nil {
+			return nil, nil, err
+		}
+		if err := real.RealizeEdge(edgeID, s.Geometry); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if st != nil {
+		if err := encodeHydroTopology(st, ds, tp, nodeAt); err != nil {
+			return nil, nil, err
+		}
+	}
+	return tp, real, nil
+}
+
+// encodeHydroTopology writes the derived topology as GRDF triples.
+func encodeHydroTopology(st *store.Store, ds *HydrologyDataset, tp *topo.Topology, nodeAt map[geom.Coord]topo.ID) error {
+	const topoNS = rdf.AppNS + "topo_"
+	nodeIRI := func(id topo.ID) rdf.IRI { return rdf.IRI(topoNS + string(id)) }
+
+	for c, id := range nodeAt {
+		iri := nodeIRI(id)
+		st.Add(rdf.T(iri, rdf.RDFType, grdf.TopoNode))
+		// realize the node as a point
+		geomNode := rdf.IRI(string(iri) + "_geom")
+		if err := grdf.EncodeGeometry(st, geomNode, geom.Point{C: c}, geom.TX83NCF); err != nil {
+			return err
+		}
+		st.Add(rdf.T(iri, grdf.RealizedBy, geomNode))
+	}
+	for _, s := range ds.Streams {
+		edgeIRI := rdf.IRI(topoNS + s.IRI.LocalName())
+		st.Add(rdf.T(edgeIRI, rdf.RDFType, grdf.TopoEdge))
+		edge, ok := tp.Edge(topo.ID(s.IRI.LocalName()))
+		if !ok {
+			return fmt.Errorf("datagen: edge %s missing from topology", s.IRI.LocalName())
+		}
+		st.Add(rdf.T(edgeIRI, grdf.HasStartNode, nodeIRI(edge.Start)))
+		st.Add(rdf.T(edgeIRI, grdf.HasEndNode, nodeIRI(edge.End)))
+		// the edge is realized by the stream's existing geometry node
+		if g, ok := st.FirstObject(s.IRI, grdf.HasGeometry); ok {
+			st.Add(rdf.T(edgeIRI, grdf.RealizedBy, g))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func findRow(t *Table, key string) []string {
+	for _, row := range t.Rows {
+		if strings.Contains(strings.Join(row, " "), key) {
+			return row
+		}
+	}
+	return nil
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "EX", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("note %d", 7)
+	out := tab.String()
+	for _, want := range []string{"== EX: demo ==", "a  bb", "1  2", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE1(t *testing.T) {
+	tab := E1Ontology()
+	total := findRow(tab, "TOTAL")
+	if total == nil {
+		t.Fatal("no TOTAL row")
+	}
+	if total[1] == "0" {
+		t.Errorf("no classes counted: %v", total)
+	}
+	// consistency note must report 0 violations
+	joined := strings.Join(tab.Notes, " ")
+	if !strings.Contains(joined, "violations: 0") {
+		t.Errorf("ontology not clean: %v", tab.Notes)
+	}
+}
+
+func TestE2AllListingsPass(t *testing.T) {
+	tab := E2Listings()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Errorf("listing check failed: %v", row)
+		}
+	}
+}
+
+func TestE3AllChecksPass(t *testing.T) {
+	tab := E3Topology()
+	for _, row := range tab.Rows {
+		if row[1] != "yes" {
+			t.Errorf("topology check failed: %v", row)
+		}
+	}
+}
+
+func TestE4AllChecksPass(t *testing.T) {
+	tab := E4GMLRoundTrip()
+	for _, row := range tab.Rows {
+		if row[1] != "yes" {
+			t.Errorf("GML check failed: %v", row)
+		}
+	}
+}
+
+func TestE5Matrix(t *testing.T) {
+	tab := E5ScenarioViews()
+	checks := []struct {
+		property string
+		mainRep  string
+		hazmat   string
+		emerg    string
+	}{
+		{"site extent", "full", "full", "full"},
+		{"site name", "hidden", "full", "full"},
+		{"chemical names", "hidden", "full", "full"},
+		{"chemical codes", "hidden", "hidden", "full"},
+		{"quantities", "hidden", "hidden", "full"},
+		{"site contacts", "hidden", "hidden", "full"},
+		{"stream layer", "full", "full", "full"},
+	}
+	for _, c := range checks {
+		row := findRow(tab, c.property)
+		if row == nil {
+			t.Errorf("row %q missing", c.property)
+			continue
+		}
+		if !strings.HasPrefix(row[1], c.mainRep) ||
+			!strings.HasPrefix(row[2], c.hazmat) ||
+			!strings.HasPrefix(row[3], c.emerg) {
+			t.Errorf("row %q = %v, want prefixes %s/%s/%s",
+				c.property, row, c.mainRep, c.hazmat, c.emerg)
+		}
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tab := E6FineVsCoarse([]int{5, 15})
+	if len(tab.Rows) != 6 { // 3 systems × 2 sizes
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		leaked, missing := row[3], row[4]
+		switch {
+		case row[1] == "GRDF+SecOnto":
+			if leaked != "0" || missing != "0" {
+				t.Errorf("GRDF row imperfect: %v", row)
+			}
+		case strings.Contains(row[2], "permit"):
+			if leaked == "0" {
+				t.Errorf("permit-all baseline did not leak: %v", row)
+			}
+		case strings.Contains(row[2], "deny"):
+			if missing == "0" {
+				t.Errorf("deny-all baseline did not lose the extent: %v", row)
+			}
+		}
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tab := E7MergeEnforcement()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		enforced := row[len(row)-1]
+		if row[1] == "GRDF+SecOnto" && enforced != "yes" {
+			t.Errorf("GRDF enforcement broke: %v", row)
+		}
+		if row[1] == "GeoXACML" && enforced == "yes" {
+			t.Errorf("baseline unexpectedly enforced: %v", row)
+		}
+	}
+}
+
+func TestE8CacheWinsAndInvalidates(t *testing.T) {
+	tab := E8QueryCache(30)
+	var off, on []string
+	for _, row := range tab.Rows {
+		if row[0] == "role views" && row[1] == "off" {
+			off = row
+		}
+		if row[0] == "role views" && strings.HasPrefix(row[1], "on") {
+			on = row
+		}
+		if row[0] == "invalidation on data change" && row[1] != "yes" {
+			t.Errorf("invalidation failed: %v", row)
+		}
+	}
+	if off == nil || on == nil {
+		t.Fatalf("rows missing: %v", tab.Rows)
+	}
+	if !strings.HasSuffix(on[5], "x") || on[5] == "1.0x" {
+		t.Errorf("no speedup recorded: %v", on)
+	}
+}
+
+func TestE9InferenceAddsAnswers(t *testing.T) {
+	tab := E9Reasoning([]int{5, 15})
+	for _, row := range tab.Rows {
+		before, after := row[4], row[5]
+		if before != "0" {
+			t.Errorf("answers before reasoning = %s (want 0): %v", before, row)
+		}
+		if after == "0" || after == "-1" {
+			t.Errorf("answers after reasoning = %s: %v", after, row)
+		}
+	}
+}
+
+func TestE10Runs(t *testing.T) {
+	tab := E10StoreSparql([]int{5, 10})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] == "0" {
+			t.Errorf("no triples generated: %v", row)
+		}
+	}
+}
+
+func TestE11Quality(t *testing.T) {
+	tab := E11Alignment()
+	row := findRow(tab, "identical names")
+	if row == nil || row[1] != "1.00" {
+		t.Errorf("identical alignment imperfect: %v", row)
+	}
+	noSyn := findRow(tab, "renamed, no synonyms")
+	withSyn := findRow(tab, "renamed, with synonyms")
+	if noSyn == nil || withSyn == nil {
+		t.Fatal("rows missing")
+	}
+	if withSyn[3] <= noSyn[3] { // F1 strings compare OK for 0.xx format
+		t.Errorf("synonyms did not help: %v vs %v", withSyn, noSyn)
+	}
+}
+
+func TestE12ConflictResolution(t *testing.T) {
+	tab := E12PolicyConflicts()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	merged := tab.Rows[0]
+	if merged[1] == "0" {
+		t.Errorf("merge not flagged ambiguous: %v", merged)
+	}
+	deny := findRow(tab, "deny wins")
+	permit := findRow(tab, "permit wins")
+	if deny == nil || permit == nil {
+		t.Fatal("strategy rows missing")
+	}
+	if deny[1] != "0" || permit[1] != "0" {
+		t.Errorf("strategies left conflicts: %v / %v", deny, permit)
+	}
+	if deny[2] != "denied" {
+		t.Errorf("deny-wins outcome = %v", deny)
+	}
+	if permit[2] == "denied" {
+		t.Errorf("permit-wins outcome = %v", permit)
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+// The paper's Lists 1–8 as corrected, well-formed documents. The published
+// listings contain OCR/typesetting defects (broken attribute quoting, spaces
+// inside IRIs); these fixtures restore the intended content while keeping
+// the exact terms and structure.
+
+// List 1 — MeasureType instance. In GML this is an XML extension type with
+// base 'double'; Section 3.2 concludes such types must become properties
+// with a range restriction in OWL, so the GRDF form carries the value
+// through grdf:measureValue and the unit through grdf:uom.
+const list1GRDF = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:grdf="http://grdf.org/ontology/grdf#"
+         xmlns:app="http://grdf.org/app#">
+  <grdf:Value rdf:about="http://grdf.org/app#temperature1">
+    <grdf:measureValue rdf:datatype="http://www.w3.org/2001/XMLSchema#double">21.23</grdf:measureValue>
+    <grdf:uom rdf:datatype="http://www.w3.org/2001/XMLSchema#anyURI">http://grdf.org/uom/fahrenheit</grdf:uom>
+  </grdf:Value>
+</rdf:RDF>`
+
+// List 2 — the extent object properties of the feature model.
+const list2 = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#">
+  <owl:ObjectProperty rdf:about="http://grdf.org/ontology/grdf#hasCenterLineOf"/>
+  <owl:ObjectProperty rdf:about="http://grdf.org/ontology/grdf#hasCenterOf"/>
+  <owl:ObjectProperty rdf:about="http://grdf.org/ontology/grdf#hasEdgeOf"/>
+  <owl:ObjectProperty rdf:about="http://grdf.org/ontology/grdf#hasEnvelope"/>
+  <owl:ObjectProperty rdf:about="http://grdf.org/ontology/grdf#hasExtentOf"/>
+</rdf:RDF>`
+
+// List 3 — EnvelopeWithTimePeriod with cardinality 2 on hasTimePosition.
+const list3 = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#">
+  <owl:Class rdf:about="http://grdf.org/ontology/grdf#EnvelopeWithTimePeriod">
+    <rdfs:subClassOf>
+      <owl:Restriction>
+        <owl:cardinality rdf:datatype="http://www.w3.org/2001/XMLSchema#nonNegativeInteger">2</owl:cardinality>
+        <owl:onProperty>
+          <owl:ObjectProperty rdf:about="http://grdf.org/ontology/temporal#hasTimePosition"/>
+        </owl:onProperty>
+      </owl:Restriction>
+    </rdfs:subClassOf>
+  </owl:Class>
+</rdf:RDF>`
+
+// List 4 — the curve multipart classes and curveMember property.
+const list4 = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#">
+  <owl:Class rdf:about="http://grdf.org/ontology/grdf#Curve"/>
+  <owl:Class rdf:about="http://grdf.org/ontology/grdf#MultiCurve"/>
+  <owl:Class rdf:about="http://grdf.org/ontology/grdf#CompositeCurve"/>
+  <owl:ObjectProperty rdf:about="http://grdf.org/ontology/grdf#curveMember"/>
+</rdf:RDF>`
+
+// List 5 — the Face restrictions: max 2 TopoSolids, max 1 Surface,
+// min 1 Edge.
+const list5 = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#">
+  <owl:Class rdf:about="http://grdf.org/ontology/grdf#Face">
+    <rdfs:subClassOf rdf:resource="http://grdf.org/ontology/grdf#TopoPrimitive"/>
+    <rdfs:subClassOf>
+      <owl:Restriction>
+        <owl:maxCardinality rdf:datatype="http://www.w3.org/2001/XMLSchema#nonNegativeInteger">2</owl:maxCardinality>
+        <owl:onProperty>
+          <owl:ObjectProperty rdf:about="http://grdf.org/ontology/grdf#hasTopoSolid"/>
+        </owl:onProperty>
+      </owl:Restriction>
+    </rdfs:subClassOf>
+    <rdfs:subClassOf>
+      <owl:Restriction>
+        <owl:maxCardinality rdf:datatype="http://www.w3.org/2001/XMLSchema#nonNegativeInteger">1</owl:maxCardinality>
+        <owl:onProperty>
+          <owl:ObjectProperty rdf:about="http://grdf.org/ontology/grdf#hasSurface"/>
+        </owl:onProperty>
+      </owl:Restriction>
+    </rdfs:subClassOf>
+    <rdfs:subClassOf>
+      <owl:Restriction>
+        <owl:minCardinality rdf:datatype="http://www.w3.org/2001/XMLSchema#nonNegativeInteger">1</owl:minCardinality>
+        <owl:onProperty>
+          <owl:ObjectProperty rdf:about="http://grdf.org/ontology/grdf#hasEdge"/>
+        </owl:onProperty>
+      </owl:Restriction>
+    </rdfs:subClassOf>
+  </owl:Class>
+</rdf:RDF>`
+
+// List 6 — sample hydrology data in GRDF (the stream centerline).
+const list6 = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:grdf="http://grdf.org/ontology/grdf#"
+         xmlns:app="http://grdf.org/app#">
+  <rdf:Description rdf:about="http://grdf.org/app#VECTOR.VECTOR.HYDRO_STREAMS_CENSUS_line">
+    <app:hasObjectID rdf:datatype="http://www.w3.org/2001/XMLSchema#integer">11070</app:hasObjectID>
+    <grdf:hasGeometry>
+      <grdf:LineString rdf:about="http://grdf.org/app#VECTOR.VECTOR.HYDRO_STREAMS_CENSUS_line/geom">
+        <grdf:hasSRSName>http://grdf.org/crs/TX83-NCF</grdf:hasSRSName>
+        <grdf:coordinates>2533822.17263276,7108248.82783879 2533901.08,7108301.45 2533978.3,7108377.9</grdf:coordinates>
+      </grdf:LineString>
+    </grdf:hasGeometry>
+  </rdf:Description>
+</rdf:RDF>`
+
+// List 7 — sample chemical-site data in GRDF.
+const list7 = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:grdf="http://grdf.org/ontology/grdf#"
+         xmlns:app="http://grdf.org/app#">
+  <app:ChemSite rdf:about="http://grdf.org/app#NTEnergy">
+    <app:hasSiteName>North Texas Energy</app:hasSiteName>
+    <app:hasSiteId>004221</app:hasSiteId>
+    <grdf:boundedBy>
+      <grdf:Envelope rdf:about="http://grdf.org/app#NTEnergy/extent">
+        <grdf:hasSRSName>http://grdf.org/crs/TX83-NCF</grdf:hasSRSName>
+        <grdf:lowerCorner>2533000,7107000</grdf:lowerCorner>
+        <grdf:upperCorner>2533500,7107500</grdf:upperCorner>
+      </grdf:Envelope>
+    </grdf:boundedBy>
+    <app:hasChemicalInfo rdf:resource="http://grdf.org/app#NTChemInfo"/>
+  </app:ChemSite>
+  <app:ChemInfo rdf:about="http://grdf.org/app#NTChemInfo">
+    <app:chemical rdf:parseType="Resource">
+      <app:hasChemName>Sulfuric Acid</app:hasChemName>
+      <app:hasChemCode>121NR</app:hasChemCode>
+    </app:chemical>
+  </app:ChemInfo>
+</rdf:RDF>`
+
+// List 8 — the 'main repair' policy.
+const list8 = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:seconto="http://grdf.org/ontology/seconto#">
+  <seconto:Subject rdf:about="http://grdf.org/ontology/seconto#MainRep">
+    <seconto:hasPolicy rdf:resource="http://grdf.org/ontology/seconto#MainRepPolicy1"/>
+  </seconto:Subject>
+  <seconto:Policy rdf:about="http://grdf.org/ontology/seconto#MainRepPolicy1">
+    <seconto:hasAction rdf:resource="http://grdf.org/ontology/seconto#View"/>
+    <seconto:hasCondition rdf:resource="http://grdf.org/ontology/seconto#CondSites"/>
+    <seconto:hasPolicyDecision rdf:resource="http://grdf.org/ontology/seconto#Permit"/>
+    <seconto:hasResource rdf:resource="http://grdf.org/app#ChemSite"/>
+  </seconto:Policy>
+  <seconto:ConditionValue rdf:about="http://grdf.org/ontology/seconto#CondSites">
+    <seconto:condValDefinition rdf:parseType="Resource">
+      <seconto:hasPropertyAccess rdf:resource="http://grdf.org/ontology/grdf#boundedBy"/>
+    </seconto:condValDefinition>
+  </seconto:ConditionValue>
+</rdf:RDF>`

@@ -1,0 +1,100 @@
+// Package experiments implements the reproduction harness: one runner per
+// artifact of the paper's evaluation — Fig. 1 (E1), Lists 1–5 (E2), Fig. 2
+// (E3), Lists 6–7 (E4), the Section 7.1 scenario and List 8 (E5), the
+// GeoXACML comparison (E6), the data-merge enforcement claim (E7), the
+// Fig. 3 query cache (E8), the "deduce new data" reasoning claim (E9),
+// substrate scaling (E10) and the Section 2 alignment discussion (E11).
+// Each runner returns a Table that cmd/grdf-bench prints and EXPERIMENTS.md
+// records.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	// ID is the experiment identifier ("E1" …).
+	ID string
+	// Title names the paper artifact being reproduced.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold the cells, one row per line.
+	Rows [][]string
+	// Notes carry free-form observations printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a formatted note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,78 @@
+package geom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// GML coordinate codec. The paper's Lists 6–7 carry coordinates in the GML
+// <coordinates> form: comma-separated tuples separated by whitespace, e.g.
+// "2533822.17263276,7108248.82783879 2533901.1,7108303.4".
+
+// ParseCoordinates parses a GML coordinates string.
+func ParseCoordinates(s string) ([]Coord, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("geom: empty coordinates string")
+	}
+	out := make([]Coord, 0, len(fields))
+	for i, f := range fields {
+		parts := strings.Split(f, ",")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("geom: tuple %d (%q) needs x,y", i, f)
+		}
+		x, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("geom: tuple %d: bad x %q: %w", i, parts[0], err)
+		}
+		y, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("geom: tuple %d: bad y %q: %w", i, parts[1], err)
+		}
+		out = append(out, Coord{X: x, Y: y})
+	}
+	return out, nil
+}
+
+// FormatCoordinates renders coordinates in GML form.
+func FormatCoordinates(cs []Coord) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = strconv.FormatFloat(c.X, 'f', -1, 64) + "," + strconv.FormatFloat(c.Y, 'f', -1, 64)
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParsePosList parses a GML 3 posList: whitespace-separated scalars in x y
+// pairs.
+func ParsePosList(s string) ([]Coord, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 || len(fields)%2 != 0 {
+		return nil, fmt.Errorf("geom: posList needs an even number of values, got %d", len(fields))
+	}
+	out := make([]Coord, 0, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		x, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("geom: posList value %d: %w", i, err)
+		}
+		y, err := strconv.ParseFloat(fields[i+1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("geom: posList value %d: %w", i+1, err)
+		}
+		out = append(out, Coord{X: x, Y: y})
+	}
+	return out, nil
+}
+
+// FormatPosList renders coordinates in GML 3 posList form.
+func FormatPosList(cs []Coord) string {
+	parts := make([]string, 0, len(cs)*2)
+	for _, c := range cs {
+		parts = append(parts,
+			strconv.FormatFloat(c.X, 'f', -1, 64),
+			strconv.FormatFloat(c.Y, 'f', -1, 64))
+	}
+	return strings.Join(parts, " ")
+}

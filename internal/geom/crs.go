@@ -1,0 +1,176 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Coordinate Reference System support. GRDF's CRS type "is used to reference
+// the decimal values of a geometric object that represent the position of
+// the object on the Earth"; the sample data uses a Texas state-plane-like
+// projected system (srsName ".../TX83-NCF"). We model a CRS as a named
+// planar system with an affine relationship to a common reference frame, so
+// features from stores using different systems can be aggregated — a
+// concrete instance of the heterogeneity problem the paper opens with.
+
+// CRS describes one coordinate reference system.
+type CRS struct {
+	// Name is the srsName URI fragment identifying the system.
+	Name string
+	// Description is free-form documentation.
+	Description string
+	// toRef maps local coordinates into the shared reference frame.
+	toRef Affine
+}
+
+// Affine is a 2-D affine transform: x' = A*x + B*y + Tx, y' = C*x + D*y + Ty.
+type Affine struct {
+	A, B, Tx float64
+	C, D, Ty float64
+}
+
+// IdentityAffine returns the identity transform.
+func IdentityAffine() Affine { return Affine{A: 1, D: 1} }
+
+// Apply transforms a coordinate.
+func (t Affine) Apply(c Coord) Coord {
+	return Coord{
+		X: t.A*c.X + t.B*c.Y + t.Tx,
+		Y: t.C*c.X + t.D*c.Y + t.Ty,
+	}
+}
+
+// Invert returns the inverse transform.
+func (t Affine) Invert() (Affine, error) {
+	det := t.A*t.D - t.B*t.C
+	if math.Abs(det) < 1e-12 {
+		return Affine{}, fmt.Errorf("geom: affine transform is singular")
+	}
+	inv := Affine{
+		A: t.D / det, B: -t.B / det,
+		C: -t.C / det, D: t.A / det,
+	}
+	inv.Tx = -(inv.A*t.Tx + inv.B*t.Ty)
+	inv.Ty = -(inv.C*t.Tx + inv.D*t.Ty)
+	return inv, nil
+}
+
+// Compose returns the transform "t then u".
+func (t Affine) Compose(u Affine) Affine {
+	return Affine{
+		A: u.A*t.A + u.B*t.C, B: u.A*t.B + u.B*t.D, Tx: u.A*t.Tx + u.B*t.Ty + u.Tx,
+		C: u.C*t.A + u.D*t.C, D: u.C*t.B + u.D*t.D, Ty: u.C*t.Tx + u.D*t.Ty + u.Ty,
+	}
+}
+
+// Registry holds named CRS definitions and answers transformation requests.
+type Registry struct {
+	mu   sync.RWMutex
+	defs map[string]CRS
+}
+
+// NewRegistry returns a registry preloaded with the systems the GRDF
+// examples use:
+//
+//   - "urn:grdf:crs:reference"  — the shared frame (identity)
+//   - "http://grdf.org/crs/TX83-NCF" — a Texas NC state-plane-like system
+//     (feet, offset origin), standing in for the paper's TX83-NCF
+//   - "http://grdf.org/crs/TX83-NCF-m" — the same system in meters
+func NewRegistry() *Registry {
+	r := &Registry{defs: make(map[string]CRS)}
+	r.Register(CRS{
+		Name:        ReferenceCRS,
+		Description: "shared planar reference frame",
+		toRef:       IdentityAffine(),
+	})
+	// State-plane-like: feet with a large false origin.
+	const ftPerM = 3.28083333
+	r.Register(CRS{
+		Name:        TX83NCF,
+		Description: "Texas 1983 North Central, US survey feet (synthetic stand-in)",
+		toRef: Affine{
+			A: 1 / ftPerM, D: 1 / ftPerM,
+			Tx: -2500000 / ftPerM, Ty: -7000000 / ftPerM,
+		},
+	})
+	r.Register(CRS{
+		Name:        TX83NCM,
+		Description: "Texas 1983 North Central, meters (synthetic stand-in)",
+		toRef: Affine{
+			A: 1, D: 1,
+			Tx: -2500000 / ftPerM, Ty: -7000000 / ftPerM,
+		},
+	})
+	return r
+}
+
+// Well-known CRS names.
+const (
+	ReferenceCRS = "urn:grdf:crs:reference"
+	TX83NCF      = "http://grdf.org/crs/TX83-NCF"
+	TX83NCM      = "http://grdf.org/crs/TX83-NCF-m"
+)
+
+// Register installs or replaces a CRS definition.
+func (r *Registry) Register(c CRS) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.defs[c.Name] = c
+}
+
+// Lookup returns the named CRS.
+func (r *Registry) Lookup(name string) (CRS, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.defs[name]
+	return c, ok
+}
+
+// Names returns all registered CRS names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.defs))
+	for n := range r.defs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Transform converts a coordinate from one system to another.
+func (r *Registry) Transform(c Coord, from, to string) (Coord, error) {
+	if from == to {
+		return c, nil
+	}
+	r.mu.RLock()
+	src, okS := r.defs[from]
+	dst, okD := r.defs[to]
+	r.mu.RUnlock()
+	if !okS {
+		return Coord{}, fmt.Errorf("geom: unknown CRS %q", from)
+	}
+	if !okD {
+		return Coord{}, fmt.Errorf("geom: unknown CRS %q", to)
+	}
+	inv, err := dst.toRef.Invert()
+	if err != nil {
+		return Coord{}, fmt.Errorf("geom: CRS %q: %w", to, err)
+	}
+	return src.toRef.Compose(inv).Apply(c), nil
+}
+
+// TransformAll converts a coordinate slice.
+func (r *Registry) TransformAll(cs []Coord, from, to string) ([]Coord, error) {
+	out := make([]Coord, len(cs))
+	for i, c := range cs {
+		t, err := r.Transform(c, from, to)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}

@@ -1,0 +1,658 @@
+package geom
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ring(t *testing.T, cs ...Coord) LinearRing {
+	t.Helper()
+	r, err := NewLinearRing(cs)
+	if err != nil {
+		t.Fatalf("NewLinearRing: %v", err)
+	}
+	return r
+}
+
+func unitSquare(t *testing.T) Polygon {
+	t.Helper()
+	return NewPolygon(ring(t, Coord{0, 0}, Coord{1, 0}, Coord{1, 1}, Coord{0, 1}, Coord{0, 0}))
+}
+
+func TestEnvelopeBasics(t *testing.T) {
+	e := EnvelopeOf(Coord{1, 2}, Coord{3, -1})
+	if e.MinX != 1 || e.MinY != -1 || e.MaxX != 3 || e.MaxY != 2 {
+		t.Errorf("EnvelopeOf = %+v", e)
+	}
+	if e.Width() != 2 || e.Height() != 3 || e.Area() != 6 {
+		t.Errorf("W/H/A = %g %g %g", e.Width(), e.Height(), e.Area())
+	}
+	if c := e.Center(); c.X != 2 || c.Y != 0.5 {
+		t.Errorf("Center = %v", c)
+	}
+	ll, ur := e.Corners()
+	if ll != (Coord{1, -1}) || ur != (Coord{3, 2}) {
+		t.Errorf("Corners = %v %v", ll, ur)
+	}
+	if !e.ContainsCoord(Coord{2, 0}) || e.ContainsCoord(Coord{5, 5}) {
+		t.Error("ContainsCoord wrong")
+	}
+}
+
+func TestEnvelopeEmptyIdentity(t *testing.T) {
+	e := EmptyEnvelope()
+	full := EnvelopeOf(Coord{1, 1})
+	if got := e.Union(full); got != full {
+		t.Errorf("empty Union = %+v", got)
+	}
+	if got := full.Union(e); got != full {
+		t.Errorf("Union empty = %+v", got)
+	}
+	if e.IntersectsEnv(full) || full.IntersectsEnv(e) {
+		t.Error("empty envelope intersects")
+	}
+	if e.ContainsEnv(full) || full.ContainsEnv(e) {
+		t.Error("empty envelope containment wrong")
+	}
+	if e.Area() != 0 {
+		t.Error("empty area != 0")
+	}
+}
+
+func TestLineString(t *testing.T) {
+	if _, err := NewLineString([]Coord{{0, 0}}); err == nil {
+		t.Error("1-point LineString accepted")
+	}
+	l, err := NewLineString([]Coord{{0, 0}, {3, 4}, {3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Length() != 6 {
+		t.Errorf("Length = %g", l.Length())
+	}
+	if l.StartPoint().C != (Coord{0, 0}) || l.EndPoint().C != (Coord{3, 5}) {
+		t.Error("endpoints wrong")
+	}
+	rev := l.Reverse()
+	if rev.Coords[0] != (Coord{3, 5}) || rev.Length() != 6 {
+		t.Error("Reverse wrong")
+	}
+	if l.Dimension() != 1 || l.Kind() != KindLineString {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestLinearRingValidation(t *testing.T) {
+	if _, err := NewLinearRing([]Coord{{0, 0}, {1, 0}, {0, 0}}); err == nil {
+		t.Error("too-small ring accepted")
+	}
+	if _, err := NewLinearRing([]Coord{{0, 0}, {1, 0}, {1, 1}, {0, 1}}); err == nil {
+		t.Error("unclosed ring accepted")
+	}
+}
+
+func TestRingOrientationAndArea(t *testing.T) {
+	ccw := ring(t, Coord{0, 0}, Coord{1, 0}, Coord{1, 1}, Coord{0, 1}, Coord{0, 0})
+	if !ccw.IsCCW() || ccw.SignedArea() != 1 {
+		t.Errorf("CCW ring: IsCCW=%t area=%g", ccw.IsCCW(), ccw.SignedArea())
+	}
+	cw := ring(t, Coord{0, 0}, Coord{0, 1}, Coord{1, 1}, Coord{1, 0}, Coord{0, 0})
+	if cw.IsCCW() || cw.SignedArea() != -1 {
+		t.Errorf("CW ring: IsCCW=%t area=%g", cw.IsCCW(), cw.SignedArea())
+	}
+}
+
+func TestPolygonAreaWithHole(t *testing.T) {
+	outer := ring(t, Coord{0, 0}, Coord{4, 0}, Coord{4, 4}, Coord{0, 4}, Coord{0, 0})
+	hole := ring(t, Coord{1, 1}, Coord{2, 1}, Coord{2, 2}, Coord{1, 2}, Coord{1, 1})
+	p := NewPolygon(outer, hole)
+	if p.Area() != 15 {
+		t.Errorf("Area = %g", p.Area())
+	}
+	if !strings.Contains(p.String(), "POLYGON((") {
+		t.Errorf("String = %s", p)
+	}
+}
+
+func TestPointInPolygon(t *testing.T) {
+	outer := ring(t, Coord{0, 0}, Coord{4, 0}, Coord{4, 4}, Coord{0, 4}, Coord{0, 0})
+	hole := ring(t, Coord{1, 1}, Coord{2, 1}, Coord{2, 2}, Coord{1, 2}, Coord{1, 1})
+	p := NewPolygon(outer, hole)
+	cases := []struct {
+		c    Coord
+		want bool
+	}{
+		{Coord{3, 3}, true},      // interior
+		{Coord{1.5, 1.5}, false}, // inside hole
+		{Coord{5, 5}, false},     // outside
+		{Coord{0, 0}, true},      // corner
+		{Coord{2, 0}, true},      // edge
+		{Coord{1, 1.5}, true},    // on hole boundary
+	}
+	for _, c := range cases {
+		if got := PointInPolygon(c.c, p); got != c.want {
+			t.Errorf("PointInPolygon(%v) = %t, want %t", c.c, got, c.want)
+		}
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, c, d Coord
+		want       bool
+	}{
+		{Coord{0, 0}, Coord{2, 2}, Coord{0, 2}, Coord{2, 0}, true},  // X cross
+		{Coord{0, 0}, Coord{1, 1}, Coord{2, 2}, Coord{3, 3}, false}, // collinear apart
+		{Coord{0, 0}, Coord{2, 2}, Coord{1, 1}, Coord{3, 3}, true},  // collinear overlap
+		{Coord{0, 0}, Coord{1, 0}, Coord{1, 0}, Coord{2, 5}, true},  // endpoint touch
+		{Coord{0, 0}, Coord{1, 0}, Coord{0, 1}, Coord{1, 1}, false}, // parallel
+	}
+	for i, c := range cases {
+		if got := SegmentsIntersect(c.a, c.b, c.c, c.d); got != c.want {
+			t.Errorf("case %d: = %t, want %t", i, got, c.want)
+		}
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	sq := unitSquare(t)
+	line, _ := NewLineString([]Coord{{-1, 0.5}, {2, 0.5}}) // crosses square
+	if !Intersects(sq, line) {
+		t.Error("line crossing square not detected")
+	}
+	inside, _ := NewLineString([]Coord{{0.2, 0.2}, {0.8, 0.8}}) // fully inside
+	if !Intersects(sq, inside) {
+		t.Error("contained line not detected")
+	}
+	outside, _ := NewLineString([]Coord{{5, 5}, {6, 6}})
+	if Intersects(sq, outside) {
+		t.Error("far line detected")
+	}
+	if !Intersects(NewPoint(0.5, 0.5), sq) {
+		t.Error("point in polygon not detected")
+	}
+	if Intersects(NewPoint(9, 9), sq) {
+		t.Error("far point detected")
+	}
+	if !Intersects(NewPoint(0.5, 0), sq) {
+		t.Error("point on boundary not detected")
+	}
+}
+
+func TestWithinContains(t *testing.T) {
+	big := NewPolygon(ring(t, Coord{0, 0}, Coord{10, 0}, Coord{10, 10}, Coord{0, 10}, Coord{0, 0}))
+	small := NewPolygon(ring(t, Coord{2, 2}, Coord{3, 2}, Coord{3, 3}, Coord{2, 3}, Coord{2, 2}))
+	if !Within(small, big) || !Contains(big, small) {
+		t.Error("containment not detected")
+	}
+	if Within(big, small) {
+		t.Error("inverted containment")
+	}
+	line, _ := NewLineString([]Coord{{1, 1}, {9, 9}})
+	if !Within(line, big) {
+		t.Error("line within polygon not detected")
+	}
+	if !Within(NewPoint(5, 5), big) {
+		t.Error("point within polygon not detected")
+	}
+	crossing, _ := NewLineString([]Coord{{5, 5}, {15, 5}})
+	if Within(crossing, big) {
+		t.Error("crossing line reported within")
+	}
+}
+
+func TestWithinEnvelopeContainer(t *testing.T) {
+	env := EnvelopeOf(Coord{0, 0}, Coord{10, 10})
+	if !Within(NewPoint(3, 3), env) {
+		t.Error("point within envelope not detected")
+	}
+	if Within(NewPoint(30, 3), env) {
+		t.Error("far point within envelope")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	sq := unitSquare(t)
+	if d := Distance(sq, NewPoint(3, 0.5)); math.Abs(d-2) > 1e-9 {
+		t.Errorf("Distance = %g, want 2", d)
+	}
+	if d := Distance(sq, NewPoint(0.5, 0.5)); d != 0 {
+		t.Errorf("Distance inside = %g, want 0", d)
+	}
+	a, _ := NewLineString([]Coord{{0, 0}, {1, 0}})
+	b, _ := NewLineString([]Coord{{0, 3}, {1, 3}})
+	if d := Distance(a, b); math.Abs(d-3) > 1e-9 {
+		t.Errorf("line distance = %g", d)
+	}
+}
+
+func TestCentroidBuffer(t *testing.T) {
+	sq := unitSquare(t)
+	c := Centroid(sq)
+	// mean of ring vertices (0,0 appears twice): (2/5, 2/5)
+	if math.Abs(c.X-0.4) > 1e-9 || math.Abs(c.Y-0.4) > 1e-9 {
+		t.Errorf("Centroid = %v", c)
+	}
+	buf := Buffer(sq, 2)
+	if buf.MinX != -2 || buf.MaxX != 3 {
+		t.Errorf("Buffer = %+v", buf)
+	}
+}
+
+func TestMultiAggregates(t *testing.T) {
+	l1, _ := NewLineString([]Coord{{0, 0}, {1, 0}})
+	l2, _ := NewLineString([]Coord{{5, 5}, {5, 7}})
+	mc := MultiCurve{Curves: []LineString{l1, l2}}
+	if mc.Length() != 3 {
+		t.Errorf("MultiCurve length = %g", mc.Length())
+	}
+	if mc.Dimension() != 1 || mc.IsEmpty() {
+		t.Error("MultiCurve metadata wrong")
+	}
+	sq := unitSquare(t)
+	ms := MultiSurface{Surfaces: []Polygon{sq, sq}}
+	if ms.Area() != 2 {
+		t.Errorf("MultiSurface area = %g", ms.Area())
+	}
+	mp := MultiPoint{Points: []Point{NewPoint(0, 0), NewPoint(2, 2)}}
+	if mp.Envelope().Area() != 4 {
+		t.Errorf("MultiPoint envelope = %+v", mp.Envelope())
+	}
+}
+
+func TestCompositeCurveContiguity(t *testing.T) {
+	l1, _ := NewLineString([]Coord{{0, 0}, {1, 1}})
+	l2, _ := NewLineString([]Coord{{1, 1}, {2, 0}})
+	l3, _ := NewLineString([]Coord{{9, 9}, {10, 10}})
+	cc, err := NewCompositeCurve(l1, l2)
+	if err != nil {
+		t.Fatalf("contiguous rejected: %v", err)
+	}
+	if _, err := NewCompositeCurve(l1, l3); err == nil {
+		t.Error("non-contiguous accepted")
+	}
+	// nesting: composite inside composite
+	l4, _ := NewLineString([]Coord{{2, 0}, {3, 0}})
+	nested, err := NewCompositeCurve(cc, l4)
+	if err != nil {
+		t.Fatalf("nested composite rejected: %v", err)
+	}
+	asLine, err := nested.AsLineString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asLine.Coords) != 4 {
+		t.Errorf("AsLineString coords = %v", asLine.Coords)
+	}
+	if nested.Length() != asLine.Length() {
+		t.Error("lengths disagree")
+	}
+}
+
+func TestCompositeCurveRejectsNonCurve(t *testing.T) {
+	if _, err := NewCompositeCurve(NewPoint(0, 0)); err == nil {
+		t.Error("point member accepted")
+	}
+}
+
+func TestCompositeSurfaceConnectivity(t *testing.T) {
+	a := unitSquare(t)
+	b := NewPolygon(ring(t, Coord{1, 0}, Coord{2, 0}, Coord{2, 1}, Coord{1, 1}, Coord{1, 0})) // shares edge vertices with a
+	c := NewPolygon(ring(t, Coord{9, 9}, Coord{10, 9}, Coord{10, 10}, Coord{9, 10}, Coord{9, 9}))
+	if _, err := NewCompositeSurface(a, b); err != nil {
+		t.Errorf("connected rejected: %v", err)
+	}
+	if _, err := NewCompositeSurface(a, c); err == nil {
+		t.Error("disconnected accepted")
+	}
+	cs, _ := NewCompositeSurface(a, b)
+	if cs.Area() != 2 {
+		t.Errorf("Area = %g", cs.Area())
+	}
+}
+
+func TestComplexMixed(t *testing.T) {
+	l, _ := NewLineString([]Coord{{0, 0}, {1, 1}})
+	cx := Complex{Members: []Geometry{NewPoint(5, 5), l, unitSquare(t)}}
+	if cx.Dimension() != 2 {
+		t.Errorf("Dimension = %d", cx.Dimension())
+	}
+	if cx.Envelope().MaxX != 5 {
+		t.Errorf("Envelope = %+v", cx.Envelope())
+	}
+}
+
+func TestSolid(t *testing.T) {
+	sq := unitSquare(t)
+	s := Solid{Boundary: []Polygon{sq, sq, sq, sq, sq, sq}}
+	if s.SurfaceArea() != 6 {
+		t.Errorf("SurfaceArea = %g", s.SurfaceArea())
+	}
+	if s.Dimension() != 3 || s.IsEmpty() {
+		t.Error("Solid metadata wrong")
+	}
+}
+
+func TestParseFormatCoordinates(t *testing.T) {
+	// The exact string from List 6 of the paper.
+	cs, err := ParseCoordinates("2533822.17263276,7108248.82783879 2533900.5,7108300.25")
+	if err != nil {
+		t.Fatalf("ParseCoordinates: %v", err)
+	}
+	if len(cs) != 2 || cs[0].X != 2533822.17263276 {
+		t.Errorf("cs = %v", cs)
+	}
+	round, err := ParseCoordinates(FormatCoordinates(cs))
+	if err != nil || len(round) != 2 || round[0] != cs[0] || round[1] != cs[1] {
+		t.Errorf("round trip = %v, %v", round, err)
+	}
+	for _, bad := range []string{"", "1", "a,b", "1,b"} {
+		if _, err := ParseCoordinates(bad); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}
+
+func TestParseFormatPosList(t *testing.T) {
+	cs, err := ParsePosList("1 2 3 4")
+	if err != nil || len(cs) != 2 || cs[1] != (Coord{3, 4}) {
+		t.Fatalf("ParsePosList = %v, %v", cs, err)
+	}
+	if FormatPosList(cs) != "1 2 3 4" {
+		t.Errorf("FormatPosList = %q", FormatPosList(cs))
+	}
+	for _, bad := range []string{"", "1 2 3", "x y"} {
+		if _, err := ParsePosList(bad); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}
+
+func TestCRSTransformRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	orig := Coord{2533822.17, 7108248.83}
+	m, err := reg.Transform(orig, TX83NCF, TX83NCM)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	back, err := reg.Transform(m, TX83NCM, TX83NCF)
+	if err != nil {
+		t.Fatalf("Transform back: %v", err)
+	}
+	if math.Abs(back.X-orig.X) > 1e-6 || math.Abs(back.Y-orig.Y) > 1e-6 {
+		t.Errorf("round trip %v -> %v -> %v", orig, m, back)
+	}
+	// ft -> m conversion shrinks values by ~3.28
+	refFt, _ := reg.Transform(orig, TX83NCF, ReferenceCRS)
+	refM, _ := reg.Transform(m, TX83NCM, ReferenceCRS)
+	if math.Abs(refFt.X-refM.X) > 1e-6 || math.Abs(refFt.Y-refM.Y) > 1e-6 {
+		t.Errorf("reference frames disagree: %v vs %v", refFt, refM)
+	}
+}
+
+func TestCRSUnknown(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Transform(Coord{}, "nope", ReferenceCRS); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := reg.Transform(Coord{}, ReferenceCRS, "nope"); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if len(reg.Names()) < 3 {
+		t.Errorf("Names = %v", reg.Names())
+	}
+	if _, ok := reg.Lookup(TX83NCF); !ok {
+		t.Error("Lookup failed")
+	}
+}
+
+func TestAffineInvertCompose(t *testing.T) {
+	a := Affine{A: 2, B: 0, Tx: 5, C: 0, D: 3, Ty: -1}
+	inv, err := a.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Coord{7, 11}
+	round := inv.Apply(a.Apply(c))
+	if math.Abs(round.X-c.X) > 1e-9 || math.Abs(round.Y-c.Y) > 1e-9 {
+		t.Errorf("invert round trip = %v", round)
+	}
+	if _, err := (Affine{}).Invert(); err == nil {
+		t.Error("singular inverted")
+	}
+	id := a.Compose(inv)
+	got := id.Apply(c)
+	if math.Abs(got.X-c.X) > 1e-9 || math.Abs(got.Y-c.Y) > 1e-9 {
+		t.Errorf("compose identity = %v", got)
+	}
+}
+
+// Property: a point transformed between any two registered CRSs and back
+// returns to its origin.
+func TestQuickCRSRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	names := reg.Names()
+	f := func(xRaw, yRaw int32, i, j uint8) bool {
+		from := names[int(i)%len(names)]
+		to := names[int(j)%len(names)]
+		c := Coord{float64(xRaw) / 100, float64(yRaw) / 100}
+		m, err := reg.Transform(c, from, to)
+		if err != nil {
+			return false
+		}
+		back, err := reg.Transform(m, to, from)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back.X-c.X) < 1e-5 && math.Abs(back.Y-c.Y) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: envelope union is commutative and contains both inputs.
+func TestQuickEnvelopeUnion(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3 int16) bool {
+		e1 := EnvelopeOf(Coord{float64(x1), float64(y1)}, Coord{float64(x2), float64(y2)})
+		e2 := EnvelopeOf(Coord{float64(x3), float64(y3)})
+		u1 := e1.Union(e2)
+		u2 := e2.Union(e1)
+		return u1 == u2 && u1.ContainsEnv(e1) && u1.ContainsEnv(e2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyCoords(t *testing.T) {
+	// collinear middle points vanish
+	line := []Coord{{X: 0, Y: 0}, {X: 1, Y: 0.001}, {X: 2, Y: -0.001}, {X: 3, Y: 0}}
+	out := SimplifyCoords(line, 0.01)
+	if len(out) != 2 || out[0] != line[0] || out[1] != line[3] {
+		t.Errorf("Simplify = %v", out)
+	}
+	// a significant detour survives
+	detour := []Coord{{X: 0, Y: 0}, {X: 1, Y: 5}, {X: 2, Y: 0}}
+	out = SimplifyCoords(detour, 0.5)
+	if len(out) != 3 {
+		t.Errorf("detour simplified away: %v", out)
+	}
+	// zero tolerance is identity
+	out = SimplifyCoords(line, 0)
+	if len(out) != len(line) {
+		t.Errorf("tol=0 changed input: %v", out)
+	}
+}
+
+func TestSimplifyLineStringProperty(t *testing.T) {
+	// Every original point must lie within tol of the simplified chain.
+	l, _ := NewLineString([]Coord{
+		{X: 0, Y: 0}, {X: 1, Y: 0.4}, {X: 2, Y: -0.2}, {X: 3, Y: 0.6},
+		{X: 4, Y: 0}, {X: 5, Y: 3}, {X: 6, Y: 0},
+	})
+	const tol = 0.5
+	s := l.Simplify(tol)
+	if len(s.Coords) >= len(l.Coords) {
+		t.Errorf("no reduction: %d -> %d", len(l.Coords), len(s.Coords))
+	}
+	for _, p := range l.Coords {
+		best := math.Inf(1)
+		for i := 1; i < len(s.Coords); i++ {
+			d := pointSegDist(p, s.Coords[i-1], s.Coords[i])
+			if d < best {
+				best = d
+			}
+		}
+		if best > tol+1e-9 {
+			t.Errorf("point %v is %g from simplified chain (tol %g)", p, best, tol)
+		}
+	}
+}
+
+func TestSimplifyRingAndPolygon(t *testing.T) {
+	ring, _ := NewLinearRing([]Coord{
+		{X: 0, Y: 0}, {X: 2, Y: 0.01}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}, {X: 0, Y: 0},
+	})
+	s := ring.Simplify(0.1)
+	if len(s.Coords) != 5 {
+		t.Errorf("ring simplify = %v", s.Coords)
+	}
+	if s.Coords[0] != s.Coords[len(s.Coords)-1] {
+		t.Error("ring opened by simplification")
+	}
+	// over-aggressive tolerance: original preserved rather than collapsing
+	tiny := ring.Simplify(1e9)
+	if len(tiny.Coords) < 4 {
+		t.Errorf("ring collapsed: %v", tiny.Coords)
+	}
+	poly := NewPolygon(ring, ring)
+	sp := poly.Simplify(0.1)
+	if len(sp.Holes) != 1 {
+		t.Errorf("holes = %d", len(sp.Holes))
+	}
+}
+
+// TestGeometryMetadataMatrix sweeps Kind/Dimension/IsEmpty/String/Envelope
+// across every geometry type.
+func TestGeometryMetadataMatrix(t *testing.T) {
+	l1, _ := NewLineString([]Coord{{0, 0}, {1, 1}})
+	l2, _ := NewLineString([]Coord{{1, 1}, {2, 0}})
+	r := ring(t, Coord{0, 0}, Coord{1, 0}, Coord{1, 1}, Coord{0, 1}, Coord{0, 0})
+	poly := NewPolygon(r)
+	cc, _ := NewCompositeCurve(l1, l2)
+	cs, _ := NewCompositeSurface(poly)
+	cases := []struct {
+		g    Geometry
+		kind Kind
+		dim  int
+		str  string
+	}{
+		{NewPoint(1, 2), KindPoint, 0, "POINT(1 2)"},
+		{l1, KindLineString, 1, "LINESTRING(0 0, 1 1)"},
+		{r, KindLinearRing, 1, "LINEARRING(0 0, 1 0, 1 1, 0 1, 0 0)"},
+		{poly, KindPolygon, 2, "POLYGON((0 0, 1 0, 1 1, 0 1, 0 0))"},
+		{Solid{Boundary: []Polygon{poly}}, KindSolid, 3, "SOLID(1 faces)"},
+		{MultiPoint{Points: []Point{NewPoint(0, 0)}}, KindMultiPoint, 0, "MULTIPOINT(1)"},
+		{MultiCurve{Curves: []LineString{l1}}, KindMultiCurve, 1, "MULTICURVE(1)"},
+		{MultiSurface{Surfaces: []Polygon{poly}}, KindMultiSurface, 2, "MULTISURFACE(1)"},
+		{cc, KindCompositeCurve, 1, "COMPOSITECURVE(2)"},
+		{cs, KindCompositeSurface, 2, "COMPOSITESURFACE(1)"},
+		{Complex{Members: []Geometry{poly}}, KindComplex, 2, "COMPLEX(1)"},
+		{EnvelopeOf(Coord{0, 0}, Coord{1, 1}), KindEnvelope, 2, "ENVELOPE(0 0, 1 1)"},
+	}
+	for _, c := range cases {
+		if c.g.Kind() != c.kind {
+			t.Errorf("%s: Kind = %v", c.str, c.g.Kind())
+		}
+		if c.g.Dimension() != c.dim {
+			t.Errorf("%s: Dimension = %d, want %d", c.str, c.g.Dimension(), c.dim)
+		}
+		if c.g.IsEmpty() {
+			t.Errorf("%s: IsEmpty = true", c.str)
+		}
+		if c.g.String() != c.str {
+			t.Errorf("String = %q, want %q", c.g.String(), c.str)
+		}
+		if c.g.Envelope().Empty {
+			t.Errorf("%s: empty envelope", c.str)
+		}
+	}
+	if !(MultiPoint{}).IsEmpty() || !(Complex{}).IsEmpty() || !(Solid{}).IsEmpty() ||
+		!(MultiCurve{}).IsEmpty() || !(MultiSurface{}).IsEmpty() ||
+		!(CompositeCurve{}).IsEmpty() || !(CompositeSurface{}).IsEmpty() {
+		t.Error("zero aggregates not empty")
+	}
+	if (Complex{}).Dimension() != 0 {
+		t.Error("empty complex dimension")
+	}
+	if s := EmptyEnvelope().String(); s != "ENVELOPE EMPTY" {
+		t.Errorf("empty envelope string = %q", s)
+	}
+}
+
+// TestSpatialOpsAcrossKinds drives Intersects/Within/Distance through every
+// geometry kind so the segment/point extraction paths are all exercised.
+func TestSpatialOpsAcrossKinds(t *testing.T) {
+	r := ring(t, Coord{0, 0}, Coord{10, 0}, Coord{10, 10}, Coord{0, 10}, Coord{0, 0})
+	big := NewPolygon(r)
+	l1, _ := NewLineString([]Coord{{1, 1}, {2, 2}})
+	l2, _ := NewLineString([]Coord{{2, 2}, {3, 1}})
+	cc, _ := NewCompositeCurve(l1, l2)
+	inner := ring(t, Coord{1, 1}, Coord{2, 1}, Coord{2, 2}, Coord{1, 2}, Coord{1, 1})
+	cs, _ := NewCompositeSurface(NewPolygon(inner))
+	solid := Solid{Boundary: []Polygon{NewPolygon(inner)}}
+	kinds := []Geometry{
+		NewPoint(5, 5),
+		l1,
+		inner,
+		NewPolygon(inner),
+		MultiPoint{Points: []Point{NewPoint(3, 3), NewPoint(4, 4)}},
+		MultiCurve{Curves: []LineString{l1, l2}},
+		MultiSurface{Surfaces: []Polygon{NewPolygon(inner)}},
+		cc,
+		cs,
+		Complex{Members: []Geometry{NewPoint(6, 6), l2}},
+		solid,
+		EnvelopeOf(Coord{1, 1}, Coord{2, 2}),
+	}
+	for _, g := range kinds {
+		if !Within(g, big) {
+			t.Errorf("%s not within big square", g.Kind())
+		}
+		if !Intersects(g, big) {
+			t.Errorf("%s does not intersect big square", g.Kind())
+		}
+		if d := Distance(g, big); d != 0 {
+			t.Errorf("%s distance = %g", g.Kind(), d)
+		}
+		far := NewPoint(1000, 1000)
+		if Intersects(g, far) {
+			t.Errorf("%s intersects far point", g.Kind())
+		}
+		if d := Distance(g, far); d <= 0 || math.IsInf(d, 1) {
+			t.Errorf("%s far distance = %g", g.Kind(), d)
+		}
+	}
+	// nil / empty guards
+	if Intersects(nil, big) || Within(nil, big) || Contains(big, nil) {
+		t.Error("nil geometry matched")
+	}
+	if !math.IsInf(Distance(nil, big), 1) {
+		t.Error("nil distance finite")
+	}
+}
+
+func TestTransformAll(t *testing.T) {
+	reg := NewRegistry()
+	in := []Coord{{0, 0}, {328.083333, 328.083333}}
+	out, err := reg.TransformAll(in, TX83NCF, TX83NCM)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("TransformAll = %v, %v", out, err)
+	}
+	if _, err := reg.TransformAll(in, "nope", TX83NCM); err == nil {
+		t.Error("unknown CRS accepted")
+	}
+}

@@ -1,0 +1,360 @@
+// Package geom is the computational-geometry substrate under GRDF's geometry
+// model (Section 5 of the paper). It provides the concrete shape types the
+// ontology's classes denote — Point, Curve (LineString), Surface (Polygon),
+// Solid and their Multi/Composite/Complex aggregates plus Ring and Envelope —
+// together with the predicates and measures the SPARQL spatial filter
+// functions and the topology realization layer need.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Coord is a 2-D coordinate in some CRS. GRDF's sample data (hydrology
+// streams, chemical-site bounding boxes) is planar; elevation travels as
+// feature properties when needed.
+type Coord struct {
+	X, Y float64
+}
+
+func (c Coord) String() string { return fmt.Sprintf("%g,%g", c.X, c.Y) }
+
+// Sub returns the component-wise difference c - d.
+func (c Coord) Sub(d Coord) Coord { return Coord{c.X - d.X, c.Y - d.Y} }
+
+// Dist returns the Euclidean distance to d.
+func (c Coord) Dist(d Coord) float64 { return math.Hypot(c.X-d.X, c.Y-d.Y) }
+
+// Kind enumerates geometry types, mirroring the classes of the GRDF geometry
+// ontology.
+type Kind string
+
+const (
+	KindPoint            Kind = "Point"
+	KindLineString       Kind = "LineString" // GRDF Curve
+	KindLinearRing       Kind = "LinearRing" // GRDF Ring
+	KindPolygon          Kind = "Polygon"    // GRDF Surface
+	KindSolid            Kind = "Solid"
+	KindMultiPoint       Kind = "MultiPoint"
+	KindMultiCurve       Kind = "MultiCurve"
+	KindMultiSurface     Kind = "MultiSurface"
+	KindCompositeCurve   Kind = "CompositeCurve"
+	KindCompositeSurface Kind = "CompositeSurface"
+	KindComplex          Kind = "Complex"
+	KindEnvelope         Kind = "Envelope"
+)
+
+// Geometry is the interface every shape implements.
+type Geometry interface {
+	// Kind reports the geometry type.
+	Kind() Kind
+	// Envelope returns the minimal axis-aligned bounding box (the paper's
+	// 'isBoundedBy' rectangle).
+	Envelope() Envelope
+	// IsEmpty reports whether the geometry carries no coordinates.
+	IsEmpty() bool
+	// Dimension returns the topological dimension: 0, 1, 2 or 3.
+	Dimension() int
+	// String renders a WKT-like textual form.
+	String() string
+}
+
+// Envelope is an axis-aligned bounding box ("an imaginary bounding box that
+// is the minimum area occupied by the feature").
+type Envelope struct {
+	MinX, MinY, MaxX, MaxY float64
+	// Empty marks the zero envelope; a fresh Envelope{} with Empty=true adds
+	// nothing to unions.
+	Empty bool
+}
+
+// EmptyEnvelope returns the identity for Extend/Union.
+func EmptyEnvelope() Envelope { return Envelope{Empty: true} }
+
+// EnvelopeOf builds the envelope of a coordinate set.
+func EnvelopeOf(cs ...Coord) Envelope {
+	e := EmptyEnvelope()
+	for _, c := range cs {
+		e = e.ExtendCoord(c)
+	}
+	return e
+}
+
+// Kind implements Geometry.
+func (Envelope) Kind() Kind { return KindEnvelope }
+
+// Envelope implements Geometry.
+func (e Envelope) Envelope() Envelope { return e }
+
+// IsEmpty implements Geometry.
+func (e Envelope) IsEmpty() bool { return e.Empty }
+
+// Dimension implements Geometry.
+func (Envelope) Dimension() int { return 2 }
+
+func (e Envelope) String() string {
+	if e.Empty {
+		return "ENVELOPE EMPTY"
+	}
+	return fmt.Sprintf("ENVELOPE(%g %g, %g %g)", e.MinX, e.MinY, e.MaxX, e.MaxY)
+}
+
+// ExtendCoord grows the envelope to cover c.
+func (e Envelope) ExtendCoord(c Coord) Envelope {
+	if e.Empty {
+		return Envelope{MinX: c.X, MinY: c.Y, MaxX: c.X, MaxY: c.Y}
+	}
+	return Envelope{
+		MinX: math.Min(e.MinX, c.X), MinY: math.Min(e.MinY, c.Y),
+		MaxX: math.Max(e.MaxX, c.X), MaxY: math.Max(e.MaxY, c.Y),
+	}
+}
+
+// Union returns the smallest envelope covering both.
+func (e Envelope) Union(o Envelope) Envelope {
+	if e.Empty {
+		return o
+	}
+	if o.Empty {
+		return e
+	}
+	return Envelope{
+		MinX: math.Min(e.MinX, o.MinX), MinY: math.Min(e.MinY, o.MinY),
+		MaxX: math.Max(e.MaxX, o.MaxX), MaxY: math.Max(e.MaxY, o.MaxY),
+	}
+}
+
+// IntersectsEnv reports whether the two boxes overlap (boundaries touch
+// counts as intersecting).
+func (e Envelope) IntersectsEnv(o Envelope) bool {
+	if e.Empty || o.Empty {
+		return false
+	}
+	return e.MinX <= o.MaxX && o.MinX <= e.MaxX && e.MinY <= o.MaxY && o.MinY <= e.MaxY
+}
+
+// ContainsCoord reports whether c lies inside or on the boundary.
+func (e Envelope) ContainsCoord(c Coord) bool {
+	return !e.Empty && c.X >= e.MinX && c.X <= e.MaxX && c.Y >= e.MinY && c.Y <= e.MaxY
+}
+
+// ContainsEnv reports whether o lies entirely within e.
+func (e Envelope) ContainsEnv(o Envelope) bool {
+	if e.Empty || o.Empty {
+		return false
+	}
+	return o.MinX >= e.MinX && o.MaxX <= e.MaxX && o.MinY >= e.MinY && o.MaxY <= e.MaxY
+}
+
+// Width returns MaxX - MinX.
+func (e Envelope) Width() float64 {
+	if e.Empty {
+		return 0
+	}
+	return e.MaxX - e.MinX
+}
+
+// Height returns MaxY - MinY.
+func (e Envelope) Height() float64 {
+	if e.Empty {
+		return 0
+	}
+	return e.MaxY - e.MinY
+}
+
+// Area returns the box area.
+func (e Envelope) Area() float64 { return e.Width() * e.Height() }
+
+// Center returns the box midpoint.
+func (e Envelope) Center() Coord {
+	return Coord{(e.MinX + e.MaxX) / 2, (e.MinY + e.MaxY) / 2}
+}
+
+// Corners returns the lower-left and upper-right corners, the two
+// coordinates GRDF's Envelope class carries.
+func (e Envelope) Corners() (Coord, Coord) {
+	return Coord{e.MinX, e.MinY}, Coord{e.MaxX, e.MaxY}
+}
+
+// Point is a 0-dimensional geometry ("the most basic and indecomposable form
+// of geometry").
+type Point struct {
+	C Coord
+}
+
+// NewPoint returns the point (x, y).
+func NewPoint(x, y float64) Point { return Point{C: Coord{x, y}} }
+
+func (Point) Kind() Kind           { return KindPoint }
+func (p Point) Envelope() Envelope { return EnvelopeOf(p.C) }
+func (Point) IsEmpty() bool        { return false }
+func (Point) Dimension() int       { return 0 }
+func (p Point) String() string     { return fmt.Sprintf("POINT(%g %g)", p.C.X, p.C.Y) }
+
+// LineString is a 1-dimensional curve through two or more anchor points
+// (GRDF's Curve: "a one-dimensional form that is defined in terms of anchor
+// points").
+type LineString struct {
+	Coords []Coord
+}
+
+// NewLineString validates that at least two anchor points are present.
+func NewLineString(cs []Coord) (LineString, error) {
+	if len(cs) < 2 {
+		return LineString{}, fmt.Errorf("geom: LineString needs >= 2 points, got %d", len(cs))
+	}
+	return LineString{Coords: cs}, nil
+}
+
+func (LineString) Kind() Kind { return KindLineString }
+
+func (l LineString) Envelope() Envelope { return EnvelopeOf(l.Coords...) }
+func (l LineString) IsEmpty() bool      { return len(l.Coords) == 0 }
+func (LineString) Dimension() int       { return 1 }
+
+func (l LineString) String() string {
+	return "LINESTRING(" + coordList(l.Coords) + ")"
+}
+
+// Length returns the polyline length.
+func (l LineString) Length() float64 {
+	sum := 0.0
+	for i := 1; i < len(l.Coords); i++ {
+		sum += l.Coords[i].Dist(l.Coords[i-1])
+	}
+	return sum
+}
+
+// Reverse returns the curve traversed backwards.
+func (l LineString) Reverse() LineString {
+	out := make([]Coord, len(l.Coords))
+	for i, c := range l.Coords {
+		out[len(l.Coords)-1-i] = c
+	}
+	return LineString{Coords: out}
+}
+
+// StartPoint returns the first anchor point.
+func (l LineString) StartPoint() Point { return Point{C: l.Coords[0]} }
+
+// EndPoint returns the last anchor point.
+func (l LineString) EndPoint() Point { return Point{C: l.Coords[len(l.Coords)-1]} }
+
+// LinearRing is a closed LineString (GRDF's Ring, "similar to Multi type
+// except it is restricted to have straight-lines or curves in its content
+// model"). First and last coordinates must coincide.
+type LinearRing struct {
+	Coords []Coord
+}
+
+// NewLinearRing validates closure and minimum size (4 coords incl. repeat).
+func NewLinearRing(cs []Coord) (LinearRing, error) {
+	if len(cs) < 4 {
+		return LinearRing{}, fmt.Errorf("geom: LinearRing needs >= 4 points, got %d", len(cs))
+	}
+	if cs[0] != cs[len(cs)-1] {
+		return LinearRing{}, fmt.Errorf("geom: LinearRing not closed: %v != %v", cs[0], cs[len(cs)-1])
+	}
+	return LinearRing{Coords: cs}, nil
+}
+
+func (LinearRing) Kind() Kind           { return KindLinearRing }
+func (r LinearRing) Envelope() Envelope { return EnvelopeOf(r.Coords...) }
+func (r LinearRing) IsEmpty() bool      { return len(r.Coords) == 0 }
+func (LinearRing) Dimension() int       { return 1 }
+func (r LinearRing) String() string     { return "LINEARRING(" + coordList(r.Coords) + ")" }
+
+// SignedArea returns the shoelace area: positive when counter-clockwise.
+func (r LinearRing) SignedArea() float64 {
+	sum := 0.0
+	for i := 0; i < len(r.Coords)-1; i++ {
+		a, b := r.Coords[i], r.Coords[i+1]
+		sum += a.X*b.Y - b.X*a.Y
+	}
+	return sum / 2
+}
+
+// IsCCW reports counter-clockwise orientation (the paper's "positive
+// (clockwise) negative (counter-clockwise)" face orientation corresponds to
+// the sign of this area).
+func (r LinearRing) IsCCW() bool { return r.SignedArea() > 0 }
+
+// Polygon is a 2-dimensional surface with an exterior ring and optional
+// interior rings (holes). It realizes GRDF's Surface class.
+type Polygon struct {
+	Exterior LinearRing
+	Holes    []LinearRing
+}
+
+// NewPolygon builds a polygon from a validated exterior and holes.
+func NewPolygon(ext LinearRing, holes ...LinearRing) Polygon {
+	return Polygon{Exterior: ext, Holes: holes}
+}
+
+func (Polygon) Kind() Kind           { return KindPolygon }
+func (p Polygon) Envelope() Envelope { return p.Exterior.Envelope() }
+func (p Polygon) IsEmpty() bool      { return p.Exterior.IsEmpty() }
+func (Polygon) Dimension() int       { return 2 }
+
+func (p Polygon) String() string {
+	var sb strings.Builder
+	sb.WriteString("POLYGON((")
+	sb.WriteString(coordList(p.Exterior.Coords))
+	sb.WriteString(")")
+	for _, h := range p.Holes {
+		sb.WriteString(",(")
+		sb.WriteString(coordList(h.Coords))
+		sb.WriteString(")")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Area returns the polygon area (exterior minus holes).
+func (p Polygon) Area() float64 {
+	a := math.Abs(p.Exterior.SignedArea())
+	for _, h := range p.Holes {
+		a -= math.Abs(h.SignedArea())
+	}
+	return a
+}
+
+// Solid is a 3-dimensional shape. As in GRDF ("solid does not have its own
+// composite types; it relies on two-dimensional classes to construct the
+// shape"), it is described by its boundary surfaces.
+type Solid struct {
+	Boundary []Polygon
+}
+
+func (Solid) Kind() Kind { return KindSolid }
+
+func (s Solid) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for _, p := range s.Boundary {
+		e = e.Union(p.Envelope())
+	}
+	return e
+}
+
+func (s Solid) IsEmpty() bool  { return len(s.Boundary) == 0 }
+func (Solid) Dimension() int   { return 3 }
+func (s Solid) String() string { return fmt.Sprintf("SOLID(%d faces)", len(s.Boundary)) }
+
+// SurfaceArea sums the boundary surface areas.
+func (s Solid) SurfaceArea() float64 {
+	sum := 0.0
+	for _, p := range s.Boundary {
+		sum += p.Area()
+	}
+	return sum
+}
+
+func coordList(cs []Coord) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = fmt.Sprintf("%g %g", c.X, c.Y)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,271 @@
+package geom
+
+import (
+	"fmt"
+)
+
+// The paper distinguishes three multipart forms (Section 5):
+//
+//   - Multi: "composed of the same base type and there is no stipulation as
+//     to their mutual relationship … does not allow nesting."
+//   - Composite: "similar to Multi type except the individual parts have to
+//     be contiguous and nesting is allowed."
+//   - Complex: "allows arbitrary combination of the types."
+
+// MultiPoint is an unordered collection of points.
+type MultiPoint struct {
+	Points []Point
+}
+
+func (MultiPoint) Kind() Kind { return KindMultiPoint }
+
+func (m MultiPoint) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for _, p := range m.Points {
+		e = e.Union(p.Envelope())
+	}
+	return e
+}
+
+func (m MultiPoint) IsEmpty() bool  { return len(m.Points) == 0 }
+func (MultiPoint) Dimension() int   { return 0 }
+func (m MultiPoint) String() string { return fmt.Sprintf("MULTIPOINT(%d)", len(m.Points)) }
+
+// MultiCurve is a flat enumeration of curves (no nesting, no contiguity
+// requirement).
+type MultiCurve struct {
+	Curves []LineString
+}
+
+func (MultiCurve) Kind() Kind { return KindMultiCurve }
+
+func (m MultiCurve) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for _, c := range m.Curves {
+		e = e.Union(c.Envelope())
+	}
+	return e
+}
+
+func (m MultiCurve) IsEmpty() bool  { return len(m.Curves) == 0 }
+func (MultiCurve) Dimension() int   { return 1 }
+func (m MultiCurve) String() string { return fmt.Sprintf("MULTICURVE(%d)", len(m.Curves)) }
+
+// Length sums the member lengths.
+func (m MultiCurve) Length() float64 {
+	sum := 0.0
+	for _, c := range m.Curves {
+		sum += c.Length()
+	}
+	return sum
+}
+
+// MultiSurface is a flat enumeration of surfaces.
+type MultiSurface struct {
+	Surfaces []Polygon
+}
+
+func (MultiSurface) Kind() Kind { return KindMultiSurface }
+
+func (m MultiSurface) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for _, s := range m.Surfaces {
+		e = e.Union(s.Envelope())
+	}
+	return e
+}
+
+func (m MultiSurface) IsEmpty() bool  { return len(m.Surfaces) == 0 }
+func (MultiSurface) Dimension() int   { return 2 }
+func (m MultiSurface) String() string { return fmt.Sprintf("MULTISURFACE(%d)", len(m.Surfaces)) }
+
+// Area sums the member areas.
+func (m MultiSurface) Area() float64 {
+	sum := 0.0
+	for _, s := range m.Surfaces {
+		sum += s.Area()
+	}
+	return sum
+}
+
+// CompositeCurve is a chain of contiguous curves: each member must start
+// where the previous one ends. Members may themselves be composites
+// ("nesting is allowed"), which NewCompositeCurve flattens for the
+// contiguity check.
+type CompositeCurve struct {
+	Members []Geometry // LineString or CompositeCurve
+}
+
+// NewCompositeCurve validates contiguity of the flattened member chain.
+func NewCompositeCurve(members ...Geometry) (CompositeCurve, error) {
+	cc := CompositeCurve{Members: members}
+	flat, err := cc.Flatten()
+	if err != nil {
+		return CompositeCurve{}, err
+	}
+	for i := 1; i < len(flat); i++ {
+		prev := flat[i-1].Coords[len(flat[i-1].Coords)-1]
+		next := flat[i].Coords[0]
+		if prev != next {
+			return CompositeCurve{}, fmt.Errorf(
+				"geom: CompositeCurve members %d and %d are not contiguous (%v != %v)",
+				i-1, i, prev, next)
+		}
+	}
+	return cc, nil
+}
+
+// Flatten expands nested composites to a flat list of LineStrings.
+func (c CompositeCurve) Flatten() ([]LineString, error) {
+	var out []LineString
+	for _, m := range c.Members {
+		switch v := m.(type) {
+		case LineString:
+			out = append(out, v)
+		case CompositeCurve:
+			inner, err := v.Flatten()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, inner...)
+		default:
+			return nil, fmt.Errorf("geom: CompositeCurve cannot contain %s", m.Kind())
+		}
+	}
+	return out, nil
+}
+
+func (CompositeCurve) Kind() Kind { return KindCompositeCurve }
+
+func (c CompositeCurve) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for _, m := range c.Members {
+		e = e.Union(m.Envelope())
+	}
+	return e
+}
+
+func (c CompositeCurve) IsEmpty() bool  { return len(c.Members) == 0 }
+func (CompositeCurve) Dimension() int   { return 1 }
+func (c CompositeCurve) String() string { return fmt.Sprintf("COMPOSITECURVE(%d)", len(c.Members)) }
+
+// Length sums the flattened member lengths.
+func (c CompositeCurve) Length() float64 {
+	flat, err := c.Flatten()
+	if err != nil {
+		return 0
+	}
+	sum := 0.0
+	for _, l := range flat {
+		sum += l.Length()
+	}
+	return sum
+}
+
+// AsLineString concatenates the flattened chain into one curve.
+func (c CompositeCurve) AsLineString() (LineString, error) {
+	flat, err := c.Flatten()
+	if err != nil {
+		return LineString{}, err
+	}
+	if len(flat) == 0 {
+		return LineString{}, fmt.Errorf("geom: empty CompositeCurve")
+	}
+	coords := append([]Coord(nil), flat[0].Coords...)
+	for _, seg := range flat[1:] {
+		coords = append(coords, seg.Coords[1:]...)
+	}
+	return NewLineString(coords)
+}
+
+// CompositeSurface is a set of surfaces required to be connected: every
+// member must share at least one boundary vertex with some earlier member.
+type CompositeSurface struct {
+	Members []Polygon
+}
+
+// NewCompositeSurface validates connectivity.
+func NewCompositeSurface(members ...Polygon) (CompositeSurface, error) {
+	for i := 1; i < len(members); i++ {
+		connected := false
+		for j := 0; j < i && !connected; j++ {
+			if sharesVertex(members[i], members[j]) {
+				connected = true
+			}
+		}
+		if !connected {
+			return CompositeSurface{}, fmt.Errorf("geom: CompositeSurface member %d is disconnected", i)
+		}
+	}
+	return CompositeSurface{Members: members}, nil
+}
+
+func sharesVertex(a, b Polygon) bool {
+	set := map[Coord]struct{}{}
+	for _, c := range a.Exterior.Coords {
+		set[c] = struct{}{}
+	}
+	for _, c := range b.Exterior.Coords {
+		if _, ok := set[c]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (CompositeSurface) Kind() Kind { return KindCompositeSurface }
+
+func (c CompositeSurface) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for _, m := range c.Members {
+		e = e.Union(m.Envelope())
+	}
+	return e
+}
+
+func (c CompositeSurface) IsEmpty() bool { return len(c.Members) == 0 }
+func (CompositeSurface) Dimension() int  { return 2 }
+func (c CompositeSurface) String() string {
+	return fmt.Sprintf("COMPOSITESURFACE(%d)", len(c.Members))
+}
+
+// Area sums member areas.
+func (c CompositeSurface) Area() float64 {
+	sum := 0.0
+	for _, m := range c.Members {
+		sum += m.Area()
+	}
+	return sum
+}
+
+// Complex is an arbitrary combination of geometries of any kind ("the atomic
+// parts of a Complex type can be Multi type, Composite type and even Complex
+// type").
+type Complex struct {
+	Members []Geometry
+}
+
+func (Complex) Kind() Kind { return KindComplex }
+
+func (c Complex) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for _, m := range c.Members {
+		e = e.Union(m.Envelope())
+	}
+	return e
+}
+
+func (c Complex) IsEmpty() bool { return len(c.Members) == 0 }
+
+// Dimension returns the maximum member dimension.
+func (c Complex) Dimension() int {
+	d := 0
+	for _, m := range c.Members {
+		if md := m.Dimension(); md > d {
+			d = md
+		}
+	}
+	return d
+}
+
+func (c Complex) String() string { return fmt.Sprintf("COMPLEX(%d)", len(c.Members)) }

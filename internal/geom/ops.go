@@ -1,0 +1,437 @@
+package geom
+
+import (
+	"math"
+)
+
+// Spatial predicates and measures. These back the grdf: SPARQL filter
+// functions (grdf:within, grdf:intersects, grdf:distance) and the G-SACS
+// spatial policy conditions.
+
+const eps = 1e-9
+
+// orient returns >0 when a→b→c turns counter-clockwise, <0 clockwise, 0
+// collinear.
+func orient(a, b, c Coord) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// onSegment reports whether p lies on segment ab (assuming collinearity).
+func onSegment(a, b, p Coord) bool {
+	return math.Min(a.X, b.X)-eps <= p.X && p.X <= math.Max(a.X, b.X)+eps &&
+		math.Min(a.Y, b.Y)-eps <= p.Y && p.Y <= math.Max(a.Y, b.Y)+eps
+}
+
+// SegmentsIntersect reports whether segments ab and cd share a point.
+func SegmentsIntersect(a, b, c, d Coord) bool {
+	o1, o2 := orient(a, b, c), orient(a, b, d)
+	o3, o4 := orient(c, d, a), orient(c, d, b)
+	if ((o1 > eps && o2 < -eps) || (o1 < -eps && o2 > eps)) &&
+		((o3 > eps && o4 < -eps) || (o3 < -eps && o4 > eps)) {
+		return true
+	}
+	switch {
+	case math.Abs(o1) <= eps && onSegment(a, b, c):
+		return true
+	case math.Abs(o2) <= eps && onSegment(a, b, d):
+		return true
+	case math.Abs(o3) <= eps && onSegment(c, d, a):
+		return true
+	case math.Abs(o4) <= eps && onSegment(c, d, b):
+		return true
+	}
+	return false
+}
+
+// pointInRing applies even-odd ray casting; boundary points count as inside.
+func pointInRing(p Coord, ring []Coord) bool {
+	// boundary check first
+	for i := 1; i < len(ring); i++ {
+		a, b := ring[i-1], ring[i]
+		if math.Abs(orient(a, b, p)) <= eps && onSegment(a, b, p) {
+			return true
+		}
+	}
+	inside := false
+	for i := 1; i < len(ring); i++ {
+		a, b := ring[i-1], ring[i]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			xCross := a.X + (p.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// PointInPolygon reports whether p lies inside poly (holes excluded,
+// boundaries inclusive).
+func PointInPolygon(p Coord, poly Polygon) bool {
+	if !pointInRing(p, poly.Exterior.Coords) {
+		return false
+	}
+	for _, h := range poly.Holes {
+		if pointInRing(p, h.Coords) {
+			// inside a hole only counts when on the hole's boundary
+			onBoundary := false
+			for i := 1; i < len(h.Coords); i++ {
+				a, b := h.Coords[i-1], h.Coords[i]
+				if math.Abs(orient(a, b, p)) <= eps && onSegment(a, b, p) {
+					onBoundary = true
+					break
+				}
+			}
+			if !onBoundary {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// segments yields the segment list of a coordinate chain.
+func segments(cs []Coord) [][2]Coord {
+	if len(cs) < 2 {
+		return nil
+	}
+	out := make([][2]Coord, 0, len(cs)-1)
+	for i := 1; i < len(cs); i++ {
+		out = append(out, [2]Coord{cs[i-1], cs[i]})
+	}
+	return out
+}
+
+// geometrySegments extracts the boundary/line segments of any geometry.
+func geometrySegments(g Geometry) [][2]Coord {
+	switch v := g.(type) {
+	case Point:
+		return nil
+	case LineString:
+		return segments(v.Coords)
+	case LinearRing:
+		return segments(v.Coords)
+	case Polygon:
+		out := segments(v.Exterior.Coords)
+		for _, h := range v.Holes {
+			out = append(out, segments(h.Coords)...)
+		}
+		return out
+	case Solid:
+		var out [][2]Coord
+		for _, p := range v.Boundary {
+			out = append(out, geometrySegments(p)...)
+		}
+		return out
+	case MultiPoint:
+		return nil
+	case MultiCurve:
+		var out [][2]Coord
+		for _, c := range v.Curves {
+			out = append(out, segments(c.Coords)...)
+		}
+		return out
+	case MultiSurface:
+		var out [][2]Coord
+		for _, s := range v.Surfaces {
+			out = append(out, geometrySegments(s)...)
+		}
+		return out
+	case CompositeCurve:
+		var out [][2]Coord
+		for _, m := range v.Members {
+			out = append(out, geometrySegments(m)...)
+		}
+		return out
+	case CompositeSurface:
+		var out [][2]Coord
+		for _, m := range v.Members {
+			out = append(out, geometrySegments(m)...)
+		}
+		return out
+	case Complex:
+		var out [][2]Coord
+		for _, m := range v.Members {
+			out = append(out, geometrySegments(m)...)
+		}
+		return out
+	case Envelope:
+		if v.Empty {
+			return nil
+		}
+		ll, ur := v.Corners()
+		lr := Coord{ur.X, ll.Y}
+		ul := Coord{ll.X, ur.Y}
+		return segments([]Coord{ll, lr, ur, ul, ll})
+	}
+	return nil
+}
+
+// representativePoints extracts coordinates that can witness containment.
+func representativePoints(g Geometry) []Coord {
+	switch v := g.(type) {
+	case Point:
+		return []Coord{v.C}
+	case LineString:
+		return v.Coords
+	case LinearRing:
+		return v.Coords
+	case Polygon:
+		return v.Exterior.Coords
+	case Solid:
+		var out []Coord
+		for _, p := range v.Boundary {
+			out = append(out, p.Exterior.Coords...)
+		}
+		return out
+	case MultiPoint:
+		out := make([]Coord, len(v.Points))
+		for i, p := range v.Points {
+			out[i] = p.C
+		}
+		return out
+	case MultiCurve:
+		var out []Coord
+		for _, c := range v.Curves {
+			out = append(out, c.Coords...)
+		}
+		return out
+	case MultiSurface:
+		var out []Coord
+		for _, s := range v.Surfaces {
+			out = append(out, s.Exterior.Coords...)
+		}
+		return out
+	case CompositeCurve:
+		var out []Coord
+		for _, m := range v.Members {
+			out = append(out, representativePoints(m)...)
+		}
+		return out
+	case CompositeSurface:
+		var out []Coord
+		for _, m := range v.Members {
+			out = append(out, representativePoints(m)...)
+		}
+		return out
+	case Complex:
+		var out []Coord
+		for _, m := range v.Members {
+			out = append(out, representativePoints(m)...)
+		}
+		return out
+	case Envelope:
+		if v.Empty {
+			return nil
+		}
+		ll, ur := v.Corners()
+		return []Coord{ll, ur, v.Center()}
+	}
+	return nil
+}
+
+// containersOf lists the areal components of g (for containment tests).
+func containersOf(g Geometry) []Polygon {
+	switch v := g.(type) {
+	case Polygon:
+		return []Polygon{v}
+	case MultiSurface:
+		return v.Surfaces
+	case CompositeSurface:
+		return v.Members
+	case Solid:
+		return v.Boundary
+	case Complex:
+		var out []Polygon
+		for _, m := range v.Members {
+			out = append(out, containersOf(m)...)
+		}
+		return out
+	case Envelope:
+		if v.Empty {
+			return nil
+		}
+		ll, ur := v.Corners()
+		ring, err := NewLinearRing([]Coord{ll, {ur.X, ll.Y}, ur, {ll.X, ur.Y}, ll})
+		if err != nil {
+			return nil
+		}
+		return []Polygon{NewPolygon(ring)}
+	}
+	return nil
+}
+
+// Intersects reports whether a and b share at least one point. Envelope
+// rejection runs first; then boundary-segment intersection and containment
+// are tested.
+func Intersects(a, b Geometry) bool {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	if !a.Envelope().IntersectsEnv(b.Envelope()) {
+		return false
+	}
+	segsA, segsB := geometrySegments(a), geometrySegments(b)
+	for _, sa := range segsA {
+		for _, sb := range segsB {
+			if SegmentsIntersect(sa[0], sa[1], sb[0], sb[1]) {
+				return true
+			}
+		}
+	}
+	// No edge crossings: one may contain the other, or point geometries.
+	for _, poly := range containersOf(a) {
+		for _, p := range representativePoints(b) {
+			if PointInPolygon(p, poly) {
+				return true
+			}
+		}
+	}
+	for _, poly := range containersOf(b) {
+		for _, p := range representativePoints(a) {
+			if PointInPolygon(p, poly) {
+				return true
+			}
+		}
+	}
+	// Point-point / point-line coincidence.
+	if pa, ok := a.(Point); ok {
+		for _, sb := range segsB {
+			if math.Abs(orient(sb[0], sb[1], pa.C)) <= eps && onSegment(sb[0], sb[1], pa.C) {
+				return true
+			}
+		}
+		if pb, ok := b.(Point); ok {
+			return pa.C.Dist(pb.C) <= eps
+		}
+	}
+	if pb, ok := b.(Point); ok {
+		for _, sa := range segsA {
+			if math.Abs(orient(sa[0], sa[1], pb.C)) <= eps && onSegment(sa[0], sa[1], pb.C) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Within reports whether every point of a lies inside b. b must have areal
+// components (Polygon, MultiSurface, Envelope, …).
+func Within(a, b Geometry) bool {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	if !b.Envelope().ContainsEnv(a.Envelope()) {
+		return false
+	}
+	containers := containersOf(b)
+	if len(containers) == 0 {
+		return false
+	}
+	pts := representativePoints(a)
+	if len(pts) == 0 {
+		return false
+	}
+	for _, p := range pts {
+		inSome := false
+		for _, poly := range containers {
+			if PointInPolygon(p, poly) {
+				inSome = true
+				break
+			}
+		}
+		if !inSome {
+			return false
+		}
+	}
+	// Edges of a must not cross container boundaries outward; for convex and
+	// well-formed data the vertex test suffices, but guard against a crossing
+	// edge whose endpoints are inside different components.
+	if len(containers) > 1 {
+		for _, sa := range geometrySegments(a) {
+			mid := Coord{(sa[0].X + sa[1].X) / 2, (sa[0].Y + sa[1].Y) / 2}
+			inSome := false
+			for _, poly := range containers {
+				if PointInPolygon(mid, poly) {
+					inSome = true
+					break
+				}
+			}
+			if !inSome {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Contains reports Within(b, a).
+func Contains(a, b Geometry) bool { return Within(b, a) }
+
+// pointSegDist returns the distance from p to segment ab.
+func pointSegDist(p, a, b Coord) float64 {
+	ab := b.Sub(a)
+	ap := p.Sub(a)
+	den := ab.X*ab.X + ab.Y*ab.Y
+	if den == 0 {
+		return p.Dist(a)
+	}
+	t := (ap.X*ab.X + ap.Y*ab.Y) / den
+	t = math.Max(0, math.Min(1, t))
+	proj := Coord{a.X + t*ab.X, a.Y + t*ab.Y}
+	return p.Dist(proj)
+}
+
+// Distance returns the minimum Euclidean distance between a and b
+// (0 when they intersect).
+func Distance(a, b Geometry) float64 {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return math.Inf(1)
+	}
+	if Intersects(a, b) {
+		return 0
+	}
+	best := math.Inf(1)
+	ptsA, ptsB := representativePoints(a), representativePoints(b)
+	segsA, segsB := geometrySegments(a), geometrySegments(b)
+	for _, p := range ptsA {
+		for _, s := range segsB {
+			best = math.Min(best, pointSegDist(p, s[0], s[1]))
+		}
+		for _, q := range ptsB {
+			best = math.Min(best, p.Dist(q))
+		}
+	}
+	for _, p := range ptsB {
+		for _, s := range segsA {
+			best = math.Min(best, pointSegDist(p, s[0], s[1]))
+		}
+	}
+	return best
+}
+
+// Centroid returns a representative center: the mean of representative
+// points (adequate for layer labelling and distance heuristics).
+func Centroid(g Geometry) Coord {
+	pts := representativePoints(g)
+	if len(pts) == 0 {
+		return Coord{}
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	return Coord{sx / float64(len(pts)), sy / float64(len(pts))}
+}
+
+// Buffer returns an axis-aligned envelope expanded by d in every direction —
+// a cheap conservative buffer used by the incident-radius queries in the
+// contamination scenario.
+func Buffer(g Geometry, d float64) Envelope {
+	e := g.Envelope()
+	if e.Empty {
+		return e
+	}
+	return Envelope{MinX: e.MinX - d, MinY: e.MinY - d, MaxX: e.MaxX + d, MaxY: e.MaxY + d}
+}

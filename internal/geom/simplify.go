@@ -1,0 +1,76 @@
+package geom
+
+// Douglas–Peucker polyline simplification. GIS pipelines (including the
+// clearinghouse data the paper's scenario draws on) routinely generalize
+// stream centerlines before display or coarse analysis; Simplify provides
+// the standard algorithm with a distance tolerance.
+
+// SimplifyCoords reduces a coordinate chain with the Douglas–Peucker
+// algorithm: every removed point lies within tol of the simplified chain.
+// Endpoints are always kept. tol <= 0 returns the input unchanged.
+func SimplifyCoords(cs []Coord, tol float64) []Coord {
+	if tol <= 0 || len(cs) <= 2 {
+		out := make([]Coord, len(cs))
+		copy(out, cs)
+		return out
+	}
+	keep := make([]bool, len(cs))
+	keep[0], keep[len(cs)-1] = true, true
+	dpMark(cs, 0, len(cs)-1, tol, keep)
+	out := make([]Coord, 0, len(cs))
+	for i, k := range keep {
+		if k {
+			out = append(out, cs[i])
+		}
+	}
+	return out
+}
+
+// dpMark marks the points to keep between indexes lo and hi (exclusive
+// interior) using recursion on the farthest-point split.
+func dpMark(cs []Coord, lo, hi int, tol float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	maxDist, maxIdx := -1.0, -1
+	for i := lo + 1; i < hi; i++ {
+		d := pointSegDist(cs[i], cs[lo], cs[hi])
+		if d > maxDist {
+			maxDist, maxIdx = d, i
+		}
+	}
+	if maxDist <= tol {
+		return // everything between lo and hi collapses onto the segment
+	}
+	keep[maxIdx] = true
+	dpMark(cs, lo, maxIdx, tol, keep)
+	dpMark(cs, maxIdx, hi, tol, keep)
+}
+
+// Simplify generalizes a LineString; the result always has at least two
+// points.
+func (l LineString) Simplify(tol float64) LineString {
+	return LineString{Coords: SimplifyCoords(l.Coords, tol)}
+}
+
+// Simplify generalizes a ring, preserving closure. If simplification would
+// collapse the ring below 4 coordinates the original is returned.
+func (r LinearRing) Simplify(tol float64) LinearRing {
+	out := SimplifyCoords(r.Coords, tol)
+	if len(out) < 4 || out[0] != out[len(out)-1] {
+		return LinearRing{Coords: append([]Coord(nil), r.Coords...)}
+	}
+	return LinearRing{Coords: out}
+}
+
+// Simplify generalizes a polygon's rings. Holes that collapse are dropped.
+func (p Polygon) Simplify(tol float64) Polygon {
+	out := Polygon{Exterior: p.Exterior.Simplify(tol)}
+	for _, h := range p.Holes {
+		s := h.Simplify(tol)
+		if len(s.Coords) >= 4 {
+			out.Holes = append(out.Holes, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+// Package geoxacml implements the baseline the paper argues against: a
+// GeoXACML-style access-control evaluator. Section 7: "it views geographic
+// resources as objects that can be associated with either a class or
+// instance of the class. As such, it is unable to provide a fine-grain
+// access control. For instance, consider granting access to a Building
+// object to a user. The conferred privilege is going to allow a user to
+// access all the Building properties…"
+//
+// The implementation is faithful to that critique in two deliberate ways:
+//
+//  1. Object granularity. A Permit exposes every property of the matched
+//     resource; there is no property-level condition language.
+//  2. Syntactic matching. Targets match a resource's directly asserted
+//     class or its exact instance IRI — no ontology reasoning. When sources
+//     are aggregated and instances arrive under new subclasses, the policies
+//     silently stop matching (the data-merge failure of Section 7.1).
+//
+// Spatial conditions (GeoXACML's actual strength) are supported as envelope
+// scopes so the baseline is not a strawman on that axis.
+package geoxacml
+
+import (
+	"repro/internal/geom"
+	"repro/internal/grdf"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Effect is a XACML rule effect.
+type Effect uint8
+
+const (
+	// NotApplicable means no rule matched.
+	NotApplicable Effect = iota
+	// Permit grants access to the whole object.
+	Permit
+	// Deny refuses access.
+	Deny
+)
+
+func (e Effect) String() string {
+	switch e {
+	case Permit:
+		return "Permit"
+	case Deny:
+		return "Deny"
+	default:
+		return "NotApplicable"
+	}
+}
+
+// Rule is one XACML rule.
+type Rule struct {
+	ID      string
+	Subject string // role identifier
+	Action  string // e.g. "view"
+	// Resource targets a class (matched against directly asserted rdf:type)
+	// or an instance IRI (exact match).
+	Resource rdf.IRI
+	Effect   Effect
+	// Scope optionally restricts the rule to resources whose geometry lies
+	// within the envelope.
+	Scope *geom.Envelope
+}
+
+// CombiningAlgorithm resolves conflicts between matching rules.
+type CombiningAlgorithm uint8
+
+const (
+	// DenyOverrides: any matching Deny wins.
+	DenyOverrides CombiningAlgorithm = iota
+	// PermitOverrides: any matching Permit wins.
+	PermitOverrides
+	// FirstApplicable: document order decides.
+	FirstApplicable
+)
+
+// PolicySet is an ordered rule collection with a combining algorithm.
+type PolicySet struct {
+	Rules     []Rule
+	Algorithm CombiningAlgorithm
+}
+
+// Evaluate runs the request (subject, action, resource) against the policy
+// set over the given data store.
+func (ps *PolicySet) Evaluate(subject, action string, resource rdf.Term, data *store.Store) Effect {
+	var effects []Effect
+	for _, r := range ps.Rules {
+		if r.Subject != subject || r.Action != action {
+			continue
+		}
+		if !ruleMatches(r, resource, data) {
+			continue
+		}
+		if ps.Algorithm == FirstApplicable {
+			return r.Effect
+		}
+		effects = append(effects, r.Effect)
+	}
+	if len(effects) == 0 {
+		return NotApplicable
+	}
+	switch ps.Algorithm {
+	case PermitOverrides:
+		for _, e := range effects {
+			if e == Permit {
+				return Permit
+			}
+		}
+		return Deny
+	default: // DenyOverrides
+		for _, e := range effects {
+			if e == Deny {
+				return Deny
+			}
+		}
+		return Permit
+	}
+}
+
+func ruleMatches(r Rule, resource rdf.Term, data *store.Store) bool {
+	matched := r.Resource.Equal(resource)
+	if !matched {
+		// directly asserted types only — no subclass reasoning
+		for _, ty := range data.Objects(resource, rdf.RDFType) {
+			if ty.Equal(r.Resource) {
+				matched = true
+				break
+			}
+		}
+	}
+	if !matched {
+		return false
+	}
+	if r.Scope != nil {
+		g, _, err := grdf.GeometryOf(data, resource)
+		if err != nil || !geom.Within(g, *r.Scope) {
+			return false
+		}
+	}
+	return true
+}
+
+// View materializes the subject's view: all triples of every permitted
+// resource (object granularity — this is exactly the over-exposure the GRDF
+// paper criticizes), nothing of denied or unmatched resources.
+func (ps *PolicySet) View(subject, action string, data *store.Store) *store.Store {
+	view := store.New()
+	seen := map[string]struct{}{}
+	data.ForEachMatch(nil, rdf.RDFType, nil, func(t rdf.Triple) bool {
+		k := t.Subject.String()
+		if _, dup := seen[k]; dup {
+			return true
+		}
+		seen[k] = struct{}{}
+		return true
+	})
+	var resources []rdf.Term
+	data.ForEachMatch(nil, rdf.RDFType, nil, func(t rdf.Triple) bool {
+		resources = append(resources, t.Subject)
+		return true
+	})
+	done := map[string]struct{}{}
+	for _, res := range resources {
+		k := res.String()
+		if _, dup := done[k]; dup {
+			continue
+		}
+		done[k] = struct{}{}
+		if ps.Evaluate(subject, action, res, data) != Permit {
+			continue
+		}
+		var include func(node rdf.Term)
+		includeSeen := map[string]struct{}{}
+		include = func(node rdf.Term) {
+			nk := node.String()
+			if _, dup := includeSeen[nk]; dup {
+				return
+			}
+			includeSeen[nk] = struct{}{}
+			for _, t := range data.Match(node, nil, nil) {
+				view.Add(t)
+				if t.Object.Kind() == rdf.KindBlank {
+					include(t.Object)
+				}
+			}
+		}
+		include(res)
+	}
+	return view
+}

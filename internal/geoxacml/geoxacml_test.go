@@ -1,0 +1,141 @@
+package geoxacml
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/rdf"
+)
+
+func scenarioPolicies() *PolicySet {
+	return &PolicySet{Rules: []Rule{
+		{ID: "mr-hydro", Subject: "mainrep", Action: "view",
+			Resource: datagen.HydroStream, Effect: Permit},
+		// Object granularity forces an all-or-nothing choice for sites: the
+		// paper's point. Granting access exposes everything.
+		{ID: "mr-sites", Subject: "mainrep", Action: "view",
+			Resource: datagen.ChemSite, Effect: Permit},
+		{ID: "public-deny", Subject: "public", Action: "view",
+			Resource: datagen.ChemSite, Effect: Deny},
+	}}
+}
+
+func TestEvaluateBasics(t *testing.T) {
+	sc := datagen.NewScenario(datagen.ScenarioConfig{Seed: 4, Sites: 5})
+	ps := scenarioPolicies()
+	site := sc.Chemical.Sites[0].IRI
+	if got := ps.Evaluate("mainrep", "view", site, sc.Merged); got != Permit {
+		t.Errorf("Evaluate = %v", got)
+	}
+	if got := ps.Evaluate("public", "view", site, sc.Merged); got != Deny {
+		t.Errorf("public = %v", got)
+	}
+	if got := ps.Evaluate("nobody", "view", site, sc.Merged); got != NotApplicable {
+		t.Errorf("nobody = %v", got)
+	}
+	if got := ps.Evaluate("mainrep", "delete", site, sc.Merged); got != NotApplicable {
+		t.Errorf("wrong action = %v", got)
+	}
+	// instance-level rule
+	ps2 := &PolicySet{Rules: []Rule{{
+		ID: "one", Subject: "x", Action: "view", Resource: site, Effect: Permit,
+	}}}
+	if got := ps2.Evaluate("x", "view", site, sc.Merged); got != Permit {
+		t.Errorf("instance rule = %v", got)
+	}
+	if got := ps2.Evaluate("x", "view", sc.Chemical.Sites[1].IRI, sc.Merged); got != NotApplicable {
+		t.Errorf("other instance = %v", got)
+	}
+}
+
+func TestCombiningAlgorithms(t *testing.T) {
+	sc := datagen.NewScenario(datagen.ScenarioConfig{Seed: 4, Sites: 3})
+	site := sc.Chemical.Sites[0].IRI
+	rules := []Rule{
+		{ID: "p", Subject: "r", Action: "view", Resource: datagen.ChemSite, Effect: Permit},
+		{ID: "d", Subject: "r", Action: "view", Resource: datagen.ChemSite, Effect: Deny},
+	}
+	if got := (&PolicySet{Rules: rules, Algorithm: DenyOverrides}).Evaluate("r", "view", site, sc.Merged); got != Deny {
+		t.Errorf("DenyOverrides = %v", got)
+	}
+	if got := (&PolicySet{Rules: rules, Algorithm: PermitOverrides}).Evaluate("r", "view", site, sc.Merged); got != Permit {
+		t.Errorf("PermitOverrides = %v", got)
+	}
+	if got := (&PolicySet{Rules: rules, Algorithm: FirstApplicable}).Evaluate("r", "view", site, sc.Merged); got != Permit {
+		t.Errorf("FirstApplicable = %v", got)
+	}
+}
+
+func TestSpatialScope(t *testing.T) {
+	sc := datagen.NewScenario(datagen.ScenarioConfig{Seed: 4, Sites: 6})
+	bounds := sc.Chemical.Sites[0].Bounds
+	scope := geom.EnvelopeOf(
+		geom.Coord{X: bounds.MinX - 10, Y: bounds.MinY - 10},
+		geom.Coord{X: bounds.MaxX + 10, Y: bounds.MaxY + 10},
+	)
+	ps := &PolicySet{Rules: []Rule{{
+		ID: "scoped", Subject: "r", Action: "view",
+		Resource: datagen.ChemSite, Effect: Permit, Scope: &scope,
+	}}}
+	if got := ps.Evaluate("r", "view", sc.Chemical.Sites[0].IRI, sc.Merged); got != Permit {
+		t.Errorf("in-scope = %v", got)
+	}
+	out := 0
+	for _, s := range sc.Chemical.Sites[1:] {
+		if ps.Evaluate("r", "view", s.IRI, sc.Merged) == NotApplicable {
+			out++
+		}
+	}
+	if out != len(sc.Chemical.Sites)-1 {
+		t.Errorf("out-of-scope NotApplicable = %d", out)
+	}
+}
+
+func TestViewExposesWholeObject(t *testing.T) {
+	// The critique made executable: a Permit on ChemSite exposes contacts,
+	// codes and quantities — everything.
+	sc := datagen.NewScenario(datagen.ScenarioConfig{Seed: 4, Sites: 5})
+	ps := scenarioPolicies()
+	view := ps.View("mainrep", "view", sc.Merged)
+	if view.Count(nil, datagen.HasContactPhone, nil) == 0 {
+		t.Error("object-level permit hid contacts (should over-expose)")
+	}
+	if view.Count(nil, datagen.HasSiteName, nil) == 0 {
+		t.Error("site names missing")
+	}
+	// denial hides the whole object
+	viewPub := ps.View("public", "view", sc.Merged)
+	if viewPub.Count(nil, datagen.HasSiteName, nil) != 0 {
+		t.Error("deny leaked site data")
+	}
+}
+
+func TestMergeBreaksSyntacticMatching(t *testing.T) {
+	// After aggregation the sites arrive under a new subclass; without
+	// reasoning the class-targeted policies stop matching (fail closed).
+	sc := datagen.NewScenario(datagen.ScenarioConfig{Seed: 4, Sites: 5})
+	merged := sc.Merged.Snapshot()
+	newClass := rdf.IRI(rdf.AppNS + "MonitoredChemSite")
+	merged.Add(rdf.T(newClass, rdf.RDFSSubClassOf, datagen.ChemSite))
+	for _, s := range sc.Chemical.Sites {
+		merged.RemoveMatching(s.IRI, rdf.RDFType, datagen.ChemSite)
+		merged.Add(rdf.T(s.IRI, rdf.RDFType, newClass))
+	}
+	ps := scenarioPolicies()
+	for _, s := range sc.Chemical.Sites {
+		if got := ps.Evaluate("mainrep", "view", s.IRI, merged); got != NotApplicable {
+			t.Errorf("site %s after merge = %v (syntactic matcher should fail)", s.IRI, got)
+		}
+	}
+	view := ps.View("mainrep", "view", merged)
+	if view.Count(nil, datagen.HasSiteName, nil) != 0 {
+		t.Error("merged sites still visible despite class rename")
+	}
+}
+
+func TestEffectString(t *testing.T) {
+	if Permit.String() != "Permit" || Deny.String() != "Deny" || NotApplicable.String() != "NotApplicable" {
+		t.Error("Effect.String wrong")
+	}
+}

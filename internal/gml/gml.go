@@ -1,0 +1,619 @@
+// Package gml implements a GML 3.1 subset codec and the bidirectional
+// GML ⇄ GRDF converter. The paper's design rule is that "there is a direct
+// correspondence between high-level GML schemas and GRDF ontologies" and that
+// "a polygon in GRDF can be directly mapped to a polygon in GML"; this
+// package makes that correspondence executable and testable.
+//
+// Supported GML: FeatureCollection/featureMember, arbitrary feature types
+// with simple (text) properties, boundedBy/Envelope (lowerCorner/upperCorner
+// or coordinates), Point (pos/coordinates), LineString (posList/
+// coordinates), Polygon (exterior/interior LinearRing), MultiLineString
+// (lineStringMember) and MultiPolygon (polygonMember).
+package gml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Property is one simple (text-valued) feature property.
+type Property struct {
+	// Name is the local element name, e.g. "hasSiteName".
+	Name string
+	// Namespace is the element's namespace URI (may be empty).
+	Namespace string
+	// Value is the text content.
+	Value string
+}
+
+// Feature is a GML feature instance.
+type Feature struct {
+	// ID is the gml:id attribute (may be empty).
+	ID string
+	// TypeName is the feature element's local name, e.g. "ChemSite".
+	TypeName string
+	// Namespace is the feature element's namespace URI.
+	Namespace string
+	// Properties holds the simple properties in document order.
+	Properties []Property
+	// Geometry is the feature geometry, when present.
+	Geometry geom.Geometry
+	// GeomProperty is the property element name that carried the geometry
+	// (e.g. "centerLineOf"); empty means a bare geometry child.
+	GeomProperty string
+	// SRSName is the geometry's declared CRS (may be empty).
+	SRSName string
+	// Bounds is the gml:boundedBy envelope.
+	Bounds geom.Envelope
+	// HasBounds reports whether boundedBy was present.
+	HasBounds bool
+}
+
+// Prop returns the first property value with the given local name.
+func (f *Feature) Prop(name string) (string, bool) {
+	for _, p := range f.Properties {
+		if p.Name == name {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// Collection is a GML feature collection.
+type Collection struct {
+	Features []Feature
+	// Bounds is the collection-level boundedBy, when present.
+	Bounds    geom.Envelope
+	HasBounds bool
+	SRSName   string
+}
+
+// gmlNS matches any GML namespace version (…/gml and …/gml/3.2 variants).
+func isGMLNS(ns string) bool {
+	return strings.HasPrefix(ns, "http://www.opengis.net/gml")
+}
+
+// Parse reads a GML document: either a FeatureCollection or a single
+// feature element.
+func Parse(r io.Reader) (*Collection, error) {
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("gml: document contains no XML element")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gml: %w", err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		if isGMLNS(se.Name.Space) && se.Name.Local == "FeatureCollection" {
+			return parseCollection(dec, se)
+		}
+		// single feature document
+		f, err := parseFeature(dec, se)
+		if err != nil {
+			return nil, err
+		}
+		return &Collection{Features: []Feature{*f}}, nil
+	}
+}
+
+// ParseString parses a GML document from a string.
+func ParseString(doc string) (*Collection, error) {
+	return Parse(strings.NewReader(doc))
+}
+
+func parseCollection(dec *xml.Decoder, _ xml.StartElement) (*Collection, error) {
+	col := &Collection{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("gml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch {
+			case isGMLNS(t.Name.Space) && t.Name.Local == "boundedBy":
+				env, srs, err := parseBoundedBy(dec)
+				if err != nil {
+					return nil, err
+				}
+				col.Bounds, col.HasBounds, col.SRSName = env, true, srs
+			case isGMLNS(t.Name.Space) && t.Name.Local == "featureMember":
+				f, err := parseMember(dec)
+				if err != nil {
+					return nil, err
+				}
+				if f != nil {
+					col.Features = append(col.Features, *f)
+				}
+			default:
+				if err := skipElement(dec); err != nil {
+					return nil, err
+				}
+			}
+		case xml.EndElement:
+			return col, nil
+		}
+	}
+}
+
+// parseMember reads the single feature inside a featureMember wrapper.
+func parseMember(dec *xml.Decoder) (*Feature, error) {
+	var feature *Feature
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("gml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			f, err := parseFeature(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			feature = f
+		case xml.EndElement:
+			return feature, nil
+		}
+	}
+}
+
+var geometryNames = map[string]bool{
+	"Point": true, "LineString": true, "Polygon": true,
+	"MultiLineString": true, "MultiPolygon": true, "Envelope": true,
+	"LinearRing": true, "MultiCurve": true, "MultiSurface": true,
+}
+
+func parseFeature(dec *xml.Decoder, se xml.StartElement) (*Feature, error) {
+	f := &Feature{TypeName: se.Name.Local, Namespace: se.Name.Space}
+	for _, a := range se.Attr {
+		if a.Name.Local == "id" {
+			f.ID = a.Value
+		}
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("gml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch {
+			case isGMLNS(t.Name.Space) && t.Name.Local == "boundedBy":
+				env, srs, err := parseBoundedBy(dec)
+				if err != nil {
+					return nil, err
+				}
+				f.Bounds, f.HasBounds = env, true
+				if f.SRSName == "" {
+					f.SRSName = srs
+				}
+			case isGMLNS(t.Name.Space) && geometryNames[t.Name.Local]:
+				g, srs, err := parseGeometry(dec, t)
+				if err != nil {
+					return nil, err
+				}
+				f.Geometry, f.GeomProperty = g, ""
+				if srs != "" {
+					f.SRSName = srs
+				}
+			default:
+				// Property element: may contain text or a nested geometry.
+				prop, g, srs, err := parsePropertyOrGeom(dec, t)
+				if err != nil {
+					return nil, err
+				}
+				if g != nil {
+					f.Geometry, f.GeomProperty = g, t.Name.Local
+					if srs != "" {
+						f.SRSName = srs
+					}
+				} else if prop != nil {
+					f.Properties = append(f.Properties, *prop)
+				}
+			}
+		case xml.EndElement:
+			return f, nil
+		}
+	}
+}
+
+// parsePropertyOrGeom reads a property element; if it wraps a geometry the
+// geometry is returned, otherwise its text content becomes a Property.
+func parsePropertyOrGeom(dec *xml.Decoder, se xml.StartElement) (*Property, geom.Geometry, string, error) {
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, nil, "", fmt.Errorf("gml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			text.Write(t)
+		case xml.StartElement:
+			if isGMLNS(t.Name.Space) && geometryNames[t.Name.Local] {
+				g, srs, err := parseGeometry(dec, t)
+				if err != nil {
+					return nil, nil, "", err
+				}
+				if err := skipElement(dec); err != nil { // consume property end
+					return nil, nil, "", err
+				}
+				return nil, g, srs, nil
+			}
+			if err := skipElement(dec); err != nil {
+				return nil, nil, "", err
+			}
+		case xml.EndElement:
+			return &Property{
+				Name:      se.Name.Local,
+				Namespace: se.Name.Space,
+				Value:     strings.TrimSpace(text.String()),
+			}, nil, "", nil
+		}
+	}
+}
+
+// parseBoundedBy reads the envelope inside a boundedBy wrapper.
+func parseBoundedBy(dec *xml.Decoder) (geom.Envelope, string, error) {
+	env := geom.EmptyEnvelope()
+	srs := ""
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return env, srs, fmt.Errorf("gml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "Envelope", "Box":
+				g, s, err := parseGeometry(dec, t)
+				if err != nil {
+					return env, srs, err
+				}
+				if e, ok := g.(geom.Envelope); ok {
+					env, srs = e, s
+				}
+			case "Null", "null":
+				if err := skipElement(dec); err != nil {
+					return env, srs, err
+				}
+			default:
+				if err := skipElement(dec); err != nil {
+					return env, srs, err
+				}
+			}
+		case xml.EndElement:
+			return env, srs, nil
+		}
+	}
+}
+
+// parseGeometry reads one geometry element whose start tag is se.
+func parseGeometry(dec *xml.Decoder, se xml.StartElement) (geom.Geometry, string, error) {
+	srs := ""
+	for _, a := range se.Attr {
+		if a.Name.Local == "srsName" {
+			srs = a.Value
+		}
+	}
+	switch se.Name.Local {
+	case "Point":
+		cs, err := readCoords(dec)
+		if err != nil {
+			return nil, "", err
+		}
+		if len(cs) != 1 {
+			return nil, "", fmt.Errorf("gml: Point needs 1 coordinate, got %d", len(cs))
+		}
+		return geom.Point{C: cs[0]}, srs, nil
+	case "LineString":
+		cs, err := readCoords(dec)
+		if err != nil {
+			return nil, "", err
+		}
+		l, err := geom.NewLineString(cs)
+		return l, srs, err
+	case "LinearRing":
+		cs, err := readCoords(dec)
+		if err != nil {
+			return nil, "", err
+		}
+		r, err := geom.NewLinearRing(cs)
+		return r, srs, err
+	case "Envelope", "Box":
+		return readEnvelope(dec, srs)
+	case "Polygon":
+		return readPolygon(dec, srs)
+	case "MultiLineString", "MultiCurve":
+		var mc geom.MultiCurve
+		if err := readMembers(dec, func(g geom.Geometry) error {
+			l, ok := g.(geom.LineString)
+			if !ok {
+				return fmt.Errorf("gml: MultiLineString member is %s", g.Kind())
+			}
+			mc.Curves = append(mc.Curves, l)
+			return nil
+		}); err != nil {
+			return nil, "", err
+		}
+		return mc, srs, nil
+	case "MultiPolygon", "MultiSurface":
+		var ms geom.MultiSurface
+		if err := readMembers(dec, func(g geom.Geometry) error {
+			p, ok := g.(geom.Polygon)
+			if !ok {
+				return fmt.Errorf("gml: MultiPolygon member is %s", g.Kind())
+			}
+			ms.Surfaces = append(ms.Surfaces, p)
+			return nil
+		}); err != nil {
+			return nil, "", err
+		}
+		return ms, srs, nil
+	}
+	return nil, "", fmt.Errorf("gml: unsupported geometry element %s", se.Name.Local)
+}
+
+// readCoords reads coordinates/pos/posList children until the geometry's end
+// element.
+func readCoords(dec *xml.Decoder) ([]geom.Coord, error) {
+	var coords []geom.Coord
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("gml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "coordinates":
+				text, err := elementText(dec)
+				if err != nil {
+					return nil, err
+				}
+				cs, err := geom.ParseCoordinates(text)
+				if err != nil {
+					return nil, err
+				}
+				coords = append(coords, cs...)
+			case "pos", "posList":
+				text, err := elementText(dec)
+				if err != nil {
+					return nil, err
+				}
+				cs, err := geom.ParsePosList(text)
+				if err != nil {
+					return nil, err
+				}
+				coords = append(coords, cs...)
+			default:
+				if err := skipElement(dec); err != nil {
+					return nil, err
+				}
+			}
+		case xml.EndElement:
+			if len(coords) == 0 {
+				return nil, fmt.Errorf("gml: geometry has no coordinates")
+			}
+			return coords, nil
+		}
+	}
+}
+
+func readEnvelope(dec *xml.Decoder, srs string) (geom.Geometry, string, error) {
+	var lower, upper *geom.Coord
+	var coords []geom.Coord
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, "", fmt.Errorf("gml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "lowerCorner", "upperCorner":
+				text, err := elementText(dec)
+				if err != nil {
+					return nil, "", err
+				}
+				cs, err := geom.ParsePosList(text)
+				if err != nil || len(cs) != 1 {
+					return nil, "", fmt.Errorf("gml: bad corner %q", text)
+				}
+				if t.Name.Local == "lowerCorner" {
+					lower = &cs[0]
+				} else {
+					upper = &cs[0]
+				}
+			case "coordinates":
+				text, err := elementText(dec)
+				if err != nil {
+					return nil, "", err
+				}
+				cs, err := geom.ParseCoordinates(text)
+				if err != nil {
+					return nil, "", err
+				}
+				coords = cs
+			default:
+				if err := skipElement(dec); err != nil {
+					return nil, "", err
+				}
+			}
+		case xml.EndElement:
+			switch {
+			case lower != nil && upper != nil:
+				return geom.EnvelopeOf(*lower, *upper), srs, nil
+			case len(coords) >= 2:
+				return geom.EnvelopeOf(coords...), srs, nil
+			}
+			return nil, "", fmt.Errorf("gml: envelope missing corners")
+		}
+	}
+}
+
+func readPolygon(dec *xml.Decoder, srs string) (geom.Geometry, string, error) {
+	var ext *geom.LinearRing
+	var holes []geom.LinearRing
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, "", fmt.Errorf("gml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "exterior", "outerBoundaryIs", "interior", "innerBoundaryIs":
+				ring, err := readRingWrapper(dec)
+				if err != nil {
+					return nil, "", err
+				}
+				if t.Name.Local == "exterior" || t.Name.Local == "outerBoundaryIs" {
+					ext = &ring
+				} else {
+					holes = append(holes, ring)
+				}
+			default:
+				if err := skipElement(dec); err != nil {
+					return nil, "", err
+				}
+			}
+		case xml.EndElement:
+			if ext == nil {
+				return nil, "", fmt.Errorf("gml: polygon has no exterior")
+			}
+			return geom.NewPolygon(*ext, holes...), srs, nil
+		}
+	}
+}
+
+func readRingWrapper(dec *xml.Decoder) (geom.LinearRing, error) {
+	var ring *geom.LinearRing
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return geom.LinearRing{}, fmt.Errorf("gml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local == "LinearRing" {
+				cs, err := readCoords(dec)
+				if err != nil {
+					return geom.LinearRing{}, err
+				}
+				r, err := geom.NewLinearRing(cs)
+				if err != nil {
+					return geom.LinearRing{}, err
+				}
+				ring = &r
+			} else if err := skipElement(dec); err != nil {
+				return geom.LinearRing{}, err
+			}
+		case xml.EndElement:
+			if ring == nil {
+				return geom.LinearRing{}, fmt.Errorf("gml: ring wrapper without LinearRing")
+			}
+			return *ring, nil
+		}
+	}
+}
+
+// readMembers reads *Member wrappers each containing one geometry.
+func readMembers(dec *xml.Decoder, add func(geom.Geometry) error) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("gml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			// wrapper like lineStringMember / polygonMember / curveMember
+			inner, err := readSingleGeometry(dec)
+			if err != nil {
+				return err
+			}
+			if inner != nil {
+				if err := add(inner); err != nil {
+					return err
+				}
+			}
+			_ = t
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+// readSingleGeometry reads the single geometry child of a member wrapper.
+func readSingleGeometry(dec *xml.Decoder) (geom.Geometry, error) {
+	var out geom.Geometry
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("gml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if geometryNames[t.Name.Local] {
+				g, _, err := parseGeometry(dec, t)
+				if err != nil {
+					return nil, err
+				}
+				out = g
+			} else if err := skipElement(dec); err != nil {
+				return nil, err
+			}
+		case xml.EndElement:
+			return out, nil
+		}
+	}
+}
+
+// elementText reads the text content of the current element through its end.
+func elementText(dec *xml.Decoder) (string, error) {
+	var sb strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", fmt.Errorf("gml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			sb.Write(t)
+		case xml.StartElement:
+			if err := skipElement(dec); err != nil {
+				return "", err
+			}
+		case xml.EndElement:
+			return strings.TrimSpace(sb.String()), nil
+		}
+	}
+}
+
+func skipElement(dec *xml.Decoder) error {
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("gml: %w", err)
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			if depth == 0 {
+				return nil
+			}
+			depth--
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package gml
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Write serializes a collection as a GML FeatureCollection document.
+func Write(w io.Writer, col *Collection) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	bw.WriteString(`<gml:FeatureCollection xmlns:gml="http://www.opengis.net/gml" xmlns:app="http://grdf.org/app#">` + "\n")
+	if col.HasBounds {
+		bw.WriteString("  <gml:boundedBy>\n")
+		writeEnvelope(bw, col.Bounds, col.SRSName, "    ")
+		bw.WriteString("  </gml:boundedBy>\n")
+	}
+	for i := range col.Features {
+		f := &col.Features[i]
+		bw.WriteString("  <gml:featureMember>\n")
+		if err := writeFeature(bw, f, "    "); err != nil {
+			return err
+		}
+		bw.WriteString("  </gml:featureMember>\n")
+	}
+	bw.WriteString("</gml:FeatureCollection>\n")
+	return bw.Flush()
+}
+
+// Format renders a collection as a GML string.
+func Format(col *Collection) string {
+	var sb strings.Builder
+	_ = Write(&sb, col)
+	return sb.String()
+}
+
+func writeFeature(bw *bufio.Writer, f *Feature, indent string) error {
+	name := "app:" + f.TypeName
+	bw.WriteString(indent + "<" + name)
+	if f.ID != "" {
+		bw.WriteString(` gml:id="` + escape(f.ID) + `"`)
+	}
+	bw.WriteString(">\n")
+	if f.HasBounds {
+		bw.WriteString(indent + "  <gml:boundedBy>\n")
+		writeEnvelope(bw, f.Bounds, f.SRSName, indent+"    ")
+		bw.WriteString(indent + "  </gml:boundedBy>\n")
+	}
+	for _, p := range f.Properties {
+		bw.WriteString(indent + "  <app:" + p.Name + ">" + escape(p.Value) + "</app:" + p.Name + ">\n")
+	}
+	if f.Geometry != nil {
+		prop := f.GeomProperty
+		if prop == "" {
+			prop = "geometryProperty"
+		}
+		bw.WriteString(indent + "  <app:" + prop + ">\n")
+		if err := writeGeometry(bw, f.Geometry, f.SRSName, indent+"    "); err != nil {
+			return err
+		}
+		bw.WriteString(indent + "  </app:" + prop + ">\n")
+	}
+	bw.WriteString(indent + "</" + name + ">\n")
+	return nil
+}
+
+func writeEnvelope(bw *bufio.Writer, e geom.Envelope, srs, indent string) {
+	bw.WriteString(indent + "<gml:Envelope")
+	if srs != "" {
+		bw.WriteString(` srsName="` + escape(srs) + `"`)
+	}
+	bw.WriteString(">\n")
+	ll, ur := e.Corners()
+	bw.WriteString(indent + "  <gml:lowerCorner>" + geom.FormatPosList([]geom.Coord{ll}) + "</gml:lowerCorner>\n")
+	bw.WriteString(indent + "  <gml:upperCorner>" + geom.FormatPosList([]geom.Coord{ur}) + "</gml:upperCorner>\n")
+	bw.WriteString(indent + "</gml:Envelope>\n")
+}
+
+func writeGeometry(bw *bufio.Writer, g geom.Geometry, srs, indent string) error {
+	srsAttr := ""
+	if srs != "" {
+		srsAttr = ` srsName="` + escape(srs) + `"`
+	}
+	switch v := g.(type) {
+	case geom.Point:
+		bw.WriteString(indent + "<gml:Point" + srsAttr + "><gml:coordinates>" +
+			geom.FormatCoordinates([]geom.Coord{v.C}) + "</gml:coordinates></gml:Point>\n")
+	case geom.LineString:
+		bw.WriteString(indent + "<gml:LineString" + srsAttr + "><gml:coordinates>" +
+			geom.FormatCoordinates(v.Coords) + "</gml:coordinates></gml:LineString>\n")
+	case geom.Polygon:
+		bw.WriteString(indent + "<gml:Polygon" + srsAttr + ">\n")
+		bw.WriteString(indent + "  <gml:exterior><gml:LinearRing><gml:coordinates>" +
+			geom.FormatCoordinates(v.Exterior.Coords) + "</gml:coordinates></gml:LinearRing></gml:exterior>\n")
+		for _, h := range v.Holes {
+			bw.WriteString(indent + "  <gml:interior><gml:LinearRing><gml:coordinates>" +
+				geom.FormatCoordinates(h.Coords) + "</gml:coordinates></gml:LinearRing></gml:interior>\n")
+		}
+		bw.WriteString(indent + "</gml:Polygon>\n")
+	case geom.Envelope:
+		writeEnvelope(bw, v, srs, indent)
+	case geom.MultiCurve:
+		bw.WriteString(indent + "<gml:MultiLineString" + srsAttr + ">\n")
+		for _, c := range v.Curves {
+			bw.WriteString(indent + "  <gml:lineStringMember>\n")
+			if err := writeGeometry(bw, c, "", indent+"    "); err != nil {
+				return err
+			}
+			bw.WriteString(indent + "  </gml:lineStringMember>\n")
+		}
+		bw.WriteString(indent + "</gml:MultiLineString>\n")
+	case geom.MultiSurface:
+		bw.WriteString(indent + "<gml:MultiPolygon" + srsAttr + ">\n")
+		for _, s := range v.Surfaces {
+			bw.WriteString(indent + "  <gml:polygonMember>\n")
+			if err := writeGeometry(bw, s, "", indent+"    "); err != nil {
+				return err
+			}
+			bw.WriteString(indent + "  </gml:polygonMember>\n")
+		}
+		bw.WriteString(indent + "</gml:MultiPolygon>\n")
+	default:
+		return fmt.Errorf("gml: cannot serialize geometry kind %s", g.Kind())
+	}
+	return nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

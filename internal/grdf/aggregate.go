@@ -1,0 +1,195 @@
+package grdf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/owl"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// The aggregation engine: "the most important advantage GRDF has over other
+// geospatial languages is the ability to use logical inference and dynamic
+// content aggregation." Aggregate merges heterogeneous GRDF sources into one
+// layered view, normalizes their CRSs so coordinates are comparable, and
+// optionally materializes OWL inferences over the union.
+
+// Source is one input to an aggregation.
+type Source struct {
+	// Name identifies the layer (e.g. "hydrology", "chemical").
+	Name string
+	// Store holds the layer's triples.
+	Store *store.Store
+}
+
+// AggregateOptions tunes Aggregate.
+type AggregateOptions struct {
+	// TargetCRS, when set, rewrites every geometry's coordinates into this
+	// CRS using Registry.
+	TargetCRS string
+	// Registry resolves CRS names; required when TargetCRS is set.
+	Registry *geom.Registry
+	// Reason materializes OWL entailments over the merged store (the
+	// ontology should be part of one of the sources or added by the caller).
+	Reason bool
+	// Ontology, when non-nil, is merged in before reasoning.
+	Ontology *rdf.Graph
+}
+
+// AggregateResult reports what the merge did.
+type AggregateResult struct {
+	// Merged is the layered view.
+	Merged *store.Store
+	// SourceTriples counts input triples per source name.
+	SourceTriples map[string]int
+	// Rewritten counts coordinate literals converted to the target CRS.
+	Rewritten int
+	// Inferred counts triples added by reasoning.
+	Inferred int
+}
+
+// Aggregate merges the sources into one store per opts.
+func Aggregate(sources []Source, opts AggregateOptions) (*AggregateResult, error) {
+	res := &AggregateResult{
+		Merged:        store.New(),
+		SourceTriples: make(map[string]int),
+	}
+	for _, src := range sources {
+		ts := src.Store.Triples()
+		res.SourceTriples[src.Name] = len(ts)
+		res.Merged.AddAll(ts)
+	}
+	if opts.Ontology != nil {
+		res.Merged.AddGraph(opts.Ontology)
+	}
+	if opts.TargetCRS != "" {
+		if opts.Registry == nil {
+			return nil, fmt.Errorf("grdf: TargetCRS set without a Registry")
+		}
+		n, err := NormalizeCRS(res.Merged, opts.Registry, opts.TargetCRS)
+		if err != nil {
+			return nil, err
+		}
+		res.Rewritten = n
+	}
+	if opts.Reason {
+		materialized, stats := owl.Materialize(res.Merged)
+		res.Merged = materialized
+		res.Inferred = stats.Inferred
+	}
+	return res, nil
+}
+
+// NormalizeCRS rewrites every coordinates / corner literal whose node
+// declares a hasSRSName different from target, converting the coordinates
+// and updating the srsName. It returns the number of nodes rewritten.
+func NormalizeCRS(st *store.Store, reg *geom.Registry, target string) (int, error) {
+	type rewrite struct {
+		node rdf.Term
+		srs  string
+	}
+	var victims []rewrite
+	for _, t := range st.Match(nil, HasSRSName, nil) {
+		lit, ok := t.Object.(rdf.Literal)
+		if !ok || lit.Value == target {
+			continue
+		}
+		victims = append(victims, rewrite{node: t.Subject, srs: lit.Value})
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		return victims[i].node.String() < victims[j].node.String()
+	})
+	n := 0
+	for _, v := range victims {
+		if err := rewriteNodeCRS(st, reg, v.node, v.srs, target); err != nil {
+			return n, fmt.Errorf("grdf: normalizing %s: %w", v.node, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+func rewriteNodeCRS(st *store.Store, reg *geom.Registry, node rdf.Term, from, to string) error {
+	convert := func(prop rdf.IRI) error {
+		for _, t := range st.Match(node, prop, nil) {
+			lit, ok := t.Object.(rdf.Literal)
+			if !ok {
+				continue
+			}
+			cs, err := geom.ParseCoordinates(lit.Value)
+			if err != nil {
+				return err
+			}
+			out, err := reg.TransformAll(cs, from, to)
+			if err != nil {
+				return err
+			}
+			st.Remove(t)
+			st.Add(rdf.T(node, prop, rdf.NewString(geom.FormatCoordinates(out))))
+		}
+		return nil
+	}
+	for _, prop := range []rdf.IRI{Coordinates, LowerCorner, UpperCorner} {
+		if err := convert(prop); err != nil {
+			return err
+		}
+	}
+	// Nested components (polygon rings, multi members) inherit the node's
+	// CRS; convert them too.
+	for _, prop := range []rdf.IRI{Exterior, Interior, PointMember, CurveMember,
+		SurfaceMember, SolidMember, GeometryMember} {
+		for _, t := range st.Match(node, prop, nil) {
+			if err := rewriteNodeCRS(st, reg, t.Object, from, to); err != nil {
+				return err
+			}
+		}
+	}
+	// Update the srsName.
+	st.RemoveMatching(node, HasSRSName, nil)
+	st.Add(rdf.T(node, HasSRSName, rdf.NewString(to)))
+	return nil
+}
+
+// SpatialJoin finds pairs (a, b) with a from classA, b from classB, whose
+// geometries satisfy the predicate within the given distance (distance <= 0
+// means a direct Intersects test). It powers the scenario's "which chemical
+// sites sit near the affected stream" step.
+type JoinPair struct {
+	A, B     rdf.Term
+	Distance float64
+}
+
+// SpatialJoin computes the join over st.
+func SpatialJoin(st *store.Store, classA, classB rdf.IRI, maxDist float64) ([]JoinPair, error) {
+	as := FeaturesOfType(st, classA)
+	bs := FeaturesOfType(st, classB)
+	sort.Slice(as, func(i, j int) bool { return as[i].String() < as[j].String() })
+	sort.Slice(bs, func(i, j int) bool { return bs[i].String() < bs[j].String() })
+
+	type resolved struct {
+		term rdf.Term
+		geo  geom.Geometry
+	}
+	resolveAll := func(terms []rdf.Term) []resolved {
+		var out []resolved
+		for _, t := range terms {
+			if g, _, err := GeometryOf(st, t); err == nil {
+				out = append(out, resolved{term: t, geo: g})
+			}
+		}
+		return out
+	}
+	ra, rb := resolveAll(as), resolveAll(bs)
+	var pairs []JoinPair
+	for _, a := range ra {
+		for _, b := range rb {
+			d := geom.Distance(a.geo, b.geo)
+			if (maxDist <= 0 && d == 0) || (maxDist > 0 && d <= maxDist) {
+				pairs = append(pairs, JoinPair{A: a.term, B: b.term, Distance: d})
+			}
+		}
+	}
+	return pairs, nil
+}

@@ -1,0 +1,75 @@
+package grdf
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// Spatial filter-function IRIs usable in SPARQL queries once registered:
+//
+//	FILTER(grdf:within(?feature, ?container))
+//	FILTER(grdf:intersects(?a, ?b))
+//	FILTER(grdf:distance(?a, ?b) < 500)
+const (
+	FnWithin     rdf.IRI = NS + "within"
+	FnIntersects rdf.IRI = NS + "intersects"
+	FnContains   rdf.IRI = NS + "contains"
+	FnDistance   rdf.IRI = NS + "distance"
+)
+
+// RegisterSpatialFuncs installs the grdf: spatial filter functions on an
+// engine. Geometry arguments may be feature terms (resolved through their
+// geometry properties) or geometry nodes. st is the store geometries are
+// resolved against — usually the engine's own store or the merged layered
+// view.
+func RegisterSpatialFuncs(e *sparql.Engine, st *store.Store) {
+	resolve := func(t rdf.Term) (geom.Geometry, error) {
+		g, _, err := GeometryOf(st, t)
+		return g, err
+	}
+	binary := func(name string, pred func(a, b geom.Geometry) bool) sparql.CustomFunc {
+		return func(args []rdf.Term) (rdf.Term, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("grdf: %s takes 2 arguments", name)
+			}
+			a, err := resolve(args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := resolve(args[1])
+			if err != nil {
+				return nil, err
+			}
+			return rdf.NewBoolean(pred(a, b)), nil
+		}
+	}
+	e.RegisterFunc(FnWithin, binary("within", geom.Within))
+	e.RegisterFunc(FnIntersects, binary("intersects", geom.Intersects))
+	e.RegisterFunc(FnContains, binary("contains", geom.Contains))
+	e.RegisterFunc(FnDistance, func(args []rdf.Term) (rdf.Term, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("grdf: distance takes 2 arguments")
+		}
+		a, err := resolve(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := resolve(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return rdf.NewDouble(geom.Distance(a, b)), nil
+	})
+}
+
+// NewEngine builds a SPARQL engine over st with the spatial functions
+// pre-registered — the standard query entry point for GRDF datasets.
+func NewEngine(st *store.Store) *sparql.Engine {
+	e := sparql.NewEngine(st)
+	RegisterSpatialFuncs(e, st)
+	return e
+}

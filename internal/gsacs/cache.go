@@ -1,0 +1,109 @@
+package gsacs
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// QueryCache is the Fig. 3 performance optimizer: "in many systems, the same
+// queries tend to occur frequently and as a result, having a caching
+// mechanism that stores the queries and corresponding answers would provide
+// a significant performance boost."
+//
+// Entries are keyed by a request key plus the data store's generation
+// counter, so any mutation of the underlying data invalidates every cached
+// answer at lookup time without an explicit flush. Eviction is LRU.
+type QueryCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	entries  map[string]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key        string
+	generation uint64
+	view       *store.Store
+}
+
+// NewQueryCache returns a cache bounded to capacity entries (minimum 1).
+func NewQueryCache(capacity int) *QueryCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &QueryCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached view for key when present and computed at the
+// given data generation; stale entries are dropped.
+func (c *QueryCache) Get(key string, generation uint64) (*store.Store, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.generation != generation {
+		// Data changed since this answer was computed: invalidate.
+		c.ll.Remove(el)
+		delete(c.entries, key)
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.view, true
+}
+
+// Put stores a view computed at the given generation.
+func (c *QueryCache) Put(key string, generation uint64, view *store.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.generation = generation
+		ent.view = view
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, generation: generation, view: view})
+	c.entries[key] = el
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *QueryCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns (hits, misses) so far.
+func (c *QueryCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Clear drops every entry.
+func (c *QueryCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.entries = make(map[string]*list.Element)
+}

@@ -1,0 +1,230 @@
+// Package gsacs implements the Geospatial Security Access Control System of
+// Section 8 / Fig. 3 of the paper: a front-end interface (Server), the
+// Decision Engine that determines "what level of permission is warranted for
+// a particular user", a Query Cache ("having a caching mechanism that stores
+// the queries and corresponding answers would provide a significant
+// performance boost"), a plug-and-play Reasoning Engine interface, and the
+// Onto Repository holding GRDF and the security ontologies.
+//
+// The distinguishing capability — the one the paper holds against GeoXACML —
+// is property-level filtering: a role can be granted just the grdf:boundedBy
+// extent of a chemical site while its chemical inventory stays hidden.
+package gsacs
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grdf"
+	"repro/internal/owl"
+	"repro/internal/rdf"
+	"repro/internal/seconto"
+	"repro/internal/store"
+)
+
+// Reasoner is the plug-and-play reasoning interface of Fig. 3: "any OWL
+// reasoning engine could be plugged into the system to meet the need."
+// The owl package's Reasoner satisfies it.
+type Reasoner interface {
+	// IsSubClassOf reports sub ⊑ super (reflexive).
+	IsSubClassOf(sub, super rdf.Term) bool
+	// IsSubPropertyOf reports sub ⊑ super for properties (reflexive).
+	IsSubPropertyOf(sub, super rdf.Term) bool
+	// TypesOf returns the (materialized) types of an individual.
+	TypesOf(ind rdf.Term) []rdf.Term
+}
+
+// nilReasoner answers structurally (no inference) when no reasoner is
+// plugged in.
+type nilReasoner struct{ data *store.Store }
+
+func (n nilReasoner) IsSubClassOf(sub, super rdf.Term) bool {
+	return sub.Equal(super) || n.data.Has(rdf.T(sub, rdf.RDFSSubClassOf, super))
+}
+func (n nilReasoner) IsSubPropertyOf(sub, super rdf.Term) bool {
+	return sub.Equal(super) || n.data.Has(rdf.T(sub, rdf.RDFSSubPropertyOf, super))
+}
+func (n nilReasoner) TypesOf(ind rdf.Term) []rdf.Term {
+	return n.data.Objects(ind, rdf.RDFType)
+}
+
+// Engine wires policies, data and a reasoner together.
+type Engine struct {
+	policies *seconto.Set
+	data     *store.Store
+	reasoner Reasoner
+	cache    *QueryCache
+	audit    *auditLog
+}
+
+// Options configures New.
+type Options struct {
+	// Reasoner plugs in an inference engine; nil uses direct assertions only.
+	Reasoner Reasoner
+	// CacheSize bounds the query cache (entries); 0 disables caching.
+	CacheSize int
+}
+
+// New builds an engine over a policy set and a data store.
+func New(policies *seconto.Set, data *store.Store, opts Options) *Engine {
+	e := &Engine{policies: policies, data: data, reasoner: opts.Reasoner}
+	if e.reasoner == nil {
+		e.reasoner = nilReasoner{data: data}
+	}
+	if opts.CacheSize > 0 {
+		e.cache = NewQueryCache(opts.CacheSize)
+	}
+	return e
+}
+
+// Data exposes the underlying (unfiltered) store — for administrative paths
+// only.
+func (e *Engine) Data() *store.Store { return e.data }
+
+// Policies exposes the rule set.
+func (e *Engine) Policies() *seconto.Set { return e.policies }
+
+// Cache returns the engine's query cache (nil when disabled).
+func (e *Engine) Cache() *QueryCache { return e.cache }
+
+// Access is the decision for one (subject, action, resource) triple — the
+// Decision Engine's output.
+type Access struct {
+	// Allowed is false when the resource is completely hidden.
+	Allowed bool
+	// Full grants every property.
+	Full bool
+	// Properties are the visible properties when !Full.
+	Properties map[rdf.IRI]bool
+	// denied records property-level denies that survive a Full grant.
+	denied map[rdf.IRI]bool
+	// Matched lists the policies that fired, for audit.
+	Matched []rdf.IRI
+}
+
+// PropertyVisible reports whether the access allows viewing property p,
+// honouring subproperty entailment through the reasoner.
+func (a Access) PropertyVisible(p rdf.IRI, r Reasoner) bool {
+	if !a.Allowed {
+		return false
+	}
+	if a.denied != nil {
+		for d := range a.denied {
+			if r.IsSubPropertyOf(p, d) {
+				return false
+			}
+		}
+	}
+	if a.Full {
+		return true
+	}
+	for allowed := range a.Properties {
+		if r.IsSubPropertyOf(p, allowed) {
+			return true
+		}
+	}
+	return false
+}
+
+// Decide runs the decision procedure for subject performing action on
+// resource. Policies match when their Resource equals the resource, equals
+// one of its types, or is a superclass of one of its types (this is where
+// reasoning pays off: a policy over grdf:Feature covers every domain
+// subclass). Spatially-scoped policies additionally require the resource's
+// geometry to lie within the scope. Conflicts resolve by priority; at equal
+// priority deny overrides permit.
+func (e *Engine) Decide(subject, action rdf.IRI, resource rdf.Term) Access {
+	rules := e.policies.ForSubject(subject)
+	var applicable []seconto.Rule
+	for _, r := range rules {
+		if r.Action != action {
+			continue
+		}
+		if !e.resourceMatches(r.Resource, resource) {
+			continue
+		}
+		if r.SpatialScope != nil && !e.withinScope(resource, *r.SpatialScope) {
+			continue
+		}
+		applicable = append(applicable, r)
+	}
+	if len(applicable) == 0 {
+		acc := Access{} // default deny (closed world)
+		e.recordAudit(subject, action, resource, acc)
+		return acc
+	}
+	// Fold from lowest to highest priority so later rules override. Within
+	// one priority class permits apply before denies (deny overrides).
+	sort.SliceStable(applicable, func(i, j int) bool {
+		if applicable[i].Priority != applicable[j].Priority {
+			return applicable[i].Priority < applicable[j].Priority
+		}
+		return applicable[i].Permit && !applicable[j].Permit
+	})
+	acc := Access{Properties: map[rdf.IRI]bool{}, denied: map[rdf.IRI]bool{}}
+	for _, r := range applicable {
+		acc.Matched = append(acc.Matched, r.ID)
+		switch {
+		case r.Permit && len(r.Properties) == 0:
+			acc.Full = true
+			acc.denied = map[rdf.IRI]bool{}
+		case r.Permit:
+			for _, p := range r.Properties {
+				acc.Properties[p] = true
+				delete(acc.denied, p)
+			}
+		case !r.Permit && len(r.Properties) == 0:
+			acc.Full = false
+			acc.Properties = map[rdf.IRI]bool{}
+			acc.denied = map[rdf.IRI]bool{}
+			acc.Matched = acc.Matched[:0]
+			acc.Matched = append(acc.Matched, r.ID)
+		default: // deny specific properties
+			for _, p := range r.Properties {
+				delete(acc.Properties, p)
+				acc.denied[p] = true
+			}
+		}
+	}
+	acc.Allowed = acc.Full || len(acc.Properties) > 0
+	e.recordAudit(subject, action, resource, acc)
+	return acc
+}
+
+// resourceMatches checks policy resource coverage of a concrete resource.
+func (e *Engine) resourceMatches(policyRes rdf.IRI, resource rdf.Term) bool {
+	if policyRes.Equal(resource) {
+		return true
+	}
+	for _, ty := range e.reasoner.TypesOf(resource) {
+		if e.reasoner.IsSubClassOf(ty, policyRes) {
+			return true
+		}
+	}
+	// Also check direct data types when the reasoner is external to data.
+	for _, ty := range e.data.Objects(resource, rdf.RDFType) {
+		if e.reasoner.IsSubClassOf(ty, policyRes) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) withinScope(resource rdf.Term, scope geom.Envelope) bool {
+	g, _, err := grdf.GeometryOf(e.data, resource)
+	if err != nil {
+		return false
+	}
+	return geom.Within(g, scope)
+}
+
+// NewOWLReasoner materializes the given ontologies plus the data and returns
+// an owl.Reasoner ready to plug into Options.Reasoner.
+func NewOWLReasoner(data *store.Store, ontologies ...*rdf.Graph) *owl.Reasoner {
+	r := owl.NewReasoner()
+	for _, g := range ontologies {
+		r.AddGraph(g)
+	}
+	r.AddAll(data.Triples())
+	return r
+}

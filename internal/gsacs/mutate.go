@@ -1,0 +1,95 @@
+package gsacs
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/seconto"
+)
+
+// Write-path enforcement. The paper's action individuals include Modify and
+// Delete alongside View; these entry points run the same decision procedure
+// before mutating the store, so write policies compose with the
+// property-level condition language.
+
+// ErrDenied is returned (wrapped) when a mutation is not authorized.
+type ErrDenied struct {
+	Subject  rdf.IRI
+	Action   rdf.IRI
+	Resource rdf.Term
+	Property rdf.IRI
+}
+
+func (e *ErrDenied) Error() string {
+	if e.Property != "" {
+		return fmt.Sprintf("gsacs: %s denied %s on %s (property %s)",
+			e.Subject.LocalName(), e.Action.LocalName(), e.Resource, e.Property.LocalName())
+	}
+	return fmt.Sprintf("gsacs: %s denied %s on %s",
+		e.Subject.LocalName(), e.Action.LocalName(), e.Resource)
+}
+
+// authorizeTriple checks that subject may perform action on the triple's
+// resource and property.
+func (e *Engine) authorizeTriple(subject, action rdf.IRI, t rdf.Triple) error {
+	acc := e.Decide(subject, action, t.Subject)
+	if !acc.Allowed {
+		return &ErrDenied{Subject: subject, Action: action, Resource: t.Subject}
+	}
+	pred, ok := t.Predicate.(rdf.IRI)
+	if !ok {
+		return fmt.Errorf("gsacs: predicate %s is not an IRI", t.Predicate)
+	}
+	// rdf:type writes count as structural modifications: they require full
+	// access, never just a property grant.
+	if pred == rdf.RDFType {
+		if !acc.Full {
+			return &ErrDenied{Subject: subject, Action: action, Resource: t.Subject, Property: pred}
+		}
+		return nil
+	}
+	if !acc.PropertyVisible(pred, e.reasoner) {
+		return &ErrDenied{Subject: subject, Action: action, Resource: t.Subject, Property: pred}
+	}
+	return nil
+}
+
+// Insert adds a triple on behalf of subject after a Modify decision.
+func (e *Engine) Insert(subject rdf.IRI, t rdf.Triple) error {
+	if !t.Valid() {
+		return fmt.Errorf("gsacs: invalid triple %v", t)
+	}
+	if err := e.authorizeTriple(subject, seconto.ActionModify, t); err != nil {
+		return err
+	}
+	e.data.Add(t)
+	return nil
+}
+
+// Delete removes a triple on behalf of subject after a Delete decision.
+func (e *Engine) Delete(subject rdf.IRI, t rdf.Triple) error {
+	if err := e.authorizeTriple(subject, seconto.ActionDelete, t); err != nil {
+		return err
+	}
+	e.data.Remove(t)
+	return nil
+}
+
+// Update replaces the object of (resource, property, old) with new on behalf
+// of subject; it requires Modify on the property.
+func (e *Engine) Update(subject rdf.IRI, resource rdf.Term, property rdf.IRI, oldObj, newObj rdf.Term) error {
+	t := rdf.T(resource, property, oldObj)
+	if err := e.authorizeTriple(subject, seconto.ActionModify, t); err != nil {
+		return err
+	}
+	if !e.data.Has(t) {
+		return fmt.Errorf("gsacs: triple not present: %s", t)
+	}
+	nt := rdf.T(resource, property, newObj)
+	if !nt.Valid() {
+		return fmt.Errorf("gsacs: invalid replacement triple %v", nt)
+	}
+	e.data.Remove(t)
+	e.data.Add(nt)
+	return nil
+}

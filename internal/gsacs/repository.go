@@ -1,0 +1,76 @@
+package gsacs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// OntoRepository is Fig. 3's "database of ontologies needed to perform the
+// reasoning. For instance, GRDF would reside in this repository."
+type OntoRepository struct {
+	mu    sync.RWMutex
+	ontos map[string]*rdf.Graph
+}
+
+// NewOntoRepository returns an empty repository.
+func NewOntoRepository() *OntoRepository {
+	return &OntoRepository{ontos: make(map[string]*rdf.Graph)}
+}
+
+// Register stores an ontology under a name, replacing any previous version.
+func (r *OntoRepository) Register(name string, g *rdf.Graph) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ontos[name] = g
+}
+
+// Get returns the named ontology.
+func (r *OntoRepository) Get(name string) (*rdf.Graph, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.ontos[name]
+	if !ok {
+		return nil, fmt.Errorf("gsacs: ontology %q not in repository", name)
+	}
+	return g, nil
+}
+
+// Names lists the registered ontology names, sorted.
+func (r *OntoRepository) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.ontos))
+	for n := range r.ontos {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Combined merges every registered ontology into one store, ready to feed
+// the reasoning engine.
+func (r *OntoRepository) Combined() *store.Store {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := store.New()
+	for _, g := range r.ontos {
+		st.AddGraph(g)
+	}
+	return st
+}
+
+// Graphs returns the registered ontologies in name order.
+func (r *OntoRepository) Graphs() []*rdf.Graph {
+	names := r.Names()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*rdf.Graph, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.ontos[n])
+	}
+	return out
+}

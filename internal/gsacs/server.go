@@ -1,0 +1,242 @@
+package gsacs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdf"
+	"repro/internal/seconto"
+	"repro/internal/sparql"
+	"repro/internal/turtle"
+)
+
+// Server is the G-SACS front-end of Fig. 3: "provides the front-end
+// interface to accept client requests and respond back. This module only
+// defines communication points and hides the internal details of the system
+// from clients."
+type Server struct {
+	engine *Engine
+	repo   *OntoRepository
+	mux    *http.ServeMux
+}
+
+// NewServer builds the HTTP front-end over an engine and an ontology
+// repository (repo may be nil).
+func NewServer(engine *Engine, repo *OntoRepository) *Server {
+	s := &Server{engine: engine, repo: repo, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/roles", s.handleRoles)
+	s.mux.HandleFunc("/view", s.handleView)
+	s.mux.HandleFunc("/resource", s.handleResource)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/ontologies", s.handleOntologies)
+	s.mux.HandleFunc("/insert", s.handleMutate(true))
+	s.mux.HandleFunc("/delete", s.handleMutate(false))
+	s.mux.HandleFunc("/audit", s.handleAudit)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":  "ok",
+		"triples": s.engine.Data().Len(),
+	})
+}
+
+func (s *Server) handleRoles(w http.ResponseWriter, _ *http.Request) {
+	subjects := s.engine.Policies().Subjects()
+	out := make([]string, len(subjects))
+	for i, sub := range subjects {
+		out[i] = string(sub)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"roles": out})
+}
+
+func (s *Server) handleOntologies(w http.ResponseWriter, _ *http.Request) {
+	names := []string{}
+	if s.repo != nil {
+		names = s.repo.Names()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"ontologies": names})
+}
+
+// resolveRole accepts a full IRI or a local name under the seconto namespace.
+func resolveRole(raw string) (rdf.IRI, error) {
+	if raw == "" {
+		return "", fmt.Errorf("missing role parameter")
+	}
+	if strings.Contains(raw, "://") {
+		return rdf.IRI(raw), nil
+	}
+	return rdf.IRI(seconto.NS + raw), nil
+}
+
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
+	role, err := resolveRole(r.URL.Query().Get("role"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	view := s.engine.View(role, seconto.ActionView)
+	switch r.URL.Query().Get("format") {
+	case "ntriples":
+		w.Header().Set("Content-Type", "application/n-triples")
+		if err := ntriples.Write(w, view.Graph()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		w.Header().Set("Content-Type", "text/turtle")
+		if err := turtle.Write(w, view.Graph(), nil); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+func (s *Server) handleResource(w http.ResponseWriter, r *http.Request) {
+	role, err := resolveRole(r.URL.Query().Get("role"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	iri := r.URL.Query().Get("iri")
+	if iri == "" {
+		http.Error(w, "missing iri parameter", http.StatusBadRequest)
+		return
+	}
+	res := rdf.IRI(iri)
+	acc := s.engine.Decide(role, seconto.ActionView, res)
+	if !acc.Allowed {
+		http.Error(w, "access denied", http.StatusForbidden)
+		return
+	}
+	g := rdf.NewGraph()
+	for _, t := range s.engine.FilterResource(res, acc) {
+		g.Add(t)
+	}
+	w.Header().Set("Content-Type", "text/turtle")
+	if err := turtle.Write(w, g, nil); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	role, err := resolveRole(r.URL.Query().Get("role"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	res, err := s.engine.Query(role, seconto.ActionView, q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resultJSON(res))
+}
+
+// handleAudit dumps the decision audit trail (empty when auditing is off).
+func (s *Server) handleAudit(w http.ResponseWriter, _ *http.Request) {
+	trail := s.engine.AuditTrail()
+	type row struct {
+		Seq      uint64   `json:"seq"`
+		Subject  string   `json:"subject"`
+		Action   string   `json:"action"`
+		Resource string   `json:"resource"`
+		Allowed  bool     `json:"allowed"`
+		Full     bool     `json:"full"`
+		Policies []string `json:"policies"`
+	}
+	rows := make([]row, len(trail))
+	for i, e := range trail {
+		pols := make([]string, len(e.Policies))
+		for j, p := range e.Policies {
+			pols[j] = string(p)
+		}
+		rows[i] = row{
+			Seq: e.Seq, Subject: string(e.Subject), Action: string(e.Action),
+			Resource: e.Resource, Allowed: e.Allowed, Full: e.Full, Policies: pols,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"entries": rows})
+}
+
+// handleMutate serves POST /insert and /delete: the request body is one or
+// more N-Triples statements, applied through the write-authorization path.
+func (s *Server) handleMutate(insert bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		role, err := resolveRole(r.URL.Query().Get("role"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		g, err := ntriples.NewReader(r.Body).ReadAll()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		applied := 0
+		for _, t := range g.Triples() {
+			if insert {
+				err = s.engine.Insert(role, t)
+			} else {
+				err = s.engine.Delete(role, t)
+			}
+			if err != nil {
+				var denied *ErrDenied
+				status := http.StatusBadRequest
+				if errors.As(err, &denied) {
+					status = http.StatusForbidden
+				}
+				http.Error(w, fmt.Sprintf("%v (applied %d before failure)", err, applied), status)
+				return
+			}
+			applied++
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"applied": applied})
+	}
+}
+
+// resultJSON renders a SPARQL result in a SPARQL-JSON-like shape.
+func resultJSON(res *sparql.Result) map[string]any {
+	switch res.Kind {
+	case sparql.Ask:
+		return map[string]any{"boolean": res.Bool}
+	case sparql.Construct, sparql.Describe:
+		return map[string]any{"triples": ntriples.Format(res.Graph)}
+	default:
+		vars := make([]string, len(res.Vars))
+		for i, v := range res.Vars {
+			vars[i] = string(v)
+		}
+		rows := make([]map[string]string, len(res.Bindings))
+		for i, b := range res.Bindings {
+			row := map[string]string{}
+			for v, t := range b {
+				row[string(v)] = t.String()
+			}
+			rows[i] = row
+		}
+		return map[string]any{"head": map[string]any{"vars": vars}, "results": rows}
+	}
+}

@@ -1,0 +1,84 @@
+package integration
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/gml"
+	"repro/internal/ntriples"
+	"repro/internal/rdfxml"
+	"repro/internal/sparql"
+	"repro/internal/turtle"
+)
+
+// The parsers must never panic, whatever bytes arrive — they either parse
+// or return an error. These properties drive each parser with arbitrary
+// fuzz-like input from testing/quick.
+
+func noPanic(t *testing.T, name string, fn func(string)) {
+	t.Helper()
+	prop := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s panicked on %q: %v", name, s, r)
+				ok = false
+			}
+		}()
+		fn(s)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTurtleParserNeverPanics(t *testing.T) {
+	noPanic(t, "turtle", func(s string) { _, _ = turtle.ParseString(s) })
+}
+
+func TestNTriplesParserNeverPanics(t *testing.T) {
+	noPanic(t, "ntriples", func(s string) { _, _ = ntriples.ParseString(s) })
+}
+
+func TestRDFXMLParserNeverPanics(t *testing.T) {
+	noPanic(t, "rdfxml", func(s string) { _, _ = rdfxml.ParseString(s) })
+}
+
+func TestGMLParserNeverPanics(t *testing.T) {
+	noPanic(t, "gml", func(s string) { _, _ = gml.ParseString(s) })
+}
+
+func TestSparqlParserNeverPanics(t *testing.T) {
+	noPanic(t, "sparql", func(s string) { _, _ = sparql.ParseQuery(s, nil) })
+}
+
+func TestCoordinateParsersNeverPanic(t *testing.T) {
+	noPanic(t, "coordinates", func(s string) { _, _ = geom.ParseCoordinates(s) })
+	noPanic(t, "posList", func(s string) { _, _ = geom.ParsePosList(s) })
+}
+
+// Structured garbage: near-miss documents around each grammar.
+func TestNearMissDocuments(t *testing.T) {
+	turtleDocs := []string{
+		"@prefix : <http", "a a a", "<s> <p> <o> ; .", "() () () .",
+		"@base . <x> <y> <z> .", `"unterminated`, "<a> <b> (((((", "[[[[",
+		"<a> <b> 'x'@ .", "<a> <b> 1.2.3 .", "PREFIX : <u> :a :b :c",
+	}
+	for _, d := range turtleDocs {
+		if _, err := turtle.ParseString(d); err == nil {
+			// not all near-misses are errors; just require no panic
+			_ = err
+		}
+	}
+	sparqlDocs := []string{
+		"SELECT (", "SELECT ?x WHERE { BIND } ", "ASK { VALUES }",
+		"SELECT ?x WHERE { ?s ?p ?o } GROUP", "CONSTRUCT {} WHERE {} LIMIT -1",
+		"SELECT ?x WHERE { FILTER EXISTS }", "SELECT ?x WHERE { ?s <p ?o }",
+	}
+	for _, d := range sparqlDocs {
+		if _, err := sparql.ParseQuery(d, nil); err == nil {
+			t.Errorf("near-miss query parsed: %q", d)
+		}
+	}
+}

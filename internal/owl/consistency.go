@@ -1,0 +1,168 @@
+package owl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Violation describes a consistency failure found by Check.
+type Violation struct {
+	// Kind is one of "cardinality", "min-cardinality", "max-cardinality",
+	// "disjoint", "same-different".
+	Kind string
+	// Subject is the individual in violation.
+	Subject rdf.Term
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: %s", v.Kind, v.Subject, v.Detail)
+}
+
+// Check validates a (preferably materialized) store against the OWL
+// cardinality and disjointness axioms it contains. This is how GRDF uses the
+// restrictions in the paper's Lists 3 and 5: an EnvelopeWithTimePeriod must
+// have exactly two time positions, a Face at most two TopoSolids, at most one
+// Surface and at least one Edge.
+func Check(st *store.Store) []Violation {
+	var out []Violation
+
+	// Find restriction classes with cardinality constraints.
+	type constraint struct {
+		restr    rdf.Term
+		prop     rdf.IRI
+		min, max int64 // -1 when absent
+		exact    int64 // -1 when absent
+	}
+	var constraints []constraint
+	seen := map[rdf.Term]bool{}
+	collect := func(pred rdf.IRI) {
+		st.ForEachMatch(nil, pred, nil, func(t rdf.Triple) bool {
+			if !seen[t.Subject] {
+				seen[t.Subject] = true
+			}
+			return true
+		})
+	}
+	collect(rdf.OWLCardinality)
+	collect(rdf.OWLMinCardinality)
+	collect(rdf.OWLMaxCardinality)
+	for restr := range seen {
+		onProp, ok := st.FirstObject(restr, rdf.OWLOnProperty)
+		if !ok {
+			continue
+		}
+		p, ok := onProp.(rdf.IRI)
+		if !ok {
+			continue
+		}
+		c := constraint{restr: restr, prop: p, min: -1, max: -1, exact: -1}
+		if v, ok := st.FirstObject(restr, rdf.OWLCardinality); ok {
+			if n, err := termInt(v); err == nil {
+				c.exact = n
+			}
+		}
+		if v, ok := st.FirstObject(restr, rdf.OWLMinCardinality); ok {
+			if n, err := termInt(v); err == nil {
+				c.min = n
+			}
+		}
+		if v, ok := st.FirstObject(restr, rdf.OWLMaxCardinality); ok {
+			if n, err := termInt(v); err == nil {
+				c.max = n
+			}
+		}
+		constraints = append(constraints, c)
+	}
+	sort.Slice(constraints, func(i, j int) bool {
+		return constraints[i].restr.String() < constraints[j].restr.String()
+	})
+
+	for _, c := range constraints {
+		// Members of the restriction: direct types plus members of
+		// subclasses (the materialized closure already propagated those).
+		members := st.Subjects(rdf.RDFType, c.restr)
+		sort.Slice(members, func(i, j int) bool { return members[i].String() < members[j].String() })
+		for _, m := range members {
+			n := int64(st.Count(m, c.prop, nil))
+			if c.exact >= 0 && n != c.exact {
+				out = append(out, Violation{
+					Kind:    "cardinality",
+					Subject: m,
+					Detail: fmt.Sprintf("property %s has %d value(s), restriction requires exactly %d",
+						c.prop.LocalName(), n, c.exact),
+				})
+			}
+			if c.min >= 0 && n < c.min {
+				out = append(out, Violation{
+					Kind:    "min-cardinality",
+					Subject: m,
+					Detail: fmt.Sprintf("property %s has %d value(s), restriction requires at least %d",
+						c.prop.LocalName(), n, c.min),
+				})
+			}
+			if c.max >= 0 && n > c.max {
+				out = append(out, Violation{
+					Kind:    "max-cardinality",
+					Subject: m,
+					Detail: fmt.Sprintf("property %s has %d value(s), restriction allows at most %d",
+						c.prop.LocalName(), n, c.max),
+				})
+			}
+		}
+	}
+
+	// Disjointness: x : C, x : D, C disjointWith D.
+	st.ForEachMatch(nil, rdf.OWLDisjointWith, nil, func(dj rdf.Triple) bool {
+		for _, x := range st.Subjects(rdf.RDFType, dj.Subject) {
+			if st.Has(rdf.T(x, rdf.RDFType, dj.Object)) {
+				out = append(out, Violation{
+					Kind:    "disjoint",
+					Subject: x,
+					Detail: fmt.Sprintf("individual belongs to disjoint classes %s and %s",
+						termName(dj.Subject), termName(dj.Object)),
+				})
+			}
+		}
+		return true
+	})
+
+	// sameAs vs differentFrom clash.
+	st.ForEachMatch(nil, rdf.OWLDifferentFrom, nil, func(df rdf.Triple) bool {
+		if st.Has(rdf.T(df.Subject, rdf.OWLSameAs, df.Object)) {
+			out = append(out, Violation{
+				Kind:    "same-different",
+				Subject: df.Subject,
+				Detail:  fmt.Sprintf("declared both sameAs and differentFrom %s", termName(df.Object)),
+			})
+		}
+		return true
+	})
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Subject.String() < out[j].Subject.String()
+	})
+	return out
+}
+
+func termInt(t rdf.Term) (int64, error) {
+	l, ok := t.(rdf.Literal)
+	if !ok {
+		return 0, fmt.Errorf("owl: %s is not a literal", t)
+	}
+	return l.Int()
+}
+
+func termName(t rdf.Term) string {
+	if iri, ok := t.(rdf.IRI); ok {
+		return iri.LocalName()
+	}
+	return t.String()
+}

@@ -1,0 +1,214 @@
+// Package owl implements the forward-chaining OWL reasoner the GRDF paper
+// relies on ("any OWL reasoning engine could be plugged into the system").
+// It materializes the RDFS and OWL-Horst (pD*) entailments of a triple store:
+// class and property hierarchies, domains and ranges, inverse / symmetric /
+// transitive / (inverse-)functional properties, owl:sameAs smushing,
+// equivalence, and property restrictions (hasValue, someValuesFrom,
+// allValuesFrom). Cardinality and disjointness are handled as consistency
+// checks (see Check), matching how the paper's listings use them (Lists 3
+// and 5 constrain models rather than derive new facts).
+//
+// The reasoner is incremental: Add feeds new triples through a semi-naive
+// delta queue, so loading an ontology once and streaming instance data stays
+// cheap. Materialize is the batch entry point.
+package owl
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Stats reports the outcome of a materialization.
+type Stats struct {
+	// Asserted is the number of input triples.
+	Asserted int
+	// Inferred is the number of new triples derived.
+	Inferred int
+	// Iterations counts delta-queue drain rounds (diagnostic).
+	Iterations int
+}
+
+// Reasoner maintains a materialized store: the deductive closure of
+// everything added so far.
+type Reasoner struct {
+	st    *store.Store
+	stats Stats
+	// queue of freshly added triples not yet processed by the rules
+	queue []rdf.Triple
+	// pending buffers derivations produced while rules iterate the store;
+	// they are flushed into the store between rule applications (the store's
+	// streaming reads must never be interleaved with writes).
+	pending []rdf.Triple
+	// provenance records, for each inferred triple, the rule that produced
+	// it and the delta triple that triggered the rule (first derivation
+	// wins). Asserted triples are absent.
+	provenance map[rdf.Triple]Derivation
+	// curRule / curTrigger hold the provenance context while rules run.
+	curRule    string
+	curTrigger rdf.Triple
+}
+
+// Derivation explains one inferred triple.
+type Derivation struct {
+	// Rule names the rule family that fired (e.g. "rdfs9-subclass").
+	Rule string
+	// Trigger is the delta triple whose processing produced the inference.
+	Trigger rdf.Triple
+}
+
+// NewReasoner returns an empty reasoner.
+func NewReasoner() *Reasoner {
+	return &Reasoner{st: store.New(), provenance: make(map[rdf.Triple]Derivation)}
+}
+
+// Materialize computes the closure of all triples in src and returns a new
+// store holding asserted plus inferred triples.
+func Materialize(src *store.Store) (*store.Store, Stats) {
+	r := NewReasoner()
+	r.AddAll(src.Triples())
+	return r.Store(), r.Stats()
+}
+
+// Store returns the materialized store (asserted + inferred). Callers must
+// not mutate it directly; use Add.
+func (r *Reasoner) Store() *store.Store { return r.st }
+
+// Stats returns counters accumulated so far.
+func (r *Reasoner) Stats() Stats { return r.stats }
+
+// Add asserts one triple and derives its consequences. It reports whether
+// the triple was new.
+func (r *Reasoner) Add(t rdf.Triple) bool {
+	if !t.Valid() {
+		return false
+	}
+	if !r.st.Add(t) {
+		return false
+	}
+	r.stats.Asserted++
+	r.queue = append(r.queue, t)
+	r.drain()
+	return true
+}
+
+// AddAll asserts a batch and then derives consequences once, which is faster
+// than calling Add per triple.
+func (r *Reasoner) AddAll(ts []rdf.Triple) int {
+	n := 0
+	for _, t := range ts {
+		if !t.Valid() {
+			continue
+		}
+		if r.st.Add(t) {
+			r.stats.Asserted++
+			r.queue = append(r.queue, t)
+			n++
+		}
+	}
+	r.drain()
+	return n
+}
+
+// AddGraph asserts every triple of g.
+func (r *Reasoner) AddGraph(g *rdf.Graph) int { return r.AddAll(g.Triples()) }
+
+// Entails reports whether t is in the closure.
+func (r *Reasoner) Entails(t rdf.Triple) bool { return r.st.Has(t) }
+
+// InferredCount returns how many triples were derived (not asserted).
+func (r *Reasoner) InferredCount() int { return r.stats.Inferred }
+
+// emit records a derived triple. It must not write to the store directly:
+// rules call emit while streaming matches from the store, and interleaving a
+// write would deadlock the store's RWMutex. Derivations are buffered and
+// flushed by drain.
+func (r *Reasoner) emit(t rdf.Triple) {
+	if !t.Valid() {
+		return
+	}
+	if _, known := r.provenance[t]; !known && !r.st.Has(t) {
+		r.provenance[t] = Derivation{Rule: r.curRule, Trigger: r.curTrigger}
+	}
+	r.pending = append(r.pending, t)
+}
+
+// drain processes the delta queue to fixpoint.
+func (r *Reasoner) drain() {
+	for len(r.queue) > 0 {
+		r.stats.Iterations++
+		batch := r.queue
+		r.queue = nil
+		for _, t := range batch {
+			r.applyRules(t)
+			// Flush buffered derivations; genuinely new ones re-enter the
+			// queue for the next round.
+			for _, d := range r.pending {
+				if r.st.Add(d) {
+					r.stats.Inferred++
+					r.queue = append(r.queue, d)
+				}
+			}
+			r.pending = r.pending[:0]
+		}
+	}
+}
+
+// SubClasses returns every subclass of class (reflexive per RDFS closure
+// when the ontology declares it; this helper just reads the materialized
+// hierarchy).
+func (r *Reasoner) SubClasses(class rdf.Term) []rdf.Term {
+	return r.st.Subjects(rdf.RDFSSubClassOf, class)
+}
+
+// IsSubClassOf reports whether sub is materialized as a subclass of super
+// (true also when sub == super).
+func (r *Reasoner) IsSubClassOf(sub, super rdf.Term) bool {
+	if sub.Equal(super) {
+		return true
+	}
+	return r.st.Has(rdf.T(sub, rdf.RDFSSubClassOf, super))
+}
+
+// IsSubPropertyOf reports whether sub is materialized as a subproperty of
+// super (true also when sub == super).
+func (r *Reasoner) IsSubPropertyOf(sub, super rdf.Term) bool {
+	if sub.Equal(super) {
+		return true
+	}
+	return r.st.Has(rdf.T(sub, rdf.RDFSSubPropertyOf, super))
+}
+
+// TypesOf returns the materialized types of an individual.
+func (r *Reasoner) TypesOf(ind rdf.Term) []rdf.Term {
+	return r.st.Objects(ind, rdf.RDFType)
+}
+
+// HasType reports whether the individual has the given (possibly inferred)
+// type.
+func (r *Reasoner) HasType(ind, class rdf.Term) bool {
+	return r.st.Has(rdf.T(ind, rdf.RDFType, class))
+}
+
+// Explain returns the derivation chain of t, outermost first: each step
+// names the rule and the triple that triggered it, ending at an asserted
+// triple. ok is false when t is not in the closure; an empty chain with
+// ok=true means t was asserted directly.
+func (r *Reasoner) Explain(t rdf.Triple) (chain []Derivation, ok bool) {
+	if !r.st.Has(t) {
+		return nil, false
+	}
+	seen := map[rdf.Triple]bool{}
+	cur := t
+	for {
+		d, inferred := r.provenance[cur]
+		if !inferred {
+			return chain, true // reached an asserted triple
+		}
+		chain = append(chain, d)
+		if seen[cur] {
+			return chain, true // defensive: cyclic provenance
+		}
+		seen[cur] = true
+		cur = d.Trigger
+	}
+}

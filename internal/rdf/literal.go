@@ -1,0 +1,178 @@
+package rdf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Typed-literal constructors. These produce canonical lexical forms so that
+// value-equal literals compare equal with ==.
+
+// NewString returns a plain xsd:string literal.
+func NewString(v string) Literal { return Literal{Value: v, Datatype: XSDString} }
+
+// NewLangString returns an rdf:langString literal with the tag lower-cased.
+func NewLangString(v, lang string) Literal {
+	return Literal{Value: v, Datatype: RDFLangString, Lang: strings.ToLower(lang)}
+}
+
+// NewInteger returns an xsd:integer literal.
+func NewInteger(v int64) Literal {
+	return Literal{Value: strconv.FormatInt(v, 10), Datatype: XSDInteger}
+}
+
+// NewDouble returns an xsd:double literal in the shortest round-trippable form.
+func NewDouble(v float64) Literal {
+	return Literal{Value: strconv.FormatFloat(v, 'g', -1, 64), Datatype: XSDDouble}
+}
+
+// NewDecimal returns an xsd:decimal literal.
+func NewDecimal(v float64) Literal {
+	return Literal{Value: strconv.FormatFloat(v, 'f', -1, 64), Datatype: XSDDecimal}
+}
+
+// NewBoolean returns an xsd:boolean literal.
+func NewBoolean(v bool) Literal {
+	return Literal{Value: strconv.FormatBool(v), Datatype: XSDBoolean}
+}
+
+// NewDateTime returns an xsd:dateTime literal in RFC 3339 form.
+func NewDateTime(t time.Time) Literal {
+	return Literal{Value: t.Format(time.RFC3339), Datatype: XSDDateTime}
+}
+
+// NewNonNegativeInteger returns an xsd:nonNegativeInteger literal, the type
+// OWL cardinality restrictions use (Lists 3 and 5 in the paper).
+func NewNonNegativeInteger(v uint64) Literal {
+	return Literal{Value: strconv.FormatUint(v, 10), Datatype: XSDNonNegativeInteger}
+}
+
+// IsNumeric reports whether the literal's datatype is one of the XSD numeric
+// types understood by the SPARQL filter evaluator.
+func (l Literal) IsNumeric() bool {
+	switch l.Datatype {
+	case XSDInteger, XSDDecimal, XSDDouble, XSDFloat, XSDInt, XSDLong,
+		XSDNonNegativeInteger, XSDPositiveInteger, XSDShort, XSDByte,
+		XSDUnsignedInt, XSDUnsignedLong:
+		return true
+	}
+	return false
+}
+
+// Float returns the numeric value of a numeric literal.
+func (l Literal) Float() (float64, error) {
+	if !l.IsNumeric() {
+		return 0, fmt.Errorf("rdf: literal %s is not numeric", l)
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(l.Value), 64)
+	if err != nil {
+		return 0, fmt.Errorf("rdf: bad numeric lexical form %q: %w", l.Value, err)
+	}
+	return f, nil
+}
+
+// Int returns the integer value of an integer-family literal.
+func (l Literal) Int() (int64, error) {
+	switch l.Datatype {
+	case XSDInteger, XSDInt, XSDLong, XSDNonNegativeInteger, XSDPositiveInteger,
+		XSDShort, XSDByte, XSDUnsignedInt, XSDUnsignedLong:
+		n, err := strconv.ParseInt(strings.TrimSpace(l.Value), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("rdf: bad integer lexical form %q: %w", l.Value, err)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("rdf: literal %s is not an integer", l)
+}
+
+// Bool returns the boolean value of an xsd:boolean literal.
+func (l Literal) Bool() (bool, error) {
+	if l.Datatype != XSDBoolean {
+		return false, fmt.Errorf("rdf: literal %s is not xsd:boolean", l)
+	}
+	switch strings.TrimSpace(l.Value) {
+	case "true", "1":
+		return true, nil
+	case "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("rdf: bad boolean lexical form %q", l.Value)
+}
+
+// Time returns the time value of an xsd:dateTime or xsd:date literal.
+func (l Literal) Time() (time.Time, error) {
+	v := strings.TrimSpace(l.Value)
+	switch l.Datatype {
+	case XSDDateTime:
+		for _, layout := range []string{time.RFC3339, "2006-01-02T15:04:05"} {
+			if t, err := time.Parse(layout, v); err == nil {
+				return t, nil
+			}
+		}
+		return time.Time{}, fmt.Errorf("rdf: bad dateTime lexical form %q", l.Value)
+	case XSDDate:
+		t, err := time.Parse("2006-01-02", v)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("rdf: bad date lexical form %q: %w", l.Value, err)
+		}
+		return t, nil
+	}
+	return time.Time{}, fmt.Errorf("rdf: literal %s is not a date/dateTime", l)
+}
+
+// CompareLiterals orders two literals for SPARQL ORDER BY and filter
+// comparisons: numerics by value, booleans false<true, date/times
+// chronologically, strings lexically. It returns (cmp, ok); ok is false when
+// the literals are not comparable (different value spaces).
+func CompareLiterals(a, b Literal) (int, bool) {
+	if a.IsNumeric() && b.IsNumeric() {
+		x, errX := a.Float()
+		y, errY := b.Float()
+		if errX != nil || errY != nil {
+			return 0, false
+		}
+		switch {
+		case x < y:
+			return -1, true
+		case x > y:
+			return 1, true
+		}
+		return 0, true
+	}
+	if a.Datatype == XSDBoolean && b.Datatype == XSDBoolean {
+		x, errX := a.Bool()
+		y, errY := b.Bool()
+		if errX != nil || errY != nil {
+			return 0, false
+		}
+		switch {
+		case !x && y:
+			return -1, true
+		case x && !y:
+			return 1, true
+		}
+		return 0, true
+	}
+	if (a.Datatype == XSDDateTime || a.Datatype == XSDDate) &&
+		(b.Datatype == XSDDateTime || b.Datatype == XSDDate) {
+		x, errX := a.Time()
+		y, errY := b.Time()
+		if errX != nil || errY != nil {
+			return 0, false
+		}
+		switch {
+		case x.Before(y):
+			return -1, true
+		case x.After(y):
+			return 1, true
+		}
+		return 0, true
+	}
+	if (a.Datatype == XSDString || a.Datatype == RDFLangString) &&
+		(b.Datatype == XSDString || b.Datatype == RDFLangString) {
+		return strings.Compare(a.Value, b.Value), true
+	}
+	return 0, false
+}

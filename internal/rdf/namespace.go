@@ -1,0 +1,144 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Prefixes maps prefix labels (without the trailing colon) to namespace IRIs.
+// It is used by the Turtle/RDF-XML codecs and the SPARQL parser to expand
+// prefixed names, and by the serializers to compact IRIs.
+type Prefixes struct {
+	mu      sync.RWMutex
+	forward map[string]string // prefix -> namespace
+	reverse map[string]string // namespace -> prefix
+}
+
+// NewPrefixes returns an empty prefix table.
+func NewPrefixes() *Prefixes {
+	return &Prefixes{
+		forward: make(map[string]string),
+		reverse: make(map[string]string),
+	}
+}
+
+// CommonPrefixes returns a table preloaded with the namespaces every GRDF
+// document uses (rdf, rdfs, owl, xsd, grdf, temporal, seconto, gml, app).
+func CommonPrefixes() *Prefixes {
+	p := NewPrefixes()
+	p.Bind("rdf", RDFNS)
+	p.Bind("rdfs", RDFSNS)
+	p.Bind("owl", OWLNS)
+	p.Bind("xsd", XSDNS)
+	p.Bind("grdf", GRDFNS)
+	p.Bind("temporal", GRDFTemporalNS)
+	p.Bind("seconto", SecOntoNS)
+	p.Bind("gml", GMLNS+"#")
+	p.Bind("app", AppNS)
+	return p
+}
+
+// Bind associates prefix with namespace, replacing any earlier binding.
+func (p *Prefixes) Bind(prefix, namespace string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if old, ok := p.forward[prefix]; ok {
+		delete(p.reverse, old)
+	}
+	p.forward[prefix] = namespace
+	p.reverse[namespace] = prefix
+}
+
+// Expand resolves a prefixed name ("grdf:Feature") to a full IRI. It returns
+// an error for unknown prefixes or names without a colon.
+func (p *Prefixes) Expand(qname string) (IRI, error) {
+	idx := strings.Index(qname, ":")
+	if idx < 0 {
+		return "", fmt.Errorf("rdf: %q is not a prefixed name", qname)
+	}
+	prefix, local := qname[:idx], qname[idx+1:]
+	p.mu.RLock()
+	ns, ok := p.forward[prefix]
+	p.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("rdf: unknown prefix %q in %q", prefix, qname)
+	}
+	return IRI(ns + local), nil
+}
+
+// Namespace returns the namespace bound to prefix, if any.
+func (p *Prefixes) Namespace(prefix string) (string, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ns, ok := p.forward[prefix]
+	return ns, ok
+}
+
+// Compact renders an IRI as a prefixed name when a binding covers it,
+// otherwise returns the angle-bracketed absolute form.
+func (p *Prefixes) Compact(iri IRI) string {
+	s := string(iri)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	best, bestPrefix := "", ""
+	for ns, prefix := range p.reverse {
+		if strings.HasPrefix(s, ns) && len(ns) > len(best) {
+			local := s[len(ns):]
+			if validLocalPart(local) {
+				best, bestPrefix = ns, prefix
+			}
+		}
+	}
+	if best == "" {
+		return iri.String()
+	}
+	return bestPrefix + ":" + s[len(best):]
+}
+
+// Each calls fn for every binding in deterministic (prefix-sorted) order.
+func (p *Prefixes) Each(fn func(prefix, namespace string)) {
+	p.mu.RLock()
+	keys := make([]string, 0, len(p.forward))
+	for k := range p.forward {
+		keys = append(keys, k)
+	}
+	vals := make(map[string]string, len(p.forward))
+	for k, v := range p.forward {
+		vals[k] = v
+	}
+	p.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn(k, vals[k])
+	}
+}
+
+// Clone returns an independent copy of the table.
+func (p *Prefixes) Clone() *Prefixes {
+	q := NewPrefixes()
+	p.Each(func(prefix, ns string) { q.Bind(prefix, ns) })
+	return q
+}
+
+// validLocalPart reports whether s can appear as the local part of a Turtle
+// prefixed name without escaping. We accept letters, digits, '_', '-', '.'
+// (not leading/trailing dot).
+func validLocalPart(s string) bool {
+	if s == "" {
+		return true
+	}
+	if s[0] == '.' || s[len(s)-1] == '.' {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

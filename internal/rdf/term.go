@@ -1,0 +1,216 @@
+// Package rdf implements the RDF 1.1 data model used by every other layer of
+// the GRDF system: IRIs, literals, blank nodes, triples and in-memory graphs,
+// together with namespace management and the well-known vocabularies
+// (RDF, RDFS, OWL, XSD) plus the GRDF and SecOnto vocabularies the paper
+// defines.
+//
+// All term types are small comparable values so that triples can be used
+// directly as map keys; the store package relies on this property for its
+// indexes.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three RDF term categories.
+type TermKind uint8
+
+const (
+	// KindIRI identifies an IRI term.
+	KindIRI TermKind = iota
+	// KindBlank identifies a blank node.
+	KindBlank
+	// KindLiteral identifies a literal (plain, typed or language-tagged).
+	KindLiteral
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case KindIRI:
+		return "iri"
+	case KindBlank:
+		return "blank"
+	case KindLiteral:
+		return "literal"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is an RDF term: an IRI, a blank node, or a literal.
+//
+// Every implementation in this package is a comparable value type, so Terms
+// may be compared with == when both sides were produced by this package, and
+// structs containing Terms may serve as map keys.
+type Term interface {
+	// Kind reports the term category.
+	Kind() TermKind
+	// String renders the term in N-Triples syntax
+	// (e.g. <http://…>, _:b1, "chat"@en, "1"^^<…integer>).
+	String() string
+	// Equal reports whether the receiver denotes the same RDF term as o.
+	Equal(o Term) bool
+}
+
+// IRI is an absolute IRI reference. The zero IRI ("") is invalid and is used
+// by the matching layers as a wildcard-free sentinel.
+type IRI string
+
+// Kind implements Term.
+func (IRI) Kind() TermKind { return KindIRI }
+
+// String renders the IRI in N-Triples angle-bracket form.
+func (i IRI) String() string { return "<" + string(i) + ">" }
+
+// Equal implements Term.
+func (i IRI) Equal(o Term) bool {
+	j, ok := o.(IRI)
+	return ok && i == j
+}
+
+// LocalName returns the fragment after the last '#' or '/', which is how the
+// GRDF listings in the paper abbreviate terms (e.g. "#hasEdgeOf" → "hasEdgeOf").
+func (i IRI) LocalName() string {
+	s := string(i)
+	if idx := strings.LastIndexAny(s, "#/"); idx >= 0 && idx+1 < len(s) {
+		return s[idx+1:]
+	}
+	return s
+}
+
+// Namespace returns the IRI up to and including the last '#' or '/'.
+func (i IRI) Namespace() string {
+	s := string(i)
+	if idx := strings.LastIndexAny(s, "#/"); idx >= 0 {
+		return s[:idx+1]
+	}
+	return ""
+}
+
+// BlankNode is a blank node with a document-scoped label.
+type BlankNode string
+
+// Kind implements Term.
+func (BlankNode) Kind() TermKind { return KindBlank }
+
+// String renders the node in N-Triples form (_:label).
+func (b BlankNode) String() string { return "_:" + string(b) }
+
+// Equal implements Term.
+func (b BlankNode) Equal(o Term) bool {
+	c, ok := o.(BlankNode)
+	return ok && b == c
+}
+
+// Literal is an RDF 1.1 literal. Every literal has a datatype; plain string
+// literals carry XSDString, language-tagged literals carry RDFLangString and
+// a non-empty Lang.
+type Literal struct {
+	// Value is the lexical form.
+	Value string
+	// Datatype is the datatype IRI. Never empty for a well-formed literal.
+	Datatype IRI
+	// Lang is the language tag (lower-cased); non-empty only when Datatype
+	// is rdf:langString.
+	Lang string
+}
+
+// Kind implements Term.
+func (Literal) Kind() TermKind { return KindLiteral }
+
+// String renders the literal in N-Triples syntax with escaping.
+func (l Literal) String() string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	sb.WriteString(EscapeLiteral(l.Value))
+	sb.WriteByte('"')
+	if l.Lang != "" {
+		sb.WriteByte('@')
+		sb.WriteString(l.Lang)
+	} else if l.Datatype != "" && l.Datatype != XSDString {
+		sb.WriteString("^^")
+		sb.WriteString(l.Datatype.String())
+	}
+	return sb.String()
+}
+
+// Equal implements Term.
+func (l Literal) Equal(o Term) bool {
+	m, ok := o.(Literal)
+	return ok && l == m
+}
+
+// EscapeLiteral escapes a literal's lexical form for N-Triples/Turtle output.
+func EscapeLiteral(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// Triple is an RDF statement. Subject must be an IRI or BlankNode, Predicate
+// an IRI, Object any term; NewTriple enforces this, while the composite
+// literal form is available for trusted construction sites.
+type Triple struct {
+	Subject   Term
+	Predicate Term
+	Object    Term
+}
+
+// NewTriple validates term positions and returns the triple.
+func NewTriple(s, p, o Term) (Triple, error) {
+	if s == nil || p == nil || o == nil {
+		return Triple{}, fmt.Errorf("rdf: nil term in triple (%v %v %v)", s, p, o)
+	}
+	if s.Kind() == KindLiteral {
+		return Triple{}, fmt.Errorf("rdf: literal %s cannot be a subject", s)
+	}
+	if p.Kind() != KindIRI {
+		return Triple{}, fmt.Errorf("rdf: predicate %s must be an IRI", p)
+	}
+	return Triple{Subject: s, Predicate: p, Object: o}, nil
+}
+
+// T builds a triple without validation; intended for compile-time-known terms.
+func T(s, p, o Term) Triple { return Triple{Subject: s, Predicate: p, Object: o} }
+
+// String renders the triple as an N-Triples statement (without trailing newline).
+func (t Triple) String() string {
+	return t.Subject.String() + " " + t.Predicate.String() + " " + t.Object.String() + " ."
+}
+
+// Valid reports whether the triple satisfies RDF positional constraints.
+func (t Triple) Valid() bool {
+	return t.Subject != nil && t.Predicate != nil && t.Object != nil &&
+		t.Subject.Kind() != KindLiteral && t.Predicate.Kind() == KindIRI
+}
+
+// Quad is a triple within a named graph; Graph == nil denotes the default graph.
+type Quad struct {
+	Triple
+	Graph Term // IRI or BlankNode, nil for the default graph
+}
+
+// String renders the quad in N-Quads syntax.
+func (q Quad) String() string {
+	if q.Graph == nil {
+		return q.Triple.String()
+	}
+	return q.Subject.String() + " " + q.Predicate.String() + " " + q.Object.String() + " " + q.Graph.String() + " ."
+}

@@ -1,0 +1,115 @@
+package rdf
+
+// Well-known namespace prefixes.
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	OWLNS  = "http://www.w3.org/2002/07/owl#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+
+	// GRDFNS is the namespace of the GRDF ontology. The paper anchors its
+	// listings at a localhost URI; we use a stable project URI instead.
+	GRDFNS = "http://grdf.org/ontology/grdf#"
+	// GRDFTemporalNS holds the temporal sub-ontology (List 3 references a
+	// separate "temporal#" namespace for hasTimePosition).
+	GRDFTemporalNS = "http://grdf.org/ontology/temporal#"
+	// SecOntoNS is the security ontology namespace of Section 7 / List 8.
+	SecOntoNS = "http://grdf.org/ontology/seconto#"
+	// GMLNS is the GML 3.1.1 namespace.
+	GMLNS = "http://www.opengis.net/gml"
+	// AppNS is the example application namespace used by Lists 6–7.
+	AppNS = "http://grdf.org/app#"
+)
+
+// RDF vocabulary.
+const (
+	RDFType       IRI = RDFNS + "type"
+	RDFProperty   IRI = RDFNS + "Property"
+	RDFFirst      IRI = RDFNS + "first"
+	RDFRest       IRI = RDFNS + "rest"
+	RDFNil        IRI = RDFNS + "nil"
+	RDFLangString IRI = RDFNS + "langString"
+	RDFXMLLiteral IRI = RDFNS + "XMLLiteral"
+	RDFStatement  IRI = RDFNS + "Statement"
+	RDFSubject    IRI = RDFNS + "subject"
+	RDFPredicate  IRI = RDFNS + "predicate"
+	RDFObject     IRI = RDFNS + "object"
+	RDFValue      IRI = RDFNS + "value"
+)
+
+// RDFS vocabulary.
+const (
+	RDFSClass         IRI = RDFSNS + "Class"
+	RDFSSubClassOf    IRI = RDFSNS + "subClassOf"
+	RDFSSubPropertyOf IRI = RDFSNS + "subPropertyOf"
+	RDFSDomain        IRI = RDFSNS + "domain"
+	RDFSRange         IRI = RDFSNS + "range"
+	RDFSLabel         IRI = RDFSNS + "label"
+	RDFSComment       IRI = RDFSNS + "comment"
+	RDFSResource      IRI = RDFSNS + "Resource"
+	RDFSLiteral       IRI = RDFSNS + "Literal"
+	RDFSDatatype      IRI = RDFSNS + "Datatype"
+	RDFSMember        IRI = RDFSNS + "member"
+	RDFSSeeAlso       IRI = RDFSNS + "seeAlso"
+	RDFSIsDefinedBy   IRI = RDFSNS + "isDefinedBy"
+)
+
+// OWL vocabulary (the OWL-DL subset GRDF uses).
+const (
+	OWLClass              IRI = OWLNS + "Class"
+	OWLObjectProperty     IRI = OWLNS + "ObjectProperty"
+	OWLDatatypeProperty   IRI = OWLNS + "DatatypeProperty"
+	OWLAnnotationProperty IRI = OWLNS + "AnnotationProperty"
+	OWLOntology           IRI = OWLNS + "Ontology"
+	OWLRestriction        IRI = OWLNS + "Restriction"
+	OWLOnProperty         IRI = OWLNS + "onProperty"
+	OWLCardinality        IRI = OWLNS + "cardinality"
+	OWLMinCardinality     IRI = OWLNS + "minCardinality"
+	OWLMaxCardinality     IRI = OWLNS + "maxCardinality"
+	OWLSomeValuesFrom     IRI = OWLNS + "someValuesFrom"
+	OWLAllValuesFrom      IRI = OWLNS + "allValuesFrom"
+	OWLHasValue           IRI = OWLNS + "hasValue"
+	OWLEquivalentClass    IRI = OWLNS + "equivalentClass"
+	OWLEquivalentProperty IRI = OWLNS + "equivalentProperty"
+	OWLSameAs             IRI = OWLNS + "sameAs"
+	OWLDifferentFrom      IRI = OWLNS + "differentFrom"
+	OWLDisjointWith       IRI = OWLNS + "disjointWith"
+	OWLInverseOf          IRI = OWLNS + "inverseOf"
+	OWLTransitiveProperty IRI = OWLNS + "TransitiveProperty"
+	OWLSymmetricProperty  IRI = OWLNS + "SymmetricProperty"
+	OWLFunctionalProperty IRI = OWLNS + "FunctionalProperty"
+	OWLInverseFunctional  IRI = OWLNS + "InverseFunctionalProperty"
+	OWLThing              IRI = OWLNS + "Thing"
+	OWLNothing            IRI = OWLNS + "Nothing"
+	OWLUnionOf            IRI = OWLNS + "unionOf"
+	OWLIntersectionOf     IRI = OWLNS + "intersectionOf"
+	OWLComplementOf       IRI = OWLNS + "complementOf"
+	OWLOneOf              IRI = OWLNS + "oneOf"
+	OWLImports            IRI = OWLNS + "imports"
+	OWLVersionInfo        IRI = OWLNS + "versionInfo"
+	OWLNamedIndividual    IRI = OWLNS + "NamedIndividual"
+	OWLAllDifferent       IRI = OWLNS + "AllDifferent"
+	OWLDistinctMembers    IRI = OWLNS + "distinctMembers"
+)
+
+// XSD datatypes.
+const (
+	XSDString             IRI = XSDNS + "string"
+	XSDBoolean            IRI = XSDNS + "boolean"
+	XSDInteger            IRI = XSDNS + "integer"
+	XSDInt                IRI = XSDNS + "int"
+	XSDLong               IRI = XSDNS + "long"
+	XSDShort              IRI = XSDNS + "short"
+	XSDByte               IRI = XSDNS + "byte"
+	XSDDecimal            IRI = XSDNS + "decimal"
+	XSDDouble             IRI = XSDNS + "double"
+	XSDFloat              IRI = XSDNS + "float"
+	XSDDate               IRI = XSDNS + "date"
+	XSDDateTime           IRI = XSDNS + "dateTime"
+	XSDTime               IRI = XSDNS + "time"
+	XSDAnyURI             IRI = XSDNS + "anyURI"
+	XSDNonNegativeInteger IRI = XSDNS + "nonNegativeInteger"
+	XSDPositiveInteger    IRI = XSDNS + "positiveInteger"
+	XSDUnsignedInt        IRI = XSDNS + "unsignedInt"
+	XSDUnsignedLong       IRI = XSDNS + "unsignedLong"
+)

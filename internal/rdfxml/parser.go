@@ -1,0 +1,394 @@
+// Package rdfxml implements an RDF/XML parser and serializer covering the
+// syntax the GRDF paper uses in its listings: rdf:Description and typed node
+// elements, rdf:about / rdf:ID / rdf:nodeID, rdf:resource, rdf:datatype,
+// xml:lang, property attributes, nested node elements, and
+// rdf:parseType="Resource" | "Literal" | "Collection".
+package rdfxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// rdfNS is the RDF syntax namespace used in XML attribute matching.
+const rdfNS = rdf.RDFNS
+
+// xmlNS is the reserved XML namespace (xml:lang, xml:base).
+const xmlNS = "http://www.w3.org/XML/1998/namespace"
+
+// Parser decodes RDF/XML.
+type Parser struct {
+	dec      *xml.Decoder
+	graph    *rdf.Graph
+	base     string
+	blankSeq int
+}
+
+// Parse decodes a complete RDF/XML document from r.
+func Parse(r io.Reader) (*rdf.Graph, error) {
+	p := &Parser{dec: xml.NewDecoder(r), graph: rdf.NewGraph()}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.graph, nil
+}
+
+// ParseString decodes a complete RDF/XML document from a string.
+func ParseString(doc string) (*rdf.Graph, error) {
+	return Parse(strings.NewReader(doc))
+}
+
+func (p *Parser) fresh() rdf.BlankNode {
+	p.blankSeq++
+	return rdf.BlankNode(fmt.Sprintf("rx%d", p.blankSeq))
+}
+
+func (p *Parser) run() error {
+	for {
+		tok, err := p.dec.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("rdfxml: %w", err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		if se.Name.Space == rdfNS && se.Name.Local == "RDF" {
+			p.applyBase(se)
+			if err := p.parseNodeElementList(); err != nil {
+				return err
+			}
+			continue
+		}
+		// A document whose root is itself a node element.
+		if _, err := p.parseNodeElement(se); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *Parser) applyBase(se xml.StartElement) {
+	for _, a := range se.Attr {
+		if a.Name.Space == xmlNS && a.Name.Local == "base" {
+			p.base = a.Value
+		}
+	}
+}
+
+// parseNodeElementList consumes children of rdf:RDF until its end element.
+func (p *Parser) parseNodeElementList() error {
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return fmt.Errorf("rdfxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if _, err := p.parseNodeElement(t); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+// parseNodeElement parses a node element whose StartElement has just been
+// read, consuming through its matching end element, and returns the subject
+// term it denotes.
+func (p *Parser) parseNodeElement(se xml.StartElement) (rdf.Term, error) {
+	var subject rdf.Term
+	var lang string
+	var propAttrs []xml.Attr
+
+	for _, a := range se.Attr {
+		switch {
+		case a.Name.Space == rdfNS && a.Name.Local == "about":
+			subject = rdf.IRI(p.resolve(a.Value))
+		case a.Name.Space == rdfNS && a.Name.Local == "ID":
+			subject = rdf.IRI(p.resolve("#" + a.Value))
+		case a.Name.Space == rdfNS && a.Name.Local == "nodeID":
+			subject = rdf.BlankNode(a.Value)
+		case a.Name.Space == xmlNS && a.Name.Local == "lang":
+			lang = a.Value
+		case a.Name.Space == xmlNS, a.Name.Space == "xmlns", a.Name.Local == "xmlns":
+			// namespace machinery; ignore
+		case a.Name.Space == rdfNS && a.Name.Local == "parseType":
+			return nil, fmt.Errorf("rdfxml: parseType not allowed on node element %s", se.Name.Local)
+		default:
+			propAttrs = append(propAttrs, a)
+		}
+	}
+	if subject == nil {
+		subject = p.fresh()
+	}
+
+	// Typed node element: element name other than rdf:Description asserts type.
+	if !(se.Name.Space == rdfNS && se.Name.Local == "Description") {
+		p.graph.Add(rdf.T(subject, rdf.RDFType, rdf.IRI(se.Name.Space+expandLocal(se.Name))))
+	}
+
+	// Property attributes become literal-valued statements.
+	for _, a := range propAttrs {
+		if a.Name.Space == "" {
+			// Attribute without namespace: not a property per spec; skip.
+			continue
+		}
+		lit := rdf.NewString(a.Value)
+		if lang != "" {
+			lit = rdf.NewLangString(a.Value, lang)
+		}
+		p.graph.Add(rdf.T(subject, rdf.IRI(a.Name.Space+expandLocal(a.Name)), lit))
+	}
+
+	// Children are property elements. rdf:li children number themselves
+	// rdf:_1, rdf:_2, … per the container membership rules.
+	liCount := 0
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("rdfxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Space == rdfNS && t.Name.Local == "li" {
+				liCount++
+				t.Name.Local = fmt.Sprintf("_%d", liCount)
+			}
+			if err := p.parsePropertyElement(subject, t, lang); err != nil {
+				return nil, err
+			}
+		case xml.EndElement:
+			return subject, nil
+		}
+	}
+}
+
+// parsePropertyElement parses one property element of subject.
+func (p *Parser) parsePropertyElement(subject rdf.Term, se xml.StartElement, lang string) error {
+	pred := rdf.IRI(se.Name.Space + expandLocal(se.Name))
+
+	var resource, nodeID, datatype, parseType string
+	var propAttrs []xml.Attr
+	for _, a := range se.Attr {
+		switch {
+		case a.Name.Space == rdfNS && a.Name.Local == "resource":
+			resource = a.Value
+		case a.Name.Space == rdfNS && a.Name.Local == "nodeID":
+			nodeID = a.Value
+		case a.Name.Space == rdfNS && a.Name.Local == "datatype":
+			datatype = a.Value
+		case a.Name.Space == rdfNS && a.Name.Local == "parseType":
+			parseType = a.Value
+		case a.Name.Space == xmlNS && a.Name.Local == "lang":
+			lang = a.Value
+		case a.Name.Space == xmlNS, a.Name.Space == "xmlns", a.Name.Local == "xmlns":
+		default:
+			propAttrs = append(propAttrs, a)
+		}
+	}
+
+	switch parseType {
+	case "Resource":
+		// Implicit blank node with nested property elements.
+		inner := p.fresh()
+		p.graph.Add(rdf.T(subject, pred, inner))
+		liCount := 0
+		for {
+			tok, err := p.dec.Token()
+			if err != nil {
+				return fmt.Errorf("rdfxml: %w", err)
+			}
+			switch t := tok.(type) {
+			case xml.StartElement:
+				if t.Name.Space == rdfNS && t.Name.Local == "li" {
+					liCount++
+					t.Name.Local = fmt.Sprintf("_%d", liCount)
+				}
+				if err := p.parsePropertyElement(inner, t, lang); err != nil {
+					return err
+				}
+			case xml.EndElement:
+				return nil
+			}
+		}
+	case "Literal":
+		raw, err := p.rawInner()
+		if err != nil {
+			return err
+		}
+		p.graph.Add(rdf.T(subject, pred, rdf.Literal{Value: raw, Datatype: rdf.RDFXMLLiteral}))
+		return nil
+	case "Collection":
+		var items []rdf.Term
+		for {
+			tok, err := p.dec.Token()
+			if err != nil {
+				return fmt.Errorf("rdfxml: %w", err)
+			}
+			switch t := tok.(type) {
+			case xml.StartElement:
+				item, err := p.parseNodeElement(t)
+				if err != nil {
+					return err
+				}
+				items = append(items, item)
+			case xml.EndElement:
+				p.graph.Add(rdf.T(subject, pred, p.graph.List(items)))
+				return nil
+			}
+		}
+	case "":
+		// fall through to the standard forms below
+	default:
+		return fmt.Errorf("rdfxml: unsupported parseType %q", parseType)
+	}
+
+	if resource != "" || nodeID != "" {
+		var obj rdf.Term
+		if resource != "" {
+			obj = rdf.IRI(p.resolve(resource))
+		} else {
+			obj = rdf.BlankNode(nodeID)
+		}
+		p.graph.Add(rdf.T(subject, pred, obj))
+		// Property attributes on a resource property element describe the object.
+		for _, a := range propAttrs {
+			if a.Name.Space == "" {
+				continue
+			}
+			p.graph.Add(rdf.T(obj, rdf.IRI(a.Name.Space+expandLocal(a.Name)), rdf.NewString(a.Value)))
+		}
+		return p.skipToEnd()
+	}
+
+	// Otherwise: text content (literal) or one nested node element.
+	var text strings.Builder
+	sawElement := false
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return fmt.Errorf("rdfxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			text.Write(t)
+		case xml.StartElement:
+			sawElement = true
+			obj, err := p.parseNodeElement(t)
+			if err != nil {
+				return err
+			}
+			p.graph.Add(rdf.T(subject, pred, obj))
+		case xml.EndElement:
+			if !sawElement {
+				val := text.String()
+				// An empty property element with property attributes denotes
+				// a blank node described by those attributes.
+				if strings.TrimSpace(val) == "" && len(propAttrs) > 0 {
+					inner := p.fresh()
+					p.graph.Add(rdf.T(subject, pred, inner))
+					for _, a := range propAttrs {
+						if a.Name.Space == "" {
+							continue
+						}
+						p.graph.Add(rdf.T(inner, rdf.IRI(a.Name.Space+expandLocal(a.Name)), rdf.NewString(a.Value)))
+					}
+					return nil
+				}
+				lit := rdf.Literal{Value: val, Datatype: rdf.XSDString}
+				if datatype != "" {
+					lit.Datatype = rdf.IRI(p.resolve(datatype))
+				} else if lang != "" {
+					lit = rdf.NewLangString(val, lang)
+				}
+				p.graph.Add(rdf.T(subject, pred, lit))
+			}
+			return nil
+		}
+	}
+}
+
+// rawInner captures the raw XML content of the current element (for
+// parseType="Literal") until its end element.
+func (p *Parser) rawInner() (string, error) {
+	var sb strings.Builder
+	depth := 0
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return "", fmt.Errorf("rdfxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			sb.WriteString("<" + t.Name.Local + ">")
+		case xml.EndElement:
+			if depth == 0 {
+				return sb.String(), nil
+			}
+			depth--
+			sb.WriteString("</" + t.Name.Local + ">")
+		case xml.CharData:
+			sb.Write(t)
+		}
+	}
+}
+
+// skipToEnd consumes tokens until the current element's end element.
+func (p *Parser) skipToEnd() error {
+	depth := 0
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return fmt.Errorf("rdfxml: %w", err)
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			if depth == 0 {
+				return nil
+			}
+			depth--
+		}
+	}
+}
+
+func (p *Parser) resolve(ref string) string {
+	if ref == "" {
+		return p.base
+	}
+	if strings.HasPrefix(ref, "#") {
+		return strings.TrimSuffix(p.base, "#") + ref
+	}
+	if strings.Contains(ref, "://") || strings.HasPrefix(ref, "urn:") || p.base == "" {
+		return ref
+	}
+	idx := strings.LastIndexByte(p.base, '/')
+	if idx < 0 {
+		return p.base + ref
+	}
+	return p.base[:idx+1] + ref
+}
+
+// expandLocal works around encoding/xml splitting a QName into space+local:
+// when the namespace does not end in '#' or '/', RDF/XML concatenation still
+// applies directly (e.g. GML's namespace has no trailing separator).
+func expandLocal(n xml.Name) string {
+	if n.Space == "" {
+		return n.Local
+	}
+	last := n.Space[len(n.Space)-1]
+	if last == '#' || last == '/' {
+		return n.Local
+	}
+	return "#" + n.Local
+}

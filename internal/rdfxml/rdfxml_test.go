@@ -1,0 +1,388 @@
+package rdfxml
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+const header = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xmlns:grdf="http://grdf.org/ontology/grdf#"
+         xmlns:seconto="http://grdf.org/ontology/seconto#"
+         xmlns:app="http://grdf.org/app#">`
+
+func mustParse(t *testing.T, doc string) *rdf.Graph {
+	t.Helper()
+	g, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v\ndoc:\n%s", err, doc)
+	}
+	return g
+}
+
+func TestParseDescriptionWithResource(t *testing.T) {
+	doc := header + `
+  <rdf:Description rdf:about="http://e/s">
+    <grdf:hasEnvelope rdf:resource="http://e/env"/>
+  </rdf:Description>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	if !g.Has(rdf.T(rdf.IRI("http://e/s"), rdf.IRI(rdf.GRDFNS+"hasEnvelope"), rdf.IRI("http://e/env"))) {
+		t.Errorf("missing triple:\n%s", g)
+	}
+}
+
+func TestParseTypedNodeElement(t *testing.T) {
+	doc := header + `
+  <app:ChemSite rdf:about="http://grdf.org/app#NTEnergy">
+    <app:hasSiteName>North Texas Energy</app:hasSiteName>
+  </app:ChemSite>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	s := rdf.IRI(rdf.AppNS + "NTEnergy")
+	if !g.Has(rdf.T(s, rdf.RDFType, rdf.IRI(rdf.AppNS+"ChemSite"))) {
+		t.Errorf("typed node element type missing:\n%s", g)
+	}
+	if !g.Has(rdf.T(s, rdf.IRI(rdf.AppNS+"hasSiteName"), rdf.NewString("North Texas Energy"))) {
+		t.Errorf("literal property missing:\n%s", g)
+	}
+}
+
+func TestParseDatatypeAndLang(t *testing.T) {
+	doc := header + `
+  <rdf:Description rdf:about="http://e/s">
+    <app:count rdf:datatype="http://www.w3.org/2001/XMLSchema#nonNegativeInteger">2</app:count>
+    <rdfs:label xml:lang="en">two</rdfs:label>
+  </rdf:Description>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	if !g.Has(rdf.T(rdf.IRI("http://e/s"), rdf.IRI(rdf.AppNS+"count"), rdf.NewNonNegativeInteger(2))) {
+		t.Errorf("typed literal missing:\n%s", g)
+	}
+	if !g.Has(rdf.T(rdf.IRI("http://e/s"), rdf.RDFSLabel, rdf.NewLangString("two", "en"))) {
+		t.Errorf("lang literal missing:\n%s", g)
+	}
+}
+
+func TestParseNestedNodeElement(t *testing.T) {
+	doc := header + `
+  <rdf:Description rdf:about="http://e/s">
+    <grdf:boundedBy>
+      <grdf:Envelope rdf:about="http://e/env">
+        <grdf:coordinates>1,2 3,4</grdf:coordinates>
+      </grdf:Envelope>
+    </grdf:boundedBy>
+  </rdf:Description>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	if !g.Has(rdf.T(rdf.IRI("http://e/s"), rdf.IRI(rdf.GRDFNS+"boundedBy"), rdf.IRI("http://e/env"))) {
+		t.Errorf("nested link missing:\n%s", g)
+	}
+	if !g.Has(rdf.T(rdf.IRI("http://e/env"), rdf.RDFType, rdf.IRI(rdf.GRDFNS+"Envelope"))) {
+		t.Errorf("nested type missing:\n%s", g)
+	}
+}
+
+func TestParseNodeID(t *testing.T) {
+	doc := header + `
+  <rdf:Description rdf:nodeID="b7">
+    <app:x>1</app:x>
+  </rdf:Description>
+  <rdf:Description rdf:about="http://e/s">
+    <app:ref rdf:nodeID="b7"/>
+  </rdf:Description>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	if !g.Has(rdf.T(rdf.IRI("http://e/s"), rdf.IRI(rdf.AppNS+"ref"), rdf.BlankNode("b7"))) {
+		t.Errorf("nodeID reference missing:\n%s", g)
+	}
+	if !g.Has(rdf.T(rdf.BlankNode("b7"), rdf.IRI(rdf.AppNS+"x"), rdf.NewString("1"))) {
+		t.Errorf("nodeID subject missing:\n%s", g)
+	}
+}
+
+func TestParseParseTypeResource(t *testing.T) {
+	doc := header + `
+  <rdf:Description rdf:about="http://e/s">
+    <app:inner rdf:parseType="Resource">
+      <app:a>1</app:a>
+      <app:b>2</app:b>
+    </app:inner>
+  </rdf:Description>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	inner, ok := g.FirstObject(rdf.IRI("http://e/s"), rdf.IRI(rdf.AppNS+"inner"))
+	if !ok || inner.Kind() != rdf.KindBlank {
+		t.Fatalf("inner = %v", inner)
+	}
+	if v, _ := g.FirstObject(inner, rdf.IRI(rdf.AppNS+"a")); !v.Equal(rdf.NewString("1")) {
+		t.Errorf("nested a = %v", v)
+	}
+}
+
+func TestParseParseTypeCollection(t *testing.T) {
+	doc := header + `
+  <rdf:Description rdf:about="http://e/s">
+    <app:members rdf:parseType="Collection">
+      <rdf:Description rdf:about="http://e/a"/>
+      <rdf:Description rdf:about="http://e/b"/>
+    </app:members>
+  </rdf:Description>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	head, ok := g.FirstObject(rdf.IRI("http://e/s"), rdf.IRI(rdf.AppNS+"members"))
+	if !ok {
+		t.Fatal("members missing")
+	}
+	items, err := g.ReadList(head)
+	if err != nil || len(items) != 2 {
+		t.Fatalf("list = %v, %v", items, err)
+	}
+}
+
+func TestParseParseTypeLiteral(t *testing.T) {
+	doc := header + `
+  <rdf:Description rdf:about="http://e/s">
+    <app:xml rdf:parseType="Literal"><b>bold</b> text</app:xml>
+  </rdf:Description>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	o, ok := g.FirstObject(rdf.IRI("http://e/s"), rdf.IRI(rdf.AppNS+"xml"))
+	if !ok {
+		t.Fatal("xml literal missing")
+	}
+	lit := o.(rdf.Literal)
+	if lit.Datatype != rdf.RDFXMLLiteral || !strings.Contains(lit.Value, "<b>bold</b>") {
+		t.Errorf("literal = %+v", lit)
+	}
+}
+
+func TestParsePropertyAttributes(t *testing.T) {
+	doc := header + `
+  <app:ChemSite rdf:about="http://e/s" app:hasSiteId="004221"/>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	if !g.Has(rdf.T(rdf.IRI("http://e/s"), rdf.IRI(rdf.AppNS+"hasSiteId"), rdf.NewString("004221"))) {
+		t.Errorf("property attribute missing:\n%s", g)
+	}
+}
+
+func TestParseEmptyPropertyWithAttrs(t *testing.T) {
+	doc := header + `
+  <rdf:Description rdf:about="http://e/s">
+    <app:loc app:x="1" app:y="2"/>
+  </rdf:Description>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	inner, ok := g.FirstObject(rdf.IRI("http://e/s"), rdf.IRI(rdf.AppNS+"loc"))
+	if !ok || inner.Kind() != rdf.KindBlank {
+		t.Fatalf("inner = %v", inner)
+	}
+	if v, _ := g.FirstObject(inner, rdf.IRI(rdf.AppNS+"x")); !v.Equal(rdf.NewString("1")) {
+		t.Errorf("x = %v", v)
+	}
+}
+
+func TestParseXMLBase(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:app="http://grdf.org/app#"
+         xml:base="http://base.org/doc">
+  <rdf:Description rdf:ID="frag">
+    <app:p rdf:resource="#other"/>
+  </rdf:Description>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	if !g.Has(rdf.T(rdf.IRI("http://base.org/doc#frag"), rdf.IRI(rdf.AppNS+"p"), rdf.IRI("http://base.org/doc#other"))) {
+		t.Errorf("base resolution wrong:\n%s", g)
+	}
+}
+
+// --- The paper's listings, as corrected RDF/XML ------------------------------
+
+// List 3: EnvelopeWithTimePeriod with a cardinality-2 restriction on
+// temporal#hasTimePosition.
+const list3 = header + `
+  <owl:Class rdf:about="http://grdf.org/ontology/grdf#EnvelopeWithTimePeriod">
+    <rdfs:subClassOf>
+      <owl:Restriction>
+        <owl:cardinality rdf:datatype="http://www.w3.org/2001/XMLSchema#nonNegativeInteger">2</owl:cardinality>
+        <owl:onProperty>
+          <owl:ObjectProperty rdf:about="http://grdf.org/ontology/temporal#hasTimePosition"/>
+        </owl:onProperty>
+      </owl:Restriction>
+    </rdfs:subClassOf>
+  </owl:Class>
+</rdf:RDF>`
+
+func TestParseList3EnvelopeWithTimePeriod(t *testing.T) {
+	g := mustParse(t, list3)
+	cls := rdf.IRI(rdf.GRDFNS + "EnvelopeWithTimePeriod")
+	if !g.Has(rdf.T(cls, rdf.RDFType, rdf.OWLClass)) {
+		t.Error("owl:Class assertion missing")
+	}
+	restr, ok := g.FirstObject(cls, rdf.RDFSSubClassOf)
+	if !ok {
+		t.Fatal("subClassOf missing")
+	}
+	if card, _ := g.FirstObject(restr, rdf.OWLCardinality); !card.Equal(rdf.NewNonNegativeInteger(2)) {
+		t.Errorf("cardinality = %v", card)
+	}
+	onProp, ok := g.FirstObject(restr, rdf.OWLOnProperty)
+	if !ok || !onProp.Equal(rdf.IRI(rdf.GRDFTemporalNS+"hasTimePosition")) {
+		t.Errorf("onProperty = %v", onProp)
+	}
+}
+
+// List 8: the 'main repair' policy.
+const list8 = header + `
+  <seconto:Subject rdf:about="http://grdf.org/ontology/seconto#MainRep">
+    <seconto:hasPolicy rdf:resource="http://grdf.org/ontology/seconto#MainRepPolicy1"/>
+  </seconto:Subject>
+  <seconto:Policy rdf:about="http://grdf.org/ontology/seconto#MainRepPolicy1">
+    <seconto:hasAction rdf:resource="http://grdf.org/ontology/seconto#View"/>
+    <seconto:hasCondition rdf:resource="http://grdf.org/ontology/seconto#CondSites"/>
+    <seconto:hasPolicyDecision rdf:resource="http://grdf.org/ontology/seconto#Permit"/>
+    <seconto:hasResource rdf:resource="http://grdf.org/app#ChemSite"/>
+  </seconto:Policy>
+  <seconto:ConditionValue rdf:about="http://grdf.org/ontology/seconto#CondSites">
+    <seconto:condValDefinition rdf:parseType="Resource">
+      <seconto:hasPropertyAccess rdf:resource="http://grdf.org/ontology/grdf#boundedBy"/>
+    </seconto:condValDefinition>
+  </seconto:ConditionValue>
+</rdf:RDF>`
+
+func TestParseList8Policy(t *testing.T) {
+	g := mustParse(t, list8)
+	pol := rdf.IRI(rdf.SecOntoNS + "MainRepPolicy1")
+	if !g.Has(rdf.T(rdf.IRI(rdf.SecOntoNS+"MainRep"), rdf.IRI(rdf.SecOntoNS+"hasPolicy"), pol)) {
+		t.Error("hasPolicy missing")
+	}
+	for _, pair := range [][2]rdf.IRI{
+		{rdf.IRI(rdf.SecOntoNS + "hasAction"), rdf.IRI(rdf.SecOntoNS + "View")},
+		{rdf.IRI(rdf.SecOntoNS + "hasPolicyDecision"), rdf.IRI(rdf.SecOntoNS + "Permit")},
+		{rdf.IRI(rdf.SecOntoNS + "hasResource"), rdf.IRI(rdf.AppNS + "ChemSite")},
+	} {
+		if !g.Has(rdf.T(pol, pair[0], pair[1])) {
+			t.Errorf("missing %s -> %s", pair[0], pair[1])
+		}
+	}
+	cond := rdf.IRI(rdf.SecOntoNS + "CondSites")
+	def, ok := g.FirstObject(cond, rdf.IRI(rdf.SecOntoNS+"condValDefinition"))
+	if !ok {
+		t.Fatal("condValDefinition missing")
+	}
+	if v, _ := g.FirstObject(def, rdf.IRI(rdf.SecOntoNS+"hasPropertyAccess")); !v.Equal(rdf.IRI(rdf.GRDFNS + "boundedBy")) {
+		t.Errorf("hasPropertyAccess = %v", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<rdf:RDF xmlns:rdf="` + rdf.RDFNS + `"><rdf:Description rdf:parseType="Resource"/></rdf:RDF>`,
+		header + `<rdf:Description rdf:about="http://e/s"><app:p rdf:parseType="Wat">x</app:p></rdf:Description></rdf:RDF>`,
+		`<unclosed`,
+	}
+	for _, doc := range bad {
+		if _, err := ParseString(doc); err == nil {
+			t.Errorf("no error for %q", doc)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	g := rdf.GraphOf(
+		rdf.T(rdf.IRI(rdf.AppNS+"NTEnergy"), rdf.RDFType, rdf.IRI(rdf.AppNS+"ChemSite")),
+		rdf.T(rdf.IRI(rdf.AppNS+"NTEnergy"), rdf.IRI(rdf.AppNS+"hasSiteName"), rdf.NewString("North Texas <Energy> & Co")),
+		rdf.T(rdf.IRI(rdf.AppNS+"NTEnergy"), rdf.IRI(rdf.AppNS+"hasChemicalInfo"), rdf.BlankNode("info")),
+		rdf.T(rdf.BlankNode("info"), rdf.IRI(rdf.AppNS+"hasChemName"), rdf.NewString("Sulfuric Acid")),
+		rdf.T(rdf.IRI(rdf.AppNS+"NTEnergy"), rdf.IRI(rdf.AppNS+"count"), rdf.NewInteger(3)),
+		rdf.T(rdf.IRI(rdf.AppNS+"NTEnergy"), rdf.RDFSLabel, rdf.NewLangString("site", "en")),
+	)
+	out := Format(g, nil)
+	back, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if !back.Equal(g) {
+		t.Errorf("round trip mismatch.\nout:\n%s\nhave:\n%s\nwant:\n%s", out, back, g)
+	}
+}
+
+func TestWriteTypedElementShorthand(t *testing.T) {
+	g := rdf.GraphOf(
+		rdf.T(rdf.IRI(rdf.GRDFNS+"p1"), rdf.RDFType, rdf.IRI(rdf.GRDFNS+"Point")),
+	)
+	out := Format(g, nil)
+	if !strings.Contains(out, "<grdf:Point rdf:about=") {
+		t.Errorf("typed element shorthand missing:\n%s", out)
+	}
+}
+
+func TestWriteUnboundNamespacePredicate(t *testing.T) {
+	g := rdf.GraphOf(
+		rdf.T(rdf.IRI("http://e/s"), rdf.IRI("http://unbound.example/ns#p"), rdf.NewString("v")),
+	)
+	out := Format(g, nil)
+	back, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if !back.Equal(g) {
+		t.Errorf("unbound namespace round trip failed:\n%s\ngot:\n%s", out, back)
+	}
+}
+
+func TestParseContainers(t *testing.T) {
+	doc := header + `
+  <rdf:Description rdf:about="http://e/s">
+    <app:members>
+      <rdf:Bag>
+        <rdf:li>one</rdf:li>
+        <rdf:li>two</rdf:li>
+        <rdf:li rdf:resource="http://e/three"/>
+      </rdf:Bag>
+    </app:members>
+  </rdf:Description>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	bag, ok := g.FirstObject(rdf.IRI("http://e/s"), rdf.IRI(rdf.AppNS+"members"))
+	if !ok {
+		t.Fatal("bag missing")
+	}
+	if !g.Has(rdf.T(bag, rdf.RDFType, rdf.IRI(rdf.RDFNS+"Bag"))) {
+		t.Error("Bag type missing")
+	}
+	if v, _ := g.FirstObject(bag, rdf.IRI(rdf.RDFNS+"_1")); !v.Equal(rdf.NewString("one")) {
+		t.Errorf("_1 = %v", v)
+	}
+	if v, _ := g.FirstObject(bag, rdf.IRI(rdf.RDFNS+"_2")); !v.Equal(rdf.NewString("two")) {
+		t.Errorf("_2 = %v", v)
+	}
+	if v, _ := g.FirstObject(bag, rdf.IRI(rdf.RDFNS+"_3")); !v.Equal(rdf.IRI("http://e/three")) {
+		t.Errorf("_3 = %v", v)
+	}
+}
+
+func TestParseLiInsideParseTypeResource(t *testing.T) {
+	doc := header + `
+  <rdf:Description rdf:about="http://e/s">
+    <app:inner rdf:parseType="Resource">
+      <rdf:li>x</rdf:li>
+      <rdf:li>y</rdf:li>
+    </app:inner>
+  </rdf:Description>
+</rdf:RDF>`
+	g := mustParse(t, doc)
+	inner, ok := g.FirstObject(rdf.IRI("http://e/s"), rdf.IRI(rdf.AppNS+"inner"))
+	if !ok {
+		t.Fatal("inner missing")
+	}
+	if v, _ := g.FirstObject(inner, rdf.IRI(rdf.RDFNS+"_2")); !v.Equal(rdf.NewString("y")) {
+		t.Errorf("_2 = %v", v)
+	}
+}

@@ -1,0 +1,203 @@
+package rdfxml
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Write serializes g as RDF/XML. Namespaces present in prefixes (nil = the
+// common GRDF set) are declared on the rdf:RDF root when used. Subjects are
+// emitted as typed node elements when they have exactly one rdf:type whose
+// IRI is compactable, otherwise as rdf:Description elements. Output order is
+// deterministic.
+func Write(w io.Writer, g *rdf.Graph, prefixes *rdf.Prefixes) error {
+	if prefixes == nil {
+		prefixes = rdf.CommonPrefixes()
+	}
+	bw := bufio.NewWriter(w)
+
+	type nsBinding struct{ prefix, ns string }
+	var bindings []nsBinding
+	prefixes.Each(func(prefix, ns string) {
+		bindings = append(bindings, nsBinding{prefix, ns})
+	})
+
+	// Which namespaces are used?
+	usedNS := map[string]bool{rdf.RDFNS: true}
+	noteIRI := func(iri rdf.IRI) {
+		for _, b := range bindings {
+			if strings.HasPrefix(string(iri), b.ns) {
+				usedNS[b.ns] = true
+			}
+		}
+	}
+	for _, t := range g.Triples() {
+		if s, ok := t.Subject.(rdf.IRI); ok {
+			noteIRI(s)
+		}
+		noteIRI(t.Predicate.(rdf.IRI))
+		switch o := t.Object.(type) {
+		case rdf.IRI:
+			noteIRI(o)
+		case rdf.Literal:
+			if o.Datatype != "" {
+				noteIRI(o.Datatype)
+			}
+		}
+	}
+
+	bw.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	bw.WriteString(`<rdf:RDF xmlns:rdf="` + rdf.RDFNS + `"`)
+	for _, b := range bindings {
+		if b.ns == rdf.RDFNS || !usedNS[b.ns] {
+			continue
+		}
+		bw.WriteString("\n         xmlns:" + b.prefix + `="` + b.ns + `"`)
+	}
+	bw.WriteString(">\n")
+
+	// Group triples by subject.
+	bySubject := map[rdf.Term][]rdf.Triple{}
+	var subjects []rdf.Term
+	for _, t := range g.Triples() {
+		if _, ok := bySubject[t.Subject]; !ok {
+			subjects = append(subjects, t.Subject)
+		}
+		bySubject[t.Subject] = append(bySubject[t.Subject], t)
+	}
+	sort.Slice(subjects, func(i, j int) bool {
+		return subjects[i].String() < subjects[j].String()
+	})
+
+	for _, s := range subjects {
+		ts := bySubject[s]
+		sort.Slice(ts, func(i, j int) bool {
+			pi, pj := ts[i].Predicate.String(), ts[j].Predicate.String()
+			if pi != pj {
+				return pi < pj
+			}
+			return ts[i].Object.String() < ts[j].Object.String()
+		})
+
+		// Pick a node element name: a single compactable rdf:type, else
+		// rdf:Description.
+		elem := "rdf:Description"
+		var typeObj rdf.Term
+		typeCount := 0
+		for _, t := range ts {
+			if t.Predicate.Equal(rdf.RDFType) {
+				typeCount++
+				typeObj = t.Object
+			}
+		}
+		var consumedType rdf.Term
+		if typeCount == 1 {
+			if iri, ok := typeObj.(rdf.IRI); ok {
+				if q := qname(iri, prefixes); q != "" {
+					elem = q
+					consumedType = typeObj
+				}
+			}
+		}
+
+		bw.WriteString("  <" + elem)
+		switch sv := s.(type) {
+		case rdf.IRI:
+			bw.WriteString(` rdf:about="` + escapeAttr(string(sv)) + `"`)
+		case rdf.BlankNode:
+			bw.WriteString(` rdf:nodeID="` + escapeAttr(string(sv)) + `"`)
+		}
+		bw.WriteString(">\n")
+
+		for _, t := range ts {
+			if consumedType != nil && t.Predicate.Equal(rdf.RDFType) && t.Object.Equal(consumedType) {
+				continue
+			}
+			pq := qname(t.Predicate.(rdf.IRI), prefixes)
+			if pq == "" {
+				// Predicate outside every bound namespace: synthesize a
+				// one-off binding inline.
+				ns := t.Predicate.(rdf.IRI).Namespace()
+				local := t.Predicate.(rdf.IRI).LocalName()
+				pq = "x:" + local
+				bw.WriteString(`    <` + pq + ` xmlns:x="` + escapeAttr(ns) + `"`)
+				writePropertyRest(bw, t, pq)
+				continue
+			}
+			bw.WriteString("    <" + pq)
+			writePropertyRest(bw, t, pq)
+		}
+		bw.WriteString("  </" + elem + ">\n")
+	}
+	bw.WriteString("</rdf:RDF>\n")
+	return bw.Flush()
+}
+
+// writePropertyRest finishes a property element whose opening "<name" has
+// been written.
+func writePropertyRest(bw *bufio.Writer, t rdf.Triple, pq string) {
+	switch o := t.Object.(type) {
+	case rdf.IRI:
+		bw.WriteString(` rdf:resource="` + escapeAttr(string(o)) + `"/>` + "\n")
+	case rdf.BlankNode:
+		bw.WriteString(` rdf:nodeID="` + escapeAttr(string(o)) + `"/>` + "\n")
+	case rdf.Literal:
+		switch {
+		case o.Lang != "":
+			bw.WriteString(` xml:lang="` + escapeAttr(o.Lang) + `">`)
+		case o.Datatype != "" && o.Datatype != rdf.XSDString:
+			bw.WriteString(` rdf:datatype="` + escapeAttr(string(o.Datatype)) + `">`)
+		default:
+			bw.WriteString(">")
+		}
+		bw.WriteString(escapeText(o.Value))
+		bw.WriteString("</" + pq + ">\n")
+	}
+}
+
+// Format renders the graph as an RDF/XML string.
+func Format(g *rdf.Graph, prefixes *rdf.Prefixes) string {
+	var sb strings.Builder
+	_ = Write(&sb, g, prefixes)
+	return sb.String()
+}
+
+// qname compacts an IRI to prefix:local when the local part is XML-name-safe.
+func qname(iri rdf.IRI, prefixes *rdf.Prefixes) string {
+	c := prefixes.Compact(iri)
+	if strings.HasPrefix(c, "<") {
+		return ""
+	}
+	idx := strings.IndexByte(c, ':')
+	local := c[idx+1:]
+	if local == "" || !validXMLName(local) {
+		return ""
+	}
+	return c
+}
+
+func validXMLName(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case i > 0 && (r >= '0' && r <= '9' || r == '-' || r == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func escapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

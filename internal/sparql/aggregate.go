@@ -1,0 +1,198 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Aggregate support: SELECT (COUNT(?x) AS ?n) … GROUP BY ?g, with COUNT,
+// SUM, MIN, MAX and AVG (optionally DISTINCT), plus COUNT(*). The
+// middleware uses these for the paper's "aggregate list of chemicals from
+// these sites".
+
+// AggFunc names an aggregate function.
+type AggFunc string
+
+// Supported aggregate functions.
+const (
+	AggCount AggFunc = "COUNT"
+	AggSum   AggFunc = "SUM"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+	AggAvg   AggFunc = "AVG"
+)
+
+// Aggregate is one projected aggregate expression.
+type Aggregate struct {
+	Func     AggFunc
+	Arg      Expression // nil for COUNT(*)
+	Distinct bool
+	As       Variable
+}
+
+func (a Aggregate) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	d := ""
+	if a.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("(%s(%s%s) AS %s)", a.Func, d, arg, a.As)
+}
+
+// hasAggregates reports whether the query needs grouped evaluation.
+func (q *Query) hasAggregates() bool {
+	return len(q.Aggregates) > 0 || len(q.GroupBy) > 0
+}
+
+// evalAggregates groups the raw solutions and computes each aggregate,
+// producing one binding per group.
+func (e *Engine) evalAggregates(q *Query, sols []Binding) ([]Binding, error) {
+	type group struct {
+		key  string
+		rep  Binding // representative bindings for GROUP BY vars
+		rows []Binding
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, b := range sols {
+		var sb strings.Builder
+		for _, v := range q.GroupBy {
+			if t, ok := b[v]; ok {
+				sb.WriteString(t.String())
+			}
+			sb.WriteByte('\x00')
+		}
+		k := sb.String()
+		g, ok := groups[k]
+		if !ok {
+			rep := Binding{}
+			for _, v := range q.GroupBy {
+				if t, okv := b[v]; okv {
+					rep[v] = t
+				}
+			}
+			g = &group{key: k, rep: rep}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, b)
+	}
+	// With no GROUP BY and no solutions there is still one (empty) group for
+	// COUNT to report 0 over.
+	if len(q.GroupBy) == 0 && len(order) == 0 {
+		groups[""] = &group{key: "", rep: Binding{}}
+		order = append(order, "")
+	}
+	sort.Strings(order)
+
+	var out []Binding
+	for _, k := range order {
+		g := groups[k]
+		b := g.rep.clone()
+		for _, agg := range q.Aggregates {
+			val, err := e.computeAggregate(agg, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			if val != nil {
+				b[agg.As] = val
+			}
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func (e *Engine) computeAggregate(agg Aggregate, rows []Binding) (rdf.Term, error) {
+	// Collect the argument values (skipping rows where evaluation errors,
+	// per SPARQL aggregate semantics).
+	var vals []rdf.Term
+	if agg.Arg == nil { // COUNT(*)
+		return rdf.NewInteger(int64(len(rows))), nil
+	}
+	for _, row := range rows {
+		v, err := e.evalExpr(agg.Arg, row)
+		if err != nil {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	if agg.Distinct {
+		seen := map[string]struct{}{}
+		var uniq []rdf.Term
+		for _, v := range vals {
+			k := v.String()
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				uniq = append(uniq, v)
+			}
+		}
+		vals = uniq
+	}
+
+	switch agg.Func {
+	case AggCount:
+		return rdf.NewInteger(int64(len(vals))), nil
+	case AggSum, AggAvg:
+		sum := 0.0
+		n := 0
+		allInt := true
+		for _, v := range vals {
+			l, ok := v.(rdf.Literal)
+			if !ok || !l.IsNumeric() {
+				continue
+			}
+			f, err := l.Float()
+			if err != nil {
+				continue
+			}
+			if _, err := l.Int(); err != nil {
+				allInt = false
+			}
+			sum += f
+			n++
+		}
+		if agg.Func == AggAvg {
+			if n == 0 {
+				return nil, nil
+			}
+			return rdf.NewDouble(sum / float64(n)), nil
+		}
+		if allInt {
+			return rdf.NewInteger(int64(sum)), nil
+		}
+		return rdf.NewDouble(sum), nil
+	case AggMin, AggMax:
+		var best *rdf.Literal
+		for _, v := range vals {
+			l, ok := v.(rdf.Literal)
+			if !ok {
+				continue
+			}
+			if best == nil {
+				b := l
+				best = &b
+				continue
+			}
+			cmp, ok := rdf.CompareLiterals(l, *best)
+			if !ok {
+				continue
+			}
+			if (agg.Func == AggMin && cmp < 0) || (agg.Func == AggMax && cmp > 0) {
+				b := l
+				best = &b
+			}
+		}
+		if best == nil {
+			return nil, nil
+		}
+		return *best, nil
+	}
+	return nil, fmt.Errorf("sparql: unknown aggregate %s", agg.Func)
+}

@@ -1,0 +1,296 @@
+// Package sparql implements a SPARQL 1.1 subset sufficient for every query
+// the GRDF system issues: SELECT / ASK / CONSTRUCT forms, basic graph
+// patterns, FILTER with the standard operator and built-in function set,
+// OPTIONAL, UNION, property paths (^, /, |, +, *, ?), DISTINCT, ORDER BY,
+// LIMIT and OFFSET. Custom filter functions (the grdf: spatial predicates)
+// are registered per Engine.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Variable is a SPARQL variable (?x). It implements rdf.Term so it can sit in
+// triple-pattern positions, but it never appears in stored data.
+type Variable string
+
+// Kind implements rdf.Term; variables masquerade as IRIs for kind purposes
+// but never reach a store.
+func (Variable) Kind() rdf.TermKind { return rdf.KindIRI }
+
+// String renders the variable in SPARQL syntax.
+func (v Variable) String() string { return "?" + string(v) }
+
+// Equal implements rdf.Term.
+func (v Variable) Equal(o rdf.Term) bool {
+	w, ok := o.(Variable)
+	return ok && v == w
+}
+
+// QueryKind distinguishes the query forms.
+type QueryKind uint8
+
+const (
+	// Select projects variable bindings.
+	Select QueryKind = iota
+	// Ask reports whether the pattern has any solution.
+	Ask
+	// Construct instantiates a template graph per solution.
+	Construct
+	// Describe returns the description graphs of the target resources.
+	Describe
+)
+
+func (k QueryKind) String() string {
+	switch k {
+	case Select:
+		return "SELECT"
+	case Ask:
+		return "ASK"
+	case Construct:
+		return "CONSTRUCT"
+	case Describe:
+		return "DESCRIBE"
+	}
+	return fmt.Sprintf("QueryKind(%d)", uint8(k))
+}
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Kind     QueryKind
+	Vars     []Variable // SELECT projection; empty means '*'
+	Distinct bool
+	Template []TriplePattern // CONSTRUCT template
+	Where    *GroupPattern
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+	Offset   int
+	Prefixes *rdf.Prefixes
+	// Aggregates holds (AGG(expr) AS ?v) projections; when non-empty (or
+	// GroupBy is set) the query evaluates with grouping.
+	Aggregates []Aggregate
+	// GroupBy lists the GROUP BY variables.
+	GroupBy []Variable
+	// DescribeTargets lists the DESCRIBE targets (IRIs and/or variables).
+	DescribeTargets []rdf.Term
+}
+
+// OrderKey is one ORDER BY criterion.
+type OrderKey struct {
+	Expr Expression
+	Desc bool
+}
+
+// TriplePattern is a triple whose positions may be variables; the predicate
+// position may additionally be a property path.
+type TriplePattern struct {
+	Subject   rdf.Term // IRI, BlankNode, Literal(no) or Variable
+	Predicate PathExpr // Link(iri), Variable or composite path
+	Object    rdf.Term
+}
+
+func (tp TriplePattern) String() string {
+	return fmt.Sprintf("%s %s %s .", tp.Subject, tp.Predicate, tp.Object)
+}
+
+// PatternElement is one element of a group graph pattern.
+type PatternElement interface{ patternElement() }
+
+// BGP is a basic graph pattern: a conjunction of triple patterns.
+type BGP struct {
+	Patterns []TriplePattern
+}
+
+func (*BGP) patternElement() {}
+
+// Filter constrains solutions with a boolean expression.
+type Filter struct {
+	Expr Expression
+}
+
+func (*Filter) patternElement() {}
+
+// Optional left-joins a nested group.
+type Optional struct {
+	Group *GroupPattern
+}
+
+func (*Optional) patternElement() {}
+
+// Union takes the union of solutions of its branches.
+type Union struct {
+	Left, Right *GroupPattern
+}
+
+func (*Union) patternElement() {}
+
+// Bind evaluates an expression and binds its value to a variable
+// (BIND(expr AS ?v)).
+type Bind struct {
+	Expr Expression
+	Var  Variable
+}
+
+func (*Bind) patternElement() {}
+
+// Values inlines a table of bindings (VALUES ?x { ... } or
+// VALUES (?x ?y) { (..) (..) }). A nil cell is UNDEF.
+type Values struct {
+	Vars []Variable
+	Rows [][]rdf.Term
+}
+
+func (*Values) patternElement() {}
+
+// GraphPattern evaluates a nested group against a named graph
+// (GRAPH <iri> { … } or GRAPH ?g { … }); requires a dataset-backed engine.
+type GraphPattern struct {
+	Name  rdf.Term // IRI or Variable
+	Group *GroupPattern
+}
+
+func (*GraphPattern) patternElement() {}
+
+// SubGroup nests a group (braces inside braces).
+type SubGroup struct {
+	Group *GroupPattern
+}
+
+func (*SubGroup) patternElement() {}
+
+// GroupPattern is an ordered list of pattern elements.
+type GroupPattern struct {
+	Elements []PatternElement
+}
+
+// PathExpr is a property-path expression appearing in predicate position.
+type PathExpr interface {
+	fmt.Stringer
+	pathExpr()
+}
+
+// Link is a single IRI step.
+type Link struct{ IRI rdf.IRI }
+
+func (Link) pathExpr()        {}
+func (l Link) String() string { return l.IRI.String() }
+
+// VarPath is a variable in predicate position (not a composite path).
+type VarPath struct{ Var Variable }
+
+func (VarPath) pathExpr()        {}
+func (v VarPath) String() string { return v.Var.String() }
+
+// Inverse reverses a path (^p).
+type Inverse struct{ Path PathExpr }
+
+func (Inverse) pathExpr()        {}
+func (i Inverse) String() string { return "^" + i.Path.String() }
+
+// Seq composes paths in sequence (p1/p2).
+type Seq struct{ Left, Right PathExpr }
+
+func (Seq) pathExpr()        {}
+func (s Seq) String() string { return s.Left.String() + "/" + s.Right.String() }
+
+// Alt is path alternation (p1|p2).
+type Alt struct{ Left, Right PathExpr }
+
+func (Alt) pathExpr()        {}
+func (a Alt) String() string { return a.Left.String() + "|" + a.Right.String() }
+
+// Repeat applies a repetition modifier to a path.
+type Repeat struct {
+	Path PathExpr
+	Min  int // 0 for * and ?, 1 for +
+	Max  int // -1 for unbounded (* and +), 1 for ?
+}
+
+func (Repeat) pathExpr() {}
+func (r Repeat) String() string {
+	suffix := "*"
+	switch {
+	case r.Min == 1 && r.Max == -1:
+		suffix = "+"
+	case r.Min == 0 && r.Max == 1:
+		suffix = "?"
+	}
+	return "(" + r.Path.String() + ")" + suffix
+}
+
+// Expression is a FILTER / ORDER BY expression node.
+type Expression interface {
+	fmt.Stringer
+	expression()
+}
+
+// ExprVar references a variable's bound value.
+type ExprVar struct{ Var Variable }
+
+func (ExprVar) expression()      {}
+func (e ExprVar) String() string { return e.Var.String() }
+
+// ExprConst is a constant term (literal or IRI).
+type ExprConst struct{ Term rdf.Term }
+
+func (ExprConst) expression()      {}
+func (e ExprConst) String() string { return e.Term.String() }
+
+// ExprUnary applies '!' or unary '-'.
+type ExprUnary struct {
+	Op   string
+	Expr Expression
+}
+
+func (ExprUnary) expression()      {}
+func (e ExprUnary) String() string { return e.Op + e.Expr.String() }
+
+// ExprBinary applies a binary operator: || && = != < <= > >= + - * /.
+type ExprBinary struct {
+	Op          string
+	Left, Right Expression
+}
+
+func (ExprBinary) expression() {}
+func (e ExprBinary) String() string {
+	return "(" + e.Left.String() + " " + e.Op + " " + e.Right.String() + ")"
+}
+
+// ExprExists evaluates a nested pattern under the current binding
+// (FILTER EXISTS / FILTER NOT EXISTS).
+type ExprExists struct {
+	Group  *GroupPattern
+	Negate bool
+}
+
+func (ExprExists) expression() {}
+func (e ExprExists) String() string {
+	if e.Negate {
+		return "NOT EXISTS {…}"
+	}
+	return "EXISTS {…}"
+}
+
+// ExprCall invokes a built-in (by upper-case name) or a custom function
+// (by IRI).
+type ExprCall struct {
+	Name string  // upper-cased builtin name, empty when IRI is set
+	IRI  rdf.IRI // custom function identifier
+	Args []Expression
+}
+
+func (ExprCall) expression() {}
+func (e ExprCall) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	name := e.Name
+	if name == "" {
+		name = e.IRI.String()
+	}
+	return name + "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,807 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// CustomFunc is an extension filter function callable by IRI, e.g. the
+// grdf: spatial predicates registered by the grdf package. Arguments arrive
+// fully evaluated; the function returns a term (usually xsd:boolean).
+type CustomFunc func(args []rdf.Term) (rdf.Term, error)
+
+// Engine evaluates parsed queries against a store (and, when constructed
+// with NewDatasetEngine, the named graphs of a dataset via GRAPH patterns).
+type Engine struct {
+	store   *store.Store
+	dataset *store.Dataset
+	funcs   map[rdf.IRI]CustomFunc
+}
+
+// NewEngine returns an engine over s.
+func NewEngine(s *store.Store) *Engine {
+	return &Engine{store: s, funcs: make(map[rdf.IRI]CustomFunc)}
+}
+
+// NewDatasetEngine returns an engine whose default graph is ds.Default() and
+// whose GRAPH patterns address the dataset's named graphs.
+func NewDatasetEngine(ds *store.Dataset) *Engine {
+	return &Engine{store: ds.Default(), dataset: ds, funcs: make(map[rdf.IRI]CustomFunc)}
+}
+
+// forGraph derives an engine over one named graph, sharing functions and the
+// dataset.
+func (e *Engine) forGraph(st *store.Store) *Engine {
+	return &Engine{store: st, dataset: e.dataset, funcs: e.funcs}
+}
+
+// RegisterFunc installs a custom filter function under the given IRI.
+func (e *Engine) RegisterFunc(iri rdf.IRI, fn CustomFunc) { e.funcs[iri] = fn }
+
+// Binding maps variables to terms. A nil entry never occurs; unbound
+// variables are simply absent.
+type Binding map[Variable]rdf.Term
+
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b)+2)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// key produces a deduplication key over the given variables.
+func (b Binding) key(vars []Variable) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		if t, ok := b[v]; ok {
+			sb.WriteString(t.String())
+		}
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+// Result carries the outcome of a query.
+type Result struct {
+	Kind     QueryKind
+	Vars     []Variable // SELECT projection (resolved, in order)
+	Bindings []Binding  // SELECT solutions
+	Bool     bool       // ASK outcome
+	Graph    *rdf.Graph // CONSTRUCT output
+}
+
+// Query parses and evaluates src in one step.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := ParseQuery(src, nil)
+	if err != nil {
+		return nil, err
+	}
+	return e.Eval(q)
+}
+
+// Eval evaluates a parsed query.
+func (e *Engine) Eval(q *Query) (*Result, error) {
+	seed := []Binding{{}}
+	sols, err := e.evalGroup(q.Where, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	switch q.Kind {
+	case Ask:
+		return &Result{Kind: Ask, Bool: len(sols) > 0}, nil
+
+	case Construct:
+		g := rdf.NewGraph()
+		for _, b := range sols {
+			for _, tp := range q.Template {
+				t, ok := instantiate(tp, b)
+				if ok {
+					g.Add(t)
+				}
+			}
+		}
+		return &Result{Kind: Construct, Graph: g}, nil
+
+	case Describe:
+		g := rdf.NewGraph()
+		seen := map[string]struct{}{}
+		describe := func(res rdf.Term) {
+			if res == nil || res.Kind() == rdf.KindLiteral {
+				return
+			}
+			k := res.String()
+			if _, dup := seen[k]; dup {
+				return
+			}
+			seen[k] = struct{}{}
+			e.describeInto(g, res, map[string]struct{}{})
+		}
+		for _, target := range q.DescribeTargets {
+			if v, isVar := target.(Variable); isVar {
+				for _, b := range sols {
+					if t, ok := b[v]; ok {
+						describe(t)
+					}
+				}
+			} else {
+				describe(target)
+			}
+		}
+		return &Result{Kind: Describe, Graph: g}, nil
+
+	default: // Select
+		vars := q.Vars
+		if q.hasAggregates() {
+			grouped, err := e.evalAggregates(q, sols)
+			if err != nil {
+				return nil, err
+			}
+			sols = grouped
+			// Projection: the plain vars (which must be grouped) followed by
+			// the aggregate aliases, in declaration order.
+			vars = append([]Variable{}, q.Vars...)
+			for _, a := range q.Aggregates {
+				vars = append(vars, a.As)
+			}
+		}
+		if len(vars) == 0 {
+			vars = collectVars(q.Where)
+		}
+		if len(q.OrderBy) > 0 {
+			if err := e.sortSolutions(sols, q.OrderBy); err != nil {
+				return nil, err
+			}
+		}
+		if q.Distinct {
+			seen := map[string]struct{}{}
+			var out []Binding
+			for _, b := range sols {
+				k := b.key(vars)
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				out = append(out, b)
+			}
+			sols = out
+		}
+		if q.Offset > 0 {
+			if q.Offset >= len(sols) {
+				sols = nil
+			} else {
+				sols = sols[q.Offset:]
+			}
+		}
+		if q.Limit >= 0 && q.Limit < len(sols) {
+			sols = sols[:q.Limit]
+		}
+		// Project.
+		projected := make([]Binding, len(sols))
+		for i, b := range sols {
+			pb := make(Binding, len(vars))
+			for _, v := range vars {
+				if t, ok := b[v]; ok {
+					pb[v] = t
+				}
+			}
+			projected[i] = pb
+		}
+		return &Result{Kind: Select, Vars: vars, Bindings: projected}, nil
+	}
+}
+
+func instantiate(tp TriplePattern, b Binding) (rdf.Triple, bool) {
+	s := resolveTerm(tp.Subject, b)
+	var p rdf.Term
+	switch pe := tp.Predicate.(type) {
+	case Link:
+		p = pe.IRI
+	case VarPath:
+		p = resolveTerm(pe.Var, b)
+	default:
+		return rdf.Triple{}, false
+	}
+	o := resolveTerm(tp.Object, b)
+	if s == nil || p == nil || o == nil {
+		return rdf.Triple{}, false
+	}
+	t := rdf.T(s, p, o)
+	return t, t.Valid()
+}
+
+func resolveTerm(t rdf.Term, b Binding) rdf.Term {
+	if v, ok := t.(Variable); ok {
+		bound, ok := b[v]
+		if !ok {
+			return nil
+		}
+		return bound
+	}
+	return t
+}
+
+func collectVars(g *GroupPattern) []Variable {
+	seen := map[Variable]struct{}{}
+	var out []Variable
+	var walkGroup func(*GroupPattern)
+	note := func(t rdf.Term) {
+		if v, ok := t.(Variable); ok {
+			if _, dup := seen[v]; !dup {
+				seen[v] = struct{}{}
+				out = append(out, v)
+			}
+		}
+	}
+	var notePath func(PathExpr)
+	notePath = func(p PathExpr) {
+		switch pe := p.(type) {
+		case VarPath:
+			note(pe.Var)
+		case Inverse:
+			notePath(pe.Path)
+		case Seq:
+			notePath(pe.Left)
+			notePath(pe.Right)
+		case Alt:
+			notePath(pe.Left)
+			notePath(pe.Right)
+		case Repeat:
+			notePath(pe.Path)
+		}
+	}
+	walkGroup = func(g *GroupPattern) {
+		for _, el := range g.Elements {
+			switch v := el.(type) {
+			case *BGP:
+				for _, tp := range v.Patterns {
+					note(tp.Subject)
+					notePath(tp.Predicate)
+					note(tp.Object)
+				}
+			case *Optional:
+				walkGroup(v.Group)
+			case *Union:
+				walkGroup(v.Left)
+				walkGroup(v.Right)
+			case *SubGroup:
+				walkGroup(v.Group)
+			case *Bind:
+				note(v.Var)
+			case *Values:
+				for _, vv := range v.Vars {
+					note(vv)
+				}
+			}
+		}
+	}
+	walkGroup(g)
+	return out
+}
+
+func (e *Engine) evalGroup(g *GroupPattern, in []Binding) ([]Binding, error) {
+	cur := in
+	for _, el := range g.Elements {
+		var err error
+		switch v := el.(type) {
+		case *BGP:
+			cur, err = e.evalBGP(v, cur)
+		case *Filter:
+			cur, err = e.evalFilter(v, cur)
+		case *Optional:
+			cur, err = e.evalOptional(v, cur)
+		case *Union:
+			cur, err = e.evalUnion(v, cur)
+		case *SubGroup:
+			cur, err = e.evalGroup(v.Group, cur)
+		case *GraphPattern:
+			cur, err = e.evalGraphPattern(v, cur)
+		case *Values:
+			var next []Binding
+			for _, b := range cur {
+				for _, row := range v.Rows {
+					nb := b.clone()
+					ok := true
+					for i, cell := range row {
+						if cell == nil {
+							continue // UNDEF leaves the variable as-is
+						}
+						if !bindVar(nb, v.Vars[i], cell) {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						next = append(next, nb)
+					}
+				}
+			}
+			cur = next
+		case *Bind:
+			var next []Binding
+			for _, b := range cur {
+				val, evalErr := e.evalExpr(v.Expr, b)
+				if evalErr != nil {
+					// expression error leaves the variable unbound
+					next = append(next, b)
+					continue
+				}
+				if prev, bound := b[v.Var]; bound {
+					if !prev.Equal(val) {
+						continue // re-binding to a different value eliminates
+					}
+					next = append(next, b)
+					continue
+				}
+				nb := b.clone()
+				nb[v.Var] = val
+				next = append(next, nb)
+			}
+			cur = next
+		default:
+			err = fmt.Errorf("sparql: unknown pattern element %T", el)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(cur) == 0 {
+			return nil, nil
+		}
+	}
+	return cur, nil
+}
+
+// evalBGP joins the triple patterns against the store. Patterns are greedily
+// reordered so that more-constrained patterns run first.
+func (e *Engine) evalBGP(bgp *BGP, in []Binding) ([]Binding, error) {
+	patterns := orderPatterns(bgp.Patterns)
+	cur := in
+	for _, tp := range patterns {
+		var next []Binding
+		for _, b := range cur {
+			matches, err := e.matchPattern(tp, b)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, matches...)
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil, nil
+		}
+	}
+	return cur, nil
+}
+
+// orderPatterns sorts patterns by a static selectivity estimate: constants
+// beat variables, subjects beat objects beat predicates.
+func orderPatterns(ps []TriplePattern) []TriplePattern {
+	out := make([]TriplePattern, len(ps))
+	copy(out, ps)
+	score := func(tp TriplePattern) int {
+		s := 0
+		if _, isVar := tp.Subject.(Variable); !isVar {
+			s += 4
+		}
+		if l, ok := tp.Predicate.(Link); ok {
+			_ = l
+			s += 2
+		}
+		if _, isVar := tp.Object.(Variable); !isVar {
+			s += 3
+		}
+		return s
+	}
+	sort.SliceStable(out, func(i, j int) bool { return score(out[i]) > score(out[j]) })
+	return out
+}
+
+// matchPattern extends binding b with every store match of tp.
+func (e *Engine) matchPattern(tp TriplePattern, b Binding) ([]Binding, error) {
+	subj := resolveTerm(tp.Subject, b)
+
+	switch pe := tp.Predicate.(type) {
+	case Link:
+		return e.matchSimple(tp, b, subj, pe.IRI)
+	case VarPath:
+		pred := resolveTerm(pe.Var, b)
+		if pred != nil {
+			return e.matchSimple(tp, b, subj, pred)
+		}
+		// predicate variable unbound: scan
+		obj := resolveTerm(tp.Object, b)
+		var out []Binding
+		e.store.ForEachMatch(subj, nil, obj, func(t rdf.Triple) bool {
+			nb := b.clone()
+			if !bindTerm(nb, tp.Subject, t.Subject) ||
+				!bindVar(nb, pe.Var, t.Predicate) ||
+				!bindTerm(nb, tp.Object, t.Object) {
+				return true
+			}
+			out = append(out, nb)
+			return true
+		})
+		return out, nil
+	default:
+		// composite property path
+		obj := resolveTerm(tp.Object, b)
+		pairs, err := e.evalPath(tp.Predicate, subj, obj)
+		if err != nil {
+			return nil, err
+		}
+		var out []Binding
+		for _, pr := range pairs {
+			nb := b.clone()
+			if !bindTerm(nb, tp.Subject, pr[0]) || !bindTerm(nb, tp.Object, pr[1]) {
+				continue
+			}
+			out = append(out, nb)
+		}
+		return out, nil
+	}
+}
+
+func (e *Engine) matchSimple(tp TriplePattern, b Binding, subj, pred rdf.Term) ([]Binding, error) {
+	obj := resolveTerm(tp.Object, b)
+	var out []Binding
+	e.store.ForEachMatch(subj, pred, obj, func(t rdf.Triple) bool {
+		nb := b.clone()
+		if !bindTerm(nb, tp.Subject, t.Subject) || !bindTerm(nb, tp.Object, t.Object) {
+			return true
+		}
+		out = append(out, nb)
+		return true
+	})
+	return out, nil
+}
+
+// bindTerm unifies pattern term pt with concrete term ct under binding b.
+func bindTerm(b Binding, pt rdf.Term, ct rdf.Term) bool {
+	v, isVar := pt.(Variable)
+	if !isVar {
+		return pt.Equal(ct)
+	}
+	return bindVar(b, v, ct)
+}
+
+func bindVar(b Binding, v Variable, ct rdf.Term) bool {
+	if prev, ok := b[v]; ok {
+		return prev.Equal(ct)
+	}
+	b[v] = ct
+	return true
+}
+
+type pair [2]rdf.Term
+
+// evalPath returns all (subject, object) pairs connected by path, with
+// either endpoint optionally fixed.
+func (e *Engine) evalPath(p PathExpr, subj, obj rdf.Term) ([]pair, error) {
+	switch pe := p.(type) {
+	case Link:
+		var out []pair
+		e.store.ForEachMatch(subj, pe.IRI, obj, func(t rdf.Triple) bool {
+			out = append(out, pair{t.Subject, t.Object})
+			return true
+		})
+		return out, nil
+	case VarPath:
+		return nil, fmt.Errorf("sparql: variable inside composite path")
+	case Inverse:
+		pairs, err := e.evalPath(pe.Path, obj, subj)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]pair, len(pairs))
+		for i, pr := range pairs {
+			out[i] = pair{pr[1], pr[0]}
+		}
+		return out, nil
+	case Seq:
+		left, err := e.evalPath(pe.Left, subj, nil)
+		if err != nil {
+			return nil, err
+		}
+		var out []pair
+		seen := map[pair]struct{}{}
+		for _, l := range left {
+			// middle node l[1] must be a valid subject
+			if l[1].Kind() == rdf.KindLiteral {
+				continue
+			}
+			rights, err := e.evalPath(pe.Right, l[1], obj)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rights {
+				pr := pair{l[0], r[1]}
+				if _, dup := seen[pr]; !dup {
+					seen[pr] = struct{}{}
+					out = append(out, pr)
+				}
+			}
+		}
+		return out, nil
+	case Alt:
+		left, err := e.evalPath(pe.Left, subj, obj)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.evalPath(pe.Right, subj, obj)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[pair]struct{}{}
+		var out []pair
+		for _, pr := range append(left, right...) {
+			if _, dup := seen[pr]; !dup {
+				seen[pr] = struct{}{}
+				out = append(out, pr)
+			}
+		}
+		return out, nil
+	case Repeat:
+		return e.evalRepeat(pe, subj, obj)
+	}
+	return nil, fmt.Errorf("sparql: unknown path %T", p)
+}
+
+// evalRepeat handles *, + and ? closures with breadth-first expansion.
+func (e *Engine) evalRepeat(r Repeat, subj, obj rdf.Term) ([]pair, error) {
+	starts, err := e.repeatStarts(r, subj)
+	if err != nil {
+		return nil, err
+	}
+	var out []pair
+	emit := func(s, o rdf.Term) {
+		if obj == nil || obj.Equal(o) {
+			out = append(out, pair{s, o})
+		}
+	}
+	for _, start := range starts {
+		reached := map[string]rdf.Term{}
+		frontier := []rdf.Term{start}
+		depth := 0
+		if r.Min == 0 {
+			emit(start, start)
+		}
+		for len(frontier) > 0 {
+			depth++
+			if r.Max >= 0 && depth > r.Max {
+				break
+			}
+			var next []rdf.Term
+			for _, node := range frontier {
+				if node.Kind() == rdf.KindLiteral {
+					continue
+				}
+				steps, err := e.evalPath(r.Path, node, nil)
+				if err != nil {
+					return nil, err
+				}
+				for _, st := range steps {
+					key := st[1].String()
+					if _, dup := reached[key]; dup {
+						continue
+					}
+					reached[key] = st[1]
+					next = append(next, st[1])
+					if depth >= r.Min {
+						emit(start, st[1])
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	return out, nil
+}
+
+// repeatStarts determines the starting set for a repetition: the fixed
+// subject if bound, else every node in the store.
+func (e *Engine) repeatStarts(r Repeat, subj rdf.Term) ([]rdf.Term, error) {
+	if subj != nil {
+		return []rdf.Term{subj}, nil
+	}
+	seen := map[string]struct{}{}
+	var out []rdf.Term
+	e.store.ForEachMatch(nil, nil, nil, func(t rdf.Triple) bool {
+		for _, term := range []rdf.Term{t.Subject, t.Object} {
+			k := term.String()
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out = append(out, term)
+			}
+		}
+		return true
+	})
+	return out, nil
+}
+
+func (e *Engine) evalFilter(f *Filter, in []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, b := range in {
+		v, err := e.evalExpr(f.Expr, b)
+		if err != nil {
+			continue // expression error => solution eliminated (SPARQL semantics)
+		}
+		ok, err := effectiveBool(v)
+		if err == nil && ok {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) evalOptional(o *Optional, in []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, b := range in {
+		ext, err := e.evalGroup(o.Group, []Binding{b})
+		if err != nil {
+			return nil, err
+		}
+		if len(ext) == 0 {
+			out = append(out, b)
+		} else {
+			out = append(out, ext...)
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) evalUnion(u *Union, in []Binding) ([]Binding, error) {
+	left, err := e.evalGroup(u.Left, in)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.evalGroup(u.Right, in)
+	if err != nil {
+		return nil, err
+	}
+	return append(left, right...), nil
+}
+
+func (e *Engine) sortSolutions(sols []Binding, keys []OrderKey) error {
+	type cached struct {
+		vals []rdf.Term
+		errs []bool
+	}
+	cache := make([]cached, len(sols))
+	for i, b := range sols {
+		c := cached{vals: make([]rdf.Term, len(keys)), errs: make([]bool, len(keys))}
+		for j, k := range keys {
+			v, err := e.evalExpr(k.Expr, b)
+			if err != nil {
+				c.errs[j] = true
+			} else {
+				c.vals[j] = v
+			}
+		}
+		cache[i] = c
+	}
+	idx := make([]int, len(sols))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for j, k := range keys {
+			cmp := compareTerms(cache[idx[a]].vals[j], cache[idx[b]].vals[j],
+				cache[idx[a]].errs[j], cache[idx[b]].errs[j])
+			if cmp == 0 {
+				continue
+			}
+			if k.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	sorted := make([]Binding, len(sols))
+	for i, j := range idx {
+		sorted[i] = sols[j]
+	}
+	copy(sols, sorted)
+	return nil
+}
+
+// compareTerms orders terms for ORDER BY: unbound/error < blank < IRI < literal.
+func compareTerms(a, b rdf.Term, aErr, bErr bool) int {
+	rank := func(t rdf.Term, e bool) int {
+		switch {
+		case e || t == nil:
+			return 0
+		case t.Kind() == rdf.KindBlank:
+			return 1
+		case t.Kind() == rdf.KindIRI:
+			return 2
+		default:
+			return 3
+		}
+	}
+	ra, rb := rank(a, aErr), rank(b, bErr)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	if ra == 0 {
+		return 0
+	}
+	if ra == 3 {
+		la, lb := a.(rdf.Literal), b.(rdf.Literal)
+		if cmp, ok := rdf.CompareLiterals(la, lb); ok {
+			return cmp
+		}
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+// evalGraphPattern evaluates GRAPH <name> { … } against the dataset's named
+// graphs.
+func (e *Engine) evalGraphPattern(gp *GraphPattern, in []Binding) ([]Binding, error) {
+	if e.dataset == nil {
+		return nil, fmt.Errorf("sparql: GRAPH requires a dataset-backed engine")
+	}
+	var out []Binding
+	for _, b := range in {
+		name := gp.Name
+		if v, isVar := name.(Variable); isVar {
+			if bound, ok := b[v]; ok {
+				name = bound
+			}
+		}
+		if iri, ok := name.(rdf.IRI); ok {
+			st, exists := e.dataset.Graph(iri, false)
+			if !exists {
+				continue
+			}
+			sols, err := e.forGraph(st).evalGroup(gp.Group, []Binding{b})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sols...)
+			continue
+		}
+		// unbound variable: try every named graph, binding the name
+		v := gp.Name.(Variable)
+		for _, gname := range e.dataset.GraphNames() {
+			st, _ := e.dataset.Graph(gname, false)
+			nb := b.clone()
+			if !bindVar(nb, v, gname) {
+				continue
+			}
+			sols, err := e.forGraph(st).evalGroup(gp.Group, []Binding{nb})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sols...)
+		}
+	}
+	return out, nil
+}
+
+// describeInto copies the subject's triples (with blank-node closure) into g.
+func (e *Engine) describeInto(g *rdf.Graph, res rdf.Term, visited map[string]struct{}) {
+	k := res.String()
+	if _, dup := visited[k]; dup {
+		return
+	}
+	visited[k] = struct{}{}
+	e.store.ForEachMatch(res, nil, nil, func(t rdf.Triple) bool {
+		g.Add(t)
+		return true
+	})
+	// follow blank-node objects so the description is self-contained
+	for _, t := range g.Match(res, nil, nil) {
+		if t.Object.Kind() == rdf.KindBlank {
+			e.describeInto(g, t.Object, visited)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind uint8
+
+const (
+	tEOF    tokKind = iota
+	tIRI            // <...>
+	tPName          // prefix:local (or prefix: / :local)
+	tVar            // ?x or $x
+	tString         // quoted literal (unescaped value)
+	tLang           // @en
+	tNumber
+	tBoolean
+	tKeyword // SELECT, WHERE, FILTER, ... (upper-cased) and 'a'
+	tPunct   // { } ( ) . ; , * / | ^ + ? ! = != < <= > >= && || ^^ -
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// ParseError is a SPARQL syntax error.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sparql: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "ASK": true, "CONSTRUCT": true, "WHERE": true,
+	"FILTER": true, "OPTIONAL": true, "UNION": true, "PREFIX": true,
+	"BASE": true, "DISTINCT": true, "REDUCED": true, "ORDER": true,
+	"BY": true, "ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true,
+	"A": true, "TRUE": true, "FALSE": true, "NOT": true, "IN": true,
+	"GROUP": true, "AS": true, "HAVING": true, "BIND": true,
+	"EXISTS": true, "VALUES": true, "UNDEF": true,
+	"GRAPH": true, "DESCRIBE": true,
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+}
+
+// builtinFuncs are callable in expressions.
+var builtinFuncs = map[string]bool{
+	"BOUND": true, "STR": true, "LANG": true, "DATATYPE": true,
+	"ISIRI": true, "ISURI": true, "ISBLANK": true, "ISLITERAL": true,
+	"ISNUMERIC": true, "REGEX": true, "CONTAINS": true, "STRSTARTS": true,
+	"STRENDS": true, "STRLEN": true, "UCASE": true, "LCASE": true,
+	"ABS": true, "CEIL": true, "FLOOR": true, "ROUND": true,
+	"SAMETERM": true, "LANGMATCHES": true, "COALESCE": true, "IF": true,
+	"XSDINTEGER": true, "XSDDOUBLE": true,
+}
+
+type sqlexer struct {
+	src       string
+	pos, line int
+	col       int
+	toks      []tok
+}
+
+// lex tokenizes the whole query up front (queries are small).
+func lex(src string) ([]tok, error) {
+	l := &sqlexer{src: src, line: 1, col: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *sqlexer) errf(format string, args ...any) error {
+	return &ParseError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *sqlexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *sqlexer) skip() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			l.advance(1)
+		} else if c == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		} else {
+			return
+		}
+	}
+}
+
+func (l *sqlexer) at(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *sqlexer) next() (tok, error) {
+	l.skip()
+	line, col := l.line, l.col
+	mk := func(k tokKind, text string) tok { return tok{kind: k, text: text, line: line, col: col} }
+	if l.pos >= len(l.src) {
+		return mk(tEOF, ""), nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '<':
+		// IRI ref or comparison. IRIs contain no spaces; '<' followed by
+		// space, '=' or digit-start means comparator.
+		if n := l.at(1); n == '=' {
+			l.advance(2)
+			return mk(tPunct, "<="), nil
+		}
+		end := strings.IndexAny(l.src[l.pos+1:], "> \t\n")
+		if end >= 0 && l.src[l.pos+1+end] == '>' {
+			text := l.src[l.pos+1 : l.pos+1+end]
+			l.advance(end + 2)
+			return mk(tIRI, text), nil
+		}
+		l.advance(1)
+		return mk(tPunct, "<"), nil
+	case '>':
+		if l.at(1) == '=' {
+			l.advance(2)
+			return mk(tPunct, ">="), nil
+		}
+		l.advance(1)
+		return mk(tPunct, ">"), nil
+	case '?', '$':
+		end := l.pos + 1
+		for end < len(l.src) && isVarChar(l.src[end]) {
+			end++
+		}
+		if end == l.pos+1 {
+			// bare '?' is the path modifier
+			l.advance(1)
+			return mk(tPunct, "?"), nil
+		}
+		name := l.src[l.pos+1 : end]
+		l.advance(end - l.pos)
+		return mk(tVar, name), nil
+	case '"', '\'':
+		return l.lexString(mk)
+	case '@':
+		end := l.pos + 1
+		for end < len(l.src) && (isAlnum(l.src[end]) || l.src[end] == '-') {
+			end++
+		}
+		tag := l.src[l.pos+1 : end]
+		if tag == "" {
+			return tok{}, l.errf("empty language tag")
+		}
+		l.advance(end - l.pos)
+		return mk(tLang, tag), nil
+	case '|':
+		if l.at(1) == '|' {
+			l.advance(2)
+			return mk(tPunct, "||"), nil
+		}
+		l.advance(1)
+		return mk(tPunct, "|"), nil
+	case '{', '}', '(', ')', '.', ';', ',', '*', '/', '+', '-':
+		l.advance(1)
+		return mk(tPunct, string(c)), nil
+	case '^':
+		if l.at(1) == '^' {
+			l.advance(2)
+			return mk(tPunct, "^^"), nil
+		}
+		l.advance(1)
+		return mk(tPunct, "^"), nil
+	case '!':
+		if l.at(1) == '=' {
+			l.advance(2)
+			return mk(tPunct, "!="), nil
+		}
+		l.advance(1)
+		return mk(tPunct, "!"), nil
+	case '=':
+		l.advance(1)
+		return mk(tPunct, "="), nil
+	case '&':
+		if l.at(1) == '&' {
+			l.advance(2)
+			return mk(tPunct, "&&"), nil
+		}
+		return tok{}, l.errf("stray '&'")
+	}
+	if c >= '0' && c <= '9' {
+		return l.lexNumber(mk)
+	}
+	// word: keyword, boolean, function name, or prefixed name
+	end := l.pos
+	for end < len(l.src) {
+		ch := l.src[end]
+		if isAlnum(ch) || ch == '_' || ch == '-' || ch == ':' || ch == '.' || ch >= utf8.RuneSelf {
+			if ch >= utf8.RuneSelf {
+				r, size := utf8.DecodeRuneInString(l.src[end:])
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					break
+				}
+				end += size
+				continue
+			}
+			end++
+			continue
+		}
+		break
+	}
+	if end == l.pos {
+		return tok{}, l.errf("unexpected character %q", c)
+	}
+	word := l.src[l.pos:end]
+	for strings.HasSuffix(word, ".") {
+		word = word[:len(word)-1]
+	}
+	if word == "" {
+		return tok{}, l.errf("unexpected character %q", c)
+	}
+	l.advance(len(word))
+	if strings.Contains(word, ":") {
+		return mk(tPName, word), nil
+	}
+	up := strings.ToUpper(word)
+	switch {
+	case word == "a":
+		return mk(tKeyword, "A"), nil
+	case up == "TRUE" || up == "FALSE":
+		return mk(tBoolean, strings.ToLower(up)), nil
+	case keywords[up] || builtinFuncs[up]:
+		return mk(tKeyword, up), nil
+	}
+	return tok{}, l.errf("unexpected token %q", word)
+}
+
+func (l *sqlexer) lexNumber(mk func(tokKind, string) tok) (tok, error) {
+	end := l.pos
+	for end < len(l.src) && l.src[end] >= '0' && l.src[end] <= '9' {
+		end++
+	}
+	if end < len(l.src) && l.src[end] == '.' && end+1 < len(l.src) && l.src[end+1] >= '0' && l.src[end+1] <= '9' {
+		end++
+		for end < len(l.src) && l.src[end] >= '0' && l.src[end] <= '9' {
+			end++
+		}
+	}
+	if end < len(l.src) && (l.src[end] == 'e' || l.src[end] == 'E') {
+		mark := end
+		end++
+		if end < len(l.src) && (l.src[end] == '+' || l.src[end] == '-') {
+			end++
+		}
+		digits := 0
+		for end < len(l.src) && l.src[end] >= '0' && l.src[end] <= '9' {
+			end++
+			digits++
+		}
+		if digits == 0 {
+			end = mark
+		}
+	}
+	text := l.src[l.pos:end]
+	l.advance(len(text))
+	return mk(tNumber, text), nil
+}
+
+func (l *sqlexer) lexString(mk func(tokKind, string) tok) (tok, error) {
+	quote := l.src[l.pos]
+	l.advance(1)
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.advance(1)
+			return mk(tString, sb.String()), nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return tok{}, l.errf("dangling escape")
+			}
+			esc := l.src[l.pos+1]
+			switch esc {
+			case 't':
+				sb.WriteByte('\t')
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"', '\'', '\\':
+				sb.WriteByte(esc)
+			default:
+				return tok{}, l.errf("unknown escape \\%c", esc)
+			}
+			l.advance(2)
+		case '\n':
+			return tok{}, l.errf("newline in string literal")
+		default:
+			sb.WriteByte(c)
+			l.advance(1)
+		}
+	}
+	return tok{}, l.errf("unterminated string literal")
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isVarChar(c byte) bool { return isAlnum(c) || c == '_' }

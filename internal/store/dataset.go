@@ -1,0 +1,96 @@
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// Dataset is a collection of named graphs plus a default graph, mirroring the
+// SPARQL dataset model. The Section 7.1 scenario loads the hydrology store
+// and the chemical store as two named graphs behind one middleware dataset.
+type Dataset struct {
+	mu     sync.RWMutex
+	def    *Store
+	graphs map[rdf.IRI]*Store
+}
+
+// NewDataset returns a dataset with an empty default graph.
+func NewDataset() *Dataset {
+	return &Dataset{def: New(), graphs: make(map[rdf.IRI]*Store)}
+}
+
+// Default returns the default graph store.
+func (d *Dataset) Default() *Store {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.def
+}
+
+// Graph returns the named graph, creating it if create is true. The second
+// result reports whether the graph existed (or was created).
+func (d *Dataset) Graph(name rdf.IRI, create bool) (*Store, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	g, ok := d.graphs[name]
+	if !ok && create {
+		g = New()
+		d.graphs[name] = g
+		ok = true
+	}
+	return g, ok
+}
+
+// SetGraph installs s as the named graph, replacing any previous content.
+func (d *Dataset) SetGraph(name rdf.IRI, s *Store) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.graphs[name] = s
+}
+
+// DropGraph removes the named graph, reporting whether it existed.
+func (d *Dataset) DropGraph(name rdf.IRI) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.graphs[name]
+	delete(d.graphs, name)
+	return ok
+}
+
+// GraphNames returns the names of all named graphs, sorted.
+func (d *Dataset) GraphNames() []rdf.IRI {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]rdf.IRI, 0, len(d.graphs))
+	for n := range d.graphs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// Union merges the default graph and every named graph into a single fresh
+// store — the "layered view" the paper's middleware constructs before policy
+// filtering.
+func (d *Dataset) Union() *Store {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := New()
+	out.AddAll(d.def.Triples())
+	for _, g := range d.graphs {
+		out.AddAll(g.Triples())
+	}
+	return out
+}
+
+// Len returns the total triple count across all graphs.
+func (d *Dataset) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := d.def.Len()
+	for _, g := range d.graphs {
+		n += g.Len()
+	}
+	return n
+}

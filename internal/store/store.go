@@ -1,0 +1,437 @@
+// Package store provides the indexed, concurrency-safe triple store that
+// backs every GRDF dataset in the system: the ontology repository of the
+// G-SACS architecture (Fig. 3 of the paper), the hydrology and chemical data
+// stores of the Section 7.1 scenario, and the working set of the OWL
+// reasoner.
+//
+// The store keeps three hash indexes (SPO, POS, OSP) so that any triple
+// pattern with at least one bound position resolves without a full scan.
+// Readers take a read lock and may run concurrently; writers are serialized.
+// Snapshot() produces an immutable copy for long-running consumers such as
+// the query cache.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// index is a two-level nested hash index terminating in a term set.
+type index map[rdf.Term]map[rdf.Term]map[rdf.Term]struct{}
+
+func (ix index) add(a, b, c rdf.Term) bool {
+	m1, ok := ix[a]
+	if !ok {
+		m1 = make(map[rdf.Term]map[rdf.Term]struct{})
+		ix[a] = m1
+	}
+	m2, ok := m1[b]
+	if !ok {
+		m2 = make(map[rdf.Term]struct{})
+		m1[b] = m2
+	}
+	if _, dup := m2[c]; dup {
+		return false
+	}
+	m2[c] = struct{}{}
+	return true
+}
+
+func (ix index) remove(a, b, c rdf.Term) bool {
+	m1, ok := ix[a]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[b]
+	if !ok {
+		return false
+	}
+	if _, ok := m2[c]; !ok {
+		return false
+	}
+	delete(m2, c)
+	if len(m2) == 0 {
+		delete(m1, b)
+		if len(m1) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// Store is an indexed triple store. The zero value is not usable; call New.
+type Store struct {
+	mu   sync.RWMutex
+	spo  index
+	pos  index
+	osp  index
+	size int
+	// generation increments on every successful mutation; the query cache
+	// uses it for O(1) invalidation checks.
+	generation uint64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		spo: make(index),
+		pos: make(index),
+		osp: make(index),
+	}
+}
+
+// FromGraph loads all triples of g into a fresh store.
+func FromGraph(g *rdf.Graph) *Store {
+	s := New()
+	s.AddGraph(g)
+	return s
+}
+
+// Add inserts t, reporting whether it was new. Invalid triples are rejected.
+func (s *Store) Add(t rdf.Triple) bool {
+	if !t.Valid() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addLocked(t)
+}
+
+func (s *Store) addLocked(t rdf.Triple) bool {
+	if !s.spo.add(t.Subject, t.Predicate, t.Object) {
+		return false
+	}
+	s.pos.add(t.Predicate, t.Object, t.Subject)
+	s.osp.add(t.Object, t.Subject, t.Predicate)
+	s.size++
+	s.generation++
+	return true
+}
+
+// AddAll inserts the given triples, returning how many were new.
+func (s *Store) AddAll(ts []rdf.Triple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range ts {
+		if !t.Valid() {
+			continue
+		}
+		if s.addLocked(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// AddGraph inserts every triple of g, returning how many were new.
+func (s *Store) AddGraph(g *rdf.Graph) int { return s.AddAll(g.Triples()) }
+
+// Remove deletes t, reporting whether it was present.
+func (s *Store) Remove(t rdf.Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.spo.remove(t.Subject, t.Predicate, t.Object) {
+		return false
+	}
+	s.pos.remove(t.Predicate, t.Object, t.Subject)
+	s.osp.remove(t.Object, t.Subject, t.Predicate)
+	s.size--
+	s.generation++
+	return true
+}
+
+// RemoveMatching deletes all triples matching the pattern (nil = wildcard)
+// and returns how many were removed.
+func (s *Store) RemoveMatching(sub, pred, obj rdf.Term) int {
+	victims := s.Match(sub, pred, obj)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range victims {
+		if s.spo.remove(t.Subject, t.Predicate, t.Object) {
+			s.pos.remove(t.Predicate, t.Object, t.Subject)
+			s.osp.remove(t.Object, t.Subject, t.Predicate)
+			s.size--
+			s.generation++
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether t is in the store.
+func (s *Store) Has(t rdf.Triple) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m1, ok := s.spo[t.Subject]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[t.Predicate]
+	if !ok {
+		return false
+	}
+	_, ok = m2[t.Object]
+	return ok
+}
+
+// Len returns the number of triples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// Generation returns a counter that increases on every mutation.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.generation
+}
+
+// Match returns all triples matching the pattern; nil positions are
+// wildcards. The result is a fresh slice safe for the caller to keep.
+func (s *Store) Match(sub, pred, obj rdf.Term) []rdf.Triple {
+	var out []rdf.Triple
+	s.ForEachMatch(sub, pred, obj, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of triples matching the pattern without
+// materializing them.
+func (s *Store) Count(sub, pred, obj rdf.Term) int {
+	n := 0
+	s.ForEachMatch(sub, pred, obj, func(rdf.Triple) bool { n++; return true })
+	return n
+}
+
+// ForEachMatch streams matching triples to fn under a read lock; fn returning
+// false stops iteration early. fn must not mutate the store (it would
+// deadlock); collect first if mutation is needed.
+func (s *Store) ForEachMatch(sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	emit := func(t rdf.Triple) bool { return fn(t) }
+
+	switch {
+	case sub != nil && pred != nil && obj != nil:
+		if m1, ok := s.spo[sub]; ok {
+			if m2, ok := m1[pred]; ok {
+				if _, ok := m2[obj]; ok {
+					emit(rdf.T(sub, pred, obj))
+				}
+			}
+		}
+	case sub != nil && pred != nil:
+		if m1, ok := s.spo[sub]; ok {
+			for o := range m1[pred] {
+				if !emit(rdf.T(sub, pred, o)) {
+					return
+				}
+			}
+		}
+	case sub != nil && obj != nil:
+		if m1, ok := s.osp[obj]; ok {
+			for p := range m1[sub] {
+				if !emit(rdf.T(sub, p, obj)) {
+					return
+				}
+			}
+		}
+	case pred != nil && obj != nil:
+		if m1, ok := s.pos[pred]; ok {
+			for su := range m1[obj] {
+				if !emit(rdf.T(su, pred, obj)) {
+					return
+				}
+			}
+		}
+	case sub != nil:
+		if m1, ok := s.spo[sub]; ok {
+			for p, objs := range m1 {
+				for o := range objs {
+					if !emit(rdf.T(sub, p, o)) {
+						return
+					}
+				}
+			}
+		}
+	case pred != nil:
+		if m1, ok := s.pos[pred]; ok {
+			for o, subs := range m1 {
+				for su := range subs {
+					if !emit(rdf.T(su, pred, o)) {
+						return
+					}
+				}
+			}
+		}
+	case obj != nil:
+		if m1, ok := s.osp[obj]; ok {
+			for su, preds := range m1 {
+				for p := range preds {
+					if !emit(rdf.T(su, p, obj)) {
+						return
+					}
+				}
+			}
+		}
+	default:
+		for su, m1 := range s.spo {
+			for p, objs := range m1 {
+				for o := range objs {
+					if !emit(rdf.T(su, p, o)) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Objects returns the distinct objects of triples (sub, pred, *).
+func (s *Store) Objects(sub, pred rdf.Term) []rdf.Term {
+	var out []rdf.Term
+	s.ForEachMatch(sub, pred, nil, func(t rdf.Triple) bool {
+		out = append(out, t.Object)
+		return true
+	})
+	return out
+}
+
+// FirstObject returns one object of (sub, pred, *), if any. When several
+// objects exist the choice is unspecified.
+func (s *Store) FirstObject(sub, pred rdf.Term) (rdf.Term, bool) {
+	var got rdf.Term
+	s.ForEachMatch(sub, pred, nil, func(t rdf.Triple) bool {
+		got = t.Object
+		return false
+	})
+	return got, got != nil
+}
+
+// Subjects returns the distinct subjects of triples (*, pred, obj).
+func (s *Store) Subjects(pred, obj rdf.Term) []rdf.Term {
+	var out []rdf.Term
+	s.ForEachMatch(nil, pred, obj, func(t rdf.Triple) bool {
+		out = append(out, t.Subject)
+		return true
+	})
+	return out
+}
+
+// SubjectsOfType returns all subjects with rdf:type class.
+func (s *Store) SubjectsOfType(class rdf.Term) []rdf.Term {
+	return s.Subjects(rdf.RDFType, class)
+}
+
+// Triples returns every triple (fresh slice).
+func (s *Store) Triples() []rdf.Triple { return s.Match(nil, nil, nil) }
+
+// Graph copies the whole store into an rdf.Graph.
+func (s *Store) Graph() *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, t := range s.Triples() {
+		g.Add(t)
+	}
+	return g
+}
+
+// Snapshot returns an independent copy of the store. Mutating either side
+// does not affect the other.
+func (s *Store) Snapshot() *Store {
+	out := New()
+	out.AddAll(s.Triples())
+	return out
+}
+
+// Clear removes every triple.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spo = make(index)
+	s.pos = make(index)
+	s.osp = make(index)
+	s.size = 0
+	s.generation++
+}
+
+// Stats summarizes the store for diagnostics and the experiment reports.
+type Stats struct {
+	Triples    int
+	Subjects   int
+	Predicates int
+	Objects    int
+}
+
+// Stats computes summary statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Triples:    s.size,
+		Subjects:   len(s.spo),
+		Predicates: len(s.pos),
+		Objects:    len(s.osp),
+	}
+}
+
+// String renders the store as sorted N-Triples (for tests and debugging).
+func (s *Store) String() string {
+	ts := s.Triples()
+	lines := make([]string, len(ts))
+	for i, t := range ts {
+		lines[i] = t.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// DescribeResource returns all triples with sub as subject, in a stable
+// predicate-sorted order — used by the G-SACS result assembler.
+func (s *Store) DescribeResource(sub rdf.Term) []rdf.Triple {
+	ts := s.Match(sub, nil, nil)
+	sort.Slice(ts, func(i, j int) bool {
+		pi, pj := ts[i].Predicate.String(), ts[j].Predicate.String()
+		if pi != pj {
+			return pi < pj
+		}
+		return ts[i].Object.String() < ts[j].Object.String()
+	})
+	return ts
+}
+
+// Validate checks internal index consistency; it is exercised by tests and
+// the property-based suite. It returns an error describing the first
+// inconsistency found.
+func (s *Store) Validate() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for su, m1 := range s.spo {
+		for p, objs := range m1 {
+			for o := range objs {
+				n++
+				if _, ok := s.pos[p][o][su]; !ok {
+					return fmt.Errorf("store: POS missing %s %s %s", su, p, o)
+				}
+				if _, ok := s.osp[o][su][p]; !ok {
+					return fmt.Errorf("store: OSP missing %s %s %s", su, p, o)
+				}
+			}
+		}
+	}
+	if n != s.size {
+		return fmt.Errorf("store: size %d != indexed %d", s.size, n)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Realization binds topological primitives to concrete geometry, the paper's
+// "realized" relationship: "topological constructions such as nodes or faces
+// are said to be realized when they are modelled in terms of concrete
+// geometric forms."
+type Realization struct {
+	topo   *Topology
+	points map[ID]geom.Point
+	curves map[ID]geom.LineString
+	faces  map[ID]geom.Polygon
+	solids map[ID]geom.Solid
+}
+
+// NewRealization returns an empty realization over t.
+func NewRealization(t *Topology) *Realization {
+	return &Realization{
+		topo:   t,
+		points: make(map[ID]geom.Point),
+		curves: make(map[ID]geom.LineString),
+		faces:  make(map[ID]geom.Polygon),
+		solids: make(map[ID]geom.Solid),
+	}
+}
+
+// RealizeNode binds a node to a point.
+func (r *Realization) RealizeNode(id ID, p geom.Point) error {
+	if _, ok := r.topo.Node(id); !ok {
+		return fmt.Errorf("topo: realize: unknown node %s", id)
+	}
+	r.points[id] = p
+	return nil
+}
+
+// RealizeEdge binds an edge to a curve. The curve's endpoints must coincide
+// with the realizations of the edge's boundary nodes when those exist —
+// geometry and topology must agree.
+func (r *Realization) RealizeEdge(id ID, c geom.LineString) error {
+	e, ok := r.topo.Edge(id)
+	if !ok {
+		return fmt.Errorf("topo: realize: unknown edge %s", id)
+	}
+	if len(c.Coords) < 2 {
+		return fmt.Errorf("topo: realize: edge %s curve too short", id)
+	}
+	if p, ok := r.points[e.Start]; ok && p.C != c.Coords[0] {
+		return fmt.Errorf("topo: realize: edge %s start %v disagrees with node %s at %v",
+			id, c.Coords[0], e.Start, p.C)
+	}
+	if p, ok := r.points[e.End]; ok && p.C != c.Coords[len(c.Coords)-1] {
+		return fmt.Errorf("topo: realize: edge %s end %v disagrees with node %s at %v",
+			id, c.Coords[len(c.Coords)-1], e.End, p.C)
+	}
+	r.curves[id] = c
+	return nil
+}
+
+// RealizeFace binds a face to a polygon.
+func (r *Realization) RealizeFace(id ID, p geom.Polygon) error {
+	if _, ok := r.topo.Face(id); !ok {
+		return fmt.Errorf("topo: realize: unknown face %s", id)
+	}
+	r.faces[id] = p
+	return nil
+}
+
+// RealizeSolid binds a TopoSolid to a solid.
+func (r *Realization) RealizeSolid(id ID, s geom.Solid) error {
+	if _, ok := r.topo.Solid(id); !ok {
+		return fmt.Errorf("topo: realize: unknown solid %s", id)
+	}
+	r.solids[id] = s
+	return nil
+}
+
+// PointOf returns the realization of a node.
+func (r *Realization) PointOf(id ID) (geom.Point, bool) { p, ok := r.points[id]; return p, ok }
+
+// CurveOf returns the realization of an edge.
+func (r *Realization) CurveOf(id ID) (geom.LineString, bool) {
+	c, ok := r.curves[id]
+	return c, ok
+}
+
+// PolygonOf returns the realization of a face.
+func (r *Realization) PolygonOf(id ID) (geom.Polygon, bool) { p, ok := r.faces[id]; return p, ok }
+
+// SolidOf returns the realization of a TopoSolid.
+func (r *Realization) SolidOf(id ID) (geom.Solid, bool) { s, ok := r.solids[id]; return s, ok }
+
+// RealizeCurve derives the geometry of a TopoCurve by concatenating its
+// directed edges' realizations ("a TopoCurve is isomorphic to a geometric
+// curve").
+func (r *Realization) RealizeCurve(id ID) (geom.LineString, error) {
+	tc, ok := r.topo.Curve(id)
+	if !ok {
+		return geom.LineString{}, fmt.Errorf("topo: unknown TopoCurve %s", id)
+	}
+	var members []geom.Geometry
+	for _, de := range tc.Edges {
+		c, ok := r.curves[de.Edge]
+		if !ok {
+			return geom.LineString{}, fmt.Errorf("topo: TopoCurve %s: edge %s unrealized", id, de.Edge)
+		}
+		if de.O == Negative {
+			c = c.Reverse()
+		}
+		members = append(members, c)
+	}
+	cc, err := geom.NewCompositeCurve(members...)
+	if err != nil {
+		return geom.LineString{}, fmt.Errorf("topo: TopoCurve %s: %w", id, err)
+	}
+	return cc.AsLineString()
+}
+
+// RealizeSurface derives the geometry of a TopoSurface as the multi-surface
+// of its faces' realizations.
+func (r *Realization) RealizeSurface(id ID) (geom.MultiSurface, error) {
+	ts, ok := r.topo.Surface(id)
+	if !ok {
+		return geom.MultiSurface{}, fmt.Errorf("topo: unknown TopoSurface %s", id)
+	}
+	var out geom.MultiSurface
+	for _, fid := range ts.Faces {
+		p, ok := r.faces[fid]
+		if !ok {
+			return geom.MultiSurface{}, fmt.Errorf("topo: TopoSurface %s: face %s unrealized", id, fid)
+		}
+		out.Surfaces = append(out.Surfaces, p)
+	}
+	return out, nil
+}
+
+// Complete reports which primitives lack realizations, letting callers check
+// whether topology-only data can enter coordinate-based calculations ("the
+// topological components need to be 'realized' by geometric counterparts
+// with actual coordinates to be used in calculations").
+func (r *Realization) Complete() (missing []ID) {
+	for id := range r.topo.nodes {
+		if _, ok := r.points[id]; !ok {
+			missing = append(missing, id)
+		}
+	}
+	for id := range r.topo.edges {
+		if _, ok := r.curves[id]; !ok {
+			missing = append(missing, id)
+		}
+	}
+	for id := range r.topo.faces {
+		if _, ok := r.faces[id]; !ok {
+			missing = append(missing, id)
+		}
+	}
+	for id := range r.topo.solids {
+		if _, ok := r.solids[id]; !ok {
+			missing = append(missing, id)
+		}
+	}
+	return missing
+}

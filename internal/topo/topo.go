@@ -1,0 +1,518 @@
+// Package topo implements GRDF's topology model (Section 6, Fig. 2 of the
+// paper): the primitives Node, Edge, Face and TopoSolid, the aggregate
+// constructs TopoCurve, TopoSurface, TopoVolume and TopoComplex, and the
+// "realization" relationship that maps each topological construct onto a
+// concrete geometric form ("a node is modelled as a point, an edge is
+// modelled as a curve, a face is modelled as a surface, a TopoSolid is
+// modelled as solid").
+//
+// Because topological objects are "obstinate against deformations,
+// stretchings and twistings", everything here is defined purely by
+// connectivity; coordinates appear only through the optional realizations.
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID names a topological primitive within one Topology.
+type ID string
+
+// Orientation of a directed edge or face use.
+type Orientation int8
+
+const (
+	// Positive follows the primitive's intrinsic direction (the paper's
+	// "positive (clockwise)" face orientation).
+	Positive Orientation = 1
+	// Negative reverses it.
+	Negative Orientation = -1
+)
+
+// DirectedEdge is an edge use with an orientation.
+type DirectedEdge struct {
+	Edge ID
+	O    Orientation
+}
+
+// Node is a 0-dimensional primitive.
+type Node struct {
+	ID ID
+	// IsolatedIn optionally names the Face this node sits inside without
+	// touching its boundary ("primitives can be isolated by other primitives
+	// with co-dimension of 2 or more" — a node in a face has co-dimension 2).
+	IsolatedIn ID
+}
+
+// Edge is a 1-dimensional primitive directed from Start to End.
+type Edge struct {
+	ID         ID
+	Start, End ID // node IDs
+}
+
+// Face is a 2-dimensional primitive bounded by a cycle of directed edges
+// (paper: "a 2-dimensional primitive bounded by a set of directed edges").
+type Face struct {
+	ID       ID
+	Boundary []DirectedEdge
+	// Orientation is the face's own orientation sign.
+	Orientation Orientation
+}
+
+// TopoSolid is a 3-dimensional primitive bounded by faces.
+type TopoSolid struct {
+	ID       ID
+	Boundary []ID // face IDs
+}
+
+// TopoCurve is "isomorphic to a geometric curve": a contiguous chain of
+// directed edges.
+type TopoCurve struct {
+	ID    ID
+	Edges []DirectedEdge
+}
+
+// TopoSurface is isomorphic to a geometric surface: a connected set of faces.
+type TopoSurface struct {
+	ID    ID
+	Faces []ID
+}
+
+// TopoVolume is isomorphic to a geometric solid: a set of TopoSolids.
+type TopoVolume struct {
+	ID     ID
+	Solids []ID
+}
+
+// TopoComplex is "contained within a single maximal complex and might
+// contain other sub-complexes and primitives; the sub-complexes and
+// primitives have lesser dimension than the TopoComplex itself."
+type TopoComplex struct {
+	ID           ID
+	Dimension    int
+	Primitives   []ID // nodes, edges, faces, solids
+	SubComplexes []ID
+}
+
+// Topology is a container of primitives and aggregates with validated
+// referential integrity.
+type Topology struct {
+	nodes     map[ID]Node
+	edges     map[ID]Edge
+	faces     map[ID]Face
+	solids    map[ID]TopoSolid
+	curves    map[ID]TopoCurve
+	surfaces  map[ID]TopoSurface
+	volumes   map[ID]TopoVolume
+	complexes map[ID]TopoComplex
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{
+		nodes:     make(map[ID]Node),
+		edges:     make(map[ID]Edge),
+		faces:     make(map[ID]Face),
+		solids:    make(map[ID]TopoSolid),
+		curves:    make(map[ID]TopoCurve),
+		surfaces:  make(map[ID]TopoSurface),
+		volumes:   make(map[ID]TopoVolume),
+		complexes: make(map[ID]TopoComplex),
+	}
+}
+
+// AddNode inserts a node.
+func (t *Topology) AddNode(n Node) error {
+	if n.ID == "" {
+		return fmt.Errorf("topo: node needs an ID")
+	}
+	if _, dup := t.nodes[n.ID]; dup {
+		return fmt.Errorf("topo: duplicate node %s", n.ID)
+	}
+	t.nodes[n.ID] = n
+	return nil
+}
+
+// AddEdge inserts an edge; its endpoint nodes must already exist.
+func (t *Topology) AddEdge(e Edge) error {
+	if e.ID == "" {
+		return fmt.Errorf("topo: edge needs an ID")
+	}
+	if _, dup := t.edges[e.ID]; dup {
+		return fmt.Errorf("topo: duplicate edge %s", e.ID)
+	}
+	if _, ok := t.nodes[e.Start]; !ok {
+		return fmt.Errorf("topo: edge %s references missing start node %s", e.ID, e.Start)
+	}
+	if _, ok := t.nodes[e.End]; !ok {
+		return fmt.Errorf("topo: edge %s references missing end node %s", e.ID, e.End)
+	}
+	t.edges[e.ID] = e
+	return nil
+}
+
+// AddFace inserts a face. Per List 5 of the paper, a face must have at least
+// one boundary edge (minCardinality 1 on hasEdge), and its boundary must form
+// a closed, contiguous cycle. Faces may border at most 2 solids, checked at
+// AddSolid/Validate time.
+func (t *Topology) AddFace(f Face) error {
+	if f.ID == "" {
+		return fmt.Errorf("topo: face needs an ID")
+	}
+	if _, dup := t.faces[f.ID]; dup {
+		return fmt.Errorf("topo: duplicate face %s", f.ID)
+	}
+	if len(f.Boundary) < 1 {
+		return fmt.Errorf("topo: face %s must have at least 1 boundary edge", f.ID)
+	}
+	if f.Orientation == 0 {
+		f.Orientation = Positive
+	}
+	// Boundary must chain: end node of each directed edge equals start node
+	// of the next, and the cycle closes.
+	var firstStart, prevEnd ID
+	for i, de := range f.Boundary {
+		e, ok := t.edges[de.Edge]
+		if !ok {
+			return fmt.Errorf("topo: face %s references missing edge %s", f.ID, de.Edge)
+		}
+		s, en := e.Start, e.End
+		if de.O == Negative {
+			s, en = en, s
+		}
+		if i == 0 {
+			firstStart = s
+		} else if prevEnd != s {
+			return fmt.Errorf("topo: face %s boundary breaks at edge %s (%s != %s)",
+				f.ID, de.Edge, prevEnd, s)
+		}
+		prevEnd = en
+	}
+	// A single self-loop edge closes trivially; otherwise require closure.
+	if prevEnd != firstStart {
+		return fmt.Errorf("topo: face %s boundary is not closed (%s != %s)", f.ID, prevEnd, firstStart)
+	}
+	t.faces[f.ID] = f
+	return nil
+}
+
+// AddSolid inserts a TopoSolid. It enforces List 5's maxCardinality 2 on
+// hasTopoSolid: after insertion no face may bound more than two solids.
+func (t *Topology) AddSolid(s TopoSolid) error {
+	if s.ID == "" {
+		return fmt.Errorf("topo: solid needs an ID")
+	}
+	if _, dup := t.solids[s.ID]; dup {
+		return fmt.Errorf("topo: duplicate solid %s", s.ID)
+	}
+	if len(s.Boundary) == 0 {
+		return fmt.Errorf("topo: solid %s needs boundary faces", s.ID)
+	}
+	for _, fid := range s.Boundary {
+		if _, ok := t.faces[fid]; !ok {
+			return fmt.Errorf("topo: solid %s references missing face %s", s.ID, fid)
+		}
+		if len(t.SolidsOfFace(fid)) >= 2 {
+			return fmt.Errorf("topo: face %s would bound more than 2 solids", fid)
+		}
+	}
+	t.solids[s.ID] = s
+	return nil
+}
+
+// AddCurve inserts a TopoCurve after checking edge existence and contiguity.
+func (t *Topology) AddCurve(c TopoCurve) error {
+	if c.ID == "" || len(c.Edges) == 0 {
+		return fmt.Errorf("topo: curve needs an ID and edges")
+	}
+	if _, dup := t.curves[c.ID]; dup {
+		return fmt.Errorf("topo: duplicate curve %s", c.ID)
+	}
+	var prevEnd ID
+	for i, de := range c.Edges {
+		e, ok := t.edges[de.Edge]
+		if !ok {
+			return fmt.Errorf("topo: curve %s references missing edge %s", c.ID, de.Edge)
+		}
+		s, en := e.Start, e.End
+		if de.O == Negative {
+			s, en = en, s
+		}
+		if i > 0 && prevEnd != s {
+			return fmt.Errorf("topo: curve %s breaks at edge %s", c.ID, de.Edge)
+		}
+		prevEnd = en
+	}
+	t.curves[c.ID] = c
+	return nil
+}
+
+// AddSurface inserts a TopoSurface; member faces must exist and be edge-connected.
+func (t *Topology) AddSurface(s TopoSurface) error {
+	if s.ID == "" || len(s.Faces) == 0 {
+		return fmt.Errorf("topo: surface needs an ID and faces")
+	}
+	if _, dup := t.surfaces[s.ID]; dup {
+		return fmt.Errorf("topo: duplicate surface %s", s.ID)
+	}
+	edgeUsers := map[ID][]int{}
+	for i, fid := range s.Faces {
+		f, ok := t.faces[fid]
+		if !ok {
+			return fmt.Errorf("topo: surface %s references missing face %s", s.ID, fid)
+		}
+		for _, de := range f.Boundary {
+			edgeUsers[de.Edge] = append(edgeUsers[de.Edge], i)
+		}
+	}
+	if len(s.Faces) > 1 {
+		// connectivity via shared edges (union-find)
+		parent := make([]int, len(s.Faces))
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for _, users := range edgeUsers {
+			for i := 1; i < len(users); i++ {
+				parent[find(users[i])] = find(users[0])
+			}
+		}
+		root := find(0)
+		for i := range s.Faces {
+			if find(i) != root {
+				return fmt.Errorf("topo: surface %s is not edge-connected", s.ID)
+			}
+		}
+	}
+	t.surfaces[s.ID] = s
+	return nil
+}
+
+// AddVolume inserts a TopoVolume.
+func (t *Topology) AddVolume(v TopoVolume) error {
+	if v.ID == "" || len(v.Solids) == 0 {
+		return fmt.Errorf("topo: volume needs an ID and solids")
+	}
+	if _, dup := t.volumes[v.ID]; dup {
+		return fmt.Errorf("topo: duplicate volume %s", v.ID)
+	}
+	for _, sid := range v.Solids {
+		if _, ok := t.solids[sid]; !ok {
+			return fmt.Errorf("topo: volume %s references missing solid %s", v.ID, sid)
+		}
+	}
+	t.volumes[v.ID] = v
+	return nil
+}
+
+// AddComplex inserts a TopoComplex; every contained primitive and
+// sub-complex must exist and have dimension strictly less than the complex,
+// matching the paper's containment rule.
+func (t *Topology) AddComplex(c TopoComplex) error {
+	if c.ID == "" {
+		return fmt.Errorf("topo: complex needs an ID")
+	}
+	if _, dup := t.complexes[c.ID]; dup {
+		return fmt.Errorf("topo: duplicate complex %s", c.ID)
+	}
+	for _, pid := range c.Primitives {
+		d, ok := t.primitiveDimension(pid)
+		if !ok {
+			return fmt.Errorf("topo: complex %s references missing primitive %s", c.ID, pid)
+		}
+		if d > c.Dimension {
+			return fmt.Errorf("topo: complex %s (dim %d) cannot contain %s (dim %d)",
+				c.ID, c.Dimension, pid, d)
+		}
+	}
+	for _, sid := range c.SubComplexes {
+		sub, ok := t.complexes[sid]
+		if !ok {
+			return fmt.Errorf("topo: complex %s references missing sub-complex %s", c.ID, sid)
+		}
+		if sub.Dimension >= c.Dimension {
+			return fmt.Errorf("topo: sub-complex %s (dim %d) must have lesser dimension than %s (dim %d)",
+				sid, sub.Dimension, c.ID, c.Dimension)
+		}
+	}
+	t.complexes[c.ID] = c
+	return nil
+}
+
+func (t *Topology) primitiveDimension(id ID) (int, bool) {
+	if _, ok := t.nodes[id]; ok {
+		return 0, true
+	}
+	if _, ok := t.edges[id]; ok {
+		return 1, true
+	}
+	if _, ok := t.faces[id]; ok {
+		return 2, true
+	}
+	if _, ok := t.solids[id]; ok {
+		return 3, true
+	}
+	return 0, false
+}
+
+// Node returns the node by ID.
+func (t *Topology) Node(id ID) (Node, bool) { n, ok := t.nodes[id]; return n, ok }
+
+// Edge returns the edge by ID.
+func (t *Topology) Edge(id ID) (Edge, bool) { e, ok := t.edges[id]; return e, ok }
+
+// Face returns the face by ID.
+func (t *Topology) Face(id ID) (Face, bool) { f, ok := t.faces[id]; return f, ok }
+
+// Solid returns the solid by ID.
+func (t *Topology) Solid(id ID) (TopoSolid, bool) { s, ok := t.solids[id]; return s, ok }
+
+// Curve returns the TopoCurve by ID.
+func (t *Topology) Curve(id ID) (TopoCurve, bool) { c, ok := t.curves[id]; return c, ok }
+
+// Surface returns the TopoSurface by ID.
+func (t *Topology) Surface(id ID) (TopoSurface, bool) { s, ok := t.surfaces[id]; return s, ok }
+
+// Counts returns (nodes, edges, faces, solids).
+func (t *Topology) Counts() (int, int, int, int) {
+	return len(t.nodes), len(t.edges), len(t.faces), len(t.solids)
+}
+
+// EdgesAtNode returns the IDs of edges incident to the node, sorted.
+func (t *Topology) EdgesAtNode(n ID) []ID {
+	var out []ID
+	for id, e := range t.edges {
+		if e.Start == n || e.End == n {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the number of edge incidences at the node (self-loops count
+// twice).
+func (t *Topology) Degree(n ID) int {
+	d := 0
+	for _, e := range t.edges {
+		if e.Start == n {
+			d++
+		}
+		if e.End == n {
+			d++
+		}
+	}
+	return d
+}
+
+// FacesOfEdge returns the faces whose boundary uses the edge, sorted.
+func (t *Topology) FacesOfEdge(e ID) []ID {
+	var out []ID
+	for id, f := range t.faces {
+		for _, de := range f.Boundary {
+			if de.Edge == e {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SolidsOfFace returns the solids bounded by the face, sorted.
+func (t *Topology) SolidsOfFace(f ID) []ID {
+	var out []ID
+	for id, s := range t.solids {
+		for _, fid := range s.Boundary {
+			if fid == f {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AdjacentFaces returns faces sharing at least one boundary edge with f.
+func (t *Topology) AdjacentFaces(f ID) []ID {
+	face, ok := t.faces[f]
+	if !ok {
+		return nil
+	}
+	seen := map[ID]bool{f: true}
+	var out []ID
+	for _, de := range face.Boundary {
+		for _, other := range t.FacesOfEdge(de.Edge) {
+			if !seen[other] {
+				seen[other] = true
+				out = append(out, other)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BoundaryNodes returns the node set of an edge: its boundary operator.
+func (t *Topology) BoundaryNodes(e ID) (ID, ID, bool) {
+	edge, ok := t.edges[e]
+	if !ok {
+		return "", "", false
+	}
+	return edge.Start, edge.End, true
+}
+
+// EulerCharacteristic returns V - E + F over the whole topology. For a
+// planar subdivision including the unbounded face the value is 2; tests use
+// this to validate generated meshes.
+func (t *Topology) EulerCharacteristic() int {
+	return len(t.nodes) - len(t.edges) + len(t.faces)
+}
+
+// Validate re-checks global invariants: referential integrity, the face/
+// solid cardinalities of List 5, and the isolation co-dimension rule.
+func (t *Topology) Validate() []error {
+	var errs []error
+	for id, e := range t.edges {
+		if _, ok := t.nodes[e.Start]; !ok {
+			errs = append(errs, fmt.Errorf("edge %s: missing start node %s", id, e.Start))
+		}
+		if _, ok := t.nodes[e.End]; !ok {
+			errs = append(errs, fmt.Errorf("edge %s: missing end node %s", id, e.End))
+		}
+	}
+	for id, f := range t.faces {
+		if len(f.Boundary) < 1 {
+			errs = append(errs, fmt.Errorf("face %s: empty boundary", id))
+		}
+		for _, de := range f.Boundary {
+			if _, ok := t.edges[de.Edge]; !ok {
+				errs = append(errs, fmt.Errorf("face %s: missing edge %s", id, de.Edge))
+			}
+		}
+		if n := len(t.SolidsOfFace(id)); n > 2 {
+			errs = append(errs, fmt.Errorf("face %s: bounds %d solids (max 2)", id, n))
+		}
+	}
+	for id, n := range t.nodes {
+		if n.IsolatedIn != "" {
+			if _, ok := t.faces[n.IsolatedIn]; !ok {
+				errs = append(errs, fmt.Errorf("node %s: isolated in missing face %s", id, n.IsolatedIn))
+			}
+			// co-dimension: face(2) - node(0) = 2 >= 2, always fine; the rule
+			// exists to forbid isolating edges (codim 1) inside faces, which
+			// the model cannot express — documented invariant.
+		}
+	}
+	return errs
+}

@@ -1,0 +1,401 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// buildSquareMesh constructs a 2-face planar mesh:
+//
+//	n1 --e1--> n2
+//	 ^          |
+//	 e4         e2       f1 = e1,e2,e3,e4 (left square via diagonal? no: square)
+//	 |          v
+//	n4 <--e3-- n3
+//
+// plus diagonal e5: n1->n3 splitting into two triangular faces.
+func buildSquareMesh(t *testing.T) *Topology {
+	t.Helper()
+	tp := New()
+	for _, n := range []ID{"n1", "n2", "n3", "n4"} {
+		if err := tp.AddNode(Node{ID: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := []Edge{
+		{ID: "e1", Start: "n1", End: "n2"},
+		{ID: "e2", Start: "n2", End: "n3"},
+		{ID: "e3", Start: "n3", End: "n4"},
+		{ID: "e4", Start: "n4", End: "n1"},
+		{ID: "e5", Start: "n1", End: "n3"},
+	}
+	for _, e := range edges {
+		if err := tp.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// triangle n1,n2,n3 via e1,e2 then back along e5 reversed
+	if err := tp.AddFace(Face{ID: "f1", Boundary: []DirectedEdge{
+		{Edge: "e1", O: Positive}, {Edge: "e2", O: Positive}, {Edge: "e5", O: Negative},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// triangle n1,n3,n4 via e5 then e3,e4
+	if err := tp.AddFace(Face{ID: "f2", Boundary: []DirectedEdge{
+		{Edge: "e5", O: Positive}, {Edge: "e3", O: Positive}, {Edge: "e4", O: Positive},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestAddValidation(t *testing.T) {
+	tp := New()
+	if err := tp.AddNode(Node{}); err == nil {
+		t.Error("empty node ID accepted")
+	}
+	if err := tp.AddNode(Node{ID: "n1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddNode(Node{ID: "n1"}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if err := tp.AddEdge(Edge{ID: "e1", Start: "n1", End: "missing"}); err == nil {
+		t.Error("edge with missing endpoint accepted")
+	}
+	tp.AddNode(Node{ID: "n2"})
+	if err := tp.AddEdge(Edge{ID: "e1", Start: "n1", End: "n2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddEdge(Edge{ID: "e1", Start: "n1", End: "n2"}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestFaceBoundaryValidation(t *testing.T) {
+	tp := New()
+	for _, n := range []ID{"a", "b", "c"} {
+		tp.AddNode(Node{ID: n})
+	}
+	tp.AddEdge(Edge{ID: "ab", Start: "a", End: "b"})
+	tp.AddEdge(Edge{ID: "bc", Start: "b", End: "c"})
+	tp.AddEdge(Edge{ID: "ca", Start: "c", End: "a"})
+
+	if err := tp.AddFace(Face{ID: "empty"}); err == nil {
+		t.Error("empty boundary accepted (List 5 minCardinality 1)")
+	}
+	// broken chain
+	if err := tp.AddFace(Face{ID: "broken", Boundary: []DirectedEdge{
+		{Edge: "ab", O: Positive}, {Edge: "ca", O: Positive},
+	}}); err == nil {
+		t.Error("broken boundary chain accepted")
+	}
+	// unclosed
+	if err := tp.AddFace(Face{ID: "open", Boundary: []DirectedEdge{
+		{Edge: "ab", O: Positive}, {Edge: "bc", O: Positive},
+	}}); err == nil {
+		t.Error("unclosed boundary accepted")
+	}
+	// proper triangle
+	if err := tp.AddFace(Face{ID: "tri", Boundary: []DirectedEdge{
+		{Edge: "ab", O: Positive}, {Edge: "bc", O: Positive}, {Edge: "ca", O: Positive},
+	}}); err != nil {
+		t.Errorf("valid face rejected: %v", err)
+	}
+	// reversed traversal using negative orientations
+	if err := tp.AddFace(Face{ID: "tri-rev", Boundary: []DirectedEdge{
+		{Edge: "ca", O: Negative}, {Edge: "bc", O: Negative}, {Edge: "ab", O: Negative},
+	}}); err != nil {
+		t.Errorf("reversed face rejected: %v", err)
+	}
+}
+
+func TestConnectivityQueries(t *testing.T) {
+	tp := buildSquareMesh(t)
+	if got := tp.EdgesAtNode("n1"); len(got) != 3 { // e1, e4, e5
+		t.Errorf("EdgesAtNode(n1) = %v", got)
+	}
+	if got := tp.Degree("n1"); got != 3 {
+		t.Errorf("Degree(n1) = %d", got)
+	}
+	if got := tp.FacesOfEdge("e5"); len(got) != 2 {
+		t.Errorf("FacesOfEdge(e5) = %v", got)
+	}
+	if got := tp.AdjacentFaces("f1"); len(got) != 1 || got[0] != "f2" {
+		t.Errorf("AdjacentFaces(f1) = %v", got)
+	}
+	s, e, ok := tp.BoundaryNodes("e1")
+	if !ok || s != "n1" || e != "n2" {
+		t.Errorf("BoundaryNodes = %s %s %t", s, e, ok)
+	}
+	if _, _, ok := tp.BoundaryNodes("nope"); ok {
+		t.Error("BoundaryNodes on missing edge")
+	}
+}
+
+func TestEulerCharacteristic(t *testing.T) {
+	tp := buildSquareMesh(t)
+	// V=4, E=5, F=2 bounded faces; with the unbounded face Euler gives 2,
+	// so V-E+F over bounded faces must equal 1.
+	if chi := tp.EulerCharacteristic(); chi != 1 {
+		t.Errorf("EulerCharacteristic = %d, want 1", chi)
+	}
+	n, e, f, s := tp.Counts()
+	if n != 4 || e != 5 || f != 2 || s != 0 {
+		t.Errorf("Counts = %d %d %d %d", n, e, f, s)
+	}
+}
+
+func TestSolidFaceCardinality(t *testing.T) {
+	tp := New()
+	tp.AddNode(Node{ID: "n"})
+	tp.AddEdge(Edge{ID: "loop", Start: "n", End: "n"})
+	if err := tp.AddFace(Face{ID: "f", Boundary: []DirectedEdge{{Edge: "loop", O: Positive}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSolid(TopoSolid{ID: "s1", Boundary: []ID{"f"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSolid(TopoSolid{ID: "s2", Boundary: []ID{"f"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Third solid on the same face violates List 5's maxCardinality 2.
+	if err := tp.AddSolid(TopoSolid{ID: "s3", Boundary: []ID{"f"}}); err == nil {
+		t.Error("face bounding 3 solids accepted")
+	}
+	if errs := tp.Validate(); len(errs) != 0 {
+		t.Errorf("Validate = %v", errs)
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	tp := buildSquareMesh(t)
+	if err := tp.AddCurve(TopoCurve{ID: "c1", Edges: []DirectedEdge{
+		{Edge: "e1", O: Positive}, {Edge: "e2", O: Positive},
+	}}); err != nil {
+		t.Errorf("valid curve rejected: %v", err)
+	}
+	if err := tp.AddCurve(TopoCurve{ID: "c2", Edges: []DirectedEdge{
+		{Edge: "e1", O: Positive}, {Edge: "e3", O: Positive},
+	}}); err == nil {
+		t.Error("discontiguous curve accepted")
+	}
+	if err := tp.AddCurve(TopoCurve{ID: "c3", Edges: []DirectedEdge{
+		{Edge: "e2", O: Negative}, {Edge: "e1", O: Negative},
+	}}); err != nil {
+		t.Errorf("reversed curve rejected: %v", err)
+	}
+}
+
+func TestSurfaceConnectivity(t *testing.T) {
+	tp := buildSquareMesh(t)
+	if err := tp.AddSurface(TopoSurface{ID: "s1", Faces: []ID{"f1", "f2"}}); err != nil {
+		t.Errorf("connected surface rejected: %v", err)
+	}
+	// add a disconnected face
+	tp.AddNode(Node{ID: "z"})
+	tp.AddEdge(Edge{ID: "zz", Start: "z", End: "z"})
+	tp.AddFace(Face{ID: "fz", Boundary: []DirectedEdge{{Edge: "zz", O: Positive}}})
+	if err := tp.AddSurface(TopoSurface{ID: "s2", Faces: []ID{"f1", "fz"}}); err == nil {
+		t.Error("disconnected surface accepted")
+	}
+}
+
+func TestVolumeAndComplex(t *testing.T) {
+	tp := buildSquareMesh(t)
+	tp.AddSolid(TopoSolid{ID: "sol", Boundary: []ID{"f1", "f2"}})
+	if err := tp.AddVolume(TopoVolume{ID: "v1", Solids: []ID{"sol"}}); err != nil {
+		t.Errorf("volume rejected: %v", err)
+	}
+	if err := tp.AddVolume(TopoVolume{ID: "v2", Solids: []ID{"missing"}}); err == nil {
+		t.Error("volume with missing solid accepted")
+	}
+	if err := tp.AddComplex(TopoComplex{ID: "cx1", Dimension: 2,
+		Primitives: []ID{"n1", "e1", "f1"}}); err != nil {
+		t.Errorf("complex rejected: %v", err)
+	}
+	// primitive of higher dimension than complex
+	if err := tp.AddComplex(TopoComplex{ID: "cx2", Dimension: 1,
+		Primitives: []ID{"f1"}}); err == nil {
+		t.Error("complex containing higher-dim primitive accepted")
+	}
+	// sub-complex must have strictly lesser dimension
+	if err := tp.AddComplex(TopoComplex{ID: "cx3", Dimension: 2,
+		SubComplexes: []ID{"cx1"}}); err == nil {
+		t.Error("equal-dimension sub-complex accepted")
+	}
+	if err := tp.AddComplex(TopoComplex{ID: "cx4", Dimension: 3,
+		SubComplexes: []ID{"cx1"}}); err != nil {
+		t.Errorf("maximal complex rejected: %v", err)
+	}
+}
+
+func TestIsolatedNodeCodimension(t *testing.T) {
+	tp := buildSquareMesh(t)
+	if err := tp.AddNode(Node{ID: "iso", IsolatedIn: "f1"}); err != nil {
+		t.Fatal(err)
+	}
+	if errs := tp.Validate(); len(errs) != 0 {
+		t.Errorf("Validate = %v", errs)
+	}
+	tp.AddNode(Node{ID: "bad", IsolatedIn: "noface"})
+	if errs := tp.Validate(); len(errs) != 1 {
+		t.Errorf("Validate = %v", errs)
+	}
+}
+
+// --- realization -------------------------------------------------------------
+
+func realizeSquare(t *testing.T, tp *Topology) *Realization {
+	t.Helper()
+	r := NewRealization(tp)
+	pts := map[ID]geom.Point{
+		"n1": geom.NewPoint(0, 1), "n2": geom.NewPoint(1, 1),
+		"n3": geom.NewPoint(1, 0), "n4": geom.NewPoint(0, 0),
+	}
+	for id, p := range pts {
+		if err := r.RealizeNode(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk := func(a, b geom.Point) geom.LineString {
+		l, _ := geom.NewLineString([]geom.Coord{a.C, b.C})
+		return l
+	}
+	for _, e := range []struct {
+		id   ID
+		a, b ID
+	}{
+		{"e1", "n1", "n2"}, {"e2", "n2", "n3"}, {"e3", "n3", "n4"},
+		{"e4", "n4", "n1"}, {"e5", "n1", "n3"},
+	} {
+		if err := r.RealizeEdge(e.id, mk(pts[e.a], pts[e.b])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestRealizationEndpointsAgree(t *testing.T) {
+	tp := buildSquareMesh(t)
+	r := NewRealization(tp)
+	r.RealizeNode("n1", geom.NewPoint(0, 1))
+	r.RealizeNode("n2", geom.NewPoint(1, 1))
+	wrong, _ := geom.NewLineString([]geom.Coord{{X: 5, Y: 5}, {X: 6, Y: 6}})
+	if err := r.RealizeEdge("e1", wrong); err == nil {
+		t.Error("edge realization disagreeing with node realization accepted")
+	}
+	if err := r.RealizeEdge("nope", wrong); err == nil {
+		t.Error("unknown edge accepted")
+	}
+	if err := r.RealizeNode("nope", geom.NewPoint(0, 0)); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestRealizeTopoCurve(t *testing.T) {
+	tp := buildSquareMesh(t)
+	r := realizeSquare(t, tp)
+	tp.AddCurve(TopoCurve{ID: "perimeter", Edges: []DirectedEdge{
+		{Edge: "e1", O: Positive}, {Edge: "e2", O: Positive},
+		{Edge: "e3", O: Positive}, {Edge: "e4", O: Positive},
+	}})
+	ls, err := r.RealizeCurve("perimeter")
+	if err != nil {
+		t.Fatalf("RealizeCurve: %v", err)
+	}
+	if ls.Length() != 4 {
+		t.Errorf("perimeter length = %g, want 4", ls.Length())
+	}
+	// with a reversed member
+	tp.AddCurve(TopoCurve{ID: "rev", Edges: []DirectedEdge{
+		{Edge: "e2", O: Negative}, {Edge: "e1", O: Negative},
+	}})
+	ls2, err := r.RealizeCurve("rev")
+	if err != nil {
+		t.Fatalf("RealizeCurve rev: %v", err)
+	}
+	if ls2.Coords[0] != (geom.Coord{X: 1, Y: 0}) || ls2.Coords[len(ls2.Coords)-1] != (geom.Coord{X: 0, Y: 1}) {
+		t.Errorf("rev coords = %v", ls2.Coords)
+	}
+}
+
+func TestRealizeSurfaceAndComplete(t *testing.T) {
+	tp := buildSquareMesh(t)
+	r := realizeSquare(t, tp)
+	tri1, _ := geom.NewLinearRing([]geom.Coord{{X: 0, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 0}, {X: 0, Y: 1}})
+	tri2, _ := geom.NewLinearRing([]geom.Coord{{X: 0, Y: 1}, {X: 1, Y: 0}, {X: 0, Y: 0}, {X: 0, Y: 1}})
+	r.RealizeFace("f1", geom.NewPolygon(tri1))
+	r.RealizeFace("f2", geom.NewPolygon(tri2))
+
+	tp.AddSurface(TopoSurface{ID: "sq", Faces: []ID{"f1", "f2"}})
+	ms, err := r.RealizeSurface("sq")
+	if err != nil {
+		t.Fatalf("RealizeSurface: %v", err)
+	}
+	if ms.Area() != 1 {
+		t.Errorf("surface area = %g, want 1 (two half-unit triangles)", ms.Area())
+	}
+	if missing := r.Complete(); len(missing) != 0 {
+		t.Errorf("Complete reports missing: %v", missing)
+	}
+	// unrealized face blocks surface realization
+	tp.AddNode(Node{ID: "z"})
+	tp.AddEdge(Edge{ID: "zz", Start: "z", End: "z"})
+	tp.AddFace(Face{ID: "fz", Boundary: []DirectedEdge{{Edge: "zz", O: Positive}}})
+	tp.AddSurface(TopoSurface{ID: "bad", Faces: []ID{"fz"}})
+	if _, err := r.RealizeSurface("bad"); err == nil {
+		t.Error("surface with unrealized face accepted")
+	}
+	if missing := r.Complete(); len(missing) != 3 { // z, zz, fz
+		t.Errorf("Complete = %v", missing)
+	}
+}
+
+func TestRealizeCurveErrors(t *testing.T) {
+	tp := buildSquareMesh(t)
+	r := NewRealization(tp)
+	if _, err := r.RealizeCurve("nope"); err == nil {
+		t.Error("unknown TopoCurve accepted")
+	}
+	tp.AddCurve(TopoCurve{ID: "c", Edges: []DirectedEdge{{Edge: "e1", O: Positive}}})
+	if _, err := r.RealizeCurve("c"); err == nil {
+		t.Error("TopoCurve with unrealized edge accepted")
+	}
+}
+
+func TestRealizationAccessors(t *testing.T) {
+	tp := buildSquareMesh(t)
+	r := realizeSquare(t, tp)
+	if _, ok := r.PointOf("n1"); !ok {
+		t.Error("PointOf missing")
+	}
+	if _, ok := r.PointOf("zz"); ok {
+		t.Error("PointOf ghost")
+	}
+	if _, ok := r.CurveOf("e1"); !ok {
+		t.Error("CurveOf missing")
+	}
+	tri, _ := geom.NewLinearRing([]geom.Coord{{X: 0, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 0}, {X: 0, Y: 1}})
+	r.RealizeFace("f1", geom.NewPolygon(tri))
+	if _, ok := r.PolygonOf("f1"); !ok {
+		t.Error("PolygonOf missing")
+	}
+	tp.AddSolid(TopoSolid{ID: "sol", Boundary: []ID{"f1", "f2"}})
+	if _, ok := tp.Solid("sol"); !ok {
+		t.Error("Solid lookup missing")
+	}
+	if err := r.RealizeSolid("sol", geom.Solid{Boundary: []geom.Polygon{geom.NewPolygon(tri)}}); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := r.SolidOf("sol"); !ok || s.SurfaceArea() == 0 {
+		t.Error("SolidOf missing")
+	}
+	if err := r.RealizeSolid("ghost", geom.Solid{}); err == nil {
+		t.Error("RealizeSolid ghost accepted")
+	}
+	if err := r.RealizeFace("ghost", geom.NewPolygon(tri)); err == nil {
+		t.Error("RealizeFace ghost accepted")
+	}
+}

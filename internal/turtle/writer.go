@@ -1,0 +1,217 @@
+package turtle
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Write serializes g as Turtle using the given prefixes (nil means the common
+// GRDF prefix set). Triples are grouped by subject with predicate-object
+// lists; blank nodes referenced exactly once are rendered inline as
+// [ … ] property lists (the idiomatic Turtle shape for envelopes and
+// geometry nodes); subjects, predicates and objects are emitted in sorted
+// order so the output is deterministic.
+func Write(w io.Writer, g *rdf.Graph, prefixes *rdf.Prefixes) error {
+	if prefixes == nil {
+		prefixes = rdf.CommonPrefixes()
+	}
+	bw := bufio.NewWriter(w)
+
+	// Only emit prefix declarations actually used by the graph.
+	used := usedPrefixes(g, prefixes)
+	prefixes.Each(func(prefix, ns string) {
+		if used[prefix] {
+			bw.WriteString("@prefix " + prefix + ": <" + ns + "> .\n")
+		}
+	})
+	if len(used) > 0 {
+		bw.WriteByte('\n')
+	}
+
+	wr := &writer{g: g, prefixes: prefixes, bySubject: map[rdf.Term][]rdf.Triple{}}
+	var subjects []rdf.Term
+	for _, t := range g.Triples() {
+		if _, ok := wr.bySubject[t.Subject]; !ok {
+			subjects = append(subjects, t.Subject)
+		}
+		wr.bySubject[t.Subject] = append(wr.bySubject[t.Subject], t)
+	}
+	wr.computeInlineable()
+
+	sort.Slice(subjects, func(i, j int) bool {
+		return subjects[i].String() < subjects[j].String()
+	})
+	for _, s := range subjects {
+		if b, ok := s.(rdf.BlankNode); ok && wr.inlineable[b] {
+			continue // rendered at its reference point
+		}
+		bw.WriteString(wr.renderSubjectBlock(s, ""))
+		bw.WriteString(" .\n")
+	}
+	return bw.Flush()
+}
+
+// writer carries the per-document rendering state.
+type writer struct {
+	g          *rdf.Graph
+	prefixes   *rdf.Prefixes
+	bySubject  map[rdf.Term][]rdf.Triple
+	inlineable map[rdf.BlankNode]bool
+}
+
+// computeInlineable marks blank nodes that are referenced exactly once as an
+// object, have at least one property, and do not participate in a blank-node
+// reference cycle.
+func (w *writer) computeInlineable() {
+	objRefs := map[rdf.BlankNode]int{}
+	for _, t := range w.g.Triples() {
+		if b, ok := t.Object.(rdf.BlankNode); ok {
+			objRefs[b]++
+		}
+	}
+	w.inlineable = map[rdf.BlankNode]bool{}
+	for b, n := range objRefs {
+		if n == 1 && len(w.bySubject[b]) > 0 {
+			w.inlineable[b] = true
+		}
+	}
+	// Break cycles: a blank node reachable from itself through inlineable
+	// links cannot be inlined.
+	for b := range w.inlineable {
+		if w.reachesSelf(b, b, map[rdf.BlankNode]bool{}) {
+			w.inlineable[b] = false
+		}
+	}
+}
+
+func (w *writer) reachesSelf(start, cur rdf.BlankNode, visited map[rdf.BlankNode]bool) bool {
+	if visited[cur] {
+		return false
+	}
+	visited[cur] = true
+	for _, t := range w.bySubject[cur] {
+		if b, ok := t.Object.(rdf.BlankNode); ok && w.inlineable[b] {
+			if b == start || w.reachesSelf(start, b, visited) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// renderSubjectBlock renders "subject pred obj ; …" (without the final dot)
+// at the given indent.
+func (w *writer) renderSubjectBlock(s rdf.Term, indent string) string {
+	var sb strings.Builder
+	sb.WriteString(w.renderTerm(s, indent))
+	sb.WriteString(w.renderPropertyList(s, indent))
+	return sb.String()
+}
+
+// renderPropertyList renders " p1 o1, o2 ;\n    p2 o3" for the subject.
+func (w *writer) renderPropertyList(s rdf.Term, indent string) string {
+	ts := w.bySubject[s]
+	byPred := map[rdf.Term][]rdf.Term{}
+	var preds []rdf.Term
+	for _, t := range ts {
+		if _, ok := byPred[t.Predicate]; !ok {
+			preds = append(preds, t.Predicate)
+		}
+		byPred[t.Predicate] = append(byPred[t.Predicate], t.Object)
+	}
+	sort.Slice(preds, func(i, j int) bool {
+		// rdf:type first, then alphabetical — conventional Turtle style.
+		pi, pj := preds[i], preds[j]
+		if pi.Equal(rdf.RDFType) != pj.Equal(rdf.RDFType) {
+			return pi.Equal(rdf.RDFType)
+		}
+		return pi.String() < pj.String()
+	})
+
+	var sb strings.Builder
+	for i, pred := range preds {
+		if i == 0 {
+			sb.WriteByte(' ')
+		} else {
+			sb.WriteString(" ;\n" + indent + "    ")
+		}
+		if pred.Equal(rdf.RDFType) {
+			sb.WriteString("a")
+		} else {
+			sb.WriteString(w.renderTerm(pred, indent))
+		}
+		objs := byPred[pred]
+		sort.Slice(objs, func(i, j int) bool { return objs[i].String() < objs[j].String() })
+		for j, o := range objs {
+			if j == 0 {
+				sb.WriteByte(' ')
+			} else {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(w.renderObject(o, indent))
+		}
+	}
+	return sb.String()
+}
+
+// renderObject renders an object term, inlining single-reference blank nodes.
+func (w *writer) renderObject(o rdf.Term, indent string) string {
+	if b, ok := o.(rdf.BlankNode); ok && w.inlineable[b] {
+		inner := indent + "    "
+		return "[" + w.renderPropertyList(b, inner) + " ]"
+	}
+	return w.renderTerm(o, indent)
+}
+
+func (w *writer) renderTerm(t rdf.Term, _ string) string {
+	switch v := t.(type) {
+	case rdf.IRI:
+		return w.prefixes.Compact(v)
+	case rdf.BlankNode:
+		return v.String()
+	case rdf.Literal:
+		if v.Lang != "" || v.Datatype == "" || v.Datatype == rdf.XSDString {
+			return v.String()
+		}
+		return `"` + rdf.EscapeLiteral(v.Value) + `"^^` + w.prefixes.Compact(v.Datatype)
+	default:
+		return t.String()
+	}
+}
+
+// Format renders the graph as a Turtle string.
+func Format(g *rdf.Graph, prefixes *rdf.Prefixes) string {
+	var sb strings.Builder
+	_ = Write(&sb, g, prefixes)
+	return sb.String()
+}
+
+// usedPrefixes returns the set of prefix labels the serializer will actually
+// rely on, so Write only declares those.
+func usedPrefixes(g *rdf.Graph, prefixes *rdf.Prefixes) map[string]bool {
+	used := map[string]bool{}
+	note := func(iri rdf.IRI) {
+		if c := prefixes.Compact(iri); !strings.HasPrefix(c, "<") {
+			if idx := strings.IndexByte(c, ':'); idx >= 0 {
+				used[c[:idx]] = true
+			}
+		}
+	}
+	for _, t := range g.Triples() {
+		for _, term := range []rdf.Term{t.Subject, t.Predicate, t.Object} {
+			switch v := term.(type) {
+			case rdf.IRI:
+				note(v)
+			case rdf.Literal:
+				if v.Datatype != "" && v.Datatype != rdf.XSDString && v.Lang == "" {
+					note(v.Datatype)
+				}
+			}
+		}
+	}
+	return used
+}
