@@ -1,28 +1,46 @@
 // Command grdf-bench regenerates every experiment table of the reproduction
 // (E1–E11, see DESIGN.md and EXPERIMENTS.md).
 //
+// With -json DIR it additionally writes one machine-readable BENCH_<id>.json
+// per experiment — the table cells, the wall time, and a snapshot of the
+// shared obs metrics registry — so successive PRs can diff performance
+// numerically instead of eyeballing rendered tables.
+//
 // Usage:
 //
 //	grdf-bench                 # run everything
 //	grdf-bench -only E5,E6     # selected experiments
 //	grdf-bench -sites 10,50    # override dataset sizes for E6/E9/E10
 //	grdf-bench -requests 200   # cache workload size for E8
+//	grdf-bench -json out/      # also write out/BENCH_<id>.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
+
+// benchResult is the machine-readable per-experiment record.
+type benchResult struct {
+	Experiment *experiments.Table `json:"experiment"`
+	Seconds    float64            `json:"seconds"`
+	Metrics    []obs.Metric       `json:"metrics,omitempty"`
+}
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E5,E6); empty runs all")
 	sites := flag.String("sites", "", "comma-separated dataset sizes for E6/E9/E10")
 	requests := flag.Int("requests", 0, "request count for the E8 cache workload")
+	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<id>.json output")
 	flag.Parse()
 
 	var sizes []int
@@ -74,10 +92,52 @@ func main() {
 		}
 	}
 
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "grdf-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// One registry across every experiment run: each BENCH_*.json carries
+	// the harness timing histogram as it stood when that experiment
+	// finished, and the last file reflects the whole session.
+	reg := obs.NewRegistry()
 	for _, r := range runners {
 		if len(selected) > 0 && !selected[r.id] {
 			continue
 		}
-		r.run().Render(os.Stdout)
+		start := time.Now()
+		table := r.run()
+		elapsed := time.Since(start)
+		reg.Histogram("grdf_bench_experiment_seconds",
+			"Wall time per experiment run.", nil, "experiment", r.id).
+			Observe(elapsed.Seconds())
+		table.Render(os.Stdout)
+
+		if *jsonDir == "" {
+			continue
+		}
+		out := benchResult{Experiment: table, Seconds: elapsed.Seconds(), Metrics: reg.Snapshot()}
+		path := filepath.Join(*jsonDir, "BENCH_"+r.id+".json")
+		if err := writeJSON(path, out); err != nil {
+			fmt.Fprintf(os.Stderr, "grdf-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "grdf-bench: wrote %s (%.3fs)\n", path, elapsed.Seconds())
 	}
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

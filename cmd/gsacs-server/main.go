@@ -2,30 +2,39 @@
 // Section 7.1 scenario (or user-supplied data and policies) and serves the
 // G-SACS HTTP API:
 //
-//	GET /healthz
+//	GET /healthz      status, triple count, cache and audit stats
+//	GET /metrics      Prometheus text exposition of the whole stack
 //	GET /roles
 //	GET /ontologies
 //	GET /view?role=MainRep[&format=ntriples]
 //	GET /resource?role=Hazmat&iri=<feature-iri>
 //	GET /query?role=Hazmat&q=<sparql>
+//	GET /audit
+//
+// Every response carries an X-Trace-Id header; the same ID appears on every
+// structured (JSON, stderr) log line the request produced.
 //
 // Usage:
 //
 //	gsacs-server -addr :8080                       # built-in scenario
 //	gsacs-server -data world.ttl -policies p.ttl   # custom dataset
+//	gsacs-server -pprof -log-level debug           # profiling + verbose logs
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/grdf"
 	"repro/internal/gsacs"
+	"repro/internal/obs"
+	"repro/internal/owl"
 	"repro/internal/seconto"
 	"repro/internal/store"
 	"repro/internal/turtle"
@@ -39,9 +48,14 @@ func main() {
 	seed := flag.Int64("seed", 7, "scenario seed when using built-in data")
 	cache := flag.Int("cache", 32, "query cache entries (0 disables)")
 	auditCap := flag.Int("audit", 256, "audit trail capacity (0 disables)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, error")
 	flag.Parse()
 
-	engine, err := buildEngine(*dataFile, *policyFile, *sites, *seed, *cache)
+	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel))
+	reg := obs.NewRegistry()
+
+	engine, err := buildEngine(*dataFile, *policyFile, *sites, *seed, *cache, reg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gsacs-server: %v\n", err)
 		os.Exit(1)
@@ -55,17 +69,44 @@ func main() {
 	repo.Register("grdf", grdf.Ontology())
 	repo.Register("seconto", seconto.Ontology())
 
+	opts := []gsacs.ServerOption{gsacs.WithMetrics(reg), gsacs.WithLogger(logger)}
+	if *pprofOn {
+		opts = append(opts, gsacs.WithPprof())
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           gsacs.NewServer(engine, repo),
+		Handler:           gsacs.NewServer(engine, repo, opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("gsacs-server: %d data triples, %d policies, listening on %s",
-		engine.Data().Len(), len(engine.Policies().Rules), *addr)
-	log.Fatal(srv.ListenAndServe())
+	logger.Info("gsacs-server listening",
+		"addr", *addr,
+		"triples", engine.Data().Len(),
+		"policies", len(engine.Policies().Rules),
+		"cache_entries", *cache,
+		"audit_capacity", *auditCap,
+		"pprof", *pprofOn,
+	)
+	if err := srv.ListenAndServe(); err != nil {
+		logger.Error("server exited", "err", err.Error())
+		os.Exit(1)
+	}
 }
 
-func buildEngine(dataFile, policyFile string, sites int, seed int64, cache int) (*gsacs.Engine, error) {
+func parseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+func buildEngine(dataFile, policyFile string, sites int, seed int64, cache int, reg *obs.Registry) (*gsacs.Engine, error) {
 	var data *store.Store
 	var policies *seconto.Set
 
@@ -99,9 +140,14 @@ func buildEngine(dataFile, policyFile string, sites int, seed int64, cache int) 
 		}
 	}
 
-	reasoner := gsacs.NewOWLReasoner(data, grdf.Ontology(), seconto.Ontology())
+	data.Instrument(reg)
+	reasoner := owl.NewReasoner().Instrument(reg)
+	reasoner.AddGraph(grdf.Ontology())
+	reasoner.AddGraph(seconto.Ontology())
+	reasoner.AddAll(data.Triples())
 	return gsacs.New(policies, data, gsacs.Options{
 		Reasoner:  reasoner,
 		CacheSize: cache,
+		Metrics:   reg,
 	}), nil
 }

@@ -1,17 +1,22 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"log/slog"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/gsacs"
+	"repro/internal/obs"
 )
 
 func TestBuildEngineBuiltinScenario(t *testing.T) {
-	e, err := buildEngine("", "", 5, 3, 8)
+	e, err := buildEngine("", "", 5, 3, 8, nil)
 	if err != nil {
 		t.Fatalf("buildEngine: %v", err)
 	}
@@ -31,6 +36,84 @@ func TestBuildEngineBuiltinScenario(t *testing.T) {
 	resp.Body.Close()
 }
 
+// TestObservabilityEndToEnd drives the fully-instrumented server the same
+// way main() wires it and checks the acceptance criteria: /metrics serves
+// every advertised family, and the /query trace ID shows up in the logs.
+func TestObservabilityEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	logger := obs.NewLogger(&logBuf, slog.LevelInfo)
+
+	e, err := buildEngine("", "", 5, 3, 8, reg)
+	if err != nil {
+		t.Fatalf("buildEngine: %v", err)
+	}
+	e.EnableAudit(16)
+	srv := httptest.NewServer(gsacs.NewServer(e, nil,
+		gsacs.WithMetrics(reg), gsacs.WithLogger(logger)))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get(obs.TraceHeader)
+	}
+
+	query := "SELECT ?s WHERE { ?s a <http://grdf.org/app#ChemSite> }"
+	_, traceID := get("/query?role=Hazmat&q=" + url.QueryEscape(query))
+	if traceID == "" {
+		t.Fatal("no trace ID on /query response")
+	}
+	if !strings.Contains(logBuf.String(), traceID) {
+		t.Errorf("trace ID %s missing from logs:\n%s", traceID, logBuf.String())
+	}
+
+	metrics, _ := get("/metrics")
+	for _, family := range []string{
+		"grdf_http_request_duration_seconds_bucket",
+		"grdf_http_requests_total",
+		"grdf_http_in_flight_requests",
+		"grdf_cache_hits_total",
+		"grdf_cache_misses_total",
+		"grdf_decisions_total",
+		"grdf_reasoner_inferred_triples",
+		"grdf_store_triples",
+		"grdf_sparql_eval_duration_seconds",
+		"grdf_audit_entries",
+	} {
+		if !strings.Contains(metrics, family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+	if !strings.Contains(metrics, `grdf_http_requests_total{code="200",route="/query"}`) {
+		t.Errorf("per-route counter missing:\n%s", metrics)
+	}
+
+	// /healthz surfaces cache and audit stats (previously unreachable).
+	health, _ := get("/healthz")
+	for _, want := range []string{`"cache"`, `"hits"`, `"audit"`, `"overwritten"`, `"generation"`} {
+		if !strings.Contains(health, want) {
+			t.Errorf("/healthz missing %s: %s", want, health)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "error": slog.LevelError, "bogus": slog.LevelInfo,
+	} {
+		if got := parseLevel(in); got != want {
+			t.Errorf("parseLevel(%q) = %v", in, got)
+		}
+	}
+}
+
 func TestBuildEngineCustomData(t *testing.T) {
 	dir := t.TempDir()
 	dataFile := filepath.Join(dir, "data.ttl")
@@ -47,7 +130,7 @@ seconto:P1 a seconto:Policy ;
     seconto:hasResource app:ChemSite .
 `), 0o644)
 
-	e, err := buildEngine(dataFile, policyFile, 0, 0, 0)
+	e, err := buildEngine(dataFile, policyFile, 0, 0, 0, nil)
 	if err != nil {
 		t.Fatalf("buildEngine: %v", err)
 	}
@@ -56,15 +139,15 @@ seconto:P1 a seconto:Policy ;
 	}
 
 	// error paths
-	if _, err := buildEngine(dataFile, "", 0, 0, 0); err == nil || !strings.Contains(err.Error(), "requires -policies") {
+	if _, err := buildEngine(dataFile, "", 0, 0, 0, nil); err == nil || !strings.Contains(err.Error(), "requires -policies") {
 		t.Errorf("missing -policies not rejected: %v", err)
 	}
-	if _, err := buildEngine(filepath.Join(dir, "missing.ttl"), policyFile, 0, 0, 0); err == nil {
+	if _, err := buildEngine(filepath.Join(dir, "missing.ttl"), policyFile, 0, 0, 0, nil); err == nil {
 		t.Error("missing data file accepted")
 	}
 	badPol := filepath.Join(dir, "bad.ttl")
 	os.WriteFile(badPol, []byte("not turtle @@"), 0o644)
-	if _, err := buildEngine(dataFile, badPol, 0, 0, 0); err == nil {
+	if _, err := buildEngine(dataFile, badPol, 0, 0, 0, nil); err == nil {
 		t.Error("bad policy file accepted")
 	}
 }

@@ -3,6 +3,7 @@ package gsacs
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -10,6 +11,10 @@ import (
 // engine records every Decide outcome into a bounded ring buffer that
 // operators can drain; the paper's "emergency response" style of
 // administrative oversight needs exactly this record of who saw what.
+//
+// Because the ring is bounded, a busy server can overwrite entries before
+// anyone drains them. The log counts those overwrites so operators can tell
+// a complete trail from a truncated one (and size the ring accordingly).
 
 // AuditEntry records one authorization decision.
 type AuditEntry struct {
@@ -26,13 +31,28 @@ type AuditEntry struct {
 	Policies []rdf.IRI
 }
 
+// AuditStats summarizes the ring buffer's occupancy and loss.
+type AuditStats struct {
+	// Depth is the number of entries currently held.
+	Depth int `json:"depth"`
+	// Capacity is the ring size.
+	Capacity int `json:"capacity"`
+	// Recorded is the total number of decisions ever recorded.
+	Recorded uint64 `json:"recorded"`
+	// Overwritten counts entries lost to ring wraparound.
+	Overwritten uint64 `json:"overwritten"`
+}
+
 // auditLog is a fixed-capacity ring buffer.
 type auditLog struct {
-	mu      sync.Mutex
-	seq     uint64
-	entries []AuditEntry
-	next    int
-	full    bool
+	mu          sync.Mutex
+	seq         uint64
+	entries     []AuditEntry
+	next        int
+	full        bool
+	overwritten uint64
+
+	mOverwritten *obs.Counter
 }
 
 func newAuditLog(capacity int) *auditLog {
@@ -47,6 +67,11 @@ func (l *auditLog) record(e AuditEntry) {
 	defer l.mu.Unlock()
 	l.seq++
 	e.Seq = l.seq
+	if l.full {
+		// The slot being claimed still holds the oldest unread entry.
+		l.overwritten++
+		l.mOverwritten.Inc()
+	}
 	l.entries[l.next] = e
 	l.next = (l.next + 1) % len(l.entries)
 	if l.next == 0 {
@@ -68,10 +93,33 @@ func (l *auditLog) snapshot() []AuditEntry {
 	return cp
 }
 
+// stats reports occupancy without copying entries.
+func (l *auditLog) stats() AuditStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	depth := l.next
+	if l.full {
+		depth = len(l.entries)
+	}
+	return AuditStats{
+		Depth:       depth,
+		Capacity:    len(l.entries),
+		Recorded:    l.seq,
+		Overwritten: l.overwritten,
+	}
+}
+
 // EnableAudit turns on decision auditing with the given ring capacity.
 // Calling it again resizes (and clears) the log.
 func (e *Engine) EnableAudit(capacity int) {
 	e.audit = newAuditLog(capacity)
+	if e.metrics != nil {
+		log := e.audit
+		log.mOverwritten = e.metrics.Counter("grdf_audit_overwritten_total",
+			"Audit entries lost to ring-buffer wraparound.")
+		e.metrics.GaugeFunc("grdf_audit_entries", "Audit entries currently buffered.",
+			func() float64 { return float64(log.stats().Depth) })
+	}
 }
 
 // AuditTrail returns the recorded decisions, oldest first. Nil when auditing
@@ -81,6 +129,15 @@ func (e *Engine) AuditTrail() []AuditEntry {
 		return nil
 	}
 	return e.audit.snapshot()
+}
+
+// AuditStats reports ring occupancy and overwrite loss; the zero value when
+// auditing is disabled.
+func (e *Engine) AuditStats() AuditStats {
+	if e.audit == nil {
+		return AuditStats{}
+	}
+	return e.audit.stats()
 }
 
 // recordAudit is called by Decide when auditing is enabled.

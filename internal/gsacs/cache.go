@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -15,14 +16,27 @@ import (
 // Entries are keyed by a request key plus the data store's generation
 // counter, so any mutation of the underlying data invalidates every cached
 // answer at lookup time without an explicit flush. Eviction is LRU.
+//
+// The cache distinguishes the two miss causes operators need to tell apart:
+// cold misses (key never seen / evicted) versus stale invalidations (key
+// present but computed at an older data generation). A cache with a high
+// stale rate needs fewer writers, not more capacity.
 type QueryCache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List
 	entries  map[string]*list.Element
 
-	hits   uint64
-	misses uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	stale     uint64
+
+	// Metric handles (nil-safe no-ops until instrument is called).
+	mHits      *obs.Counter
+	mMisses    *obs.Counter
+	mEvictions *obs.Counter
+	mStale     *obs.Counter
 }
 
 type cacheEntry struct {
@@ -43,6 +57,20 @@ func NewQueryCache(capacity int) *QueryCache {
 	}
 }
 
+// instrument exports the cache's counters into reg. Call before concurrent
+// use (the engine does this at construction).
+func (c *QueryCache) instrument(reg *obs.Registry) {
+	c.mHits = reg.Counter("grdf_cache_hits_total", "Query cache hits.")
+	c.mMisses = reg.Counter("grdf_cache_misses_total",
+		"Query cache misses (cold and stale combined).")
+	c.mEvictions = reg.Counter("grdf_cache_evictions_total",
+		"Entries evicted by LRU capacity pressure.")
+	c.mStale = reg.Counter("grdf_cache_stale_invalidations_total",
+		"Entries dropped at lookup because the data generation moved.")
+	reg.GaugeFunc("grdf_cache_entries", "Entries currently cached.",
+		func() float64 { return float64(c.Len()) })
+}
+
 // Get returns the cached view for key when present and computed at the
 // given data generation; stale entries are dropped.
 func (c *QueryCache) Get(key string, generation uint64) (*store.Store, bool) {
@@ -51,6 +79,7 @@ func (c *QueryCache) Get(key string, generation uint64) (*store.Store, bool) {
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		c.mMisses.Inc()
 		return nil, false
 	}
 	ent := el.Value.(*cacheEntry)
@@ -59,10 +88,14 @@ func (c *QueryCache) Get(key string, generation uint64) (*store.Store, bool) {
 		c.ll.Remove(el)
 		delete(c.entries, key)
 		c.misses++
+		c.stale++
+		c.mMisses.Inc()
+		c.mStale.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
 	c.hits++
+	c.mHits.Inc()
 	return ent.view, true
 }
 
@@ -83,6 +116,8 @@ func (c *QueryCache) Put(key string, generation uint64, view *store.Store) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+		c.mEvictions.Inc()
 	}
 }
 
@@ -98,6 +133,31 @@ func (c *QueryCache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// CacheStats is a full accounting snapshot of the cache.
+type CacheStats struct {
+	Hits               uint64 `json:"hits"`
+	Misses             uint64 `json:"misses"`
+	Evictions          uint64 `json:"evictions"`
+	StaleInvalidations uint64 `json:"stale_invalidations"`
+	Entries            int    `json:"entries"`
+	Capacity           int    `json:"capacity"`
+}
+
+// Snapshot returns every counter at once — the /healthz payload and the
+// E8 experiment both read this.
+func (c *QueryCache) Snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:               c.hits,
+		Misses:             c.misses,
+		Evictions:          c.evictions,
+		StaleInvalidations: c.stale,
+		Entries:            c.ll.Len(),
+		Capacity:           c.capacity,
+	}
 }
 
 // Clear drops every entry.

@@ -13,9 +13,11 @@ package gsacs
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/grdf"
+	"repro/internal/obs"
 	"repro/internal/owl"
 	"repro/internal/rdf"
 	"repro/internal/seconto"
@@ -55,6 +57,12 @@ type Engine struct {
 	reasoner Reasoner
 	cache    *QueryCache
 	audit    *auditLog
+
+	// metrics is the observability registry (nil disables; every handle
+	// derived from it is nil-safe).
+	metrics  *obs.Registry
+	mAllowed *obs.Counter
+	mDenied  *obs.Counter
 }
 
 // Options configures New.
@@ -63,19 +71,33 @@ type Options struct {
 	Reasoner Reasoner
 	// CacheSize bounds the query cache (entries); 0 disables caching.
 	CacheSize int
+	// Metrics receives decision, cache and query instrumentation; nil
+	// disables it.
+	Metrics *obs.Registry
 }
 
 // New builds an engine over a policy set and a data store.
 func New(policies *seconto.Set, data *store.Store, opts Options) *Engine {
-	e := &Engine{policies: policies, data: data, reasoner: opts.Reasoner}
+	e := &Engine{policies: policies, data: data, reasoner: opts.Reasoner,
+		metrics: opts.Metrics}
 	if e.reasoner == nil {
 		e.reasoner = nilReasoner{data: data}
 	}
 	if opts.CacheSize > 0 {
 		e.cache = NewQueryCache(opts.CacheSize)
+		if e.metrics != nil {
+			e.cache.instrument(e.metrics)
+		}
 	}
+	e.mAllowed = e.metrics.Counter("grdf_decisions_total",
+		"Access decisions by outcome.", "outcome", "allowed")
+	e.mDenied = e.metrics.Counter("grdf_decisions_total",
+		"Access decisions by outcome.", "outcome", "denied")
 	return e
 }
+
+// Metrics returns the engine's registry (nil when observability is off).
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // Data exposes the underlying (unfiltered) store — for administrative paths
 // only.
@@ -134,6 +156,27 @@ func (a Access) PropertyVisible(p rdf.IRI, r Reasoner) bool {
 // geometry to lie within the scope. Conflicts resolve by priority; at equal
 // priority deny overrides permit.
 func (e *Engine) Decide(subject, action rdf.IRI, resource rdf.Term) Access {
+	var start time.Time
+	if e.metrics != nil {
+		start = time.Now()
+	}
+	acc := e.decide(subject, action, resource)
+	e.recordAudit(subject, action, resource, acc)
+	if e.metrics != nil {
+		if acc.Allowed {
+			e.mAllowed.Inc()
+		} else {
+			e.mDenied.Inc()
+		}
+		e.metrics.Histogram("grdf_decision_duration_seconds",
+			"Decision-engine latency by role.", nil,
+			"role", subject.LocalName()).ObserveSince(start)
+	}
+	return acc
+}
+
+// decide is the un-instrumented decision procedure.
+func (e *Engine) decide(subject, action rdf.IRI, resource rdf.Term) Access {
 	rules := e.policies.ForSubject(subject)
 	var applicable []seconto.Rule
 	for _, r := range rules {
@@ -149,9 +192,7 @@ func (e *Engine) Decide(subject, action rdf.IRI, resource rdf.Term) Access {
 		applicable = append(applicable, r)
 	}
 	if len(applicable) == 0 {
-		acc := Access{} // default deny (closed world)
-		e.recordAudit(subject, action, resource, acc)
-		return acc
+		return Access{} // default deny (closed world)
 	}
 	// Fold from lowest to highest priority so later rules override. Within
 	// one priority class permits apply before denies (deny overrides).
@@ -187,7 +228,6 @@ func (e *Engine) Decide(subject, action rdf.IRI, resource rdf.Term) Access {
 		}
 	}
 	acc.Allowed = acc.Full || len(acc.Properties) > 0
-	e.recordAudit(subject, action, resource, acc)
 	return acc
 }
 

@@ -1,0 +1,187 @@
+package gsacs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/seconto"
+	"repro/internal/store"
+)
+
+// metricsEngine builds a scenario engine with an observability registry
+// attached, mirroring how cmd/gsacs-server wires it.
+func metricsEngine(t *testing.T, cacheSize int) (*Engine, *obs.Registry) {
+	t.Helper()
+	sc := datagen.NewScenario(datagen.ScenarioConfig{Seed: 9, Sites: 6})
+	reg := obs.NewRegistry()
+	e := New(sc.Policies, sc.Merged, Options{CacheSize: cacheSize, Metrics: reg})
+	return e, reg
+}
+
+func TestAuditRingWraparoundConcurrent(t *testing.T) {
+	e, reg := metricsEngine(t, 0)
+	const capacity = 8
+	e.EnableAudit(capacity)
+
+	// Hammer Decide from many goroutines: the ring must stay consistent and
+	// account for every overwritten entry. Run under -race in CI.
+	const workers = 8
+	const perWorker = 50
+	site := datagen.ChemSite
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				e.Decide(datagen.RoleHazmat, seconto.ActionView, site)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := e.AuditStats()
+	total := uint64(workers * perWorker)
+	if st.Recorded != total {
+		t.Errorf("Recorded = %d, want %d", st.Recorded, total)
+	}
+	if st.Depth != capacity || st.Capacity != capacity {
+		t.Errorf("Depth/Capacity = %d/%d, want %d/%d", st.Depth, st.Capacity, capacity, capacity)
+	}
+	if want := total - capacity; st.Overwritten != want {
+		t.Errorf("Overwritten = %d, want %d", st.Overwritten, want)
+	}
+
+	// The snapshot holds exactly the last `capacity` sequence numbers,
+	// oldest first.
+	trail := e.AuditTrail()
+	if len(trail) != capacity {
+		t.Fatalf("trail len = %d", len(trail))
+	}
+	for i, entry := range trail {
+		if want := total - uint64(capacity) + uint64(i) + 1; entry.Seq != want {
+			t.Errorf("trail[%d].Seq = %d, want %d", i, entry.Seq, want)
+		}
+	}
+
+	// The exported counter agrees with the ring's own accounting.
+	if got := reg.Counter("grdf_audit_overwritten_total", "").Value(); uint64(got) != st.Overwritten {
+		t.Errorf("metric overwritten = %v, stats %d", got, st.Overwritten)
+	}
+}
+
+func TestAuditStatsBeforeWraparound(t *testing.T) {
+	e, _ := metricsEngine(t, 0)
+	e.EnableAudit(16)
+	for i := 0; i < 5; i++ {
+		e.Decide(datagen.RoleHazmat, seconto.ActionView, datagen.ChemSite)
+	}
+	st := e.AuditStats()
+	if st.Depth != 5 || st.Overwritten != 0 || st.Recorded != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Disabled auditing reports zeros.
+	e2, _ := metricsEngine(t, 0)
+	if st := e2.AuditStats(); st != (AuditStats{}) {
+		t.Errorf("disabled stats = %+v", st)
+	}
+}
+
+func TestQueryCacheStaleInvalidationStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewQueryCache(2)
+	c.instrument(reg)
+
+	s1, s2, s3 := store.New(), store.New(), store.New()
+	c.Put("view", 1, s1)
+	if _, ok := c.Get("view", 1); !ok {
+		t.Fatal("warm get failed")
+	}
+	// Generation moved: the lookup must drop the entry and classify the miss
+	// as a stale invalidation, not a cold miss.
+	if _, ok := c.Get("view", 2); ok {
+		t.Fatal("stale entry served")
+	}
+	// Cold miss for an unknown key.
+	if _, ok := c.Get("absent", 2); ok {
+		t.Fatal("phantom entry")
+	}
+	// Capacity pressure: two puts over capacity 2 evict one.
+	c.Put("a", 2, s1)
+	c.Put("b", 2, s2)
+	c.Put("c", 2, s3)
+
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 2 || st.StaleInvalidations != 1 || st.Evictions != 1 {
+		t.Errorf("snapshot = %+v", st)
+	}
+	if st.Entries != 2 || st.Capacity != 2 {
+		t.Errorf("occupancy = %+v", st)
+	}
+
+	for name, want := range map[string]float64{
+		"grdf_cache_hits_total":                1,
+		"grdf_cache_misses_total":              2,
+		"grdf_cache_stale_invalidations_total": 1,
+		"grdf_cache_evictions_total":           1,
+	} {
+		if got := reg.Counter(name, "").Value(); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "grdf_cache_entries 2") {
+		t.Errorf("entries gauge missing:\n%s", sb.String())
+	}
+}
+
+func TestEngineDecisionMetrics(t *testing.T) {
+	e, reg := metricsEngine(t, 4)
+	sc := datagen.NewScenario(datagen.ScenarioConfig{Seed: 9, Sites: 6})
+	site := sc.Chemical.Sites[0].IRI
+
+	allowed := e.Decide(datagen.RoleHazmat, seconto.ActionView, site)
+	if !allowed.Allowed {
+		t.Fatal("expected hazmat access")
+	}
+	e.Decide(datagen.RoleMainRepair, seconto.ActionDelete, site) // no delete policy
+
+	if got := reg.Counter("grdf_decisions_total", "", "outcome", "allowed").Value(); got != 1 {
+		t.Errorf("allowed = %v", got)
+	}
+	if got := reg.Counter("grdf_decisions_total", "", "outcome", "denied").Value(); got != 1 {
+		t.Errorf("denied = %v", got)
+	}
+	if got := reg.Histogram("grdf_decision_duration_seconds", "", nil,
+		"role", "Hazmat").Count(); got != 1 {
+		t.Errorf("per-role decision observations = %v", got)
+	}
+
+	// View twice: one cache miss then one hit, visible through the registry.
+	e.View(datagen.RoleHazmat, seconto.ActionView)
+	e.View(datagen.RoleHazmat, seconto.ActionView)
+	if got := reg.Counter("grdf_cache_hits_total", "").Value(); got != 1 {
+		t.Errorf("cache hits = %v", got)
+	}
+	if got := reg.Counter("grdf_cache_misses_total", "").Value(); got != 1 {
+		t.Errorf("cache misses = %v", got)
+	}
+
+	// Query through the instrumented engine records SPARQL phase metrics.
+	if _, err := e.Query(datagen.RoleHazmat, seconto.ActionView,
+		"SELECT ?s WHERE { ?s a <"+string(datagen.ChemSite)+"> }"); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Histogram("grdf_sparql_eval_duration_seconds", "", nil).Count(); got != 1 {
+		t.Errorf("eval observations = %v", got)
+	}
+	if got := reg.Counter("grdf_sparql_queries_total", "", "kind", "SELECT").Value(); got != 1 {
+		t.Errorf("queries by kind = %v", got)
+	}
+}

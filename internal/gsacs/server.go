@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 
 	"repro/internal/ntriples"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/seconto"
 	"repro/internal/sparql"
@@ -18,15 +21,69 @@ import (
 // interface to accept client requests and respond back. This module only
 // defines communication points and hides the internal details of the system
 // from clients."
+//
+// Every request flows through the obs middleware: it gets a trace ID
+// (echoed in the X-Trace-Id response header and attached to every log line
+// for the request), a per-route latency observation, and a status-code
+// counter. The registry is scraped at /metrics.
 type Server struct {
-	engine *Engine
-	repo   *OntoRepository
-	mux    *http.ServeMux
+	engine  *Engine
+	repo    *OntoRepository
+	mux     *http.ServeMux
+	handler http.Handler
+	metrics *obs.Registry
+	logger  *slog.Logger
+}
+
+// ServerOption customizes NewServer.
+type ServerOption func(*Server)
+
+// WithMetrics wires a registry into the HTTP middleware and mounts its
+// Prometheus exposition at /metrics.
+func WithMetrics(reg *obs.Registry) ServerOption {
+	return func(s *Server) { s.metrics = reg }
+}
+
+// WithLogger enables structured per-request logging.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithPprof mounts net/http/pprof profile endpoints under /debug/pprof/.
+func WithPprof() ServerOption {
+	return func(s *Server) {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// routes are the fixed mux patterns, reused as bounded metric label values.
+var routes = []string{
+	"/healthz", "/roles", "/view", "/resource", "/query",
+	"/ontologies", "/insert", "/delete", "/audit", "/metrics",
+}
+
+// routeLabel maps a request path to a bounded label value so unknown paths
+// cannot explode metric cardinality.
+func routeLabel(r *http.Request) string {
+	for _, known := range routes {
+		if r.URL.Path == known {
+			return known
+		}
+	}
+	if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+		return "/debug/pprof/"
+	}
+	return "other"
 }
 
 // NewServer builds the HTTP front-end over an engine and an ontology
-// repository (repo may be nil).
-func NewServer(engine *Engine, repo *OntoRepository) *Server {
+// repository (repo may be nil). If the engine carries a metrics registry
+// and no WithMetrics option is given, the engine's registry is used.
+func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Server {
 	s := &Server{engine: engine, repo: repo, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/roles", s.handleRoles)
@@ -37,37 +94,65 @@ func NewServer(engine *Engine, repo *OntoRepository) *Server {
 	s.mux.HandleFunc("/insert", s.handleMutate(true))
 	s.mux.HandleFunc("/delete", s.handleMutate(false))
 	s.mux.HandleFunc("/audit", s.handleAudit)
+	for _, o := range opts {
+		o(s)
+	}
+	if s.metrics == nil {
+		s.metrics = engine.Metrics()
+	}
+	if s.metrics != nil {
+		s.mux.Handle("/metrics", s.metrics.Handler())
+	}
+	s.handler = obs.Middleware(obs.MiddlewareConfig{
+		Registry: s.metrics,
+		Logger:   s.logger,
+		Route:    routeLabel,
+	}, s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+// writeJSON encodes v, logging (rather than silently discarding) encode
+// failures — by then the status line is gone, so logging is all that's left.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"status":  "ok",
-		"triples": s.engine.Data().Len(),
-	})
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		obs.Logger(r.Context()).Warn("encode response", "path", r.URL.Path, "err", err.Error())
+	}
 }
 
-func (s *Server) handleRoles(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{
+		"status":     "ok",
+		"triples":    s.engine.Data().Len(),
+		"generation": s.engine.Data().Generation(),
+	}
+	if c := s.engine.Cache(); c != nil {
+		body["cache"] = c.Snapshot()
+	}
+	if st := s.engine.AuditStats(); st.Capacity > 0 {
+		body["audit"] = st
+	}
+	s.writeJSON(w, r, body)
+}
+
+func (s *Server) handleRoles(w http.ResponseWriter, r *http.Request) {
 	subjects := s.engine.Policies().Subjects()
 	out := make([]string, len(subjects))
 	for i, sub := range subjects {
 		out[i] = string(sub)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{"roles": out})
+	s.writeJSON(w, r, map[string]any{"roles": out})
 }
 
-func (s *Server) handleOntologies(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleOntologies(w http.ResponseWriter, r *http.Request) {
 	names := []string{}
 	if s.repo != nil {
 		names = s.repo.Names()
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{"ontologies": names})
+	s.writeJSON(w, r, map[string]any{"ontologies": names})
 }
 
 // resolveRole accepts a full IRI or a local name under the seconto namespace.
@@ -142,15 +227,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.engine.Query(role, seconto.ActionView, q)
 	if err != nil {
+		obs.Logger(r.Context()).Warn("query failed",
+			"role", string(role), "err", err.Error())
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resultJSON(res))
+	obs.Logger(r.Context()).Info("query served",
+		"role", string(role), "kind", res.Kind.String(), "solutions", len(res.Bindings))
+	s.writeJSON(w, r, resultJSON(res))
 }
 
-// handleAudit dumps the decision audit trail (empty when auditing is off).
-func (s *Server) handleAudit(w http.ResponseWriter, _ *http.Request) {
+// handleAudit dumps the decision audit trail (empty when auditing is off),
+// prefixed with the ring's occupancy/loss stats.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	trail := s.engine.AuditTrail()
 	type row struct {
 		Seq      uint64   `json:"seq"`
@@ -172,8 +261,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, _ *http.Request) {
 			Resource: e.Resource, Allowed: e.Allowed, Full: e.Full, Policies: pols,
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{"entries": rows})
+	s.writeJSON(w, r, map[string]any{"stats": s.engine.AuditStats(), "entries": rows})
 }
 
 // handleMutate serves POST /insert and /delete: the request body is one or
@@ -212,8 +300,7 @@ func (s *Server) handleMutate(insert bool) http.HandlerFunc {
 			}
 			applied++
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{"applied": applied})
+		s.writeJSON(w, r, map[string]any{"applied": applied})
 	}
 }
 

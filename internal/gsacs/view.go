@@ -136,7 +136,7 @@ func (e *Engine) governedResources() []rdf.Term {
 // view (and thus the query result) reflects the role's permissions only.
 func (e *Engine) Query(subject, action rdf.IRI, query string) (*sparql.Result, error) {
 	view := e.View(subject, action)
-	eng := sparql.NewEngine(view)
+	eng := sparql.NewEngine(view).Instrument(e.metrics)
 	grdf.RegisterSpatialFuncs(eng, view)
 	return eng.Query(query)
 }

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// HTTP middleware: the client-interface edge of the Fig. 3 service. Every
+// request gets a trace ID (minted, or adopted from X-Trace-Id), an
+// in-flight gauge increment, a per-route latency observation, a
+// status-code-labelled request counter, and one structured log line.
+
+// MiddlewareConfig configures Middleware. Zero-value fields degrade
+// gracefully: a nil Registry records nothing, a nil Logger logs nothing,
+// a nil Route falls back to the raw URL path.
+type MiddlewareConfig struct {
+	// Registry receives http metrics (nil disables).
+	Registry *Registry
+	// Logger receives one line per request (nil disables).
+	Logger *slog.Logger
+	// Route maps a request to a bounded label value (e.g. the mux pattern).
+	// Bounding matters: raw paths with IDs would explode series cardinality.
+	Route func(*http.Request) string
+}
+
+// statusWriter captures the response status code and bytes written.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// Middleware wraps next with tracing, metrics and logging.
+func Middleware(cfg MiddlewareConfig, next http.Handler) http.Handler {
+	reg := cfg.Registry
+	inFlight := reg.Gauge("grdf_http_in_flight_requests",
+		"Requests currently being served.")
+	logger := cfg.Logger
+	if logger == nil {
+		logger = NopLogger()
+	}
+	route := cfg.Route
+	if route == nil {
+		route = func(r *http.Request) string { return r.URL.Path }
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		traceID := r.Header.Get(TraceHeader)
+		if traceID == "" || len(traceID) > 64 {
+			traceID = NewID()
+		}
+		ctx := WithLogger(WithTraceID(r.Context(), traceID), logger)
+		w.Header().Set(TraceHeader, traceID)
+
+		inFlight.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		inFlight.Dec()
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		rt := route(r)
+		reg.Counter("grdf_http_requests_total", "Completed HTTP requests.",
+			"route", rt, "code", itoa(sw.status)).Inc()
+		reg.Histogram("grdf_http_request_duration_seconds",
+			"HTTP request latency by route.", nil, "route", rt).
+			Observe(elapsed.Seconds())
+		Logger(ctx).Info("http request",
+			"method", r.Method,
+			"route", rt,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_us", elapsed.Microseconds(),
+		)
+	})
+}
+
+// itoa renders small positive ints without strconv allocation games — status
+// codes are three digits.
+func itoa(v int) string {
+	if v < 0 {
+		v = 0
+	}
+	buf := [8]byte{}
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}

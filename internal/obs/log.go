@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// slog plumbing: one JSON logger per process, enriched per-request with the
+// trace ID so every log line of a request can be joined on trace_id.
+
+// NewLogger returns a JSON slog.Logger writing to w at the given level.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library code when no logger is configured.
+func NopLogger() *slog.Logger {
+	return slog.New(nopHandler{})
+}
+
+// nopHandler discards all records. (slog.DiscardHandler needs go1.24; the
+// module targets go1.22.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// WithLogger returns ctx carrying l for retrieval by Logger.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Logger returns the logger carried by ctx, enriched with the context's
+// trace ID; falls back to a no-op logger so callers never nil-check.
+func Logger(ctx context.Context) *slog.Logger {
+	l, ok := ctx.Value(loggerKey).(*slog.Logger)
+	if !ok {
+		return NopLogger()
+	}
+	if id := TraceID(ctx); id != "" {
+		return l.With("trace_id", id)
+	}
+	return l
+}

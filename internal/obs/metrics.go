@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// addFloat atomically adds delta to the float64 stored as bits in u.
+func addFloat(u *atomic.Uint64, delta float64) {
+	for {
+		old := u.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if u.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing value. All methods are safe on a
+// nil receiver (no-op), so un-instrumented components pay nothing.
+type Counter series
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by delta; negative deltas panic.
+func (c *Counter) Add(delta float64) {
+	if c == nil {
+		return
+	}
+	if delta < 0 {
+		panic(fmt.Sprintf("obs: counter decrease by %v", delta))
+	}
+	addFloat(&c.bits, delta)
+}
+
+// Value returns the current total (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return (*series)(c).value()
+}
+
+// Gauge is a value that can go up and down. Nil-safe.
+type Gauge series
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by delta (negative allowed).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, delta)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return (*series)(g).value()
+}
+
+// Histogram counts observations into fixed upper-bound buckets, tracking
+// sum and count. Observe is lock-free. Nil-safe.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the accumulated total of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshot returns (count, sum, cumulative-bucket-map keyed by formatted
+// upper bound including "+Inf").
+func (h *Histogram) snapshot() (uint64, float64, map[string]uint64) {
+	cum := make(map[string]uint64, len(h.bounds)+1)
+	var running uint64
+	for i, ub := range h.bounds {
+		running += h.counts[i].Load()
+		cum[formatFloat(ub)] = running
+	}
+	count := h.count.Load()
+	cum["+Inf"] = count
+	return count, h.Sum(), cum
+}
+
+// write renders the histogram in Prometheus text format, merging the series
+// labels with the le bucket label.
+func (h *Histogram) write(sb *strings.Builder, name, labels string) {
+	bucket := func(le string, v uint64) {
+		sb.WriteString(name)
+		sb.WriteString("_bucket{")
+		if labels != "" {
+			sb.WriteString(labels)
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(sb, "le=%q} %d\n", le, v)
+	}
+	var running uint64
+	for i, ub := range h.bounds {
+		running += h.counts[i].Load()
+		bucket(formatFloat(ub), running)
+	}
+	count := h.count.Load()
+	bucket("+Inf", count)
+	suffix := func(kind, val string) {
+		sb.WriteString(name)
+		sb.WriteString(kind)
+		if labels != "" {
+			sb.WriteByte('{')
+			sb.WriteString(labels)
+			sb.WriteByte('}')
+		}
+		sb.WriteByte(' ')
+		sb.WriteString(val)
+		sb.WriteByte('\n')
+	}
+	suffix("_sum", formatFloat(h.Sum()))
+	suffix("_count", formatFloat(float64(count)))
+}

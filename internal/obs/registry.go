@@ -1,0 +1,435 @@
+// Package obs is the reproduction's observability layer: a stdlib-only
+// metrics registry with Prometheus text-format exposition, request-scoped
+// trace IDs carried via context.Context, log/slog helpers, and HTTP
+// middleware that ties the three together.
+//
+// The G-SACS architecture of Fig. 3 is a *service* — client interface,
+// decision engine, query cache, reasoning engine — and the ROADMAP's
+// "as fast as the hardware allows" goal is unreachable without per-stage
+// measurement. Every layer (HTTP front-end, decision engine, query cache,
+// OWL reasoner, SPARQL evaluator, triple store) reports into one Registry,
+// scraped at /metrics and snapshotted by grdf-bench.
+//
+// Design notes:
+//
+//   - All instruments are lock-free on the hot path (atomics); the registry
+//     lock is only taken when a handle is first created or at exposition.
+//   - Handles are nil-safe: methods on a nil *Counter / *Gauge / *Histogram
+//     are no-ops, and every getter on a nil *Registry returns nil. Components
+//     can therefore be instrumented unconditionally and run un-instrumented
+//     at zero cost when no registry is configured.
+//   - Callback instruments (GaugeFunc / CounterFunc) are read at exposition
+//     time, so values that already exist elsewhere (store size, cache depth)
+//     cost nothing between scrapes.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricKind discriminates the exposition TYPE of a family.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// DefBuckets are the default latency buckets (seconds). They skew far lower
+// than Prometheus' classic defaults because the in-memory hot paths here
+// (cache hits, single decisions) complete in microseconds.
+var DefBuckets = []float64{
+	0.000005, 0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Registry holds metric families keyed by name. The zero value is not
+// usable; call NewRegistry. A nil *Registry is a valid "off switch": all
+// getters return nil handles whose methods no-op.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// family groups all label permutations (series) of one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// series is one (name, labels) time series.
+type series struct {
+	labels string // canonical rendered label string, "" when unlabelled
+	bits   atomic.Uint64
+	fn     func() float64 // callback series read at exposition
+	hist   *Histogram
+}
+
+func (s *series) value() float64 {
+	if s.fn != nil {
+		return s.fn()
+	}
+	return math.Float64frombits(s.bits.Load())
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family returns (creating if needed) the named family, panicking on a kind
+// mismatch — mixing kinds under one name is a programming error that would
+// silently corrupt the exposition otherwise.
+func (r *Registry) getFamily(name, help string, kind metricKind, buckets []float64) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		f, ok = r.families[name]
+		if !ok {
+			f = &family{name: name, help: help, kind: kind, buckets: buckets,
+				series: make(map[string]*series)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if f.help == "" && help != "" {
+		r.mu.Lock()
+		f.help = help
+		r.mu.Unlock()
+	}
+	return f
+}
+
+// getSeries returns (creating if needed) the series for the canonical label
+// string within f.
+func (f *family) getSeries(labels string) *series {
+	f.mu.RLock()
+	s, ok := f.series[labels]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok = f.series[labels]; ok {
+		return s
+	}
+	s = &series{labels: labels}
+	if f.kind == kindHistogram {
+		s.hist = newHistogram(f.buckets)
+	}
+	f.series[labels] = s
+	return s
+}
+
+// labelString renders variadic key/value pairs into a canonical (sorted,
+// escaped) Prometheus label string. Panics on an odd count.
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", kv))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(p.v))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// Counter returns the counter for name with the given label pairs
+// ("key", "value", ...), creating it on first use. Nil-safe.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, kindCounter, nil)
+	return (*Counter)(f.getSeries(labelString(kv)))
+}
+
+// Gauge returns the gauge for name with the given label pairs. Nil-safe.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, kindGauge, nil)
+	return (*Gauge)(f.getSeries(labelString(kv)))
+}
+
+// Histogram returns the histogram for name with the given label pairs,
+// using buckets (nil means DefBuckets) on first creation of the family.
+// Nil-safe.
+func (r *Registry) Histogram(name, help string, buckets []float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.getFamily(name, help, kindHistogram, buckets)
+	return f.getSeries(labelString(kv)).hist
+}
+
+// GaugeFunc registers a callback gauge evaluated at exposition time —
+// ideal for values maintained elsewhere (store size, cache depth). Calling
+// it again for the same (name, labels) replaces the callback. Nil-safe.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, kv ...string) {
+	if r == nil {
+		return
+	}
+	f := r.getFamily(name, help, kindGauge, nil)
+	s := f.getSeries(labelString(kv))
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// CounterFunc registers a callback counter evaluated at exposition time.
+// The callback must be monotonically non-decreasing. Nil-safe.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, kv ...string) {
+	if r == nil {
+		return
+	}
+	f := r.getFamily(name, help, kindCounter, nil)
+	s := f.getSeries(labelString(kv))
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+
+// WritePrometheus renders every family in Prometheus text format (version
+// 0.0.4), families and series sorted for deterministic output. Nil-safe.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		f.write(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func (f *family) write(sb *strings.Builder) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snap := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		snap = append(snap, f.series[k])
+	}
+	f.mu.RUnlock()
+
+	if f.help != "" {
+		fmt.Fprintf(sb, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+	}
+	fmt.Fprintf(sb, "# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range snap {
+		if f.kind == kindHistogram {
+			s.hist.write(sb, f.name, s.labels)
+			continue
+		}
+		sb.WriteString(f.name)
+		if s.labels != "" {
+			sb.WriteByte('{')
+			sb.WriteString(s.labels)
+			sb.WriteByte('}')
+		}
+		sb.WriteByte(' ')
+		sb.WriteString(formatFloat(s.value()))
+		sb.WriteByte('\n')
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors here mean the client went away; nothing useful to do.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot (machine-readable export for grdf-bench)
+
+// Metric is one exported sample in a Snapshot. For histograms, Value holds
+// the observation count, Sum the accumulated total, and Buckets the
+// cumulative per-upper-bound counts.
+type Metric struct {
+	Name    string            `json:"name"`
+	Kind    string            `json:"kind"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot exports every series as a flat, JSON-friendly sample list,
+// sorted by name then labels. Nil-safe (returns nil).
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var out []Metric
+	for _, f := range fams {
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			m := Metric{Name: f.name, Kind: f.kind.String(), Labels: parseLabels(k)}
+			if f.kind == kindHistogram {
+				count, sum, cum := s.hist.snapshot()
+				m.Value = float64(count)
+				m.Sum = sum
+				m.Buckets = cum
+			} else {
+				m.Value = s.value()
+			}
+			out = append(out, m)
+		}
+		f.mu.RUnlock()
+	}
+	return out
+}
+
+// parseLabels inverts labelString for Snapshot export. Escapes are rare in
+// practice (role names, routes); unescape the three sequences we emit.
+func parseLabels(s string) map[string]string {
+	if s == "" {
+		return nil
+	}
+	out := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.Index(s, `="`)
+		if eq < 0 {
+			break
+		}
+		key := s[:eq]
+		rest := s[eq+2:]
+		// find closing unescaped quote
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			break
+		}
+		val := strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n").Replace(rest[:end])
+		out[key] = val
+		s = rest[end+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out
+}

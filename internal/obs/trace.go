@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"time"
+)
+
+// Request-scoped tracing. A trace ID is minted (or adopted from the
+// X-Trace-Id request header) by the HTTP middleware, stored in the request
+// context, echoed in the response header, and attached to every structured
+// log line — so one ID follows a query from the client interface through the
+// decision engine, cache, reasoner and store, matching the Fig. 3 request
+// path end to end. Spans time one named stage within a trace.
+
+// TraceHeader is the HTTP header carrying the trace ID in both directions.
+const TraceHeader = "X-Trace-Id"
+
+type ctxKey int
+
+const (
+	traceIDKey ctxKey = iota
+	loggerKey
+)
+
+// NewID returns a 16-hex-char random identifier.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is effectively fatal elsewhere; degrade to a
+		// fixed marker rather than take the process down over telemetry.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTraceID returns ctx carrying the given trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "" when absent.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey).(string)
+	return id
+}
+
+// EnsureTraceID returns ctx with a trace ID, minting one when absent.
+func EnsureTraceID(ctx context.Context) (context.Context, string) {
+	if id := TraceID(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewID()
+	return WithTraceID(ctx, id), id
+}
+
+// Span times one named stage of a request.
+type Span struct {
+	Name    string
+	TraceID string
+	start   time.Time
+	hist    *Histogram
+	logger  *slog.Logger
+}
+
+// StartSpan begins timing a stage. The span inherits the context's trace ID
+// and logger; End stops the clock.
+func StartSpan(ctx context.Context, name string) *Span {
+	return &Span{Name: name, TraceID: TraceID(ctx), start: time.Now()}
+}
+
+// ObserveInto directs End to record the span duration into h (nil ok).
+func (s *Span) ObserveInto(h *Histogram) *Span {
+	s.hist = h
+	return s
+}
+
+// LogTo directs End to emit a debug line to l.
+func (s *Span) LogTo(l *slog.Logger) *Span {
+	s.logger = l
+	return s
+}
+
+// End stops the span, records its duration into the configured histogram,
+// optionally logs it, and returns the elapsed time.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.hist.Observe(d.Seconds())
+	if s.logger != nil {
+		s.logger.Debug("span", "name", s.Name, "trace_id", s.TraceID,
+			"duration_us", d.Microseconds())
+	}
+	return d
+}

@@ -14,6 +14,9 @@
 package owl
 
 import (
+	"time"
+
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/store"
 )
@@ -46,6 +49,16 @@ type Reasoner struct {
 	// curRule / curTrigger hold the provenance context while rules run.
 	curRule    string
 	curTrigger rdf.Triple
+
+	// Metric handles (set by Instrument; nil-safe no-ops otherwise). The
+	// gauges are refreshed after every materialization so /metrics always
+	// shows the current closure, not a stale sample.
+	instrumented      bool
+	mMaterializations *obs.Counter
+	mDuration         *obs.Histogram
+	mInferred         *obs.Gauge
+	mAsserted         *obs.Gauge
+	mIterations       *obs.Gauge
 }
 
 // Derivation explains one inferred triple.
@@ -75,6 +88,28 @@ func (r *Reasoner) Store() *store.Store { return r.st }
 
 // Stats returns counters accumulated so far.
 func (r *Reasoner) Stats() Stats { return r.stats }
+
+// Instrument exports the reasoner's counters into reg: cumulative
+// inferred-triple / iteration gauges, a materialization counter, and a
+// drain-duration histogram. Call before feeding data; the reasoner itself
+// is not concurrency-safe, so neither is this.
+func (r *Reasoner) Instrument(reg *obs.Registry) *Reasoner {
+	if reg == nil {
+		return r
+	}
+	r.instrumented = true
+	r.mMaterializations = reg.Counter("grdf_reasoner_materializations_total",
+		"Delta-queue drains that derived at least one consequence batch.")
+	r.mDuration = reg.Histogram("grdf_reasoner_materialize_seconds",
+		"Wall time per materialization drain.", nil)
+	r.mInferred = reg.Gauge("grdf_reasoner_inferred_triples",
+		"Triples derived (not asserted) in the current closure.")
+	r.mAsserted = reg.Gauge("grdf_reasoner_asserted_triples",
+		"Triples asserted into the reasoner.")
+	r.mIterations = reg.Gauge("grdf_reasoner_iterations",
+		"Cumulative delta-queue rounds across all materializations.")
+	return r
+}
 
 // Add asserts one triple and derives its consequences. It reports whether
 // the triple was new.
@@ -134,6 +169,13 @@ func (r *Reasoner) emit(t rdf.Triple) {
 
 // drain processes the delta queue to fixpoint.
 func (r *Reasoner) drain() {
+	if len(r.queue) == 0 {
+		return
+	}
+	var start time.Time
+	if r.instrumented {
+		start = time.Now()
+	}
 	for len(r.queue) > 0 {
 		r.stats.Iterations++
 		batch := r.queue
@@ -150,6 +192,13 @@ func (r *Reasoner) drain() {
 			}
 			r.pending = r.pending[:0]
 		}
+	}
+	if r.instrumented {
+		r.mMaterializations.Inc()
+		r.mDuration.ObserveSince(start)
+		r.mInferred.Set(float64(r.stats.Inferred))
+		r.mAsserted.Set(float64(r.stats.Asserted))
+		r.mIterations.Set(float64(r.stats.Iterations))
 	}
 }
 

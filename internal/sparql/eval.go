@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/store"
 )
@@ -20,6 +22,40 @@ type Engine struct {
 	store   *store.Store
 	dataset *store.Dataset
 	funcs   map[rdf.IRI]CustomFunc
+	met     *engineMetrics
+}
+
+// engineMetrics holds the evaluator's per-phase instrumentation: the
+// GeoSPARQL benchmarking literature is unambiguous that engines need
+// parse-vs-eval phase timing to locate their bottlenecks, so the two phases
+// are observed separately.
+type engineMetrics struct {
+	reg       *obs.Registry
+	parse     *obs.Histogram
+	eval      *obs.Histogram
+	solutions *obs.Counter
+	errors    *obs.Counter
+}
+
+// Instrument exports parse/eval phase timings, per-kind query counts and
+// solution counts into reg (nil is a no-op). Returns e for chaining. Call
+// before serving queries.
+func (e *Engine) Instrument(reg *obs.Registry) *Engine {
+	if reg == nil {
+		return e
+	}
+	e.met = &engineMetrics{
+		reg: reg,
+		parse: reg.Histogram("grdf_sparql_parse_duration_seconds",
+			"SPARQL parse phase latency.", nil),
+		eval: reg.Histogram("grdf_sparql_eval_duration_seconds",
+			"SPARQL evaluation phase latency.", nil),
+		solutions: reg.Counter("grdf_sparql_solutions_total",
+			"Solutions (bindings or template triples) produced."),
+		errors: reg.Counter("grdf_sparql_errors_total",
+			"Queries that failed to parse or evaluate."),
+	}
+	return e
 }
 
 // NewEngine returns an engine over s.
@@ -36,6 +72,8 @@ func NewDatasetEngine(ds *store.Dataset) *Engine {
 // forGraph derives an engine over one named graph, sharing functions and the
 // dataset.
 func (e *Engine) forGraph(st *store.Store) *Engine {
+	// Metrics stay with the outer engine: nested GRAPH evaluation is part of
+	// the same query, so timing it separately would double-count.
 	return &Engine{store: st, dataset: e.dataset, funcs: e.funcs}
 }
 
@@ -77,15 +115,51 @@ type Result struct {
 
 // Query parses and evaluates src in one step.
 func (e *Engine) Query(src string) (*Result, error) {
+	var start time.Time
+	if e.met != nil {
+		start = time.Now()
+	}
 	q, err := ParseQuery(src, nil)
+	if e.met != nil {
+		e.met.parse.ObserveSince(start)
+	}
 	if err != nil {
+		if e.met != nil {
+			e.met.errors.Inc()
+		}
 		return nil, err
 	}
 	return e.Eval(q)
 }
 
-// Eval evaluates a parsed query.
+// Eval evaluates a parsed query, recording phase timing and solution counts
+// when the engine is instrumented.
 func (e *Engine) Eval(q *Query) (*Result, error) {
+	if e.met == nil {
+		return e.eval(q)
+	}
+	start := time.Now()
+	res, err := e.eval(q)
+	e.met.eval.ObserveSince(start)
+	e.met.reg.Counter("grdf_sparql_queries_total",
+		"Queries evaluated by kind.", "kind", q.Kind.String()).Inc()
+	if err != nil {
+		e.met.errors.Inc()
+		return nil, err
+	}
+	switch res.Kind {
+	case Ask:
+		e.met.solutions.Inc()
+	case Construct, Describe:
+		e.met.solutions.Add(float64(res.Graph.Len()))
+	default:
+		e.met.solutions.Add(float64(len(res.Bindings)))
+	}
+	return res, nil
+}
+
+// eval is the un-instrumented evaluation path.
+func (e *Engine) eval(q *Query) (*Result, error) {
 	seed := []Binding{{}}
 	sols, err := e.evalGroup(q.Where, seed)
 	if err != nil {

@@ -16,7 +16,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -73,6 +76,52 @@ type Store struct {
 	// generation increments on every successful mutation; the query cache
 	// uses it for O(1) invalidation checks.
 	generation uint64
+
+	// mLockHold, when set by Instrument, samples write-lock hold times.
+	// holdTick picks every lockSampleEvery-th mutation so the hot path pays
+	// one atomic increment, not a clock read, per write.
+	mLockHold *obs.Histogram
+	holdTick  atomic.Uint64
+}
+
+// lockSampleEvery is the write-lock sampling period (power of two).
+const lockSampleEvery = 16
+
+// Instrument exports the store's vitals into reg: triple count and
+// generation as callback gauges (zero hot-path cost) plus a sampled
+// write-lock hold-time histogram. Call before concurrent use.
+func (s *Store) Instrument(reg *obs.Registry) *Store {
+	if reg == nil {
+		return s
+	}
+	reg.GaugeFunc("grdf_store_triples", "Triples in the data store.",
+		func() float64 { return float64(s.Len()) })
+	reg.GaugeFunc("grdf_store_generation",
+		"Mutation generation counter (cache invalidation epoch).",
+		func() float64 { return float64(s.Generation()) })
+	s.mLockHold = reg.Histogram("grdf_store_write_lock_hold_seconds",
+		"Write-lock hold time, sampled every 16th mutation.", nil)
+	return s
+}
+
+// beginHold starts timing this write-lock hold when it falls on the
+// sampling grid; returns the zero time otherwise. Call with the write lock
+// held.
+func (s *Store) beginHold() time.Time {
+	if s.mLockHold == nil {
+		return time.Time{}
+	}
+	if s.holdTick.Add(1)%lockSampleEvery != 0 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// endHold records a sampled hold begun by beginHold.
+func (s *Store) endHold(start time.Time) {
+	if !start.IsZero() {
+		s.mLockHold.ObserveSince(start)
+	}
 }
 
 // New returns an empty store.
@@ -98,6 +147,7 @@ func (s *Store) Add(t rdf.Triple) bool {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.endHold(s.beginHold())
 	return s.addLocked(t)
 }
 
@@ -116,6 +166,7 @@ func (s *Store) addLocked(t rdf.Triple) bool {
 func (s *Store) AddAll(ts []rdf.Triple) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.endHold(s.beginHold())
 	n := 0
 	for _, t := range ts {
 		if !t.Valid() {
@@ -135,6 +186,7 @@ func (s *Store) AddGraph(g *rdf.Graph) int { return s.AddAll(g.Triples()) }
 func (s *Store) Remove(t rdf.Triple) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.endHold(s.beginHold())
 	if !s.spo.remove(t.Subject, t.Predicate, t.Object) {
 		return false
 	}
@@ -151,6 +203,7 @@ func (s *Store) RemoveMatching(sub, pred, obj rdf.Term) int {
 	victims := s.Match(sub, pred, obj)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.endHold(s.beginHold())
 	n := 0
 	for _, t := range victims {
 		if s.spo.remove(t.Subject, t.Predicate, t.Object) {
