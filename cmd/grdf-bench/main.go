@@ -71,6 +71,7 @@ func main() {
 		{"E10", func() *experiments.Table { return experiments.E10StoreSparql(sizes) }},
 		{"E11", experiments.E11Alignment},
 		{"E12", experiments.E12PolicyConflicts},
+		{"E13", func() *experiments.Table { return experiments.E13Planner(sizes) }},
 	}
 
 	selected := map[string]bool{}

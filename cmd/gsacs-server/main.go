@@ -50,6 +50,7 @@ func main() {
 	auditCap := flag.Int("audit", 256, "audit trail capacity (0 disables)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, error")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request SPARQL evaluation deadline (0 disables)")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel))
@@ -69,7 +70,8 @@ func main() {
 	repo.Register("grdf", grdf.Ontology())
 	repo.Register("seconto", seconto.Ontology())
 
-	opts := []gsacs.ServerOption{gsacs.WithMetrics(reg), gsacs.WithLogger(logger)}
+	opts := []gsacs.ServerOption{gsacs.WithMetrics(reg), gsacs.WithLogger(logger),
+		gsacs.WithQueryTimeout(*queryTimeout)}
 	if *pprofOn {
 		opts = append(opts, gsacs.WithPprof())
 	}

@@ -191,6 +191,7 @@ func All() []*Table {
 		E10StoreSparql(nil),
 		E11Alignment(),
 		E12PolicyConflicts(),
+		E13Planner(nil),
 	}
 }
 

@@ -12,6 +12,7 @@
 package gsacs
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -173,6 +174,16 @@ func (e *Engine) Decide(subject, action rdf.IRI, resource rdf.Term) Access {
 			"role", subject.LocalName()).ObserveSince(start)
 	}
 	return acc
+}
+
+// DecideCtx is the context-first form of Decide: it refuses to start once
+// ctx is done, returning ctx.Err(). The decision itself is in-memory and
+// fast, so no further checks happen mid-decision.
+func (e *Engine) DecideCtx(ctx context.Context, subject, action rdf.IRI, resource rdf.Term) (Access, error) {
+	if err := ctx.Err(); err != nil {
+		return Access{}, err
+	}
+	return e.Decide(subject, action, resource), nil
 }
 
 // decide is the un-instrumented decision procedure.

@@ -1,13 +1,16 @@
 package gsacs
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/ntriples"
 	"repro/internal/obs"
@@ -22,17 +25,23 @@ import (
 // defines communication points and hides the internal details of the system
 // from clients."
 //
+// The HTTP surface is versioned under /v1/ (see the README's "HTTP API v1"
+// section); the original unversioned paths remain as thin aliases to the
+// same handlers. Errors are returned as a uniform JSON envelope
+// {"error": ..., "code": ..., "trace_id": ...}.
+//
 // Every request flows through the obs middleware: it gets a trace ID
 // (echoed in the X-Trace-Id response header and attached to every log line
 // for the request), a per-route latency observation, and a status-code
 // counter. The registry is scraped at /metrics.
 type Server struct {
-	engine  *Engine
-	repo    *OntoRepository
-	mux     *http.ServeMux
-	handler http.Handler
-	metrics *obs.Registry
-	logger  *slog.Logger
+	engine       *Engine
+	repo         *OntoRepository
+	mux          *http.ServeMux
+	handler      http.Handler
+	metrics      *obs.Registry
+	logger       *slog.Logger
+	queryTimeout time.Duration
 }
 
 // ServerOption customizes NewServer.
@@ -60,8 +69,18 @@ func WithPprof() ServerOption {
 	}
 }
 
+// WithQueryTimeout bounds the evaluation of each /query request; a query
+// exceeding the deadline is cancelled and answered with 504 and code
+// "timeout". Zero disables the bound.
+func WithQueryTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.queryTimeout = d }
+}
+
 // routes are the fixed mux patterns, reused as bounded metric label values.
+// The /v1/ names are canonical; the bare names are legacy aliases.
 var routes = []string{
+	"/v1/roles", "/v1/view", "/v1/resource", "/v1/query",
+	"/v1/ontologies", "/v1/insert", "/v1/delete", "/v1/audit",
 	"/healthz", "/roles", "/view", "/resource", "/query",
 	"/ontologies", "/insert", "/delete", "/audit", "/metrics",
 }
@@ -85,15 +104,24 @@ func routeLabel(r *http.Request) string {
 // and no WithMetrics option is given, the engine's registry is used.
 func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Server {
 	s := &Server{engine: engine, repo: repo, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/roles", s.handleRoles)
-	s.mux.HandleFunc("/view", s.handleView)
-	s.mux.HandleFunc("/resource", s.handleResource)
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/ontologies", s.handleOntologies)
+	// Versioned API plus legacy aliases: both paths hit the same handler,
+	// so behavior cannot drift between them.
+	readRoute := func(path string, h http.HandlerFunc) {
+		guarded := s.readOnly(h)
+		s.mux.HandleFunc("/v1"+path, guarded)
+		s.mux.HandleFunc(path, guarded)
+	}
+	readRoute("/roles", s.handleRoles)
+	readRoute("/view", s.handleView)
+	readRoute("/resource", s.handleResource)
+	readRoute("/query", s.handleQuery)
+	readRoute("/ontologies", s.handleOntologies)
+	readRoute("/audit", s.handleAudit)
+	s.mux.HandleFunc("/v1/insert", s.handleMutate(true))
 	s.mux.HandleFunc("/insert", s.handleMutate(true))
+	s.mux.HandleFunc("/v1/delete", s.handleMutate(false))
 	s.mux.HandleFunc("/delete", s.handleMutate(false))
-	s.mux.HandleFunc("/audit", s.handleAudit)
+	s.mux.HandleFunc("/healthz", s.readOnly(s.handleHealth))
 	for _, o := range opts {
 		o(s)
 	}
@@ -114,12 +142,46 @@ func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Serv
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
+// readOnly rejects any method other than GET, HEAD and POST with 405 and an
+// Allow header — the read endpoints accept POST for large query bodies but
+// must not be mistaken for mutation routes.
+func (s *Server) readOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet, http.MethodHead, http.MethodPost:
+			h(w, r)
+		default:
+			w.Header().Set("Allow", "GET, HEAD, POST")
+			s.writeError(w, r, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("method %s not allowed", r.Method))
+		}
+	}
+}
+
 // writeJSON encodes v, logging (rather than silently discarding) encode
 // failures — by then the status line is gone, so logging is all that's left.
 func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		obs.Logger(r.Context()).Warn("encode response", "path", r.URL.Path, "err", err.Error())
+	}
+}
+
+// errorEnvelope is the uniform error body of the v1 API.
+type errorEnvelope struct {
+	Error   string `json:"error"`
+	Code    string `json:"code"`
+	TraceID string `json:"trace_id"`
+}
+
+// writeError emits the JSON error envelope with the request's trace ID, so a
+// client-side error report can be correlated with the server logs.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	env := errorEnvelope{Error: msg, Code: code, TraceID: obs.TraceID(r.Context())}
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		obs.Logger(r.Context()).Warn("encode error response", "path", r.URL.Path, "err", err.Error())
 	}
 }
 
@@ -169,7 +231,7 @@ func resolveRole(raw string) (rdf.IRI, error) {
 func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	role, err := resolveRole(r.URL.Query().Get("role"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	view := s.engine.View(role, seconto.ActionView)
@@ -177,12 +239,12 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	case "ntriples":
 		w.Header().Set("Content-Type", "application/n-triples")
 		if err := ntriples.Write(w, view.Graph()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			s.writeError(w, r, http.StatusInternalServerError, "internal", err.Error())
 		}
 	default:
 		w.Header().Set("Content-Type", "text/turtle")
 		if err := turtle.Write(w, view.Graph(), nil); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			s.writeError(w, r, http.StatusInternalServerError, "internal", err.Error())
 		}
 	}
 }
@@ -190,18 +252,22 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResource(w http.ResponseWriter, r *http.Request) {
 	role, err := resolveRole(r.URL.Query().Get("role"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	iri := r.URL.Query().Get("iri")
 	if iri == "" {
-		http.Error(w, "missing iri parameter", http.StatusBadRequest)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "missing iri parameter")
 		return
 	}
 	res := rdf.IRI(iri)
-	acc := s.engine.Decide(role, seconto.ActionView, res)
+	acc, err := s.engine.DecideCtx(r.Context(), role, seconto.ActionView, res)
+	if err != nil {
+		s.writeError(w, r, http.StatusServiceUnavailable, "canceled", err.Error())
+		return
+	}
 	if !acc.Allowed {
-		http.Error(w, "access denied", http.StatusForbidden)
+		s.writeError(w, r, http.StatusForbidden, "forbidden", "access denied")
 		return
 	}
 	g := rdf.NewGraph()
@@ -210,26 +276,49 @@ func (s *Server) handleResource(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/turtle")
 	if err := turtle.Write(w, g, nil); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.writeError(w, r, http.StatusInternalServerError, "internal", err.Error())
 	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	role, err := resolveRole(r.URL.Query().Get("role"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "missing q parameter")
 		return
 	}
-	res, err := s.engine.Query(role, seconto.ActionView, q)
+	if explain := r.URL.Query().Get("explain"); explain == "1" || explain == "true" {
+		plan, err := s.engine.ExplainQuery(role, seconto.ActionView, q)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "query_error", err.Error())
+			return
+		}
+		s.writeJSON(w, r, map[string]any{"plan": plan})
+		return
+	}
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+	res, err := s.engine.QueryCtx(ctx, role, seconto.ActionView, q)
 	if err != nil {
 		obs.Logger(r.Context()).Warn("query failed",
 			"role", string(role), "err", err.Error())
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.writeError(w, r, http.StatusGatewayTimeout, "timeout",
+				fmt.Sprintf("query exceeded the %s evaluation deadline", s.queryTimeout))
+		case errors.Is(err, context.Canceled):
+			s.writeError(w, r, http.StatusServiceUnavailable, "canceled", "query canceled")
+		default:
+			s.writeError(w, r, http.StatusBadRequest, "query_error", err.Error())
+		}
 		return
 	}
 	obs.Logger(r.Context()).Info("query served",
@@ -238,9 +327,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleAudit dumps the decision audit trail (empty when auditing is off),
-// prefixed with the ring's occupancy/loss stats.
+// prefixed with the ring's occupancy/loss stats. limit and offset paginate
+// over the trail in-order; total always reports the full trail length.
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	limit, err := positiveIntParam(r, "limit", -1)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	offset, err := positiveIntParam(r, "offset", 0)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
 	trail := s.engine.AuditTrail()
+	total := len(trail)
+	if offset >= len(trail) {
+		trail = nil
+	} else {
+		trail = trail[offset:]
+	}
+	if limit >= 0 && limit < len(trail) {
+		trail = trail[:limit]
+	}
 	type row struct {
 		Seq      uint64   `json:"seq"`
 		Subject  string   `json:"subject"`
@@ -261,7 +370,24 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 			Resource: e.Resource, Allowed: e.Allowed, Full: e.Full, Policies: pols,
 		}
 	}
-	s.writeJSON(w, r, map[string]any{"stats": s.engine.AuditStats(), "entries": rows})
+	s.writeJSON(w, r, map[string]any{
+		"stats": s.engine.AuditStats(), "entries": rows,
+		"total": total, "offset": offset,
+	})
+}
+
+// positiveIntParam parses a non-negative integer query parameter, returning
+// def when absent.
+func positiveIntParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%s must be a non-negative integer", name)
+	}
+	return n, nil
 }
 
 // handleMutate serves POST /insert and /delete: the request body is one or
@@ -269,17 +395,18 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMutate(insert bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			w.Header().Set("Allow", "POST")
+			s.writeError(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
 			return
 		}
 		role, err := resolveRole(r.URL.Query().Get("role"))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
 			return
 		}
 		g, err := ntriples.NewReader(r.Body).ReadAll()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
 			return
 		}
 		applied := 0
@@ -291,11 +418,12 @@ func (s *Server) handleMutate(insert bool) http.HandlerFunc {
 			}
 			if err != nil {
 				var denied *ErrDenied
-				status := http.StatusBadRequest
+				status, code := http.StatusBadRequest, "bad_request"
 				if errors.As(err, &denied) {
-					status = http.StatusForbidden
+					status, code = http.StatusForbidden, "forbidden"
 				}
-				http.Error(w, fmt.Sprintf("%v (applied %d before failure)", err, applied), status)
+				s.writeError(w, r, status, code,
+					fmt.Sprintf("%v (applied %d before failure)", err, applied))
 				return
 			}
 			applied++

@@ -1,0 +1,243 @@
+package gsacs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/grdf"
+	"repro/internal/seconto"
+)
+
+func v1TestServer(t *testing.T, opts ...ServerOption) (*httptest.Server, *Engine, *datagen.Scenario) {
+	t.Helper()
+	e, sc := scenarioEngine(t, 4)
+	repo := NewOntoRepository()
+	repo.Register("grdf", grdf.Ontology())
+	srv := httptest.NewServer(NewServer(e, repo, opts...))
+	t.Cleanup(srv.Close)
+	return srv, e, sc
+}
+
+func doReq(t *testing.T, srv *httptest.Server, method, path string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, sb.String()
+}
+
+// TestServerV1Aliases verifies the /v1/ canonical routes answer identically
+// to their legacy unversioned aliases: same handler, same body.
+func TestServerV1Aliases(t *testing.T) {
+	srv, _, _ := v1TestServer(t)
+	paths := []string{
+		"/roles",
+		"/ontologies",
+		"/view?role=MainRep",
+		"/audit",
+	}
+	for _, p := range paths {
+		legacyResp, legacyBody := doReq(t, srv, http.MethodGet, p)
+		v1Resp, v1Body := doReq(t, srv, http.MethodGet, "/v1"+p)
+		if legacyResp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", p, legacyResp.StatusCode)
+		}
+		if v1Resp.StatusCode != legacyResp.StatusCode || v1Body != legacyBody {
+			t.Errorf("GET /v1%s diverges from legacy alias: %d vs %d", p,
+				v1Resp.StatusCode, legacyResp.StatusCode)
+		}
+	}
+
+	// Query solution order is not deterministic across evaluations, so the
+	// alias check compares row multisets rather than raw bodies.
+	qp := "/query?role=Hazmat&q=" + url.QueryEscape(`SELECT ?n WHERE { ?s app:hasChemName ?n }`)
+	rows := func(body string) []string {
+		var parsed struct {
+			Results []map[string]string `json:"results"`
+		}
+		if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+			t.Fatalf("query body: %v", err)
+		}
+		out := make([]string, len(parsed.Results))
+		for i, r := range parsed.Results {
+			out[i] = r["n"]
+		}
+		sort.Strings(out)
+		return out
+	}
+	legacyResp, legacyBody := doReq(t, srv, http.MethodGet, qp)
+	v1Resp, v1Body := doReq(t, srv, http.MethodGet, "/v1"+qp)
+	if legacyResp.StatusCode != http.StatusOK || v1Resp.StatusCode != http.StatusOK {
+		t.Fatalf("query alias status = %d vs %d", legacyResp.StatusCode, v1Resp.StatusCode)
+	}
+	lr, vr := rows(legacyBody), rows(v1Body)
+	if len(lr) == 0 || len(lr) != len(vr) {
+		t.Fatalf("query alias rows = %d vs %d", len(lr), len(vr))
+	}
+	for i := range lr {
+		if lr[i] != vr[i] {
+			t.Fatalf("query alias row %d: %q vs %q", i, lr[i], vr[i])
+		}
+	}
+}
+
+// TestServerErrorEnvelope checks the uniform error body: every error carries
+// {"error", "code", "trace_id"} and the trace ID matches the X-Trace-Id
+// response header so clients can report correlatable failures.
+func TestServerErrorEnvelope(t *testing.T) {
+	srv, _, _ := v1TestServer(t)
+	resp, body := doReq(t, srv, http.MethodGet, "/v1/view")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("view without role = %d", resp.StatusCode)
+	}
+	var env struct {
+		Error   string `json:"error"`
+		Code    string `json:"code"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("error body is not the JSON envelope: %v\n%s", err, body)
+	}
+	if env.Error == "" || env.Code != "bad_request" || env.TraceID == "" {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if hdr := resp.Header.Get("X-Trace-Id"); hdr != "" && hdr != env.TraceID {
+		t.Errorf("trace_id %q does not match X-Trace-Id header %q", env.TraceID, hdr)
+	}
+
+	// Unknown roles on /resource surface as forbidden, same envelope.
+	resp, body = doReq(t, srv, http.MethodGet, "/v1/resource?role=Nobody&iri=http%3A%2F%2Fx%2Fy")
+	if resp.StatusCode != http.StatusForbidden || !strings.Contains(body, `"forbidden"`) {
+		t.Errorf("resource for unknown role = %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestServerMethodNotAllowed checks that read endpoints reject mutation verbs
+// with 405, an Allow header, and the error envelope.
+func TestServerMethodNotAllowed(t *testing.T) {
+	srv, _, _ := v1TestServer(t)
+	for _, p := range []string{"/v1/roles", "/roles", "/v1/query", "/v1/audit", "/healthz"} {
+		resp, body := doReq(t, srv, http.MethodDelete, p)
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("DELETE %s = %d", p, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET, HEAD, POST" {
+			t.Errorf("DELETE %s Allow = %q", p, allow)
+		}
+		if !strings.Contains(body, `"method_not_allowed"`) {
+			t.Errorf("DELETE %s body = %s", p, body)
+		}
+	}
+	resp, body := doReq(t, srv, http.MethodPut, "/v1/insert")
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "POST" ||
+		!strings.Contains(body, `"method_not_allowed"`) {
+		t.Errorf("PUT /v1/insert = %d Allow=%q %s", resp.StatusCode, resp.Header.Get("Allow"), body)
+	}
+}
+
+// TestServerAuditPagination drives limit/offset over a known trail.
+func TestServerAuditPagination(t *testing.T) {
+	srv, e, sc := v1TestServer(t)
+	e.EnableAudit(64)
+	site := sc.Chemical.Sites[0].IRI
+	for i := 0; i < 5; i++ {
+		e.Decide(datagen.RoleHazmat, seconto.ActionView, site)
+	}
+
+	type auditResp struct {
+		Entries []map[string]any `json:"entries"`
+		Total   int              `json:"total"`
+		Offset  int              `json:"offset"`
+	}
+	fetch := func(q string) auditResp {
+		t.Helper()
+		resp, body := doReq(t, srv, http.MethodGet, "/v1/audit"+q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("audit%s = %d %s", q, resp.StatusCode, body)
+		}
+		var out auditResp
+		if err := json.Unmarshal([]byte(body), &out); err != nil {
+			t.Fatalf("audit%s body: %v", q, err)
+		}
+		return out
+	}
+
+	all := fetch("")
+	if all.Total != 5 || len(all.Entries) != 5 || all.Offset != 0 {
+		t.Fatalf("unpaginated audit = total %d, %d entries, offset %d",
+			all.Total, len(all.Entries), all.Offset)
+	}
+	page := fetch("?limit=2&offset=1")
+	if page.Total != 5 || len(page.Entries) != 2 || page.Offset != 1 {
+		t.Fatalf("page = total %d, %d entries, offset %d", page.Total, len(page.Entries), page.Offset)
+	}
+	if page.Entries[0]["seq"] != all.Entries[1]["seq"] {
+		t.Errorf("offset=1 page starts at seq %v, want %v", page.Entries[0]["seq"], all.Entries[1]["seq"])
+	}
+	if tail := fetch("?offset=99"); tail.Total != 5 || len(tail.Entries) != 0 {
+		t.Errorf("past-the-end page = total %d, %d entries", tail.Total, len(tail.Entries))
+	}
+	if resp, body := doReq(t, srv, http.MethodGet, "/v1/audit?limit=-3"); resp.StatusCode != http.StatusBadRequest ||
+		!strings.Contains(body, `"bad_request"`) {
+		t.Errorf("negative limit = %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestServerQueryTimeout checks the -query-timeout wiring: an immediately
+// expiring deadline turns into 504 with code "timeout".
+func TestServerQueryTimeout(t *testing.T) {
+	srv, _, _ := v1TestServer(t, WithQueryTimeout(time.Nanosecond))
+	q := url.QueryEscape(`SELECT ?n WHERE { ?s app:hasChemName ?n }`)
+	resp, body := doReq(t, srv, http.MethodGet, "/v1/query?role=Hazmat&q="+q)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("query under 1ns deadline = %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"timeout"`) || !strings.Contains(body, "deadline") {
+		t.Errorf("timeout body = %s", body)
+	}
+}
+
+// TestServerQueryExplain checks explain=1 returns the planner rendering
+// without evaluating the query.
+func TestServerQueryExplain(t *testing.T) {
+	srv, _, _ := v1TestServer(t)
+	q := url.QueryEscape(`SELECT ?s ?n WHERE { ?s a app:ChemSite . ?s app:hasSiteName ?n }`)
+	resp, body := doReq(t, srv, http.MethodGet, "/v1/query?role=MainRep&explain=1&q="+q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain = %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Plan string `json:"plan"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Plan, "BGP plan") {
+		t.Errorf("plan = %q", out.Plan)
+	}
+	if resp, _ := doReq(t, srv, http.MethodGet, "/v1/query?role=MainRep&explain=1&q=NOT+SPARQL"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("explain of bad query = %d", resp.StatusCode)
+	}
+}

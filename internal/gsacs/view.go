@@ -1,6 +1,7 @@
 package gsacs
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/rdf"
@@ -135,10 +136,23 @@ func (e *Engine) governedResources() []rdf.Term {
 // G-SACS front-end operation. Spatial filter functions are available. The
 // view (and thus the query result) reflects the role's permissions only.
 func (e *Engine) Query(subject, action rdf.IRI, query string) (*sparql.Result, error) {
+	return e.QueryCtx(context.Background(), subject, action, query)
+}
+
+// QueryCtx is the context-first form of Query: evaluation honors ctx
+// cancellation and deadlines between join steps.
+func (e *Engine) QueryCtx(ctx context.Context, subject, action rdf.IRI, query string) (*sparql.Result, error) {
 	view := e.View(subject, action)
 	eng := sparql.NewEngine(view).Instrument(e.metrics)
 	grdf.RegisterSpatialFuncs(eng, view)
-	return eng.Query(query)
+	return eng.QueryCtx(ctx, query)
+}
+
+// ExplainQuery plans query against the subject's filtered view and returns
+// the EXPLAIN rendering of each BGP without evaluating it.
+func (e *Engine) ExplainQuery(subject, action rdf.IRI, query string) (string, error) {
+	view := e.View(subject, action)
+	return sparql.NewEngine(view).Explain(query)
 }
 
 func viewKey(subject, action rdf.IRI) string {

@@ -50,6 +50,13 @@ type Reasoner struct {
 	curRule    string
 	curTrigger rdf.Triple
 
+	// Dictionary IDs of the vocabulary predicates probed by the hot
+	// entailment helpers (IsSubClassOf and friends). Interned once at
+	// construction so concurrent readers never race on lazy init.
+	idType     store.ID
+	idSubClass store.ID
+	idSubProp  store.ID
+
 	// Metric handles (set by Instrument; nil-safe no-ops otherwise). The
 	// gauges are refreshed after every materialization so /metrics always
 	// shows the current closure, not a stale sample.
@@ -71,7 +78,14 @@ type Derivation struct {
 
 // NewReasoner returns an empty reasoner.
 func NewReasoner() *Reasoner {
-	return &Reasoner{st: store.New(), provenance: make(map[rdf.Triple]Derivation)}
+	st := store.New()
+	return &Reasoner{
+		st:         st,
+		provenance: make(map[rdf.Triple]Derivation),
+		idType:     st.Intern(rdf.RDFType),
+		idSubClass: st.Intern(rdf.RDFSSubClassOf),
+		idSubProp:  st.Intern(rdf.RDFSSubPropertyOf),
+	}
 }
 
 // Materialize computes the closure of all triples in src and returns a new
@@ -209,13 +223,30 @@ func (r *Reasoner) SubClasses(class rdf.Term) []rdf.Term {
 	return r.st.Subjects(rdf.RDFSSubClassOf, class)
 }
 
+// hasWithPred is the ID-space fast path behind the entailment helpers: it
+// resolves both endpoints through the store dictionary (never interning) and
+// probes the SPO index with the pre-interned predicate ID. The G-SACS
+// decision engine calls these helpers once per (policy, property) pair, so
+// skipping term hashing on the probe matters on that path.
+func (r *Reasoner) hasWithPred(sub rdf.Term, pid store.ID, obj rdf.Term) bool {
+	sid, ok := r.st.LookupID(sub)
+	if !ok {
+		return false
+	}
+	oid, ok := r.st.LookupID(obj)
+	if !ok {
+		return false
+	}
+	return r.st.HasIDs(sid, pid, oid)
+}
+
 // IsSubClassOf reports whether sub is materialized as a subclass of super
 // (true also when sub == super).
 func (r *Reasoner) IsSubClassOf(sub, super rdf.Term) bool {
 	if sub.Equal(super) {
 		return true
 	}
-	return r.st.Has(rdf.T(sub, rdf.RDFSSubClassOf, super))
+	return r.hasWithPred(sub, r.idSubClass, super)
 }
 
 // IsSubPropertyOf reports whether sub is materialized as a subproperty of
@@ -224,18 +255,28 @@ func (r *Reasoner) IsSubPropertyOf(sub, super rdf.Term) bool {
 	if sub.Equal(super) {
 		return true
 	}
-	return r.st.Has(rdf.T(sub, rdf.RDFSSubPropertyOf, super))
+	return r.hasWithPred(sub, r.idSubProp, super)
 }
 
 // TypesOf returns the materialized types of an individual.
 func (r *Reasoner) TypesOf(ind rdf.Term) []rdf.Term {
-	return r.st.Objects(ind, rdf.RDFType)
+	sid, ok := r.st.LookupID(ind)
+	if !ok {
+		return nil
+	}
+	view := r.st.DictView()
+	var out []rdf.Term
+	r.st.ForEachMatchIDs(sid, r.idType, store.NoID, func(_, _, oid store.ID) bool {
+		out = append(out, view.Term(oid))
+		return true
+	})
+	return out
 }
 
 // HasType reports whether the individual has the given (possibly inferred)
 // type.
 func (r *Reasoner) HasType(ind, class rdf.Term) bool {
-	return r.st.Has(rdf.T(ind, rdf.RDFType, class))
+	return r.hasWithPred(ind, r.idType, class)
 }
 
 // Explain returns the derivation chain of t, outermost first: each step

@@ -142,6 +142,42 @@ func (l Literal) Equal(o Term) bool {
 	return ok && l == m
 }
 
+// HashTerm returns a stable 64-bit FNV-1a hash of a term, mixing the term
+// kind with its lexical content. The store's dictionary uses it to pick a
+// lock stripe; it is not a cryptographic hash.
+func HashTerm(t Term) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	h ^= uint64(t.Kind())
+	h *= prime64
+	switch v := t.(type) {
+	case IRI:
+		mix(string(v))
+	case BlankNode:
+		mix(string(v))
+	case Literal:
+		mix(v.Value)
+		h ^= 0xff
+		h *= prime64
+		mix(string(v.Datatype))
+		h ^= 0xff
+		h *= prime64
+		mix(v.Lang)
+	default:
+		mix(t.String())
+	}
+	return h
+}
+
 // EscapeLiteral escapes a literal's lexical form for N-Triples/Turtle output.
 func EscapeLiteral(s string) string {
 	var sb strings.Builder

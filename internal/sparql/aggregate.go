@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -52,7 +53,7 @@ func (q *Query) hasAggregates() bool {
 
 // evalAggregates groups the raw solutions and computes each aggregate,
 // producing one binding per group.
-func (e *Engine) evalAggregates(q *Query, sols []Binding) ([]Binding, error) {
+func (e *Engine) evalAggregates(ctx context.Context, q *Query, sols []Binding) ([]Binding, error) {
 	type group struct {
 		key  string
 		rep  Binding // representative bindings for GROUP BY vars
@@ -96,7 +97,7 @@ func (e *Engine) evalAggregates(q *Query, sols []Binding) ([]Binding, error) {
 		g := groups[k]
 		b := g.rep.clone()
 		for _, agg := range q.Aggregates {
-			val, err := e.computeAggregate(agg, g.rows)
+			val, err := e.computeAggregate(ctx, agg, g.rows)
 			if err != nil {
 				return nil, err
 			}
@@ -109,7 +110,7 @@ func (e *Engine) evalAggregates(q *Query, sols []Binding) ([]Binding, error) {
 	return out, nil
 }
 
-func (e *Engine) computeAggregate(agg Aggregate, rows []Binding) (rdf.Term, error) {
+func (e *Engine) computeAggregate(ctx context.Context, agg Aggregate, rows []Binding) (rdf.Term, error) {
 	// Collect the argument values (skipping rows where evaluation errors,
 	// per SPARQL aggregate semantics).
 	var vals []rdf.Term
@@ -117,7 +118,7 @@ func (e *Engine) computeAggregate(agg Aggregate, rows []Binding) (rdf.Term, erro
 		return rdf.NewInteger(int64(len(rows))), nil
 	}
 	for _, row := range rows {
-		v, err := e.evalExpr(agg.Arg, row)
+		v, err := e.evalExpr(ctx, agg.Arg, row)
 		if err != nil {
 			continue
 		}

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,10 +20,11 @@ type CustomFunc func(args []rdf.Term) (rdf.Term, error)
 // Engine evaluates parsed queries against a store (and, when constructed
 // with NewDatasetEngine, the named graphs of a dataset via GRAPH patterns).
 type Engine struct {
-	store   *store.Store
-	dataset *store.Dataset
-	funcs   map[rdf.IRI]CustomFunc
-	met     *engineMetrics
+	store    *store.Store
+	dataset  *store.Dataset
+	funcs    map[rdf.IRI]CustomFunc
+	met      *engineMetrics
+	planning bool
 }
 
 // engineMetrics holds the evaluator's per-phase instrumentation: the
@@ -30,16 +32,18 @@ type Engine struct {
 // parse-vs-eval phase timing to locate their bottlenecks, so the two phases
 // are observed separately.
 type engineMetrics struct {
-	reg       *obs.Registry
-	parse     *obs.Histogram
-	eval      *obs.Histogram
-	solutions *obs.Counter
-	errors    *obs.Counter
+	reg          *obs.Registry
+	parse        *obs.Histogram
+	eval         *obs.Histogram
+	solutions    *obs.Counter
+	errors       *obs.Counter
+	plans        *obs.Counter
+	planReorders *obs.Counter
 }
 
-// Instrument exports parse/eval phase timings, per-kind query counts and
-// solution counts into reg (nil is a no-op). Returns e for chaining. Call
-// before serving queries.
+// Instrument exports parse/eval phase timings, per-kind query counts,
+// solution counts and planner activity into reg (nil is a no-op). Returns e
+// for chaining. Call before serving queries.
 func (e *Engine) Instrument(reg *obs.Registry) *Engine {
 	if reg == nil {
 		return e
@@ -54,19 +58,31 @@ func (e *Engine) Instrument(reg *obs.Registry) *Engine {
 			"Solutions (bindings or template triples) produced."),
 		errors: reg.Counter("grdf_sparql_errors_total",
 			"Queries that failed to parse or evaluate."),
+		plans: reg.Counter("grdf_sparql_plans_total",
+			"BGPs scheduled by the selectivity planner."),
+		planReorders: reg.Counter("grdf_sparql_plan_reorders_total",
+			"BGP plans that deviated from textual pattern order."),
 	}
 	return e
 }
 
-// NewEngine returns an engine over s.
+// NewEngine returns an engine over s with selectivity planning enabled.
 func NewEngine(s *store.Store) *Engine {
-	return &Engine{store: s, funcs: make(map[rdf.IRI]CustomFunc)}
+	return &Engine{store: s, funcs: make(map[rdf.IRI]CustomFunc), planning: true}
 }
 
 // NewDatasetEngine returns an engine whose default graph is ds.Default() and
 // whose GRAPH patterns address the dataset's named graphs.
 func NewDatasetEngine(ds *store.Dataset) *Engine {
-	return &Engine{store: ds.Default(), dataset: ds, funcs: make(map[rdf.IRI]CustomFunc)}
+	return &Engine{store: ds.Default(), dataset: ds, funcs: make(map[rdf.IRI]CustomFunc), planning: true}
+}
+
+// SetPlanning toggles the selectivity planner. When off, BGPs join in the
+// legacy static order (constants before variables); evaluation is otherwise
+// identical, which is what the planner benchmarks rely on. Returns e.
+func (e *Engine) SetPlanning(on bool) *Engine {
+	e.planning = on
+	return e
 }
 
 // forGraph derives an engine over one named graph, sharing functions and the
@@ -74,7 +90,7 @@ func NewDatasetEngine(ds *store.Dataset) *Engine {
 func (e *Engine) forGraph(st *store.Store) *Engine {
 	// Metrics stay with the outer engine: nested GRAPH evaluation is part of
 	// the same query, so timing it separately would double-count.
-	return &Engine{store: st, dataset: e.dataset, funcs: e.funcs}
+	return &Engine{store: st, dataset: e.dataset, funcs: e.funcs, planning: e.planning}
 }
 
 // RegisterFunc installs a custom filter function under the given IRI.
@@ -113,8 +129,15 @@ type Result struct {
 	Graph    *rdf.Graph // CONSTRUCT output
 }
 
-// Query parses and evaluates src in one step.
+// Query parses and evaluates src in one step with a background context.
 func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryCtx(context.Background(), src)
+}
+
+// QueryCtx parses and evaluates src under ctx. Cancellation and deadlines
+// are honored between join steps; the error is ctx.Err() when the context
+// ends first.
+func (e *Engine) QueryCtx(ctx context.Context, src string) (*Result, error) {
 	var start time.Time
 	if e.met != nil {
 		start = time.Now()
@@ -129,17 +152,22 @@ func (e *Engine) Query(src string) (*Result, error) {
 		}
 		return nil, err
 	}
-	return e.Eval(q)
+	return e.EvalCtx(ctx, q)
 }
 
-// Eval evaluates a parsed query, recording phase timing and solution counts
-// when the engine is instrumented.
+// Eval evaluates a parsed query with a background context.
 func (e *Engine) Eval(q *Query) (*Result, error) {
+	return e.EvalCtx(context.Background(), q)
+}
+
+// EvalCtx evaluates a parsed query under ctx, recording phase timing and
+// solution counts when the engine is instrumented.
+func (e *Engine) EvalCtx(ctx context.Context, q *Query) (*Result, error) {
 	if e.met == nil {
-		return e.eval(q)
+		return e.eval(ctx, q)
 	}
 	start := time.Now()
-	res, err := e.eval(q)
+	res, err := e.eval(ctx, q)
 	e.met.eval.ObserveSince(start)
 	e.met.reg.Counter("grdf_sparql_queries_total",
 		"Queries evaluated by kind.", "kind", q.Kind.String()).Inc()
@@ -159,9 +187,9 @@ func (e *Engine) Eval(q *Query) (*Result, error) {
 }
 
 // eval is the un-instrumented evaluation path.
-func (e *Engine) eval(q *Query) (*Result, error) {
+func (e *Engine) eval(ctx context.Context, q *Query) (*Result, error) {
 	seed := []Binding{{}}
-	sols, err := e.evalGroup(q.Where, seed)
+	sols, err := e.evalGroup(ctx, q.Where, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +240,7 @@ func (e *Engine) eval(q *Query) (*Result, error) {
 	default: // Select
 		vars := q.Vars
 		if q.hasAggregates() {
-			grouped, err := e.evalAggregates(q, sols)
+			grouped, err := e.evalAggregates(ctx, q, sols)
 			if err != nil {
 				return nil, err
 			}
@@ -228,7 +256,7 @@ func (e *Engine) eval(q *Query) (*Result, error) {
 			vars = collectVars(q.Where)
 		}
 		if len(q.OrderBy) > 0 {
-			if err := e.sortSolutions(sols, q.OrderBy); err != nil {
+			if err := e.sortSolutions(ctx, sols, q.OrderBy); err != nil {
 				return nil, err
 			}
 		}
@@ -358,23 +386,26 @@ func collectVars(g *GroupPattern) []Variable {
 	return out
 }
 
-func (e *Engine) evalGroup(g *GroupPattern, in []Binding) ([]Binding, error) {
+func (e *Engine) evalGroup(ctx context.Context, g *GroupPattern, in []Binding) ([]Binding, error) {
 	cur := in
 	for _, el := range g.Elements {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var err error
 		switch v := el.(type) {
 		case *BGP:
-			cur, err = e.evalBGP(v, cur)
+			cur, err = e.evalBGP(ctx, v, cur)
 		case *Filter:
-			cur, err = e.evalFilter(v, cur)
+			cur, err = e.evalFilter(ctx, v, cur)
 		case *Optional:
-			cur, err = e.evalOptional(v, cur)
+			cur, err = e.evalOptional(ctx, v, cur)
 		case *Union:
-			cur, err = e.evalUnion(v, cur)
+			cur, err = e.evalUnion(ctx, v, cur)
 		case *SubGroup:
-			cur, err = e.evalGroup(v.Group, cur)
+			cur, err = e.evalGroup(ctx, v.Group, cur)
 		case *GraphPattern:
-			cur, err = e.evalGraphPattern(v, cur)
+			cur, err = e.evalGraphPattern(ctx, v, cur)
 		case *Values:
 			var next []Binding
 			for _, b := range cur {
@@ -399,7 +430,7 @@ func (e *Engine) evalGroup(g *GroupPattern, in []Binding) ([]Binding, error) {
 		case *Bind:
 			var next []Binding
 			for _, b := range cur {
-				val, evalErr := e.evalExpr(v.Expr, b)
+				val, evalErr := e.evalExpr(ctx, v.Expr, b)
 				if evalErr != nil {
 					// expression error leaves the variable unbound
 					next = append(next, b)
@@ -430,30 +461,322 @@ func (e *Engine) evalGroup(g *GroupPattern, in []Binding) ([]Binding, error) {
 	return cur, nil
 }
 
-// evalBGP joins the triple patterns against the store. Patterns are greedily
-// reordered so that more-constrained patterns run first.
-func (e *Engine) evalBGP(bgp *BGP, in []Binding) ([]Binding, error) {
-	patterns := orderPatterns(bgp.Patterns)
-	cur := in
-	for _, tp := range patterns {
-		var next []Binding
-		for _, b := range cur {
-			matches, err := e.matchPattern(tp, b)
-			if err != nil {
-				return nil, err
-			}
-			next = append(next, matches...)
+// idSol is an intermediate BGP solution. Variables bound before the BGP stay
+// in base (shared, never mutated); variables bound during the join live in
+// ids as dictionary IDs, or in terms for the rare values with no dictionary
+// entry (zero-length property paths can bind terms the store never saw).
+type idSol struct {
+	base  Binding
+	ids   map[Variable]store.ID
+	terms map[Variable]rdf.Term
+}
+
+func (s *idSol) clone() *idSol {
+	c := &idSol{base: s.base}
+	if len(s.ids) > 0 {
+		c.ids = make(map[Variable]store.ID, len(s.ids)+2)
+		for k, v := range s.ids {
+			c.ids[k] = v
 		}
-		cur = next
-		if len(cur) == 0 {
+	}
+	if len(s.terms) > 0 {
+		c.terms = make(map[Variable]rdf.Term, len(s.terms))
+		for k, v := range s.terms {
+			c.terms[k] = v
+		}
+	}
+	return c
+}
+
+func (s *idSol) setID(v Variable, id store.ID) {
+	if s.ids == nil {
+		s.ids = make(map[Variable]store.ID, 3)
+	}
+	s.ids[v] = id
+}
+
+func (s *idSol) setTerm(v Variable, t rdf.Term) {
+	if s.terms == nil {
+		s.terms = make(map[Variable]rdf.Term, 1)
+	}
+	s.terms[v] = t
+}
+
+// term resolves v to its bound term, consulting ids (via the store
+// dictionary), the overflow terms and the base binding.
+func (e *Engine) solTerm(s *idSol, v Variable) (rdf.Term, bool) {
+	if id, ok := s.ids[v]; ok {
+		return e.store.TermOf(id), true
+	}
+	if t, ok := s.terms[v]; ok {
+		return t, true
+	}
+	t, ok := s.base[v]
+	return t, ok
+}
+
+// cancelCheckEvery bounds how many produced matches may pass between two
+// context checks inside a single pattern scan (power of two).
+const cancelCheckEvery = 256
+
+// evalBGP joins the triple patterns against the store in ID space. The join
+// order comes from the selectivity planner (or the legacy static order when
+// planning is off); terms are materialized once, at BGP output.
+func (e *Engine) evalBGP(ctx context.Context, bgp *BGP, in []Binding) ([]Binding, error) {
+	if len(bgp.Patterns) == 0 {
+		return in, nil
+	}
+	var ordered []TriplePattern
+	if e.planning {
+		bound := make(map[Variable]struct{})
+		if len(in) > 0 {
+			for v := range in[0] {
+				bound[v] = struct{}{}
+			}
+		}
+		plan := PlanBGP(e.store, bgp.Patterns, bound)
+		ordered = plan.Patterns()
+		if e.met != nil {
+			e.met.plans.Inc()
+			if plan.Reordered {
+				e.met.planReorders.Inc()
+			}
+		}
+	} else {
+		ordered = orderPatterns(bgp.Patterns)
+	}
+
+	sols := make([]*idSol, len(in))
+	for i, b := range in {
+		sols[i] = &idSol{base: b}
+	}
+	for _, tp := range ordered {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		if isCompositePath(tp.Predicate) {
+			sols, err = e.stepPath(ctx, tp, sols)
+		} else {
+			sols, err = e.stepSimple(ctx, tp, sols)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(sols) == 0 {
 			return nil, nil
 		}
 	}
-	return cur, nil
+
+	// Materialize: one dictionary view resolves every ID bound above (the
+	// view is taken after the joins, so it covers all of them).
+	view := e.store.DictView()
+	out := make([]Binding, len(sols))
+	for i, s := range sols {
+		b := s.base.clone()
+		for v, id := range s.ids {
+			b[v] = view.Term(id)
+		}
+		for v, t := range s.terms {
+			b[v] = t
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// slot describes one position of a simple triple pattern after constant
+// resolution.
+type slot struct {
+	isVar bool
+	v     Variable
+	id    store.ID // constant's dictionary ID when !isVar
+}
+
+// stepSimple extends every solution with the store matches of a simple
+// pattern (plain IRI link or predicate variable), entirely in ID space.
+func (e *Engine) stepSimple(ctx context.Context, tp TriplePattern, sols []*idSol) ([]*idSol, error) {
+	var slots [3]slot
+	terms := [3]rdf.Term{tp.Subject, nil, tp.Object}
+	switch pe := tp.Predicate.(type) {
+	case Link:
+		terms[1] = pe.IRI
+	case VarPath:
+		terms[1] = pe.Var
+	}
+	for i, t := range terms {
+		if v, ok := t.(Variable); ok {
+			slots[i] = slot{isVar: true, v: v}
+			continue
+		}
+		id, ok := e.store.LookupID(t)
+		if !ok {
+			// The constant was never interned: nothing can match, and the
+			// BGP is conjunctive, so the whole join is empty.
+			return nil, nil
+		}
+		slots[i] = slot{id: id}
+	}
+
+	var out []*idSol
+	produced := 0
+	for _, s := range sols {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var probe [3]store.ID
+		var free [3]Variable // variables to bind, by position (empty = fixed)
+		nFree := 0
+		dead := false
+		for i, sl := range slots {
+			if !sl.isVar {
+				probe[i] = sl.id
+				continue
+			}
+			if id, ok := s.ids[sl.v]; ok {
+				probe[i] = id
+				continue
+			}
+			if _, ok := s.terms[sl.v]; ok {
+				// Bound to a term outside the dictionary: no stored triple
+				// can contain it, so this solution fails the pattern.
+				dead = true
+				break
+			}
+			if t, ok := s.base[sl.v]; ok {
+				id, ok := e.store.LookupID(t)
+				if !ok {
+					dead = true
+					break
+				}
+				s.setID(sl.v, id) // cache for later patterns
+				probe[i] = id
+				continue
+			}
+			free[i] = sl.v
+			nFree++
+		}
+		if dead {
+			continue
+		}
+		if nFree == 0 {
+			// Fully bound: pure existence check, no new bindings.
+			if e.store.HasIDs(probe[0], probe[1], probe[2]) {
+				out = append(out, s)
+			}
+			continue
+		}
+		var stepErr error
+		e.store.ForEachMatchIDs(probe[0], probe[1], probe[2], func(ms, mp, mo store.ID) bool {
+			produced++
+			if produced%cancelCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					stepErr = err
+					return false
+				}
+			}
+			got := [3]store.ID{ms, mp, mo}
+			// Assign free positions, enforcing equality when one variable
+			// occupies several positions (e.g. "?x ?p ?x").
+			var assigned [3]struct {
+				v  Variable
+				id store.ID
+			}
+			n := 0
+			for i := 0; i < 3; i++ {
+				if free[i] == "" {
+					continue
+				}
+				ok := true
+				for j := 0; j < n; j++ {
+					if assigned[j].v == free[i] {
+						ok = assigned[j].id == got[i]
+						break
+					}
+				}
+				if !ok {
+					return true
+				}
+				assigned[n].v, assigned[n].id = free[i], got[i]
+				n++
+			}
+			ns := s.clone()
+			for j := 0; j < n; j++ {
+				ns.setID(assigned[j].v, assigned[j].id)
+			}
+			out = append(out, ns)
+			return true
+		})
+		if stepErr != nil {
+			return nil, stepErr
+		}
+	}
+	return out, nil
+}
+
+// stepPath extends every solution through a composite property path. Paths
+// run at the term level: closures with Min==0 can relate terms the store
+// has never interned, so endpoint values may land in the solution's term
+// overflow map rather than the ID map.
+func (e *Engine) stepPath(ctx context.Context, tp TriplePattern, sols []*idSol) ([]*idSol, error) {
+	var out []*idSol
+	for _, s := range sols {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		subj := e.resolvePatternTerm(s, tp.Subject)
+		obj := e.resolvePatternTerm(s, tp.Object)
+		pairs, err := e.evalPath(ctx, tp.Predicate, subj, obj)
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range pairs {
+			ns := s.clone()
+			if !e.bindSolTerm(ns, tp.Subject, pr[0]) || !e.bindSolTerm(ns, tp.Object, pr[1]) {
+				continue
+			}
+			out = append(out, ns)
+		}
+	}
+	return out, nil
+}
+
+// resolvePatternTerm turns a pattern position into a concrete term for the
+// path evaluator: constants pass through, bound variables resolve, unbound
+// variables become nil (wildcard).
+func (e *Engine) resolvePatternTerm(s *idSol, pt rdf.Term) rdf.Term {
+	v, isVar := pt.(Variable)
+	if !isVar {
+		return pt
+	}
+	if t, ok := e.solTerm(s, v); ok {
+		return t
+	}
+	return nil
+}
+
+// bindSolTerm unifies a pattern position with a concrete term produced by
+// the path evaluator, storing new variable bindings as IDs when the term is
+// interned and as overflow terms otherwise.
+func (e *Engine) bindSolTerm(s *idSol, pt rdf.Term, ct rdf.Term) bool {
+	v, isVar := pt.(Variable)
+	if !isVar {
+		return pt.Equal(ct)
+	}
+	if prev, ok := e.solTerm(s, v); ok {
+		return prev.Equal(ct)
+	}
+	if id, ok := e.store.LookupID(ct); ok {
+		s.setID(v, id)
+	} else {
+		s.setTerm(v, ct)
+	}
+	return true
 }
 
 // orderPatterns sorts patterns by a static selectivity estimate: constants
-// beat variables, subjects beat objects beat predicates.
+// beat variables, subjects beat objects beat predicates. Retained as the
+// planner-off baseline (see SetPlanning).
 func orderPatterns(ps []TriplePattern) []TriplePattern {
 	out := make([]TriplePattern, len(ps))
 	copy(out, ps)
@@ -462,8 +785,7 @@ func orderPatterns(ps []TriplePattern) []TriplePattern {
 		if _, isVar := tp.Subject.(Variable); !isVar {
 			s += 4
 		}
-		if l, ok := tp.Predicate.(Link); ok {
-			_ = l
+		if _, ok := tp.Predicate.(Link); ok {
 			s += 2
 		}
 		if _, isVar := tp.Object.(Variable); !isVar {
@@ -473,65 +795,6 @@ func orderPatterns(ps []TriplePattern) []TriplePattern {
 	}
 	sort.SliceStable(out, func(i, j int) bool { return score(out[i]) > score(out[j]) })
 	return out
-}
-
-// matchPattern extends binding b with every store match of tp.
-func (e *Engine) matchPattern(tp TriplePattern, b Binding) ([]Binding, error) {
-	subj := resolveTerm(tp.Subject, b)
-
-	switch pe := tp.Predicate.(type) {
-	case Link:
-		return e.matchSimple(tp, b, subj, pe.IRI)
-	case VarPath:
-		pred := resolveTerm(pe.Var, b)
-		if pred != nil {
-			return e.matchSimple(tp, b, subj, pred)
-		}
-		// predicate variable unbound: scan
-		obj := resolveTerm(tp.Object, b)
-		var out []Binding
-		e.store.ForEachMatch(subj, nil, obj, func(t rdf.Triple) bool {
-			nb := b.clone()
-			if !bindTerm(nb, tp.Subject, t.Subject) ||
-				!bindVar(nb, pe.Var, t.Predicate) ||
-				!bindTerm(nb, tp.Object, t.Object) {
-				return true
-			}
-			out = append(out, nb)
-			return true
-		})
-		return out, nil
-	default:
-		// composite property path
-		obj := resolveTerm(tp.Object, b)
-		pairs, err := e.evalPath(tp.Predicate, subj, obj)
-		if err != nil {
-			return nil, err
-		}
-		var out []Binding
-		for _, pr := range pairs {
-			nb := b.clone()
-			if !bindTerm(nb, tp.Subject, pr[0]) || !bindTerm(nb, tp.Object, pr[1]) {
-				continue
-			}
-			out = append(out, nb)
-		}
-		return out, nil
-	}
-}
-
-func (e *Engine) matchSimple(tp TriplePattern, b Binding, subj, pred rdf.Term) ([]Binding, error) {
-	obj := resolveTerm(tp.Object, b)
-	var out []Binding
-	e.store.ForEachMatch(subj, pred, obj, func(t rdf.Triple) bool {
-		nb := b.clone()
-		if !bindTerm(nb, tp.Subject, t.Subject) || !bindTerm(nb, tp.Object, t.Object) {
-			return true
-		}
-		out = append(out, nb)
-		return true
-	})
-	return out, nil
 }
 
 // bindTerm unifies pattern term pt with concrete term ct under binding b.
@@ -555,7 +818,10 @@ type pair [2]rdf.Term
 
 // evalPath returns all (subject, object) pairs connected by path, with
 // either endpoint optionally fixed.
-func (e *Engine) evalPath(p PathExpr, subj, obj rdf.Term) ([]pair, error) {
+func (e *Engine) evalPath(ctx context.Context, p PathExpr, subj, obj rdf.Term) ([]pair, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch pe := p.(type) {
 	case Link:
 		var out []pair
@@ -567,7 +833,7 @@ func (e *Engine) evalPath(p PathExpr, subj, obj rdf.Term) ([]pair, error) {
 	case VarPath:
 		return nil, fmt.Errorf("sparql: variable inside composite path")
 	case Inverse:
-		pairs, err := e.evalPath(pe.Path, obj, subj)
+		pairs, err := e.evalPath(ctx, pe.Path, obj, subj)
 		if err != nil {
 			return nil, err
 		}
@@ -577,7 +843,7 @@ func (e *Engine) evalPath(p PathExpr, subj, obj rdf.Term) ([]pair, error) {
 		}
 		return out, nil
 	case Seq:
-		left, err := e.evalPath(pe.Left, subj, nil)
+		left, err := e.evalPath(ctx, pe.Left, subj, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -588,7 +854,7 @@ func (e *Engine) evalPath(p PathExpr, subj, obj rdf.Term) ([]pair, error) {
 			if l[1].Kind() == rdf.KindLiteral {
 				continue
 			}
-			rights, err := e.evalPath(pe.Right, l[1], obj)
+			rights, err := e.evalPath(ctx, pe.Right, l[1], obj)
 			if err != nil {
 				return nil, err
 			}
@@ -602,11 +868,11 @@ func (e *Engine) evalPath(p PathExpr, subj, obj rdf.Term) ([]pair, error) {
 		}
 		return out, nil
 	case Alt:
-		left, err := e.evalPath(pe.Left, subj, obj)
+		left, err := e.evalPath(ctx, pe.Left, subj, obj)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.evalPath(pe.Right, subj, obj)
+		right, err := e.evalPath(ctx, pe.Right, subj, obj)
 		if err != nil {
 			return nil, err
 		}
@@ -620,13 +886,14 @@ func (e *Engine) evalPath(p PathExpr, subj, obj rdf.Term) ([]pair, error) {
 		}
 		return out, nil
 	case Repeat:
-		return e.evalRepeat(pe, subj, obj)
+		return e.evalRepeat(ctx, pe, subj, obj)
 	}
 	return nil, fmt.Errorf("sparql: unknown path %T", p)
 }
 
-// evalRepeat handles *, + and ? closures with breadth-first expansion.
-func (e *Engine) evalRepeat(r Repeat, subj, obj rdf.Term) ([]pair, error) {
+// evalRepeat handles *, + and ? closures with breadth-first expansion,
+// checking the context once per BFS level.
+func (e *Engine) evalRepeat(ctx context.Context, r Repeat, subj, obj rdf.Term) ([]pair, error) {
 	starts, err := e.repeatStarts(r, subj)
 	if err != nil {
 		return nil, err
@@ -645,6 +912,9 @@ func (e *Engine) evalRepeat(r Repeat, subj, obj rdf.Term) ([]pair, error) {
 			emit(start, start)
 		}
 		for len(frontier) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			depth++
 			if r.Max >= 0 && depth > r.Max {
 				break
@@ -654,7 +924,7 @@ func (e *Engine) evalRepeat(r Repeat, subj, obj rdf.Term) ([]pair, error) {
 				if node.Kind() == rdf.KindLiteral {
 					continue
 				}
-				steps, err := e.evalPath(r.Path, node, nil)
+				steps, err := e.evalPath(ctx, r.Path, node, nil)
 				if err != nil {
 					return nil, err
 				}
@@ -697,11 +967,14 @@ func (e *Engine) repeatStarts(r Repeat, subj rdf.Term) ([]rdf.Term, error) {
 	return out, nil
 }
 
-func (e *Engine) evalFilter(f *Filter, in []Binding) ([]Binding, error) {
+func (e *Engine) evalFilter(ctx context.Context, f *Filter, in []Binding) ([]Binding, error) {
 	var out []Binding
 	for _, b := range in {
-		v, err := e.evalExpr(f.Expr, b)
+		v, err := e.evalExpr(ctx, f.Expr, b)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			continue // expression error => solution eliminated (SPARQL semantics)
 		}
 		ok, err := effectiveBool(v)
@@ -712,10 +985,10 @@ func (e *Engine) evalFilter(f *Filter, in []Binding) ([]Binding, error) {
 	return out, nil
 }
 
-func (e *Engine) evalOptional(o *Optional, in []Binding) ([]Binding, error) {
+func (e *Engine) evalOptional(ctx context.Context, o *Optional, in []Binding) ([]Binding, error) {
 	var out []Binding
 	for _, b := range in {
-		ext, err := e.evalGroup(o.Group, []Binding{b})
+		ext, err := e.evalGroup(ctx, o.Group, []Binding{b})
 		if err != nil {
 			return nil, err
 		}
@@ -728,19 +1001,19 @@ func (e *Engine) evalOptional(o *Optional, in []Binding) ([]Binding, error) {
 	return out, nil
 }
 
-func (e *Engine) evalUnion(u *Union, in []Binding) ([]Binding, error) {
-	left, err := e.evalGroup(u.Left, in)
+func (e *Engine) evalUnion(ctx context.Context, u *Union, in []Binding) ([]Binding, error) {
+	left, err := e.evalGroup(ctx, u.Left, in)
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.evalGroup(u.Right, in)
+	right, err := e.evalGroup(ctx, u.Right, in)
 	if err != nil {
 		return nil, err
 	}
 	return append(left, right...), nil
 }
 
-func (e *Engine) sortSolutions(sols []Binding, keys []OrderKey) error {
+func (e *Engine) sortSolutions(ctx context.Context, sols []Binding, keys []OrderKey) error {
 	type cached struct {
 		vals []rdf.Term
 		errs []bool
@@ -749,7 +1022,7 @@ func (e *Engine) sortSolutions(sols []Binding, keys []OrderKey) error {
 	for i, b := range sols {
 		c := cached{vals: make([]rdf.Term, len(keys)), errs: make([]bool, len(keys))}
 		for j, k := range keys {
-			v, err := e.evalExpr(k.Expr, b)
+			v, err := e.evalExpr(ctx, k.Expr, b)
 			if err != nil {
 				c.errs[j] = true
 			} else {
@@ -819,7 +1092,7 @@ func compareTerms(a, b rdf.Term, aErr, bErr bool) int {
 
 // evalGraphPattern evaluates GRAPH <name> { … } against the dataset's named
 // graphs.
-func (e *Engine) evalGraphPattern(gp *GraphPattern, in []Binding) ([]Binding, error) {
+func (e *Engine) evalGraphPattern(ctx context.Context, gp *GraphPattern, in []Binding) ([]Binding, error) {
 	if e.dataset == nil {
 		return nil, fmt.Errorf("sparql: GRAPH requires a dataset-backed engine")
 	}
@@ -836,7 +1109,7 @@ func (e *Engine) evalGraphPattern(gp *GraphPattern, in []Binding) ([]Binding, er
 			if !exists {
 				continue
 			}
-			sols, err := e.forGraph(st).evalGroup(gp.Group, []Binding{b})
+			sols, err := e.forGraph(st).evalGroup(ctx, gp.Group, []Binding{b})
 			if err != nil {
 				return nil, err
 			}
@@ -851,7 +1124,7 @@ func (e *Engine) evalGraphPattern(gp *GraphPattern, in []Binding) ([]Binding, er
 			if !bindVar(nb, v, gname) {
 				continue
 			}
-			sols, err := e.forGraph(st).evalGroup(gp.Group, []Binding{nb})
+			sols, err := e.forGraph(st).evalGroup(ctx, gp.Group, []Binding{nb})
 			if err != nil {
 				return nil, err
 			}

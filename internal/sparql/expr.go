@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,7 +16,7 @@ import (
 var errUnbound = errors.New("sparql: unbound variable in expression")
 
 // evalExpr evaluates an expression under a binding.
-func (e *Engine) evalExpr(expr Expression, b Binding) (rdf.Term, error) {
+func (e *Engine) evalExpr(ctx context.Context, expr Expression, b Binding) (rdf.Term, error) {
 	switch v := expr.(type) {
 	case ExprConst:
 		return v.Term, nil
@@ -28,7 +29,7 @@ func (e *Engine) evalExpr(expr Expression, b Binding) (rdf.Term, error) {
 		return t, nil
 
 	case ExprUnary:
-		inner, err := e.evalExpr(v.Expr, b)
+		inner, err := e.evalExpr(ctx, v.Expr, b)
 		if err != nil {
 			return nil, err
 		}
@@ -53,13 +54,13 @@ func (e *Engine) evalExpr(expr Expression, b Binding) (rdf.Term, error) {
 		return nil, fmt.Errorf("sparql: unknown unary op %q", v.Op)
 
 	case ExprBinary:
-		return e.evalBinary(v, b)
+		return e.evalBinary(ctx, v, b)
 
 	case ExprCall:
-		return e.evalCall(v, b)
+		return e.evalCall(ctx, v, b)
 
 	case ExprExists:
-		sols, err := e.evalGroup(v.Group, []Binding{b})
+		sols, err := e.evalGroup(ctx, v.Group, []Binding{b})
 		if err != nil {
 			return nil, err
 		}
@@ -72,17 +73,17 @@ func (e *Engine) evalExpr(expr Expression, b Binding) (rdf.Term, error) {
 	return nil, fmt.Errorf("sparql: unknown expression %T", expr)
 }
 
-func (e *Engine) evalBinary(v ExprBinary, b Binding) (rdf.Term, error) {
+func (e *Engine) evalBinary(ctx context.Context, v ExprBinary, b Binding) (rdf.Term, error) {
 	// Short-circuit logical operators; SPARQL's three-valued logic lets one
 	// errored side be recovered by the other.
 	switch v.Op {
 	case "&&", "||":
-		lt, lerr := e.evalExpr(v.Left, b)
+		lt, lerr := e.evalExpr(ctx, v.Left, b)
 		var lval bool
 		if lerr == nil {
 			lval, lerr = effectiveBool(lt)
 		}
-		rt, rerr := e.evalExpr(v.Right, b)
+		rt, rerr := e.evalExpr(ctx, v.Right, b)
 		var rval bool
 		if rerr == nil {
 			rval, rerr = effectiveBool(rt)
@@ -107,11 +108,11 @@ func (e *Engine) evalBinary(v ExprBinary, b Binding) (rdf.Term, error) {
 		}
 	}
 
-	lt, err := e.evalExpr(v.Left, b)
+	lt, err := e.evalExpr(ctx, v.Left, b)
 	if err != nil {
 		return nil, err
 	}
-	rt, err := e.evalExpr(v.Right, b)
+	rt, err := e.evalExpr(ctx, v.Right, b)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +253,7 @@ func effectiveBool(t rdf.Term) (bool, error) {
 	return false, fmt.Errorf("sparql: no boolean value for %s", t)
 }
 
-func (e *Engine) evalCall(c ExprCall, b Binding) (rdf.Term, error) {
+func (e *Engine) evalCall(ctx context.Context, c ExprCall, b Binding) (rdf.Term, error) {
 	// Custom extension function.
 	if c.IRI != "" {
 		fn, ok := e.funcs[c.IRI]
@@ -261,7 +262,7 @@ func (e *Engine) evalCall(c ExprCall, b Binding) (rdf.Term, error) {
 		}
 		args := make([]rdf.Term, len(c.Args))
 		for i, a := range c.Args {
-			v, err := e.evalExpr(a, b)
+			v, err := e.evalExpr(ctx, a, b)
 			if err != nil {
 				return nil, err
 			}
@@ -286,7 +287,7 @@ func (e *Engine) evalCall(c ExprCall, b Binding) (rdf.Term, error) {
 	// COALESCE returns the first argument that evaluates without error.
 	if c.Name == "COALESCE" {
 		for _, a := range c.Args {
-			if v, err := e.evalExpr(a, b); err == nil {
+			if v, err := e.evalExpr(ctx, a, b); err == nil {
 				return v, nil
 			}
 		}
@@ -298,7 +299,7 @@ func (e *Engine) evalCall(c ExprCall, b Binding) (rdf.Term, error) {
 		if len(c.Args) != 3 {
 			return nil, fmt.Errorf("sparql: IF takes 3 arguments")
 		}
-		cond, err := e.evalExpr(c.Args[0], b)
+		cond, err := e.evalExpr(ctx, c.Args[0], b)
 		if err != nil {
 			return nil, err
 		}
@@ -307,14 +308,14 @@ func (e *Engine) evalCall(c ExprCall, b Binding) (rdf.Term, error) {
 			return nil, err
 		}
 		if ok {
-			return e.evalExpr(c.Args[1], b)
+			return e.evalExpr(ctx, c.Args[1], b)
 		}
-		return e.evalExpr(c.Args[2], b)
+		return e.evalExpr(ctx, c.Args[2], b)
 	}
 
 	args := make([]rdf.Term, len(c.Args))
 	for i, a := range c.Args {
-		v, err := e.evalExpr(a, b)
+		v, err := e.evalExpr(ctx, a, b)
 		if err != nil {
 			return nil, err
 		}

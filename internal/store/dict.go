@@ -1,0 +1,126 @@
+package store
+
+import (
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// ID is a dense dictionary identifier for an interned term. IDs start at 1;
+// NoID (0) is reserved and doubles as the wildcard in the ID-level match API.
+type ID uint32
+
+// NoID is the zero ID: "no term" on writes, wildcard on ID-level reads.
+const NoID ID = 0
+
+// dictStripes is the number of lock stripes in a Dict (power of two).
+const dictStripes = 64
+
+// Dict is a two-way, lock-striped interning dictionary mapping RDF terms to
+// dense uint32 IDs and back. The term→ID direction is sharded by rdf.HashTerm
+// so concurrent interning from many goroutines contends on different stripes;
+// the ID→term direction is an append-only slice guarded by one RWMutex whose
+// hot read path is a single slice-header load (see view).
+//
+// A Dict only grows: removing a triple from a store does not un-intern its
+// terms. That is the standard trade-off of dictionary-encoded stores — IDs
+// stay stable for the life of the dictionary, so indexes, caches and query
+// plans can hold them without invalidation protocols.
+type Dict struct {
+	stripes [dictStripes]dictStripe
+
+	mu    sync.RWMutex
+	terms []rdf.Term // terms[id-1] is the term for id
+}
+
+type dictStripe struct {
+	mu  sync.RWMutex
+	ids map[rdf.Term]ID
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	d := &Dict{}
+	for i := range d.stripes {
+		d.stripes[i].ids = make(map[rdf.Term]ID)
+	}
+	return d
+}
+
+func (d *Dict) stripe(t rdf.Term) *dictStripe {
+	return &d.stripes[rdf.HashTerm(t)%dictStripes]
+}
+
+// Intern returns the ID for t, assigning a fresh one when t is new.
+func (d *Dict) Intern(t rdf.Term) ID {
+	s := d.stripe(t)
+	s.mu.RLock()
+	id, ok := s.ids[t]
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok = s.ids[t]; ok { // raced with another interner
+		return id
+	}
+	d.mu.Lock()
+	d.terms = append(d.terms, t)
+	id = ID(len(d.terms))
+	d.mu.Unlock()
+	s.ids[t] = id
+	return id
+}
+
+// Lookup returns the ID for t without interning; ok is false when t has
+// never been interned.
+func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	s := d.stripe(t)
+	s.mu.RLock()
+	id, ok := s.ids[t]
+	s.mu.RUnlock()
+	return id, ok
+}
+
+// Term returns the term for id, or nil for NoID and out-of-range IDs.
+func (d *Dict) Term(id ID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == NoID || int(id) > len(d.terms) {
+		return nil
+	}
+	return d.terms[id-1]
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// View captures a read-only snapshot of the ID→term mapping. The slice is
+// append-only and entries are immutable once written, so a view taken at
+// time T resolves every ID interned before T without further locking — the
+// evaluator grabs one view per BGP and materializes solutions through it.
+func (d *Dict) View() DictView {
+	d.mu.RLock()
+	terms := d.terms
+	d.mu.RUnlock()
+	return DictView{terms: terms}
+}
+
+// DictView is a lock-free resolver over a Dict snapshot (see Dict.View).
+type DictView struct {
+	terms []rdf.Term
+}
+
+// Term resolves id, or nil for NoID and IDs interned after the view was
+// taken.
+func (v DictView) Term(id ID) rdf.Term {
+	if id == NoID || int(id) > len(v.terms) {
+		return nil
+	}
+	return v.terms[id-1]
+}

@@ -4,11 +4,16 @@
 // stores of the Section 7.1 scenario, and the working set of the OWL
 // reasoner.
 //
-// The store keeps three hash indexes (SPO, POS, OSP) so that any triple
-// pattern with at least one bound position resolves without a full scan.
+// Storage is dictionary-encoded: every term is interned into a lock-striped
+// Dict (term ⇄ dense uint32 ID) and the three hash indexes (SPO, POS, OSP)
+// hold ID triples, so that any triple pattern with at least one bound
+// position resolves without a full scan and joins can run entirely in ID
+// space. Per-position cardinality counters ride along with the indexes and
+// feed the SPARQL planner's selectivity estimates in O(1).
+//
 // Readers take a read lock and may run concurrently; writers are serialized.
-// Snapshot() produces an immutable copy for long-running consumers such as
-// the query cache.
+// Snapshot() produces an independent copy (sharing the dictionary, which
+// only grows) for long-running consumers such as the query cache.
 package store
 
 import (
@@ -23,18 +28,19 @@ import (
 	"repro/internal/rdf"
 )
 
-// index is a two-level nested hash index terminating in a term set.
-type index map[rdf.Term]map[rdf.Term]map[rdf.Term]struct{}
+// index is a two-level nested hash index over ID triples terminating in an
+// ID set.
+type index map[ID]map[ID]map[ID]struct{}
 
-func (ix index) add(a, b, c rdf.Term) bool {
+func (ix index) add(a, b, c ID) bool {
 	m1, ok := ix[a]
 	if !ok {
-		m1 = make(map[rdf.Term]map[rdf.Term]struct{})
+		m1 = make(map[ID]map[ID]struct{})
 		ix[a] = m1
 	}
 	m2, ok := m1[b]
 	if !ok {
-		m2 = make(map[rdf.Term]struct{})
+		m2 = make(map[ID]struct{})
 		m1[b] = m2
 	}
 	if _, dup := m2[c]; dup {
@@ -44,7 +50,7 @@ func (ix index) add(a, b, c rdf.Term) bool {
 	return true
 }
 
-func (ix index) remove(a, b, c rdf.Term) bool {
+func (ix index) remove(a, b, c ID) bool {
 	m1, ok := ix[a]
 	if !ok {
 		return false
@@ -69,10 +75,16 @@ func (ix index) remove(a, b, c rdf.Term) bool {
 // Store is an indexed triple store. The zero value is not usable; call New.
 type Store struct {
 	mu   sync.RWMutex
+	dict *Dict
 	spo  index
 	pos  index
 	osp  index
-	size int
+	// Per-position cardinality counters: triples per bound subject /
+	// predicate / object. The planner reads these through EstimateIDs.
+	subjCard map[ID]int
+	predCard map[ID]int
+	objCard  map[ID]int
+	size     int
 	// generation increments on every successful mutation; the query cache
 	// uses it for O(1) invalidation checks.
 	generation uint64
@@ -87,8 +99,8 @@ type Store struct {
 // lockSampleEvery is the write-lock sampling period (power of two).
 const lockSampleEvery = 16
 
-// Instrument exports the store's vitals into reg: triple count and
-// generation as callback gauges (zero hot-path cost) plus a sampled
+// Instrument exports the store's vitals into reg: triple count, generation
+// and dictionary size as callback gauges (zero hot-path cost) plus a sampled
 // write-lock hold-time histogram. Call before concurrent use.
 func (s *Store) Instrument(reg *obs.Registry) *Store {
 	if reg == nil {
@@ -99,6 +111,9 @@ func (s *Store) Instrument(reg *obs.Registry) *Store {
 	reg.GaugeFunc("grdf_store_generation",
 		"Mutation generation counter (cache invalidation epoch).",
 		func() float64 { return float64(s.Generation()) })
+	reg.GaugeFunc("grdf_store_dict_terms",
+		"Distinct terms interned in the store dictionary.",
+		func() float64 { return float64(s.DictLen()) })
 	s.mLockHold = reg.Histogram("grdf_store_write_lock_hold_seconds",
 		"Write-lock hold time, sampled every 16th mutation.", nil)
 	return s
@@ -124,12 +139,21 @@ func (s *Store) endHold(start time.Time) {
 	}
 }
 
-// New returns an empty store.
-func New() *Store {
+// New returns an empty store with a fresh dictionary.
+func New() *Store { return NewWithDict(NewDict()) }
+
+// NewWithDict returns an empty store interning into dict. Sharing one
+// dictionary across stores keeps their ID spaces compatible (Snapshot relies
+// on this); the dictionary only grows, so sharing is always safe.
+func NewWithDict(dict *Dict) *Store {
 	return &Store{
-		spo: make(index),
-		pos: make(index),
-		osp: make(index),
+		dict:     dict,
+		spo:      make(index),
+		pos:      make(index),
+		osp:      make(index),
+		subjCard: make(map[ID]int),
+		predCard: make(map[ID]int),
+		objCard:  make(map[ID]int),
 	}
 }
 
@@ -139,6 +163,27 @@ func FromGraph(g *rdf.Graph) *Store {
 	s.AddGraph(g)
 	return s
 }
+
+// Dict exposes the store's interning dictionary.
+func (s *Store) Dict() *Dict { return s.dict }
+
+// DictLen returns the number of terms interned so far.
+func (s *Store) DictLen() int { return s.dict.Len() }
+
+// LookupID returns the dictionary ID of t without interning it; ok is false
+// when t has never been stored.
+func (s *Store) LookupID(t rdf.Term) (ID, bool) { return s.dict.Lookup(t) }
+
+// Intern interns t into the store's dictionary and returns its ID. It does
+// not add any triple.
+func (s *Store) Intern(t rdf.Term) ID { return s.dict.Intern(t) }
+
+// TermOf resolves a dictionary ID back to its term (nil for NoID).
+func (s *Store) TermOf(id ID) rdf.Term { return s.dict.Term(id) }
+
+// DictView captures a lock-free ID→term resolver over the current
+// dictionary contents (see Dict.View).
+func (s *Store) DictView() DictView { return s.dict.View() }
 
 // Add inserts t, reporting whether it was new. Invalid triples are rejected.
 func (s *Store) Add(t rdf.Triple) bool {
@@ -152,14 +197,42 @@ func (s *Store) Add(t rdf.Triple) bool {
 }
 
 func (s *Store) addLocked(t rdf.Triple) bool {
-	if !s.spo.add(t.Subject, t.Predicate, t.Object) {
+	sid := s.dict.Intern(t.Subject)
+	pid := s.dict.Intern(t.Predicate)
+	oid := s.dict.Intern(t.Object)
+	if !s.spo.add(sid, pid, oid) {
 		return false
 	}
-	s.pos.add(t.Predicate, t.Object, t.Subject)
-	s.osp.add(t.Object, t.Subject, t.Predicate)
+	s.pos.add(pid, oid, sid)
+	s.osp.add(oid, sid, pid)
+	s.subjCard[sid]++
+	s.predCard[pid]++
+	s.objCard[oid]++
 	s.size++
 	s.generation++
 	return true
+}
+
+func (s *Store) removeLocked(sid, pid, oid ID) bool {
+	if !s.spo.remove(sid, pid, oid) {
+		return false
+	}
+	s.pos.remove(pid, oid, sid)
+	s.osp.remove(oid, sid, pid)
+	decCard(s.subjCard, sid)
+	decCard(s.predCard, pid)
+	decCard(s.objCard, oid)
+	s.size--
+	s.generation++
+	return true
+}
+
+func decCard(m map[ID]int, id ID) {
+	if n := m[id] - 1; n <= 0 {
+		delete(m, id)
+	} else {
+		m[id] = n
+	}
 }
 
 // AddAll inserts the given triples, returning how many were new.
@@ -184,33 +257,56 @@ func (s *Store) AddGraph(g *rdf.Graph) int { return s.AddAll(g.Triples()) }
 
 // Remove deletes t, reporting whether it was present.
 func (s *Store) Remove(t rdf.Triple) bool {
+	ids, ok := s.lookupTriple(t)
+	if !ok {
+		return false
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.endHold(s.beginHold())
-	if !s.spo.remove(t.Subject, t.Predicate, t.Object) {
-		return false
+	return s.removeLocked(ids[0], ids[1], ids[2])
+}
+
+// lookupTriple resolves a triple's terms to IDs without interning.
+func (s *Store) lookupTriple(t rdf.Triple) ([3]ID, bool) {
+	if t.Subject == nil || t.Predicate == nil || t.Object == nil {
+		return [3]ID{}, false
 	}
-	s.pos.remove(t.Predicate, t.Object, t.Subject)
-	s.osp.remove(t.Object, t.Subject, t.Predicate)
-	s.size--
-	s.generation++
-	return true
+	sid, ok := s.dict.Lookup(t.Subject)
+	if !ok {
+		return [3]ID{}, false
+	}
+	pid, ok := s.dict.Lookup(t.Predicate)
+	if !ok {
+		return [3]ID{}, false
+	}
+	oid, ok := s.dict.Lookup(t.Object)
+	if !ok {
+		return [3]ID{}, false
+	}
+	return [3]ID{sid, pid, oid}, true
 }
 
 // RemoveMatching deletes all triples matching the pattern (nil = wildcard)
 // and returns how many were removed.
 func (s *Store) RemoveMatching(sub, pred, obj rdf.Term) int {
-	victims := s.Match(sub, pred, obj)
+	sid, pid, oid, ok := s.lookupPattern(sub, pred, obj)
+	if !ok {
+		return 0
+	}
+	var victims [][3]ID
+	s.mu.RLock()
+	s.forEachMatchLocked(sid, pid, oid, func(a, b, c ID) bool {
+		victims = append(victims, [3]ID{a, b, c})
+		return true
+	})
+	s.mu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.endHold(s.beginHold())
 	n := 0
-	for _, t := range victims {
-		if s.spo.remove(t.Subject, t.Predicate, t.Object) {
-			s.pos.remove(t.Predicate, t.Object, t.Subject)
-			s.osp.remove(t.Object, t.Subject, t.Predicate)
-			s.size--
-			s.generation++
+	for _, v := range victims {
+		if s.removeLocked(v[0], v[1], v[2]) {
 			n++
 		}
 	}
@@ -219,17 +315,18 @@ func (s *Store) RemoveMatching(sub, pred, obj rdf.Term) int {
 
 // Has reports whether t is in the store.
 func (s *Store) Has(t rdf.Triple) bool {
+	ids, ok := s.lookupTriple(t)
+	if !ok {
+		return false
+	}
+	return s.HasIDs(ids[0], ids[1], ids[2])
+}
+
+// HasIDs reports whether the fully-bound ID triple is in the store.
+func (s *Store) HasIDs(sid, pid, oid ID) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	m1, ok := s.spo[t.Subject]
-	if !ok {
-		return false
-	}
-	m2, ok := m1[t.Predicate]
-	if !ok {
-		return false
-	}
-	_, ok = m2[t.Object]
+	_, ok := s.spo[sid][pid][oid]
 	return ok
 }
 
@@ -247,6 +344,28 @@ func (s *Store) Generation() uint64 {
 	return s.generation
 }
 
+// lookupPattern resolves pattern terms to IDs (nil → NoID wildcard). ok is
+// false when a non-nil term is absent from the dictionary, which means the
+// pattern cannot match anything.
+func (s *Store) lookupPattern(sub, pred, obj rdf.Term) (sid, pid, oid ID, ok bool) {
+	if sub != nil {
+		if sid, ok = s.dict.Lookup(sub); !ok {
+			return 0, 0, 0, false
+		}
+	}
+	if pred != nil {
+		if pid, ok = s.dict.Lookup(pred); !ok {
+			return 0, 0, 0, false
+		}
+	}
+	if obj != nil {
+		if oid, ok = s.dict.Lookup(obj); !ok {
+			return 0, 0, 0, false
+		}
+	}
+	return sid, pid, oid, true
+}
+
 // Match returns all triples matching the pattern; nil positions are
 // wildcards. The result is a fresh slice safe for the caller to keep.
 func (s *Store) Match(sub, pred, obj rdf.Term) []rdf.Triple {
@@ -261,80 +380,118 @@ func (s *Store) Match(sub, pred, obj rdf.Term) []rdf.Triple {
 // Count returns the number of triples matching the pattern without
 // materializing them.
 func (s *Store) Count(sub, pred, obj rdf.Term) int {
+	sid, pid, oid, ok := s.lookupPattern(sub, pred, obj)
+	if !ok {
+		return 0
+	}
 	n := 0
-	s.ForEachMatch(sub, pred, obj, func(rdf.Triple) bool { n++; return true })
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.forEachMatchLocked(sid, pid, oid, func(ID, ID, ID) bool { n++; return true })
 	return n
+}
+
+// EstimateIDs returns the exact number of triples matching the ID pattern
+// (NoID = wildcard) in O(1), using the per-position cardinality counters.
+// This is the planner's selectivity source.
+func (s *Store) EstimateIDs(sid, pid, oid ID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	switch {
+	case sid != NoID && pid != NoID && oid != NoID:
+		if _, ok := s.spo[sid][pid][oid]; ok {
+			return 1
+		}
+		return 0
+	case sid != NoID && pid != NoID:
+		return len(s.spo[sid][pid])
+	case pid != NoID && oid != NoID:
+		return len(s.pos[pid][oid])
+	case sid != NoID && oid != NoID:
+		return len(s.osp[oid][sid])
+	case sid != NoID:
+		return s.subjCard[sid]
+	case pid != NoID:
+		return s.predCard[pid]
+	case oid != NoID:
+		return s.objCard[oid]
+	default:
+		return s.size
+	}
 }
 
 // ForEachMatch streams matching triples to fn under a read lock; fn returning
 // false stops iteration early. fn must not mutate the store (it would
 // deadlock); collect first if mutation is needed.
 func (s *Store) ForEachMatch(sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) {
+	sid, pid, oid, ok := s.lookupPattern(sub, pred, obj)
+	if !ok {
+		return
+	}
+	view := s.dict.View()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.forEachMatchLocked(sid, pid, oid, func(a, b, c ID) bool {
+		return fn(rdf.T(view.Term(a), view.Term(b), view.Term(c)))
+	})
+}
 
-	emit := func(t rdf.Triple) bool { return fn(t) }
+// ForEachMatchIDs streams matching ID triples to fn under a read lock;
+// NoID positions are wildcards and fn returning false stops early. This is
+// the evaluator's join primitive: no terms are materialized.
+func (s *Store) ForEachMatchIDs(sid, pid, oid ID, fn func(sid, pid, oid ID) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.forEachMatchLocked(sid, pid, oid, fn)
+}
 
+// forEachMatchLocked dispatches the pattern to the index with the longest
+// bound prefix. Callers hold at least a read lock.
+func (s *Store) forEachMatchLocked(sid, pid, oid ID, fn func(sid, pid, oid ID) bool) {
 	switch {
-	case sub != nil && pred != nil && obj != nil:
-		if m1, ok := s.spo[sub]; ok {
-			if m2, ok := m1[pred]; ok {
-				if _, ok := m2[obj]; ok {
-					emit(rdf.T(sub, pred, obj))
-				}
+	case sid != NoID && pid != NoID && oid != NoID:
+		if _, ok := s.spo[sid][pid][oid]; ok {
+			fn(sid, pid, oid)
+		}
+	case sid != NoID && pid != NoID:
+		for o := range s.spo[sid][pid] {
+			if !fn(sid, pid, o) {
+				return
 			}
 		}
-	case sub != nil && pred != nil:
-		if m1, ok := s.spo[sub]; ok {
-			for o := range m1[pred] {
-				if !emit(rdf.T(sub, pred, o)) {
+	case sid != NoID && oid != NoID:
+		for p := range s.osp[oid][sid] {
+			if !fn(sid, p, oid) {
+				return
+			}
+		}
+	case pid != NoID && oid != NoID:
+		for su := range s.pos[pid][oid] {
+			if !fn(su, pid, oid) {
+				return
+			}
+		}
+	case sid != NoID:
+		for p, objs := range s.spo[sid] {
+			for o := range objs {
+				if !fn(sid, p, o) {
 					return
 				}
 			}
 		}
-	case sub != nil && obj != nil:
-		if m1, ok := s.osp[obj]; ok {
-			for p := range m1[sub] {
-				if !emit(rdf.T(sub, p, obj)) {
+	case pid != NoID:
+		for o, subs := range s.pos[pid] {
+			for su := range subs {
+				if !fn(su, pid, o) {
 					return
 				}
 			}
 		}
-	case pred != nil && obj != nil:
-		if m1, ok := s.pos[pred]; ok {
-			for su := range m1[obj] {
-				if !emit(rdf.T(su, pred, obj)) {
+	case oid != NoID:
+		for su, preds := range s.osp[oid] {
+			for p := range preds {
+				if !fn(su, p, oid) {
 					return
-				}
-			}
-		}
-	case sub != nil:
-		if m1, ok := s.spo[sub]; ok {
-			for p, objs := range m1 {
-				for o := range objs {
-					if !emit(rdf.T(sub, p, o)) {
-						return
-					}
-				}
-			}
-		}
-	case pred != nil:
-		if m1, ok := s.pos[pred]; ok {
-			for o, subs := range m1 {
-				for su := range subs {
-					if !emit(rdf.T(su, pred, o)) {
-						return
-					}
-				}
-			}
-		}
-	case obj != nil:
-		if m1, ok := s.osp[obj]; ok {
-			for su, preds := range m1 {
-				for p := range preds {
-					if !emit(rdf.T(su, p, obj)) {
-						return
-					}
 				}
 			}
 		}
@@ -342,7 +499,7 @@ func (s *Store) ForEachMatch(sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) 
 		for su, m1 := range s.spo {
 			for p, objs := range m1 {
 				for o := range objs {
-					if !emit(rdf.T(su, p, o)) {
+					if !fn(su, p, o) {
 						return
 					}
 				}
@@ -400,20 +557,24 @@ func (s *Store) Graph() *rdf.Graph {
 }
 
 // Snapshot returns an independent copy of the store. Mutating either side
-// does not affect the other.
+// does not affect the other. The dictionary is shared (it only grows), so
+// IDs remain valid across the snapshot boundary.
 func (s *Store) Snapshot() *Store {
-	out := New()
+	out := NewWithDict(s.dict)
 	out.AddAll(s.Triples())
 	return out
 }
 
-// Clear removes every triple.
+// Clear removes every triple. Interned terms stay in the dictionary.
 func (s *Store) Clear() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.spo = make(index)
 	s.pos = make(index)
 	s.osp = make(index)
+	s.subjCard = make(map[ID]int)
+	s.predCard = make(map[ID]int)
+	s.objCard = make(map[ID]int)
 	s.size = 0
 	s.generation++
 }
@@ -424,6 +585,7 @@ type Stats struct {
 	Subjects   int
 	Predicates int
 	Objects    int
+	DictTerms  int
 }
 
 // Stats computes summary statistics.
@@ -435,6 +597,7 @@ func (s *Store) Stats() Stats {
 		Subjects:   len(s.spo),
 		Predicates: len(s.pos),
 		Objects:    len(s.osp),
+		DictTerms:  s.dict.Len(),
 	}
 }
 
@@ -470,21 +633,49 @@ func (s *Store) Validate() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n := 0
+	subjSeen := make(map[ID]int)
+	predSeen := make(map[ID]int)
+	objSeen := make(map[ID]int)
 	for su, m1 := range s.spo {
 		for p, objs := range m1 {
 			for o := range objs {
 				n++
+				subjSeen[su]++
+				predSeen[p]++
+				objSeen[o]++
 				if _, ok := s.pos[p][o][su]; !ok {
-					return fmt.Errorf("store: POS missing %s %s %s", su, p, o)
+					return fmt.Errorf("store: POS missing %d %d %d", su, p, o)
 				}
 				if _, ok := s.osp[o][su][p]; !ok {
-					return fmt.Errorf("store: OSP missing %s %s %s", su, p, o)
+					return fmt.Errorf("store: OSP missing %d %d %d", su, p, o)
+				}
+				if s.dict.Term(su) == nil || s.dict.Term(p) == nil || s.dict.Term(o) == nil {
+					return fmt.Errorf("store: dangling dictionary ID in %d %d %d", su, p, o)
 				}
 			}
 		}
 	}
 	if n != s.size {
 		return fmt.Errorf("store: size %d != indexed %d", s.size, n)
+	}
+	for id, want := range subjSeen {
+		if s.subjCard[id] != want {
+			return fmt.Errorf("store: subject cardinality %d != %d for id %d", s.subjCard[id], want, id)
+		}
+	}
+	for id, want := range predSeen {
+		if s.predCard[id] != want {
+			return fmt.Errorf("store: predicate cardinality %d != %d for id %d", s.predCard[id], want, id)
+		}
+	}
+	for id, want := range objSeen {
+		if s.objCard[id] != want {
+			return fmt.Errorf("store: object cardinality %d != %d for id %d", s.objCard[id], want, id)
+		}
+	}
+	if len(subjSeen) != len(s.subjCard) || len(predSeen) != len(s.predCard) || len(objSeen) != len(s.objCard) {
+		return fmt.Errorf("store: stale cardinality entries (subj %d/%d pred %d/%d obj %d/%d)",
+			len(s.subjCard), len(subjSeen), len(s.predCard), len(predSeen), len(s.objCard), len(objSeen))
 	}
 	return nil
 }
