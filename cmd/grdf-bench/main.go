@@ -1,5 +1,5 @@
 // Command grdf-bench regenerates every experiment table of the reproduction
-// (E1–E11, see DESIGN.md and EXPERIMENTS.md).
+// (E1–E14, see DESIGN.md and EXPERIMENTS.md).
 //
 // With -json DIR it additionally writes one machine-readable BENCH_<id>.json
 // per experiment — the table cells, the wall time, and a snapshot of the
@@ -11,7 +11,7 @@
 //	grdf-bench                 # run everything
 //	grdf-bench -only E5,E6     # selected experiments
 //	grdf-bench -sites 10,50    # override dataset sizes for E6/E9/E10
-//	grdf-bench -requests 200   # cache workload size for E8
+//	grdf-bench -requests 200   # workload size for E8 (cache) and E14 (federation)
 //	grdf-bench -json out/      # also write out/BENCH_<id>.json
 package main
 
@@ -39,7 +39,7 @@ type benchResult struct {
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E5,E6); empty runs all")
 	sites := flag.String("sites", "", "comma-separated dataset sizes for E6/E9/E10")
-	requests := flag.Int("requests", 0, "request count for the E8 cache workload")
+	requests := flag.Int("requests", 0, "request count for the E8 cache and E14 federation workloads")
 	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<id>.json output")
 	flag.Parse()
 
@@ -72,6 +72,7 @@ func main() {
 		{"E11", experiments.E11Alignment},
 		{"E12", experiments.E12PolicyConflicts},
 		{"E13", func() *experiments.Table { return experiments.E13Planner(sizes) }},
+		{"E14", func() *experiments.Table { return experiments.E14Federation(*requests) }},
 	}
 
 	selected := map[string]bool{}

@@ -14,23 +14,35 @@
 // Every response carries an X-Trace-Id header; the same ID appears on every
 // structured (JSON, stderr) log line the request produced.
 //
+// With -source the server federates /v1/query across the local engine and
+// one or more peer G-SACS servers, with per-source retries, circuit
+// breakers and graceful degradation (see README "Federation & fault
+// tolerance"). SIGINT/SIGTERM drain in-flight requests for up to
+// -drain-timeout before exit.
+//
 // Usage:
 //
 //	gsacs-server -addr :8080                       # built-in scenario
 //	gsacs-server -data world.ttl -policies p.ttl   # custom dataset
 //	gsacs-server -pprof -log-level debug           # profiling + verbose logs
+//	gsacs-server -source http://peer1:8080 -source-timeout 2s \
+//	             -breaker-threshold 5 -retry-max 3 # federated front-end
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/datagen"
+	"repro/internal/federation"
 	"repro/internal/grdf"
 	"repro/internal/gsacs"
 	"repro/internal/obs"
@@ -39,6 +51,19 @@ import (
 	"repro/internal/store"
 	"repro/internal/turtle"
 )
+
+// sourceList collects repeated -source flags.
+type sourceList []string
+
+func (s *sourceList) String() string { return strings.Join(*s, ",") }
+func (s *sourceList) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			*s = append(*s, part)
+		}
+	}
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -51,6 +76,17 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, error")
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request SPARQL evaluation deadline (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain window on SIGINT/SIGTERM")
+	maxBodyBytes := flag.Int64("max-body-bytes", 1<<20, "request body cap on /insert and /delete (0 disables)")
+
+	var sources sourceList
+	flag.Var(&sources, "source", "peer G-SACS base URL to federate /v1/query across (repeatable or comma-separated)")
+	sourceTimeout := flag.Duration("source-timeout", 2*time.Second, "per-attempt deadline against each federated source")
+	breakerOff := flag.Bool("breaker-off", false, "disable the per-source circuit breakers")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that open a source's breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open time before a half-open probe")
+	retryMax := flag.Int("retry-max", 3, "attempts per source per request (1 disables retries)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "base backoff before the first retry")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel))
@@ -71,9 +107,34 @@ func main() {
 	repo.Register("seconto", seconto.Ontology())
 
 	opts := []gsacs.ServerOption{gsacs.WithMetrics(reg), gsacs.WithLogger(logger),
-		gsacs.WithQueryTimeout(*queryTimeout)}
+		gsacs.WithQueryTimeout(*queryTimeout), gsacs.WithMaxBodyBytes(*maxBodyBytes)}
 	if *pprofOn {
 		opts = append(opts, gsacs.WithPprof())
+	}
+	if len(sources) > 0 {
+		members := []federation.Source{federation.NewLocalSource("local", engine)}
+		for i, base := range sources {
+			members = append(members,
+				federation.NewRemoteSource(fmt.Sprintf("peer%d", i+1), base, nil))
+		}
+		fed, err := federation.New(federation.Config{
+			SourceTimeout:  *sourceTimeout,
+			DisableBreaker: *breakerOff,
+			Breaker: federation.BreakerConfig{
+				Threshold: *breakerThreshold,
+				Cooldown:  *breakerCooldown,
+			},
+			Retry: federation.RetryConfig{
+				MaxAttempts: *retryMax,
+				BaseDelay:   *retryBase,
+			},
+			Metrics: reg,
+		}, members...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsacs-server: %v\n", err)
+			os.Exit(1)
+		}
+		opts = append(opts, gsacs.WithFederator(fed))
 	}
 
 	srv := &http.Server{
@@ -88,10 +149,45 @@ func main() {
 		"cache_entries", *cache,
 		"audit_capacity", *auditCap,
 		"pprof", *pprofOn,
+		"federated_sources", len(sources),
+		"drain_timeout", drainTimeout.String(),
 	)
-	if err := srv.ListenAndServe(); err != nil {
-		logger.Error("server exited", "err", err.Error())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := serve(srv, stop, *drainTimeout, logger); err != nil {
 		os.Exit(1)
+	}
+}
+
+// serve runs srv until it fails or a signal arrives on stop, then drains
+// in-flight requests for up to drain. The stop channel is a parameter so
+// tests can drive the shutdown path without delivering real signals.
+func serve(srv *http.Server, stop <-chan os.Signal, drain time.Duration, logger *slog.Logger) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		// ListenAndServe only returns on failure (or external Shutdown).
+		if err != nil && err != http.ErrServerClosed {
+			logger.Error("server exited", "err", err.Error())
+			return err
+		}
+		return nil
+	case sig := <-stop:
+		logger.Info("shutdown signal received, draining",
+			"signal", fmt.Sprint(sig), "drain_timeout", drain.String())
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		start := time.Now()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Error("drain incomplete, forcing close",
+				"err", err.Error(), "waited", time.Since(start).String())
+			srv.Close()
+			return err
+		}
+		logger.Info("drained cleanly", "took", time.Since(start).String())
+		return nil
 	}
 }
 

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"io"
 	"log/slog"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/gsacs"
 	"repro/internal/obs"
@@ -149,5 +152,149 @@ seconto:P1 a seconto:Policy ;
 	os.WriteFile(badPol, []byte("not turtle @@"), 0o644)
 	if _, err := buildEngine(dataFile, badPol, 0, 0, 0, nil); err == nil {
 		t.Error("bad policy file accepted")
+	}
+}
+
+// waitListen blocks until addr accepts TCP connections (serve binds the
+// listener asynchronously).
+func waitListen(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, err := net.Dial("tcp", addr); err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("listener on %s never came up", addr)
+}
+
+// TestServeGracefulShutdown drives serve() through the signal path: an
+// in-flight request must finish inside the drain window, the listener must
+// stop accepting, and the shutdown must be logged as a clean drain.
+func TestServeGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		w.Write([]byte("done"))
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	ln.Close() // serve() calls ListenAndServe itself; we only wanted the port
+
+	var logBuf bytes.Buffer
+	logger := obs.NewLogger(&logBuf, slog.LevelInfo)
+	stop := make(chan os.Signal, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(srv, stop, 2*time.Second, logger) }()
+	waitListen(t, srv.Addr)
+
+	// Fire a request that blocks in the handler, then deliver the signal.
+	reqErr := make(chan error, 1)
+	reqBody := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr + "/slow")
+		if err != nil {
+			reqErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		reqBody <- string(b)
+		reqErr <- nil
+	}()
+	select {
+	case <-started:
+	case err := <-reqErr:
+		t.Fatalf("request failed before reaching handler: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the handler")
+	}
+
+	stop <- os.Interrupt
+	// Shutdown is now draining; let the in-flight handler finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve returned %v, want clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+	if err := <-reqErr; err != nil {
+		t.Fatalf("in-flight request dropped during drain: %v", err)
+	}
+	if got := <-reqBody; got != "done" {
+		t.Errorf("in-flight response = %q, want done", got)
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, "shutdown signal received") ||
+		!strings.Contains(logs, "drained cleanly") {
+		t.Errorf("shutdown not logged:\n%s", logs)
+	}
+	// The listener is gone: new connections must fail.
+	if _, err := http.Get("http://" + srv.Addr + "/roles"); err == nil {
+		t.Error("server still accepting after shutdown")
+	}
+}
+
+// TestServeDrainTimeout forces the drain window to expire with a request
+// still in flight: serve must log the forced close and return the error.
+func TestServeDrainTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hang", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	ln.Close()
+
+	var logBuf bytes.Buffer
+	logger := obs.NewLogger(&logBuf, slog.LevelInfo)
+	stop := make(chan os.Signal, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(srv, stop, 20*time.Millisecond, logger) }()
+	waitListen(t, srv.Addr)
+
+	go func() { http.Get("http://" + srv.Addr + "/hang") }()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the handler")
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Fatal("serve returned nil despite an un-drainable request")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain timeout")
+	}
+	if !strings.Contains(logBuf.String(), "drain incomplete") {
+		t.Errorf("forced close not logged:\n%s", logBuf.String())
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -228,5 +229,39 @@ func TestE12ConflictResolution(t *testing.T) {
 	}
 	if permit[2] == "denied" {
 		t.Errorf("permit-wins outcome = %v", permit)
+	}
+}
+
+func TestE14FederationShape(t *testing.T) {
+	tab := E14Federation(40)
+	// 0-flaky breaker-off is skipped, leaving 5 cells.
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5:\n%s", len(tab.Rows), tab)
+	}
+	rate := func(row []string) string { return row[4] }
+	// With no flaky sources every request must be answered.
+	if r := rate(tab.Rows[0]); r != "100.0%" {
+		t.Errorf("0-flaky answered rate = %s, want 100.0%%", r)
+	}
+	// Breaker on keeps the answered rate >= 99% even with flaky sources
+	// (ISSUE acceptance); breaker off must be measurably worse.
+	var onRate, offRate float64
+	for _, row := range tab.Rows {
+		if row[0] != "2" {
+			continue
+		}
+		var v float64
+		fmt.Sscanf(rate(row), "%f%%", &v)
+		if row[1] == "yes" {
+			onRate = v
+		} else {
+			offRate = v
+		}
+	}
+	if onRate < 99 {
+		t.Errorf("breaker-on answered rate = %.1f%%, want >= 99%%\n%s", onRate, tab)
+	}
+	if offRate >= onRate {
+		t.Errorf("breaker off (%.1f%%) not worse than on (%.1f%%)\n%s", offRate, onRate, tab)
 	}
 }

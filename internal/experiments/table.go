@@ -3,9 +3,10 @@
 // (E3), Lists 6–7 (E4), the Section 7.1 scenario and List 8 (E5), the
 // GeoXACML comparison (E6), the data-merge enforcement claim (E7), the
 // Fig. 3 query cache (E8), the "deduce new data" reasoning claim (E9),
-// substrate scaling (E10) and the Section 2 alignment discussion (E11).
-// Each runner returns a Table that cmd/grdf-bench prints and EXPERIMENTS.md
-// records.
+// substrate scaling (E10), the Section 2 alignment discussion (E11),
+// multi-server policy merging (E12), the selectivity planner (E13) and
+// federation fault tolerance (E14). Each runner returns a Table that
+// cmd/grdf-bench prints and EXPERIMENTS.md records.
 package experiments
 
 import (

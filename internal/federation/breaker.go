@@ -1,0 +1,200 @@
+package federation
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// Closed passes requests through, counting consecutive failures.
+	Closed BreakerState = iota
+	// Open fails fast; after Cooldown the next request probes half-open.
+	Open
+	// HalfOpen admits a bounded number of probe requests; success closes
+	// the circuit, failure reopens it.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrOpen is returned by Breaker.Allow while the circuit rejects requests.
+var ErrOpen = errors.New("federation: circuit breaker open")
+
+// BreakerConfig tunes a Breaker. Zero values select the defaults noted on
+// each field.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the circuit
+	// (default 5).
+	Threshold int
+	// Cooldown is how long the circuit stays open before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds concurrently admitted probes while half-open
+	// (default 1).
+	HalfOpenProbes int
+	// SuccessesToClose is the probe-success count that recloses the circuit
+	// (default 1).
+	SuccessesToClose int
+	// Now is the clock, injectable for deterministic tests (default
+	// time.Now).
+	Now func() time.Time
+	// OnTransition observes every state change in transition order. It runs
+	// under the breaker's lock and must not call back into the breaker.
+	OnTransition func(from, to BreakerState)
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.SuccessesToClose <= 0 {
+		c.SuccessesToClose = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Breaker is a three-state circuit breaker. It is safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu             sync.Mutex
+	state          BreakerState
+	failures       int       // consecutive failures while closed
+	openedAt       time.Time // when the circuit last opened
+	probesInFlight int       // admitted half-open probes not yet reported
+	probeSuccesses int       // successful probes this half-open episode
+}
+
+// NewBreaker builds a breaker from cfg (zero fields take defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.defaults()
+	return &Breaker{cfg: cfg}
+}
+
+// State reports the current state, promoting open → half-open when the
+// cooldown has elapsed (observing the state is side-effect free apart from
+// that time-driven promotion being visible).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Allow asks to admit one request. On admission it returns a report
+// callback that MUST be called exactly once with the request's outcome;
+// otherwise it returns ErrOpen. The callback is safe to call from any
+// goroutine.
+func (b *Breaker) Allow() (report func(ok bool), err error) {
+	b.mu.Lock()
+	switch b.state {
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.mu.Unlock()
+			return nil, ErrOpen
+		}
+		b.transition(HalfOpen)
+		fallthrough
+	case HalfOpen:
+		if b.probesInFlight >= b.cfg.HalfOpenProbes {
+			b.mu.Unlock()
+			return nil, ErrOpen
+		}
+		b.probesInFlight++
+		b.mu.Unlock()
+		return b.reportOnce(b.reportProbe), nil
+	default: // Closed
+		b.mu.Unlock()
+		return b.reportOnce(b.reportClosed), nil
+	}
+}
+
+// reportOnce guards a report callback against double invocation.
+func (b *Breaker) reportOnce(fn func(ok bool)) func(ok bool) {
+	var once sync.Once
+	return func(ok bool) { once.Do(func() { fn(ok) }) }
+}
+
+func (b *Breaker) reportClosed(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Closed {
+		// A concurrent failure already tripped the circuit; this late
+		// outcome no longer matters.
+		return
+	}
+	if ok {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= b.cfg.Threshold {
+		b.trip()
+	}
+}
+
+func (b *Breaker) reportProbe(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probesInFlight--
+	if b.state != HalfOpen {
+		return
+	}
+	if !ok {
+		b.trip()
+		return
+	}
+	b.probeSuccesses++
+	if b.probeSuccesses >= b.cfg.SuccessesToClose {
+		b.failures = 0
+		b.transition(Closed)
+	}
+}
+
+// trip opens the circuit. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.openedAt = b.cfg.Now()
+	b.failures = 0
+	b.probeSuccesses = 0
+	b.transition(Open)
+}
+
+// transition changes state and fires the observer. Caller holds b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if to != HalfOpen {
+		b.probeSuccesses = 0
+	}
+	if fn := b.cfg.OnTransition; fn != nil {
+		fn(from, to)
+	}
+}

@@ -1,0 +1,196 @@
+package federation
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// fail reports one failed request through the breaker; admitted reports
+// whether the breaker let it through.
+func fail(t *testing.T, b *Breaker) bool {
+	t.Helper()
+	report, err := b.Allow()
+	if err != nil {
+		if !errors.Is(err, ErrOpen) {
+			t.Fatalf("Allow: unexpected error %v", err)
+		}
+		return false
+	}
+	report(false)
+	return true
+}
+
+func succeed(t *testing.T, b *Breaker) bool {
+	t.Helper()
+	report, err := b.Allow()
+	if err != nil {
+		return false
+	}
+	report(true)
+	return true
+}
+
+// TestBreakerLifecycle walks the full closed → open → half-open → closed
+// cycle on a fake clock, recording every transition.
+func TestBreakerLifecycle(t *testing.T) {
+	clock := newFakeClock()
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		Threshold: 3,
+		Cooldown:  time.Second,
+		Now:       clock.Now,
+		OnTransition: func(from, to BreakerState) {
+			transitions = append(transitions, from.String()+">"+to.String())
+		},
+	})
+
+	if got := b.State(); got != Closed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	// Two failures stay under the threshold.
+	fail(t, b)
+	fail(t, b)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	// An intervening success resets the consecutive count.
+	succeed(t, b)
+	fail(t, b)
+	fail(t, b)
+	if got := b.State(); got != Closed {
+		t.Fatalf("consecutive count survived a success: state = %v", got)
+	}
+	// The third consecutive failure trips the circuit.
+	fail(t, b)
+	if got := b.State(); got != Open {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	// While open, requests are rejected without reaching the source.
+	if admitted := fail(t, b); admitted {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	// After the cooldown the next request is admitted as a half-open probe;
+	// its failure reopens the circuit.
+	clock.Advance(time.Second)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	if admitted := fail(t, b); !admitted {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	// A successful probe after another cooldown recloses the circuit.
+	clock.Advance(time.Second)
+	if admitted := succeed(t, b); !admitted {
+		t.Fatal("half-open breaker rejected the second probe")
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	// And the circuit must trip again only after a fresh threshold run.
+	fail(t, b)
+	fail(t, b)
+	if got := b.State(); got != Closed {
+		t.Fatalf("stale failure count survived reclose: state = %v", got)
+	}
+
+	want := []string{
+		"closed>open",
+		"open>half-open", "half-open>open",
+		"open>half-open", "half-open>closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition[%d] = %s, want %s (all: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+}
+
+// TestBreakerHalfOpenProbeLimit verifies only HalfOpenProbes requests get
+// through while a probe is outstanding.
+func TestBreakerHalfOpenProbeLimit(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, HalfOpenProbes: 1, Now: clock.Now})
+	fail(t, b) // trip
+	clock.Advance(time.Second)
+
+	probe, err := b.Allow()
+	if err != nil {
+		t.Fatalf("first half-open probe rejected: %v", err)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe admitted, want ErrOpen (err=%v)", err)
+	}
+	probe(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+}
+
+// TestBreakerReportIdempotent checks a report callback applied twice counts
+// once.
+func TestBreakerReportIdempotent(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 2})
+	report, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(false)
+	report(false) // must not double-count toward the threshold
+	if got := b.State(); got != Closed {
+		t.Fatalf("double-counted report tripped the breaker: %v", got)
+	}
+}
+
+// TestBreakerConcurrent hammers one breaker from many goroutines to give
+// the race detector something to chew on.
+func TestBreakerConcurrent(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 5, Cooldown: time.Millisecond, Now: clock.Now})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if report, err := b.Allow(); err == nil {
+					report(i%3 == 0)
+				}
+				if i%50 == 0 {
+					clock.Advance(time.Millisecond)
+				}
+				_ = b.State()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

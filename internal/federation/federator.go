@@ -1,0 +1,288 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// Per-source request outcome labels used in SourceStatus.State and the
+// grdf_fed_source_requests_total metric.
+const (
+	StateOK      = "ok"
+	StateError   = "error"
+	StateTimeout = "timeout"
+	StateOpen    = "open" // skipped: circuit breaker rejected the request
+)
+
+// Config tunes a Federator. Zero values select the defaults noted on each
+// field.
+type Config struct {
+	// SourceTimeout bounds each attempt against one source (default 2s).
+	SourceTimeout time.Duration
+	// Retry tunes the per-source retry loop.
+	Retry RetryConfig
+	// Breaker tunes the per-source circuit breaker.
+	Breaker BreakerConfig
+	// DisableBreaker turns the breakers off (every request probes every
+	// source) — the E14 ablation arm.
+	DisableBreaker bool
+	// Metrics receives federation instrumentation (nil disables).
+	Metrics *obs.Registry
+}
+
+// SourceStatus is the per-source block of a federated response: what
+// happened at this source for this request.
+type SourceStatus struct {
+	Source   string  `json:"source"`
+	State    string  `json:"state"` // ok | error | timeout | open
+	Attempts int     `json:"attempts"`
+	Error    string  `json:"error,omitempty"`
+	Millis   float64 `json:"ms"`
+}
+
+// Response is one federated query outcome. Degraded is true when at least
+// one source did not contribute; Err is non-nil only when no source did.
+type Response struct {
+	Result   *Result
+	Degraded bool
+	Sources  []SourceStatus
+	Err      error
+}
+
+// sourceState bundles one Source with its resilience companions and metric
+// handles.
+type sourceState struct {
+	src     Source
+	breaker *Breaker
+	budget  *retryBudget
+
+	mOK, mErr, mTimeout, mOpen *obs.Counter
+	mRetries                   *obs.Counter
+	mLatency                   *obs.Histogram
+}
+
+// Federator fans queries out to its sources and merges the answers under
+// the resilience stack. Safe for concurrent use.
+type Federator struct {
+	cfg     Config
+	sources []*sourceState
+
+	mDegraded *obs.Counter
+	mFailed   *obs.Counter
+	mRequests *obs.Counter
+}
+
+// New builds a Federator over sources. Source names must be unique: they
+// key the per-source status blocks and metric labels.
+func New(cfg Config, sources ...Source) (*Federator, error) {
+	if len(sources) == 0 {
+		return nil, errors.New("federation: no sources")
+	}
+	if cfg.SourceTimeout <= 0 {
+		cfg.SourceTimeout = 2 * time.Second
+	}
+	cfg.Retry.defaults()
+	f := &Federator{cfg: cfg}
+	reg := cfg.Metrics
+	f.mRequests = reg.Counter("grdf_fed_requests_total",
+		"Federated queries by outcome.", "outcome", "ok")
+	f.mDegraded = reg.Counter("grdf_fed_requests_total",
+		"Federated queries by outcome.", "outcome", "degraded")
+	f.mFailed = reg.Counter("grdf_fed_requests_total",
+		"Federated queries by outcome.", "outcome", "failed")
+	seen := map[string]bool{}
+	for _, src := range sources {
+		name := src.Name()
+		if seen[name] {
+			return nil, fmt.Errorf("federation: duplicate source name %q", name)
+		}
+		seen[name] = true
+		ss := &sourceState{
+			src:      src,
+			budget:   newRetryBudget(cfg.Retry),
+			mOK:      sourceCounter(reg, name, StateOK),
+			mErr:     sourceCounter(reg, name, StateError),
+			mTimeout: sourceCounter(reg, name, StateTimeout),
+			mOpen:    sourceCounter(reg, name, StateOpen),
+			mRetries: reg.Counter("grdf_fed_retries_total",
+				"Retries issued per source.", "source", name),
+			mLatency: reg.Histogram("grdf_fed_source_duration_seconds",
+				"Per-source federated request latency (all attempts).", nil,
+				"source", name),
+		}
+		if !cfg.DisableBreaker {
+			bcfg := cfg.Breaker
+			userHook := bcfg.OnTransition
+			if reg != nil {
+				gauge := reg.Gauge("grdf_fed_breaker_state",
+					"Breaker position per source (0 closed, 1 half-open, 2 open).",
+					"source", name)
+				transitions := func(to BreakerState) *obs.Counter {
+					return reg.Counter("grdf_fed_breaker_transitions_total",
+						"Breaker transitions per source and target state.",
+						"source", name, "to", to.String())
+				}
+				toClosed, toOpen, toHalf := transitions(Closed), transitions(Open), transitions(HalfOpen)
+				bcfg.OnTransition = func(from, to BreakerState) {
+					switch to {
+					case Closed:
+						gauge.Set(0)
+						toClosed.Inc()
+					case HalfOpen:
+						gauge.Set(1)
+						toHalf.Inc()
+					case Open:
+						gauge.Set(2)
+						toOpen.Inc()
+					}
+					if userHook != nil {
+						userHook(from, to)
+					}
+				}
+			}
+			ss.breaker = NewBreaker(bcfg)
+		}
+		f.sources = append(f.sources, ss)
+	}
+	return f, nil
+}
+
+func sourceCounter(reg *obs.Registry, name, state string) *obs.Counter {
+	return reg.Counter("grdf_fed_source_requests_total",
+		"Per-source federated request outcomes.", "source", name, "state", state)
+}
+
+// Sources lists the member names in fan-out order.
+func (f *Federator) Sources() []string {
+	out := make([]string, len(f.sources))
+	for i, ss := range f.sources {
+		out[i] = ss.src.Name()
+	}
+	return out
+}
+
+// BreakerState reports the named source's breaker position; ok is false for
+// unknown sources or when breakers are disabled.
+func (f *Federator) BreakerState(source string) (BreakerState, bool) {
+	for _, ss := range f.sources {
+		if ss.src.Name() == source && ss.breaker != nil {
+			return ss.breaker.State(), true
+		}
+	}
+	return Closed, false
+}
+
+// Query fans the query out to every source concurrently and merges the
+// results. The returned Response always carries per-source statuses; its
+// Err wraps ErrAllSourcesFailed (or the parent ctx error) only when not a
+// single source answered.
+func (f *Federator) Query(ctx context.Context, role, action rdf.IRI, query string) *Response {
+	n := len(f.sources)
+	results := make([]*Result, n)
+	statuses := make([]SourceStatus, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i, ss := range f.sources {
+		go func(i int, ss *sourceState) {
+			defer wg.Done()
+			results[i], statuses[i] = f.querySource(ctx, ss, role, action, query)
+		}(i, ss)
+	}
+	wg.Wait()
+
+	resp := &Response{Sources: statuses}
+	answered := 0
+	for i, st := range statuses {
+		if st.State == StateOK {
+			answered++
+		} else {
+			resp.Degraded = true
+			results[i] = nil
+		}
+	}
+	switch {
+	case answered == 0:
+		if err := ctx.Err(); err != nil {
+			resp.Err = err
+		} else {
+			resp.Err = fmt.Errorf("%w (%d sources)", ErrAllSourcesFailed, n)
+		}
+		f.mFailed.Inc()
+		return resp
+	case resp.Degraded:
+		f.mDegraded.Inc()
+	default:
+		f.mRequests.Inc()
+	}
+	resp.Result = Merge(results)
+	return resp
+}
+
+// querySource runs the full per-source pipeline: breaker admission, retry
+// loop with backoff and budget, attempt deadlines, outcome classification.
+func (f *Federator) querySource(ctx context.Context, ss *sourceState, role, action rdf.IRI, query string) (*Result, SourceStatus) {
+	status := SourceStatus{Source: ss.src.Name()}
+	start := time.Now()
+	defer func() {
+		status.Millis = float64(time.Since(start).Microseconds()) / 1000
+		ss.mLatency.ObserveSince(start)
+	}()
+
+	report := func(bool) {}
+	if ss.breaker != nil {
+		r, err := ss.breaker.Allow()
+		if err != nil {
+			status.State = StateOpen
+			status.Error = err.Error()
+			ss.mOpen.Inc()
+			return nil, status
+		}
+		report = r
+	}
+	ss.budget.deposit()
+
+	var lastErr error
+	for attempt := 1; attempt <= f.cfg.Retry.MaxAttempts; attempt++ {
+		status.Attempts = attempt
+		actx, cancel := context.WithTimeout(ctx, f.cfg.SourceTimeout)
+		res, err := ss.src.Query(actx, role, action, query)
+		cancel()
+		if err == nil {
+			report(true)
+			status.State = StateOK
+			ss.mOK.Inc()
+			return res, status
+		}
+		lastErr = err
+		if ctx.Err() != nil || !IsRetryable(err) || attempt == f.cfg.Retry.MaxAttempts {
+			break
+		}
+		if !ss.budget.withdraw() {
+			lastErr = fmt.Errorf("federation: retry budget exhausted: %w", err)
+			break
+		}
+		ss.mRetries.Inc()
+		if err := f.cfg.Retry.sleep(ctx, f.cfg.Retry.backoff(attempt)); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	report(false)
+	if errors.Is(lastErr, context.DeadlineExceeded) {
+		status.State = StateTimeout
+		ss.mTimeout.Inc()
+	} else {
+		status.State = StateError
+		ss.mErr.Inc()
+	}
+	if lastErr != nil {
+		status.Error = lastErr.Error()
+	}
+	return nil, status
+}

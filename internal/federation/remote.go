@@ -1,0 +1,107 @@
+package federation
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// remoteBodyLimit bounds how much of a peer's response is read: a
+// misbehaving source must not be able to exhaust the federator's memory.
+const remoteBodyLimit = 32 << 20
+
+// RemoteSource queries a peer G-SACS server over its v1 HTTP API
+// (GET {base}/v1/query?role=...&q=...). The action parameter is implied by
+// the endpoint (view); transport failures, 5xx answers and undecodable
+// bodies surface as retryable errors, 4xx answers as terminal ones.
+type RemoteSource struct {
+	name   string
+	base   string // e.g. "http://peer:8080", no trailing slash
+	client *http.Client
+}
+
+// NewRemoteSource builds a source for the peer at base. A nil client gets a
+// dedicated one with sane connection pooling; per-attempt deadlines come
+// from the Federator's context, not the client.
+func NewRemoteSource(name, base string, client *http.Client) *RemoteSource {
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return &RemoteSource{name: name, base: strings.TrimRight(base, "/"), client: client}
+}
+
+// Name implements Source.
+func (s *RemoteSource) Name() string { return s.name }
+
+// wireResult is the union of the v1 /query success shapes plus the error
+// envelope.
+type wireResult struct {
+	Head *struct {
+		Vars []string `json:"vars"`
+	} `json:"head"`
+	Results []map[string]string `json:"results"`
+	Boolean *bool               `json:"boolean"`
+	Triples *string             `json:"triples"`
+
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Query implements Source over HTTP.
+func (s *RemoteSource) Query(ctx context.Context, role, action rdf.IRI, query string) (*Result, error) {
+	q := url.Values{}
+	q.Set("role", string(role))
+	q.Set("q", query)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		s.base+"/v1/query?"+q.Encode(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("federation: build request for %s: %w", s.name, err)
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err // transport error: retryable
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, remoteBodyLimit))
+	if err != nil {
+		return nil, fmt.Errorf("federation: read %s response: %w", s.name, err)
+	}
+	var wire wireResult
+	decodeErr := json.Unmarshal(body, &wire)
+	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{Status: resp.StatusCode}
+		if decodeErr == nil {
+			se.Code, se.Msg = wire.Code, wire.Error
+		}
+		return nil, se
+	}
+	if decodeErr != nil {
+		return nil, fmt.Errorf("federation: undecodable %s response: %w", s.name, decodeErr)
+	}
+	switch {
+	case wire.Boolean != nil:
+		return &Result{Kind: KindAsk, Boolean: *wire.Boolean}, nil
+	case wire.Triples != nil:
+		out := &Result{Kind: KindGraph}
+		for _, line := range strings.Split(*wire.Triples, "\n") {
+			if line = strings.TrimSpace(line); line != "" {
+				out.Triples = append(out.Triples, line)
+			}
+		}
+		return out, nil
+	case wire.Head != nil:
+		return &Result{Kind: KindSelect, Vars: wire.Head.Vars, Rows: wire.Results}, nil
+	default:
+		return nil, fmt.Errorf("federation: %s response has no recognizable result shape", s.name)
+	}
+}

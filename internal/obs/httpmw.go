@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"time"
 )
 
@@ -22,6 +24,11 @@ type MiddlewareConfig struct {
 	// Route maps a request to a bounded label value (e.g. the mux pattern).
 	// Bounding matters: raw paths with IDs would explode series cardinality.
 	Route func(*http.Request) string
+	// Panic writes the 500 response after a recovered handler panic, when
+	// nothing has been written yet (nil falls back to a plain 500). The
+	// recovery itself — counter, stack-trace log, keeping the connection
+	// and process alive — happens regardless.
+	Panic func(w http.ResponseWriter, r *http.Request, v any)
 }
 
 // statusWriter captures the response status code and bytes written.
@@ -47,11 +54,16 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Middleware wraps next with tracing, metrics and logging.
+// Middleware wraps next with panic recovery, tracing, metrics and logging.
+// A handler panic is contained to its request: the connection gets a 500
+// (via cfg.Panic when set), grdf_http_panics_total increments, and the
+// stack is logged — the server keeps serving.
 func Middleware(cfg MiddlewareConfig, next http.Handler) http.Handler {
 	reg := cfg.Registry
 	inFlight := reg.Gauge("grdf_http_in_flight_requests",
 		"Requests currently being served.")
+	panics := reg.Counter("grdf_http_panics_total",
+		"Handler panics recovered by the middleware.")
 	logger := cfg.Logger
 	if logger == nil {
 		logger = NopLogger()
@@ -71,27 +83,46 @@ func Middleware(cfg MiddlewareConfig, next http.Handler) http.Handler {
 
 		inFlight.Inc()
 		sw := &statusWriter{ResponseWriter: w}
-		next.ServeHTTP(sw, r.WithContext(ctx))
-		inFlight.Dec()
-
-		if sw.status == 0 {
-			sw.status = http.StatusOK
-		}
-		elapsed := time.Since(start)
-		rt := route(r)
-		reg.Counter("grdf_http_requests_total", "Completed HTTP requests.",
-			"route", rt, "code", itoa(sw.status)).Inc()
-		reg.Histogram("grdf_http_request_duration_seconds",
-			"HTTP request latency by route.", nil, "route", rt).
-			Observe(elapsed.Seconds())
-		Logger(ctx).Info("http request",
-			"method", r.Method,
-			"route", rt,
-			"path", r.URL.Path,
-			"status", sw.status,
-			"bytes", sw.bytes,
-			"duration_us", elapsed.Microseconds(),
-		)
+		req := r.WithContext(ctx)
+		// The accounting runs deferred so a panicking handler still records
+		// its request before the recovery turns it into a 500.
+		defer func() {
+			if v := recover(); v != nil {
+				panics.Inc()
+				Logger(ctx).Error("handler panic",
+					"route", route(r), "panic", fmt.Sprint(v),
+					"stack", string(debug.Stack()))
+				if sw.status == 0 {
+					// Nothing written yet: the response is still ours.
+					if cfg.Panic != nil {
+						cfg.Panic(sw, req, v)
+					}
+					if sw.status == 0 {
+						sw.WriteHeader(http.StatusInternalServerError)
+					}
+				}
+			}
+			inFlight.Dec()
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			elapsed := time.Since(start)
+			rt := route(r)
+			reg.Counter("grdf_http_requests_total", "Completed HTTP requests.",
+				"route", rt, "code", itoa(sw.status)).Inc()
+			reg.Histogram("grdf_http_request_duration_seconds",
+				"HTTP request latency by route.", nil, "route", rt).
+				Observe(elapsed.Seconds())
+			Logger(ctx).Info("http request",
+				"method", r.Method,
+				"route", rt,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"duration_us", elapsed.Microseconds(),
+			)
+		}()
+		next.ServeHTTP(sw, req)
 	})
 }
 
