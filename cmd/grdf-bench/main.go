@@ -1,5 +1,5 @@
 // Command grdf-bench regenerates every experiment table of the reproduction
-// (E1–E14, see DESIGN.md and EXPERIMENTS.md).
+// (E1–E15, see DESIGN.md and EXPERIMENTS.md).
 //
 // With -json DIR it additionally writes one machine-readable BENCH_<id>.json
 // per experiment — the table cells, the wall time, and a snapshot of the
@@ -39,7 +39,7 @@ type benchResult struct {
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E5,E6); empty runs all")
 	sites := flag.String("sites", "", "comma-separated dataset sizes for E6/E9/E10")
-	requests := flag.Int("requests", 0, "request count for the E8 cache and E14 federation workloads")
+	requests := flag.Int("requests", 0, "workload size for E8 (cache requests), E14 (federation requests) and E15 (WAL records)")
 	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<id>.json output")
 	flag.Parse()
 
@@ -73,6 +73,7 @@ func main() {
 		{"E12", experiments.E12PolicyConflicts},
 		{"E13", func() *experiments.Table { return experiments.E13Planner(sizes) }},
 		{"E14", func() *experiments.Table { return experiments.E14Federation(*requests) }},
+		{"E15", func() *experiments.Table { return experiments.E15Durability(*requests) }},
 	}
 
 	selected := map[string]bool{}

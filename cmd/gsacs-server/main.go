@@ -10,20 +10,31 @@
 //	GET /resource?role=Hazmat&iri=<feature-iri>
 //	GET /query?role=Hazmat&q=<sparql>
 //	GET /audit
+//	POST /insert, /delete, /update   authorized mutations (N-Triples bodies)
 //
 // Every response carries an X-Trace-Id header; the same ID appears on every
 // structured (JSON, stderr) log line the request produced.
+//
+// With -data-dir the ontology repository is durable: every authorized
+// mutation is journaled to a write-ahead log before it is acknowledged,
+// the state is periodically checkpointed into checksummed snapshots, and a
+// restart recovers to exactly the acknowledged state (see README "Durability
+// & crash recovery"). The server starts listening immediately and answers
+// 503 {"code":"recovering"} on every route except /healthz and /metrics
+// until recovery completes. On the first start against an empty directory
+// the initial dataset (scenario or -data file) is seeded through the log.
 //
 // With -source the server federates /v1/query across the local engine and
 // one or more peer G-SACS servers, with per-source retries, circuit
 // breakers and graceful degradation (see README "Federation & fault
 // tolerance"). SIGINT/SIGTERM drain in-flight requests for up to
-// -drain-timeout before exit.
+// -drain-timeout before exit, then close the log cleanly.
 //
 // Usage:
 //
 //	gsacs-server -addr :8080                       # built-in scenario
 //	gsacs-server -data world.ttl -policies p.ttl   # custom dataset
+//	gsacs-server -data-dir /var/lib/gsacs -fsync always   # durable repository
 //	gsacs-server -pprof -log-level debug           # profiling + verbose logs
 //	gsacs-server -source http://peer1:8080 -source-timeout 2s \
 //	             -breaker-threshold 5 -retry-max 3 # federated front-end
@@ -34,10 +45,12 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -47,9 +60,11 @@ import (
 	"repro/internal/gsacs"
 	"repro/internal/obs"
 	"repro/internal/owl"
+	"repro/internal/rdf"
 	"repro/internal/seconto"
 	"repro/internal/store"
 	"repro/internal/turtle"
+	"repro/internal/wal"
 )
 
 // sourceList collects repeated -source flags.
@@ -65,8 +80,96 @@ func (s *sourceList) Set(v string) error {
 	return nil
 }
 
+// flagConfig carries every flag value through validation, so the whole
+// configuration is checked up front and bad combinations fail fast with a
+// usage error instead of surfacing minutes later at first use.
+type flagConfig struct {
+	addr          string
+	addrFile      string
+	dataFile      string
+	policyFile    string
+	sites         int
+	cache         int
+	auditCap      int
+	logLevel      string
+	queryTimeout  time.Duration
+	drainTimeout  time.Duration
+	maxBodyBytes  int64
+	dataDir       string
+	fsync         string
+	fsyncInterval time.Duration
+	snapshotEvery int
+	writerRole    string
+	sources       []string
+	sourceTimeout time.Duration
+	breakerThresh int
+	retryMax      int
+}
+
+// validateFlags rejects inconsistent or out-of-range configurations. It is a
+// pure function so the matrix is unit-testable.
+func validateFlags(c flagConfig) error {
+	if c.addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if c.dataFile == "" && c.policyFile != "" {
+		return fmt.Errorf("-policies requires -data")
+	}
+	if c.dataFile != "" && c.policyFile == "" {
+		return fmt.Errorf("-data requires -policies")
+	}
+	if c.dataFile == "" && c.sites < 1 {
+		return fmt.Errorf("-sites must be at least 1 when using the built-in scenario")
+	}
+	if c.cache < 0 {
+		return fmt.Errorf("-cache must be non-negative")
+	}
+	if c.auditCap < 0 {
+		return fmt.Errorf("-audit must be non-negative")
+	}
+	switch strings.ToLower(c.logLevel) {
+	case "debug", "info", "warn", "error":
+	default:
+		return fmt.Errorf("-log-level must be debug, info, warn or error (got %q)", c.logLevel)
+	}
+	if c.queryTimeout < 0 {
+		return fmt.Errorf("-query-timeout must be non-negative")
+	}
+	if c.drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive")
+	}
+	if c.maxBodyBytes < 0 {
+		return fmt.Errorf("-max-body-bytes must be non-negative")
+	}
+	if _, err := wal.ParseFsyncPolicy(c.fsync); err != nil {
+		return fmt.Errorf("-fsync: %v", err)
+	}
+	if c.fsyncInterval <= 0 {
+		return fmt.Errorf("-fsync-interval must be positive")
+	}
+	if c.snapshotEvery < 0 {
+		return fmt.Errorf("-snapshot-every must be non-negative (0 disables automatic snapshots)")
+	}
+	if c.dataDir == "" && c.fsync != "always" {
+		return fmt.Errorf("-fsync has no effect without -data-dir")
+	}
+	if len(c.sources) > 0 {
+		if c.sourceTimeout <= 0 {
+			return fmt.Errorf("-source-timeout must be positive")
+		}
+		if c.breakerThresh < 1 {
+			return fmt.Errorf("-breaker-threshold must be at least 1")
+		}
+		if c.retryMax < 1 {
+			return fmt.Errorf("-retry-max must be at least 1")
+		}
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (integration-test port discovery)")
 	dataFile := flag.String("data", "", "Turtle data file (empty = built-in contamination scenario)")
 	policyFile := flag.String("policies", "", "Turtle policy file (List 8 layout); requires -data")
 	sites := flag.Int("sites", 12, "scenario size when using built-in data")
@@ -77,7 +180,13 @@ func main() {
 	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, error")
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request SPARQL evaluation deadline (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain window on SIGINT/SIGTERM")
-	maxBodyBytes := flag.Int64("max-body-bytes", 1<<20, "request body cap on /insert and /delete (0 disables)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 1<<20, "request body cap on /insert, /delete and /update (0 disables)")
+
+	dataDir := flag.String("data-dir", "", "durable repository directory (empty = in-memory only; mutations are lost on exit)")
+	fsyncMode := flag.String("fsync", "always", "WAL durability: always (fsync per mutation), interval (batched), off")
+	fsyncInterval := flag.Duration("fsync-interval", 50*time.Millisecond, "flush period under -fsync interval")
+	snapshotEvery := flag.Int("snapshot-every", 10000, "WAL records between automatic snapshots (0 disables)")
+	writerRole := flag.String("writer-role", "", "grant this role full View/Modify/Delete over grdf:Feature (write-path testing)")
 
 	var sources sourceList
 	flag.Var(&sources, "source", "peer G-SACS base URL to federate /v1/query across (repeatable or comma-separated)")
@@ -89,25 +198,63 @@ func main() {
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "base backoff before the first retry")
 	flag.Parse()
 
+	cfg := flagConfig{
+		addr: *addr, addrFile: *addrFile, dataFile: *dataFile, policyFile: *policyFile,
+		sites: *sites, cache: *cache, auditCap: *auditCap, logLevel: *logLevel,
+		queryTimeout: *queryTimeout, drainTimeout: *drainTimeout, maxBodyBytes: *maxBodyBytes,
+		dataDir: *dataDir, fsync: *fsyncMode, fsyncInterval: *fsyncInterval,
+		snapshotEvery: *snapshotEvery, writerRole: *writerRole,
+		sources: sources, sourceTimeout: *sourceTimeout,
+		breakerThresh: *breakerThreshold, retryMax: *retryMax,
+	}
+	if err := validateFlags(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "gsacs-server: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel))
 	reg := obs.NewRegistry()
 
-	engine, err := buildEngine(*dataFile, *policyFile, *sites, *seed, *cache, reg)
+	seedData, policies, err := loadDataset(*dataFile, *policyFile, *sites, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gsacs-server: %v\n", err)
 		os.Exit(1)
 	}
-
-	if *auditCap > 0 {
-		engine.EnableAudit(*auditCap)
+	if *writerRole != "" {
+		role := appendWriterRole(policies, *writerRole)
+		logger.Info("writer role granted full access over grdf:Feature", "role", string(role))
 	}
 
-	repo := gsacs.NewOntoRepository()
-	repo.Register("grdf", grdf.Ontology())
-	repo.Register("seconto", seconto.Ontology())
+	// Durable mode builds the engine over an empty store and recovers into it
+	// asynchronously; in-memory mode serves the loaded dataset directly.
+	var engine *gsacs.Engine
+	var ready atomic.Bool
+	var repoPtr atomic.Pointer[wal.Repository]
+	durable := *dataDir != ""
+	if durable {
+		st := store.New().Instrument(reg)
+		engine = gsacs.New(policies, st, gsacs.Options{CacheSize: *cache, Metrics: reg})
+	} else {
+		seedData.Instrument(reg)
+		engine = gsacs.New(policies, seedData, gsacs.Options{
+			Reasoner:  newReasoner(seedData, reg),
+			CacheSize: *cache,
+			Metrics:   reg,
+		})
+		if *auditCap > 0 {
+			engine.EnableAudit(*auditCap)
+		}
+		ready.Store(true)
+	}
+
+	ontoRepo := gsacs.NewOntoRepository()
+	ontoRepo.Register("grdf", grdf.Ontology())
+	ontoRepo.Register("seconto", seconto.Ontology())
 
 	opts := []gsacs.ServerOption{gsacs.WithMetrics(reg), gsacs.WithLogger(logger),
-		gsacs.WithQueryTimeout(*queryTimeout), gsacs.WithMaxBodyBytes(*maxBodyBytes)}
+		gsacs.WithQueryTimeout(*queryTimeout), gsacs.WithMaxBodyBytes(*maxBodyBytes),
+		gsacs.WithReadiness(ready.Load)}
 	if *pprofOn {
 		opts = append(opts, gsacs.WithPprof())
 	}
@@ -139,12 +286,26 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           gsacs.NewServer(engine, repo, opts...),
+		Handler:           gsacs.NewServer(engine, ontoRepo, opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	// Bind before recovery: clients get 503 "recovering" rather than
+	// connection refused, and readiness probes can watch the transition.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsacs-server: %v\n", err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "gsacs-server: write -addr-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	logger.Info("gsacs-server listening",
-		"addr", *addr,
-		"triples", engine.Data().Len(),
+		"addr", ln.Addr().String(),
+		"durable", durable,
 		"policies", len(engine.Policies().Rules),
 		"cache_entries", *cache,
 		"audit_capacity", *auditCap,
@@ -153,22 +314,108 @@ func main() {
 		"drain_timeout", drainTimeout.String(),
 	)
 
+	if durable {
+		policy, _ := wal.ParseFsyncPolicy(*fsyncMode)
+		go func() {
+			if err := recoverDurable(engine, seedData, wal.Options{
+				Dir:           *dataDir,
+				Fsync:         policy,
+				FsyncInterval: *fsyncInterval,
+				SnapshotEvery: *snapshotEvery,
+				Metrics:       reg,
+				Logger:        logger,
+			}, *auditCap, reg, logger, &repoPtr); err != nil {
+				logger.Error("recovery failed; refusing to serve", "err", err.Error())
+				// Exiting non-zero beats serving 503 forever: the operator
+				// must decide what to do with the damaged directory.
+				os.Exit(1)
+			}
+			ready.Store(true)
+			logger.Info("gsacs-server ready", "triples", engine.Data().Len())
+		}()
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	if err := serve(srv, stop, *drainTimeout, logger); err != nil {
+	serveErr := serve(srv, ln, stop, *drainTimeout, logger)
+	// Drain finished (or failed): flush and close the log so the final
+	// fsync state on disk matches what clients were told.
+	if repo := repoPtr.Load(); repo != nil {
+		if err := repo.Close(); err != nil {
+			logger.Error("closing repository", "err", err.Error())
+		}
+	}
+	if serveErr != nil {
 		os.Exit(1)
 	}
 }
 
-// serve runs srv until it fails or a signal arrives on stop, then drains
-// in-flight requests for up to drain. The stop channel is a parameter so
-// tests can drive the shutdown path without delivering real signals.
-func serve(srv *http.Server, stop <-chan os.Signal, drain time.Duration, logger *slog.Logger) error {
+// recoverDurable opens the write-ahead log (replaying the durable state into
+// the engine's store), seeds the initial dataset on first boot, materializes
+// the reasoner over the recovered triples, and restores + re-wires the audit
+// trail. The engine must not serve requests until this returns (the
+// readiness gate enforces it).
+func recoverDurable(engine *gsacs.Engine, seedData *store.Store, walOpts wal.Options,
+	auditCap int, reg *obs.Registry, logger *slog.Logger, repoPtr *atomic.Pointer[wal.Repository]) error {
+	st := engine.Data()
+	repo, err := wal.Open(st, walOpts)
+	if err != nil {
+		return err
+	}
+	repoPtr.Store(repo)
+	info := repo.Info()
+	if st.Len() == 0 && info.RecordsReplayed == 0 && info.SnapshotSeq == 0 {
+		// First boot on an empty directory: journal the initial dataset so
+		// the log alone reconstructs it from here on.
+		n := st.AddAll(seedData.Triples())
+		logger.Info("seeded initial dataset into the durable repository", "triples", n)
+	}
+	engine.SetReasoner(newReasoner(st, reg))
+	if auditCap > 0 {
+		engine.EnableAudit(auditCap)
+		if restored := engine.RestoreAudit(repo.AuditReplay()); restored > 0 {
+			logger.Info("restored audit trail", "entries", restored)
+		}
+		engine.SetAuditPersist(repo.AppendAudit)
+	}
+	return nil
+}
+
+// appendWriterRole grants role (full IRI or seconto local name) permit rules
+// for View, Modify and Delete over every grdf:Feature.
+func appendWriterRole(p *seconto.Set, role string) rdf.IRI {
+	iri := rdf.IRI(role)
+	if !strings.Contains(role, "://") {
+		iri = rdf.IRI(seconto.NS + role)
+	}
+	for _, action := range []rdf.IRI{seconto.ActionView, seconto.ActionModify, seconto.ActionDelete} {
+		p.Rules = append(p.Rules, seconto.Rule{
+			ID:       rdf.IRI(seconto.NS + "WriterRole" + action.LocalName()),
+			Subject:  iri,
+			Action:   action,
+			Resource: grdf.Feature,
+			Permit:   true,
+		})
+	}
+	return iri
+}
+
+// serve runs srv on ln (nil = srv.ListenAndServe) until it fails or a signal
+// arrives on stop, then drains in-flight requests for up to drain. The stop
+// channel is a parameter so tests can drive the shutdown path without
+// delivering real signals.
+func serve(srv *http.Server, ln net.Listener, stop <-chan os.Signal, drain time.Duration, logger *slog.Logger) error {
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	go func() {
+		if ln != nil {
+			errCh <- srv.Serve(ln)
+		} else {
+			errCh <- srv.ListenAndServe()
+		}
+	}()
 	select {
 	case err := <-errCh:
-		// ListenAndServe only returns on failure (or external Shutdown).
+		// Serve only returns on failure (or external Shutdown).
 		if err != nil && err != http.ErrServerClosed {
 			logger.Error("server exited", "err", err.Error())
 			return err
@@ -204,47 +451,60 @@ func parseLevel(s string) slog.Level {
 	}
 }
 
-func buildEngine(dataFile, policyFile string, sites int, seed int64, cache int, reg *obs.Registry) (*gsacs.Engine, error) {
-	var data *store.Store
-	var policies *seconto.Set
-
+// loadDataset loads the initial data store and policy set: the built-in
+// scenario, or user-supplied Turtle files.
+func loadDataset(dataFile, policyFile string, sites int, seed int64) (*store.Store, *seconto.Set, error) {
 	if dataFile == "" {
 		sc := datagen.NewScenario(datagen.ScenarioConfig{Seed: seed, Sites: sites})
-		data, policies = sc.Merged, sc.Policies
-	} else {
-		raw, err := os.ReadFile(dataFile)
-		if err != nil {
-			return nil, err
-		}
-		g, err := turtle.ParseString(string(raw))
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", dataFile, err)
-		}
-		data = store.FromGraph(g)
-		if policyFile == "" {
-			return nil, fmt.Errorf("-data requires -policies")
-		}
-		praw, err := os.ReadFile(policyFile)
-		if err != nil {
-			return nil, err
-		}
-		pg, err := turtle.ParseString(string(praw))
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", policyFile, err)
-		}
-		policies, err = seconto.Parse(store.FromGraph(pg))
-		if err != nil {
-			return nil, err
-		}
+		return sc.Merged, sc.Policies, nil
 	}
+	raw, err := os.ReadFile(dataFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := turtle.ParseString(string(raw))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", dataFile, err)
+	}
+	data := store.FromGraph(g)
+	if policyFile == "" {
+		return nil, nil, fmt.Errorf("-data requires -policies")
+	}
+	praw, err := os.ReadFile(policyFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	pg, err := turtle.ParseString(string(praw))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", policyFile, err)
+	}
+	policies, err := seconto.Parse(store.FromGraph(pg))
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, policies, nil
+}
 
+// newReasoner materializes an OWL reasoner over the ontologies plus the
+// store's current triples.
+func newReasoner(data *store.Store, reg *obs.Registry) *owl.Reasoner {
+	r := owl.NewReasoner().Instrument(reg)
+	r.AddGraph(grdf.Ontology())
+	r.AddGraph(seconto.Ontology())
+	r.AddAll(data.Triples())
+	return r
+}
+
+// buildEngine is the synchronous (in-memory) engine constructor: dataset,
+// instrumentation, reasoner, engine.
+func buildEngine(dataFile, policyFile string, sites int, seed int64, cache int, reg *obs.Registry) (*gsacs.Engine, error) {
+	data, policies, err := loadDataset(dataFile, policyFile, sites, seed)
+	if err != nil {
+		return nil, err
+	}
 	data.Instrument(reg)
-	reasoner := owl.NewReasoner().Instrument(reg)
-	reasoner.AddGraph(grdf.Ontology())
-	reasoner.AddGraph(seconto.Ontology())
-	reasoner.AddAll(data.Triples())
 	return gsacs.New(policies, data, gsacs.Options{
-		Reasoner:  reasoner,
+		Reasoner:  newReasoner(data, reg),
 		CacheSize: cache,
 		Metrics:   reg,
 	}), nil

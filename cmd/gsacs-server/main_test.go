@@ -194,7 +194,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	logger := obs.NewLogger(&logBuf, slog.LevelInfo)
 	stop := make(chan os.Signal, 1)
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- serve(srv, stop, 2*time.Second, logger) }()
+	go func() { serveErr <- serve(srv, nil, stop, 2*time.Second, logger) }()
 	waitListen(t, srv.Addr)
 
 	// Fire a request that blocks in the handler, then deliver the signal.
@@ -275,7 +275,7 @@ func TestServeDrainTimeout(t *testing.T) {
 	logger := obs.NewLogger(&logBuf, slog.LevelInfo)
 	stop := make(chan os.Signal, 1)
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- serve(srv, stop, 20*time.Millisecond, logger) }()
+	go func() { serveErr <- serve(srv, nil, stop, 20*time.Millisecond, logger) }()
 	waitListen(t, srv.Addr)
 
 	go func() { http.Get("http://" + srv.Addr + "/hang") }()

@@ -265,3 +265,30 @@ func TestE14FederationShape(t *testing.T) {
 		t.Errorf("breaker off (%.1f%%) not worse than on (%.1f%%)\n%s", offRate, onRate, tab)
 	}
 }
+
+func TestE15DurabilityShape(t *testing.T) {
+	const records = 60
+	tab := E15Durability(records)
+	// Three policies x (append + recover-from-log + recover-from-snapshot).
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9:\n%s", len(tab.Rows), tab)
+	}
+	for _, note := range tab.Notes {
+		if strings.Contains(note, "LOSS") {
+			t.Fatalf("experiment reported data loss:\n%s", tab)
+		}
+	}
+	for _, row := range tab.Rows {
+		if row[0] != "recover" {
+			continue
+		}
+		if row[6] != fmt.Sprintf("%d", records) {
+			t.Errorf("recover row %v: recovered %s triples, want %d", row, row[6], records)
+		}
+	}
+	// Snapshot recovery replays nothing.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[2] != "yes" || last[3] != "0" {
+		t.Errorf("snapshot recovery row = %v, want snapshot=yes records=0", last)
+	}
+}

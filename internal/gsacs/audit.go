@@ -1,6 +1,7 @@
 package gsacs
 
 import (
+	"encoding/json"
 	"sync"
 
 	"repro/internal/obs"
@@ -62,7 +63,7 @@ func newAuditLog(capacity int) *auditLog {
 	return &auditLog{entries: make([]AuditEntry, capacity)}
 }
 
-func (l *auditLog) record(e AuditEntry) {
+func (l *auditLog) record(e AuditEntry) AuditEntry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.seq++
@@ -77,6 +78,7 @@ func (l *auditLog) record(e AuditEntry) {
 	if l.next == 0 {
 		l.full = true
 	}
+	return e
 }
 
 // snapshot returns entries oldest-first.
@@ -140,12 +142,45 @@ func (e *Engine) AuditStats() AuditStats {
 	return e.audit.stats()
 }
 
+// SetAuditPersist journals every audit entry through fn as a JSON blob —
+// the durable repository's AppendAudit slots in here, making the audit
+// trail survive restarts alongside the data it accounts for. Install it
+// before the engine serves traffic. Persist failures are counted
+// (grdf_audit_persist_errors_total) but do not fail the decision: the
+// authorization outcome must not depend on audit I/O.
+func (e *Engine) SetAuditPersist(fn func([]byte) error) {
+	e.auditPersist = fn
+	e.mAuditPersistErr = e.metrics.Counter("grdf_audit_persist_errors_total",
+		"Audit entries that could not be journaled durably.")
+}
+
+// RestoreAudit refills the audit ring from persisted JSON payloads, oldest
+// first, typically with the repository's AuditReplay after recovery.
+// Undecodable payloads are skipped (the trail is best-effort diagnostics;
+// the WAL's checksums already guarantee the bytes are as written). Entries
+// are NOT re-journaled. Call EnableAudit first.
+func (e *Engine) RestoreAudit(payloads [][]byte) int {
+	if e.audit == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range payloads {
+		var entry AuditEntry
+		if err := json.Unmarshal(p, &entry); err != nil {
+			continue
+		}
+		e.audit.record(entry)
+		n++
+	}
+	return n
+}
+
 // recordAudit is called by Decide when auditing is enabled.
 func (e *Engine) recordAudit(subject, action rdf.IRI, resource rdf.Term, acc Access) {
 	if e.audit == nil {
 		return
 	}
-	e.audit.record(AuditEntry{
+	stored := e.audit.record(AuditEntry{
 		Subject:  subject,
 		Action:   action,
 		Resource: resource.String(),
@@ -153,4 +188,14 @@ func (e *Engine) recordAudit(subject, action rdf.IRI, resource rdf.Term, acc Acc
 		Full:     acc.Full,
 		Policies: append([]rdf.IRI(nil), acc.Matched...),
 	})
+	if e.auditPersist == nil {
+		return
+	}
+	blob, err := json.Marshal(stored)
+	if err == nil {
+		err = e.auditPersist(blob)
+	}
+	if err != nil {
+		e.mAuditPersistErr.Inc()
+	}
 }

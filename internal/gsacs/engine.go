@@ -59,6 +59,11 @@ type Engine struct {
 	cache    *QueryCache
 	audit    *auditLog
 
+	// auditPersist, when set, journals every audit entry durably (see
+	// SetAuditPersist).
+	auditPersist     func([]byte) error
+	mAuditPersistErr *obs.Counter
+
 	// metrics is the observability registry (nil disables; every handle
 	// derived from it is nil-safe).
 	metrics  *obs.Registry
@@ -99,6 +104,19 @@ func New(policies *seconto.Set, data *store.Store, opts Options) *Engine {
 
 // Metrics returns the engine's registry (nil when observability is off).
 func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// SetReasoner swaps the inference engine (nil restores direct assertions
+// only). It exists for crash recovery: the server builds the engine over an
+// empty store, recovers the durable state into it, and only then
+// materializes the reasoner over the recovered triples. Call it before the
+// engine serves traffic — the readiness gate in the HTTP front-end holds
+// requests back until recovery completes, so no decision is in flight.
+func (e *Engine) SetReasoner(r Reasoner) {
+	if r == nil {
+		r = nilReasoner{data: e.data}
+	}
+	e.reasoner = r
+}
 
 // Data exposes the underlying (unfiltered) store — for administrative paths
 // only.

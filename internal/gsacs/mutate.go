@@ -1,11 +1,17 @@
 package gsacs
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/rdf"
 	"repro/internal/seconto"
+	"repro/internal/store"
 )
+
+// ErrNotFound is returned (wrapped) by Update when the triple to replace is
+// not in the store.
+var ErrNotFound = errors.New("triple not present")
 
 // Write-path enforcement. The paper's action individuals include Modify and
 // Delete alongside View; these entry points run the same decision procedure
@@ -54,7 +60,9 @@ func (e *Engine) authorizeTriple(subject, action rdf.IRI, t rdf.Triple) error {
 	return nil
 }
 
-// Insert adds a triple on behalf of subject after a Modify decision.
+// Insert adds a triple on behalf of subject after a Modify decision. The
+// mutation is acknowledged only once the store's commit hook (the WAL, when
+// the repository is durable) has accepted it.
 func (e *Engine) Insert(subject rdf.IRI, t rdf.Triple) error {
 	if !t.Valid() {
 		return fmt.Errorf("gsacs: invalid triple %v", t)
@@ -62,7 +70,9 @@ func (e *Engine) Insert(subject rdf.IRI, t rdf.Triple) error {
 	if err := e.authorizeTriple(subject, seconto.ActionModify, t); err != nil {
 		return err
 	}
-	e.data.Add(t)
+	if _, err := e.data.Apply(store.Op{Kind: store.OpAdd, Triples: []rdf.Triple{t}}); err != nil {
+		return fmt.Errorf("gsacs: insert not persisted: %w", err)
+	}
 	return nil
 }
 
@@ -71,25 +81,32 @@ func (e *Engine) Delete(subject rdf.IRI, t rdf.Triple) error {
 	if err := e.authorizeTriple(subject, seconto.ActionDelete, t); err != nil {
 		return err
 	}
-	e.data.Remove(t)
+	if _, err := e.data.Apply(store.Op{Kind: store.OpRemove, Triples: []rdf.Triple{t}}); err != nil {
+		return fmt.Errorf("gsacs: delete not persisted: %w", err)
+	}
 	return nil
 }
 
 // Update replaces the object of (resource, property, old) with new on behalf
-// of subject; it requires Modify on the property.
+// of subject; it requires Modify on the property. The swap is a single
+// store.Replace op: concurrent readers never see the triple missing, the
+// query cache is invalidated exactly once, and the WAL records one replace
+// record instead of a remove/add pair.
 func (e *Engine) Update(subject rdf.IRI, resource rdf.Term, property rdf.IRI, oldObj, newObj rdf.Term) error {
 	t := rdf.T(resource, property, oldObj)
 	if err := e.authorizeTriple(subject, seconto.ActionModify, t); err != nil {
 		return err
 	}
-	if !e.data.Has(t) {
-		return fmt.Errorf("gsacs: triple not present: %s", t)
-	}
 	nt := rdf.T(resource, property, newObj)
 	if !nt.Valid() {
 		return fmt.Errorf("gsacs: invalid replacement triple %v", nt)
 	}
-	e.data.Remove(t)
-	e.data.Add(nt)
+	changed, err := e.data.Replace(t, nt)
+	if err != nil {
+		return fmt.Errorf("gsacs: update not persisted: %w", err)
+	}
+	if !changed {
+		return fmt.Errorf("gsacs: %w: %s", ErrNotFound, t)
+	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/rdf"
 	"repro/internal/seconto"
 	"repro/internal/sparql"
+	"repro/internal/store"
 	"repro/internal/turtle"
 )
 
@@ -45,6 +47,9 @@ type Server struct {
 	logger       *slog.Logger
 	queryTimeout time.Duration
 	maxBodyBytes int64
+	// ready gates every route except /healthz and /metrics while the durable
+	// state is still being recovered (nil = always ready).
+	ready func() bool
 }
 
 // ServerOption customizes NewServer.
@@ -88,19 +93,28 @@ func WithFederator(f *federation.Federator) ServerOption {
 }
 
 // WithMaxBodyBytes bounds request bodies on the mutating endpoints
-// (/insert, /delete); an oversized body is answered with 413 and code
-// "body_too_large". Zero disables the bound.
+// (/insert, /delete, /update); an oversized body is answered with 413 and
+// code "body_too_large". Zero disables the bound.
 func WithMaxBodyBytes(n int64) ServerOption {
 	return func(s *Server) { s.maxBodyBytes = n }
+}
+
+// WithReadiness installs a readiness probe. While it returns false, every
+// route except /healthz and /metrics answers 503 with code "recovering",
+// and /healthz reports the recovering status without touching the engine —
+// the server can therefore start listening immediately and recover its
+// durable state in the background.
+func WithReadiness(ready func() bool) ServerOption {
+	return func(s *Server) { s.ready = ready }
 }
 
 // routes are the fixed mux patterns, reused as bounded metric label values.
 // The /v1/ names are canonical; the bare names are legacy aliases.
 var routes = []string{
 	"/v1/roles", "/v1/view", "/v1/resource", "/v1/query",
-	"/v1/ontologies", "/v1/insert", "/v1/delete", "/v1/audit",
+	"/v1/ontologies", "/v1/insert", "/v1/delete", "/v1/update", "/v1/audit",
 	"/healthz", "/roles", "/view", "/resource", "/query",
-	"/ontologies", "/insert", "/delete", "/audit", "/metrics",
+	"/ontologies", "/insert", "/delete", "/update", "/audit", "/metrics",
 }
 
 // routeLabel maps a request path to a bounded label value so unknown paths
@@ -139,6 +153,8 @@ func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Serv
 	s.mux.HandleFunc("/insert", s.handleMutate(true))
 	s.mux.HandleFunc("/v1/delete", s.handleMutate(false))
 	s.mux.HandleFunc("/delete", s.handleMutate(false))
+	s.mux.HandleFunc("/v1/update", s.handleUpdate)
+	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/healthz", s.readOnly(s.handleHealth))
 	for _, o := range opts {
 		o(s)
@@ -157,8 +173,26 @@ func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Serv
 			s.writeError(w, r, http.StatusInternalServerError, "internal",
 				"internal server error")
 		},
-	}, s.mux)
+	}, s.readinessGate(s.mux))
 	return s
+}
+
+// readinessGate holds every route except /healthz and /metrics behind the
+// readiness probe: listening starts before recovery finishes, but no request
+// reaches an engine whose state is still being rebuilt.
+func (s *Server) readinessGate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.ready != nil && !s.ready() {
+			switch r.URL.Path {
+			case "/healthz", "/metrics":
+			default:
+				s.writeError(w, r, http.StatusServiceUnavailable, "recovering",
+					"durable state is being recovered; retry shortly")
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -208,6 +242,16 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// While recovery runs, another goroutine is mutating the engine (store
+	// load, reasoner swap); report the phase without touching any of it.
+	if s.ready != nil && !s.ready() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if err := json.NewEncoder(w).Encode(map[string]any{"status": "recovering"}); err != nil {
+			obs.Logger(r.Context()).Warn("encode response", "path", r.URL.Path, "err", err.Error())
+		}
+		return
+	}
 	body := map[string]any{
 		"status":     "ok",
 		"triples":    s.engine.Data().Len(),
@@ -506,19 +550,100 @@ func (s *Server) handleMutate(insert bool) http.HandlerFunc {
 				err = s.engine.Delete(role, t)
 			}
 			if err != nil {
-				var denied *ErrDenied
-				status, code := http.StatusBadRequest, "bad_request"
-				if errors.As(err, &denied) {
-					status, code = http.StatusForbidden, "forbidden"
-				}
-				s.writeError(w, r, status, code,
-					fmt.Sprintf("%v (applied %d before failure)", err, applied))
+				s.writeMutationError(w, r,
+					fmt.Errorf("%w (applied %d before failure)", err, applied))
 				return
 			}
 			applied++
 		}
 		s.writeJSON(w, r, map[string]any{"applied": applied})
 	}
+}
+
+// writeMutationError maps a mutation failure onto the v1 error envelope:
+// authorization denials are 403 "forbidden", a missing update target is 404
+// "not_found", a durability-layer refusal is 500 "not_persisted" (the
+// mutation did NOT happen), and anything else is a 400 "bad_request".
+func (s *Server) writeMutationError(w http.ResponseWriter, r *http.Request, err error) {
+	var denied *ErrDenied
+	switch {
+	case errors.As(err, &denied):
+		s.writeError(w, r, http.StatusForbidden, "forbidden", err.Error())
+	case errors.Is(err, ErrNotFound):
+		s.writeError(w, r, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, store.ErrCommitHook):
+		s.writeError(w, r, http.StatusInternalServerError, "not_persisted", err.Error())
+	default:
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+	}
+}
+
+// handleUpdate serves POST /update: the body is exactly two N-Triples
+// statements — the triple to replace, then its replacement — sharing subject
+// and predicate. The swap runs through the write-authorization path and is
+// applied atomically (readers never observe the triple absent).
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
+		return
+	}
+	role, err := resolveRole(r.URL.Query().Get("role"))
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	body := r.Body
+	if s.maxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	}
+	// Read statements in order: the graph abstraction would lose the
+	// old-before-new ordering the endpoint is defined by.
+	reader := ntriples.NewReader(body)
+	var ts []rdf.Triple
+	for {
+		t, err := reader.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				s.writeError(w, r, http.StatusRequestEntityTooLarge, "body_too_large",
+					fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit))
+				return
+			}
+			s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		ts = append(ts, t)
+		if len(ts) > 2 {
+			s.writeError(w, r, http.StatusBadRequest, "bad_request",
+				"update body must hold exactly two statements (old, new)")
+			return
+		}
+	}
+	if len(ts) != 2 {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("update body must hold exactly two statements (old, new), got %d", len(ts)))
+		return
+	}
+	old, new := ts[0], ts[1]
+	if !old.Subject.Equal(new.Subject) || !old.Predicate.Equal(new.Predicate) {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request",
+			"old and new statements must share subject and predicate")
+		return
+	}
+	pred, ok := old.Predicate.(rdf.IRI)
+	if !ok {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "predicate must be an IRI")
+		return
+	}
+	if err := s.engine.Update(role, old.Subject, pred, old.Object, new.Object); err != nil {
+		s.writeMutationError(w, r, err)
+		return
+	}
+	s.writeJSON(w, r, map[string]any{"applied": 1})
 }
 
 // resultJSON renders a SPARQL result in a SPARQL-JSON-like shape.

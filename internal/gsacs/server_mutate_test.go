@@ -1,0 +1,260 @@
+package gsacs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// HTTP error-path coverage for the mutation endpoints: every failure mode
+// must answer the uniform {"error","code","trace_id"} envelope with the
+// right status, and the store must be untouched.
+
+type errEnvelope struct {
+	Error   string `json:"error"`
+	Code    string `json:"code"`
+	TraceID string `json:"trace_id"`
+}
+
+// postNT POSTs an N-Triples body and decodes the error envelope (when the
+// status is an error).
+func postNT(t *testing.T, srv *httptest.Server, path, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+path, "application/n-triples", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, sb.String()
+}
+
+// wantEnvelope asserts a well-formed error envelope with the given code.
+func wantEnvelope(t *testing.T, resp *http.Response, body, code string, status int) {
+	t.Helper()
+	if resp.StatusCode != status {
+		t.Fatalf("status = %d, want %d; body: %s", resp.StatusCode, status, body)
+	}
+	var env errEnvelope
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("error body is not the JSON envelope: %v\n%s", err, body)
+	}
+	if env.Code != code || env.Error == "" || env.TraceID == "" {
+		t.Fatalf("envelope = %+v, want code %q with non-empty error and trace_id", env, code)
+	}
+	if hdr := resp.Header.Get("X-Trace-Id"); hdr != "" && hdr != env.TraceID {
+		t.Errorf("trace_id %q does not match X-Trace-Id header %q", env.TraceID, hdr)
+	}
+}
+
+func TestServerInsertUnauthorized(t *testing.T) {
+	e, sc, _, _ := writeScenario(t)
+	srv := httptest.NewServer(NewServer(e, nil))
+	defer srv.Close()
+	site := sc.Chemical.Sites[0].IRI
+	tr := rdf.T(site, datagen.HasSiteName, rdf.NewString("intruder"))
+
+	resp, body := postNT(t, srv, "/v1/insert?role=Nobody", tr.String())
+	wantEnvelope(t, resp, body, "forbidden", http.StatusForbidden)
+	if e.Data().Has(tr) {
+		t.Error("unauthorized insert landed in the store")
+	}
+}
+
+func TestServerDeleteUnauthorized(t *testing.T) {
+	// The editor role holds Modify on site names but no Delete rights at all.
+	e, sc, _, _ := writeScenario(t)
+	srv := httptest.NewServer(NewServer(e, nil))
+	defer srv.Close()
+	site := sc.Chemical.Sites[0].IRI
+	name, ok := e.Data().FirstObject(site, datagen.HasSiteName)
+	if !ok {
+		t.Fatal("scenario site has no name")
+	}
+	tr := rdf.T(site, datagen.HasSiteName, name)
+
+	resp, body := postNT(t, srv, "/v1/delete?role=SiteEditor", tr.String())
+	wantEnvelope(t, resp, body, "forbidden", http.StatusForbidden)
+	if !e.Data().Has(tr) {
+		t.Error("unauthorized delete removed the triple")
+	}
+}
+
+func TestServerMutateInvalidBodies(t *testing.T) {
+	e, _, _, _ := writeScenario(t)
+	srv := httptest.NewServer(NewServer(e, nil))
+	defer srv.Close()
+	before := e.Data().Len()
+
+	// Unparseable N-Triples.
+	resp, body := postNT(t, srv, "/v1/insert?role=Admin", "this is not n-triples")
+	wantEnvelope(t, resp, body, "bad_request", http.StatusBadRequest)
+
+	// Missing role parameter.
+	resp, body = postNT(t, srv, "/v1/insert", "<http://x/s> <http://x/p> \"v\" .")
+	wantEnvelope(t, resp, body, "bad_request", http.StatusBadRequest)
+
+	// GET on a mutation route.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/insert?role=Admin", nil)
+	getResp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/insert = %d, want 405", getResp.StatusCode)
+	}
+	if allow := getResp.Header.Get("Allow"); allow != "POST" {
+		t.Errorf("Allow = %q, want POST", allow)
+	}
+
+	if e.Data().Len() != before {
+		t.Errorf("store changed by rejected mutations: %d -> %d", before, e.Data().Len())
+	}
+}
+
+func TestServerUpdateErrorPaths(t *testing.T) {
+	e, sc, _, _ := writeScenario(t)
+	srv := httptest.NewServer(NewServer(e, nil))
+	defer srv.Close()
+	site := sc.Chemical.Sites[0].IRI
+
+	// Update of a triple that is not in the store: 404 not_found.
+	oldT := rdf.T(site, datagen.HasSiteName, rdf.NewString("never-existed"))
+	newT := rdf.T(site, datagen.HasSiteName, rdf.NewString("whatever"))
+	resp, body := postNT(t, srv, "/v1/update?role=Admin", oldT.String()+"\n"+newT.String())
+	wantEnvelope(t, resp, body, "not_found", http.StatusNotFound)
+
+	// One statement only.
+	resp, body = postNT(t, srv, "/v1/update?role=Admin", oldT.String())
+	wantEnvelope(t, resp, body, "bad_request", http.StatusBadRequest)
+
+	// Three statements.
+	resp, body = postNT(t, srv, "/v1/update?role=Admin",
+		oldT.String()+"\n"+newT.String()+"\n"+newT.String())
+	wantEnvelope(t, resp, body, "bad_request", http.StatusBadRequest)
+
+	// Old and new disagree on the subject.
+	other := rdf.T(rdf.IRI("http://x/other"), datagen.HasSiteName, rdf.NewString("x"))
+	resp, body = postNT(t, srv, "/v1/update?role=Admin", oldT.String()+"\n"+other.String())
+	wantEnvelope(t, resp, body, "bad_request", http.StatusBadRequest)
+
+	// Unauthorized role on an existing triple: 403 before any 404.
+	name, ok := e.Data().FirstObject(site, datagen.HasSiteName)
+	if !ok {
+		t.Fatal("scenario site has no name")
+	}
+	cur := rdf.T(site, datagen.HasSiteName, name)
+	repl := rdf.T(site, datagen.HasSiteName, rdf.NewString("hijack"))
+	resp, body = postNT(t, srv, "/v1/update?role=Nobody", cur.String()+"\n"+repl.String())
+	wantEnvelope(t, resp, body, "forbidden", http.StatusForbidden)
+
+	// The happy path still works and answers {"applied":1}.
+	resp, body = postNT(t, srv, "/v1/update?role=Admin", cur.String()+"\n"+repl.String())
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"applied":1`) {
+		t.Fatalf("authorized update = %d %s", resp.StatusCode, body)
+	}
+	if !e.Data().Has(repl) || e.Data().Has(cur) {
+		t.Error("update did not swap the triple")
+	}
+}
+
+// TestServerMutateNotPersisted: a commit-hook refusal (the durable layer
+// saying no) must surface as 500 "not_persisted", and the store must not
+// contain the triple.
+func TestServerMutateNotPersisted(t *testing.T) {
+	e, sc, _, _ := writeScenario(t)
+	e.Data().SetCommitHook(func(store.Op) error {
+		return errors.New("disk on fire")
+	})
+	srv := httptest.NewServer(NewServer(e, nil))
+	defer srv.Close()
+	site := sc.Chemical.Sites[0].IRI
+	tr := rdf.T(site, datagen.HasSiteName, rdf.NewString("doomed"))
+
+	resp, body := postNT(t, srv, "/v1/insert?role=Admin", tr.String())
+	wantEnvelope(t, resp, body, "not_persisted", http.StatusInternalServerError)
+	if e.Data().Has(tr) {
+		t.Error("refused mutation landed in the store")
+	}
+}
+
+// TestServerReadinessGate: while recovery is in progress every route except
+// /healthz and /metrics answers 503 "recovering"; once the readiness probe
+// flips, traffic flows.
+func TestServerReadinessGate(t *testing.T) {
+	e, sc, _, _ := writeScenario(t)
+	ready := false
+	srv := httptest.NewServer(NewServer(e, nil,
+		WithMetrics(obs.NewRegistry()),
+		WithReadiness(func() bool { return ready })))
+	defer srv.Close()
+
+	for _, path := range []string{"/roles", "/v1/view?role=MainRep", "/v1/query?role=Hazmat&q=x"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env errEnvelope
+		json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable || env.Code != "recovering" {
+			t.Errorf("GET %s while recovering = %d code=%q, want 503 recovering", path, resp.StatusCode, env.Code)
+		}
+	}
+
+	// Mutations are refused too — nothing may be acked before the log is open.
+	tr := rdf.T(sc.Chemical.Sites[0].IRI, datagen.HasSiteName, rdf.NewString("early"))
+	resp, body := postNT(t, srv, "/v1/insert?role=Admin", tr.String())
+	wantEnvelope(t, resp, body, "recovering", http.StatusServiceUnavailable)
+
+	// /healthz reports the recovering state without touching the engine.
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || health.Status != "recovering" {
+		t.Errorf("/healthz while recovering = %d %q", resp.StatusCode, health.Status)
+	}
+
+	// /metrics stays reachable for scrapes during recovery.
+	resp, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics while recovering = %d, want 200", resp.StatusCode)
+	}
+
+	ready = true
+	resp, err = srv.Client().Get(srv.URL + "/roles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /roles after ready = %d, want 200", resp.StatusCode)
+	}
+}

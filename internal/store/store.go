@@ -17,6 +17,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -72,10 +73,66 @@ func (ix index) remove(a, b, c ID) bool {
 	return true
 }
 
+// OpKind identifies the kind of a batch mutation Op.
+type OpKind uint8
+
+const (
+	// OpAdd inserts a batch of triples.
+	OpAdd OpKind = iota + 1
+	// OpRemove deletes a batch of triples.
+	OpRemove
+	// OpReplace atomically swaps Triples[0] for Triples[1] under a single
+	// generation bump.
+	OpReplace
+	// OpClear removes every triple.
+	OpClear
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	case OpReplace:
+		return "replace"
+	case OpClear:
+		return "clear"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op describes one atomic batch mutation. It is both the store's uniform
+// mutation request and the unit the write-ahead log persists: the commit
+// hook receives exactly this value before the store applies it.
+type Op struct {
+	Kind OpKind
+	// Triples carries the batch for OpAdd/OpRemove; for OpReplace it holds
+	// exactly [old, new]. Empty for OpClear.
+	Triples []rdf.Triple
+	// Gen is the store generation observed immediately before the op was
+	// applied. Apply fills it in; callers leave it zero.
+	Gen uint64
+}
+
+// CommitHook observes every mutation before it is applied, while the write
+// lock is held — hook call order is exactly apply order. Returning an error
+// aborts the mutation (nothing is applied) and propagates to the caller:
+// this is how the WAL layer refuses to acknowledge writes it could not make
+// durable. The hook must not call back into the store (it would deadlock).
+type CommitHook func(Op) error
+
+// ErrCommitHook marks mutation failures caused by the commit hook refusing
+// the batch (for a WAL hook: the write could not be made durable). Callers
+// can errors.Is against it to tell persistence failures from validation
+// errors.
+var ErrCommitHook = errors.New("commit hook refused mutation")
+
 // Store is an indexed triple store. The zero value is not usable; call New.
 type Store struct {
 	mu   sync.RWMutex
 	dict *Dict
+	hook CommitHook
 	spo  index
 	pos  index
 	osp  index
@@ -185,15 +242,138 @@ func (s *Store) TermOf(id ID) rdf.Term { return s.dict.Term(id) }
 // dictionary contents (see Dict.View).
 func (s *Store) DictView() DictView { return s.dict.View() }
 
+// SetCommitHook installs (or, with nil, removes) the mutation hook. Install
+// it only while no mutations are in flight — typically right after recovery,
+// before the store serves traffic.
+func (s *Store) SetCommitHook(h CommitHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
+// Apply performs one atomic batch mutation and returns how many triples
+// changed. When a commit hook is installed it runs first, under the write
+// lock; a hook error aborts the whole batch. Invalid triples in an
+// OpAdd batch are skipped (matching AddAll); an OpReplace whose old triple
+// is absent returns (0, nil) without invoking the hook.
+func (s *Store) Apply(op Op) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.endHold(s.beginHold())
+	return s.applyLocked(op)
+}
+
+func (s *Store) applyLocked(op Op) (int, error) {
+	switch op.Kind {
+	case OpAdd:
+		// Reduce the batch to triples that will actually land, so the commit
+		// hook (and therefore the WAL) never records no-ops.
+		op.Triples = s.filterLocked(op.Triples, false)
+	case OpRemove:
+		op.Triples = s.filterLocked(op.Triples, true)
+	case OpClear:
+		if s.size == 0 {
+			return 0, nil
+		}
+	case OpReplace:
+		if len(op.Triples) != 2 {
+			return 0, fmt.Errorf("store: replace needs [old, new], got %d triples", len(op.Triples))
+		}
+		if !op.Triples[1].Valid() {
+			return 0, fmt.Errorf("store: invalid replacement triple %v", op.Triples[1])
+		}
+		// Probe the old triple before logging: a replace of an absent triple
+		// is a no-op and must not reach the WAL.
+		ids, ok := s.lookupTriple(op.Triples[0])
+		if !ok {
+			return 0, nil
+		}
+		if _, present := s.spo[ids[0]][ids[1]][ids[2]]; !present {
+			return 0, nil
+		}
+	default:
+		return 0, fmt.Errorf("store: unknown op kind %d", op.Kind)
+	}
+	if (op.Kind == OpAdd || op.Kind == OpRemove) && len(op.Triples) == 0 {
+		return 0, nil
+	}
+	if s.hook != nil {
+		op.Gen = s.generation
+		if err := s.hook(op); err != nil {
+			return 0, fmt.Errorf("store: %w: %w", ErrCommitHook, err)
+		}
+	}
+	switch op.Kind {
+	case OpAdd:
+		n := 0
+		for _, t := range op.Triples {
+			if !t.Valid() {
+				continue
+			}
+			if s.addLocked(t) {
+				n++
+			}
+		}
+		return n, nil
+	case OpRemove:
+		n := 0
+		for _, t := range op.Triples {
+			ids, ok := s.lookupTriple(t)
+			if !ok {
+				continue
+			}
+			if s.removeLocked(ids[0], ids[1], ids[2]) {
+				n++
+			}
+		}
+		return n, nil
+	case OpReplace:
+		return 1, s.replaceLocked(op.Triples[0], op.Triples[1])
+	default: // OpClear
+		s.clearLocked()
+		return 0, nil
+	}
+}
+
+// filterLocked returns the subset of ts that would change the store:
+// present triples when removing, valid absent ones when adding. The input
+// slice is never mutated.
+func (s *Store) filterLocked(ts []rdf.Triple, present bool) []rdf.Triple {
+	eff := make([]rdf.Triple, 0, len(ts))
+	for _, t := range ts {
+		ids, ok := s.lookupTriple(t)
+		has := ok && func() bool { _, in := s.spo[ids[0]][ids[1]][ids[2]]; return in }()
+		if present && has {
+			eff = append(eff, t)
+		} else if !present && t.Valid() && !has {
+			eff = append(eff, t)
+		}
+	}
+	return eff
+}
+
+// replaceLocked swaps old for new as one mutation epoch. The caller has
+// already verified old is present.
+func (s *Store) replaceLocked(old, new rdf.Triple) error {
+	gen := s.generation
+	ids, _ := s.lookupTriple(old)
+	s.removeLocked(ids[0], ids[1], ids[2])
+	s.addLocked(new)
+	// A replace is one atomic mutation: readers and the query cache must see
+	// exactly one epoch boundary, not a remove epoch and an add epoch.
+	s.generation = gen + 1
+	return nil
+}
+
 // Add inserts t, reporting whether it was new. Invalid triples are rejected.
+// On a store with a commit hook, a hook failure also reports false; use
+// Apply when the error matters.
 func (s *Store) Add(t rdf.Triple) bool {
 	if !t.Valid() {
 		return false
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	defer s.endHold(s.beginHold())
-	return s.addLocked(t)
+	n, _ := s.Apply(Op{Kind: OpAdd, Triples: []rdf.Triple{t}})
+	return n > 0
 }
 
 func (s *Store) addLocked(t rdf.Triple) bool {
@@ -237,18 +417,7 @@ func decCard(m map[ID]int, id ID) {
 
 // AddAll inserts the given triples, returning how many were new.
 func (s *Store) AddAll(ts []rdf.Triple) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	defer s.endHold(s.beginHold())
-	n := 0
-	for _, t := range ts {
-		if !t.Valid() {
-			continue
-		}
-		if s.addLocked(t) {
-			n++
-		}
-	}
+	n, _ := s.Apply(Op{Kind: OpAdd, Triples: ts})
 	return n
 }
 
@@ -257,14 +426,17 @@ func (s *Store) AddGraph(g *rdf.Graph) int { return s.AddAll(g.Triples()) }
 
 // Remove deletes t, reporting whether it was present.
 func (s *Store) Remove(t rdf.Triple) bool {
-	ids, ok := s.lookupTriple(t)
-	if !ok {
-		return false
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	defer s.endHold(s.beginHold())
-	return s.removeLocked(ids[0], ids[1], ids[2])
+	n, _ := s.Apply(Op{Kind: OpRemove, Triples: []rdf.Triple{t}})
+	return n > 0
+}
+
+// Replace atomically swaps old for new under one generation bump, so
+// concurrent readers never observe the intermediate "old removed, new not
+// yet added" state and the query cache is invalidated exactly once.
+// Returns false when old is absent (nothing is changed or logged).
+func (s *Store) Replace(old, new rdf.Triple) (bool, error) {
+	n, err := s.Apply(Op{Kind: OpReplace, Triples: []rdf.Triple{old, new}})
+	return n > 0, err
 }
 
 // lookupTriple resolves a triple's terms to IDs without interning.
@@ -288,28 +460,14 @@ func (s *Store) lookupTriple(t rdf.Triple) ([3]ID, bool) {
 }
 
 // RemoveMatching deletes all triples matching the pattern (nil = wildcard)
-// and returns how many were removed.
+// and returns how many were removed. The victims are materialized as a
+// batch remove op so a commit hook sees the concrete triples.
 func (s *Store) RemoveMatching(sub, pred, obj rdf.Term) int {
-	sid, pid, oid, ok := s.lookupPattern(sub, pred, obj)
-	if !ok {
+	victims := s.Match(sub, pred, obj)
+	if len(victims) == 0 {
 		return 0
 	}
-	var victims [][3]ID
-	s.mu.RLock()
-	s.forEachMatchLocked(sid, pid, oid, func(a, b, c ID) bool {
-		victims = append(victims, [3]ID{a, b, c})
-		return true
-	})
-	s.mu.RUnlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	defer s.endHold(s.beginHold())
-	n := 0
-	for _, v := range victims {
-		if s.removeLocked(v[0], v[1], v[2]) {
-			n++
-		}
-	}
+	n, _ := s.Apply(Op{Kind: OpRemove, Triples: victims})
 	return n
 }
 
@@ -428,9 +586,13 @@ func (s *Store) ForEachMatch(sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) 
 	if !ok {
 		return
 	}
-	view := s.dict.View()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	// Capture the dictionary view under the store lock: every ID reachable
+	// from the indexes is interned by now, so the view resolves them all.
+	// Taken before the lock, a concurrent add could intern terms the view
+	// misses, materializing triples with nil positions.
+	view := s.dict.View()
 	s.forEachMatchLocked(sid, pid, oid, func(a, b, c ID) bool {
 		return fn(rdf.T(view.Term(a), view.Term(b), view.Term(c)))
 	})
@@ -567,8 +729,10 @@ func (s *Store) Snapshot() *Store {
 
 // Clear removes every triple. Interned terms stay in the dictionary.
 func (s *Store) Clear() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	_, _ = s.Apply(Op{Kind: OpClear})
+}
+
+func (s *Store) clearLocked() {
 	s.spo = make(index)
 	s.pos = make(index)
 	s.osp = make(index)

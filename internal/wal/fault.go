@@ -1,0 +1,138 @@
+package wal
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// ErrInjected marks every failure produced by FaultFS, so tests can assert
+// a fault was the injected one and not an accident of the environment.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultConfig positions deterministic faults on the global operation
+// counters of a FaultFS. All positions are 1-based; zero disables a fault.
+// Counters are shared across every file opened through the FaultFS, which
+// makes fault placement reproducible for a fixed workload.
+type FaultConfig struct {
+	// ShortWriteAt makes the Nth Write persist only the first half of its
+	// payload and then report ErrInjected — a torn write.
+	ShortWriteAt int
+	// FailWriteAt makes the Nth Write fail outright, persisting nothing.
+	FailWriteAt int
+	// FailSyncAt makes the Nth Sync report ErrInjected after doing nothing.
+	FailSyncAt int
+	// FailRenameAt makes the Nth Rename fail, leaving the temp file behind.
+	FailRenameAt int
+}
+
+// FaultFS wraps an FS with deterministic fault injection for chaos tests.
+type FaultFS struct {
+	inner FS
+	cfg   FaultConfig
+
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	renames int
+}
+
+// NewFaultFS wraps inner with the given fault plan.
+func NewFaultFS(inner FS, cfg FaultConfig) *FaultFS {
+	if inner == nil {
+		inner = OSFS()
+	}
+	return &FaultFS{inner: inner, cfg: cfg}
+}
+
+// Counts reports how many writes and syncs have been attempted, so tests
+// can position follow-up fault plans.
+func (f *FaultFS) Counts() (writes, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes, f.syncs
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	f.renames++
+	fail := f.cfg.FailRenameAt > 0 && f.renames == f.cfg.FailRenameAt
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error                   { return f.inner.Remove(name) }
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.inner.ReadDir(name) }
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) { return f.inner.Stat(name) }
+
+// faultFile interposes the write/sync fault points.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	ff.fs.writes++
+	n := ff.fs.writes
+	short := ff.fs.cfg.ShortWriteAt > 0 && n == ff.fs.cfg.ShortWriteAt
+	fail := ff.fs.cfg.FailWriteAt > 0 && n == ff.fs.cfg.FailWriteAt
+	ff.fs.mu.Unlock()
+	if fail {
+		return 0, ErrInjected
+	}
+	if short {
+		written, _ := ff.File.Write(p[:len(p)/2])
+		return written, ErrInjected
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	ff.fs.syncs++
+	fail := ff.fs.cfg.FailSyncAt > 0 && ff.fs.syncs == ff.fs.cfg.FailSyncAt
+	ff.fs.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return ff.File.Sync()
+}
+
+// FlipBit flips one bit of the file at path — the chaos tests' model of
+// at-rest disk corruption. offset is the byte position; bit selects 0–7.
+func FlipBit(path string, offset int64, bit uint) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, offset); err != nil {
+		return err
+	}
+	buf[0] ^= 1 << (bit % 8)
+	_, err = f.WriteAt(buf, offset)
+	return err
+}
+
+// TruncateFile shears the file at path to size bytes — the chaos tests'
+// model of a torn final write.
+func TruncateFile(path string, size int64) error {
+	return os.Truncate(path, size)
+}

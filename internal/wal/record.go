@@ -1,0 +1,249 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strings"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Kind discriminates WAL record types. Mutation kinds mirror store.OpKind;
+// KindAudit carries an opaque side payload (the G-SACS audit trail) that
+// rides the same durability machinery without the wal package knowing its
+// schema.
+type Kind uint8
+
+const (
+	// KindAdd is a batch triple insertion.
+	KindAdd Kind = 1
+	// KindRemove is a batch triple deletion.
+	KindRemove Kind = 2
+	// KindReplace atomically swaps Triples[0] for Triples[1].
+	KindReplace Kind = 3
+	// KindClear empties the store.
+	KindClear Kind = 4
+	// KindAudit carries an opaque audit payload in Data.
+	KindAudit Kind = 5
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindAdd:
+		return "add"
+	case KindRemove:
+		return "remove"
+	case KindReplace:
+		return "replace"
+	case KindClear:
+		return "clear"
+	case KindAudit:
+		return "audit"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Record is one WAL entry. Mutation records carry the store generation
+// observed when the op was committed, which recovery reports for
+// diagnostics.
+type Record struct {
+	Kind    Kind
+	Gen     uint64
+	Triples []rdf.Triple // mutation kinds; [old, new] for KindReplace
+	Data    []byte       // KindAudit payload
+}
+
+// On-disk frame: uint32 LE payload length, uint32 LE CRC32C of the payload,
+// then the payload. The payload is kind (1 byte), generation (uvarint),
+// item count (uvarint), then count length-prefixed items — N-Triples
+// statements for mutation records, one opaque blob for audit records.
+const frameHeaderLen = 8
+
+// maxRecordBytes bounds a single record so a corrupt length prefix cannot
+// force a giant allocation during recovery.
+const maxRecordBytes = 64 << 20
+
+// castagnoli is the CRC32C table (the checksum polynomial used by iSCSI,
+// ext4 and most modern WAL implementations; hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	// ErrTorn reports an incomplete final record: the frame claims more
+	// bytes than the file holds. Recovery truncates it away.
+	ErrTorn = errors.New("wal: torn record at log tail")
+	// ErrCorrupt reports a record whose checksum or structure is invalid —
+	// recovery refuses rather than load silently-corrupt data.
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+// opKindOf maps a store op kind to its record kind.
+func opKindOf(k store.OpKind) (Kind, bool) {
+	switch k {
+	case store.OpAdd:
+		return KindAdd, true
+	case store.OpRemove:
+		return KindRemove, true
+	case store.OpReplace:
+		return KindReplace, true
+	case store.OpClear:
+		return KindClear, true
+	}
+	return 0, false
+}
+
+// encodeRecord renders the full frame (header + payload) for r.
+func encodeRecord(r Record) ([]byte, error) {
+	payload := make([]byte, 0, 64)
+	payload = append(payload, byte(r.Kind))
+	payload = binary.AppendUvarint(payload, r.Gen)
+	switch r.Kind {
+	case KindAdd, KindRemove, KindReplace, KindClear:
+		if r.Kind == KindReplace && len(r.Triples) != 2 {
+			return nil, fmt.Errorf("wal: replace record needs [old, new], got %d triples", len(r.Triples))
+		}
+		payload = binary.AppendUvarint(payload, uint64(len(r.Triples)))
+		for _, t := range r.Triples {
+			line := t.String()
+			payload = binary.AppendUvarint(payload, uint64(len(line)))
+			payload = append(payload, line...)
+		}
+	case KindAudit:
+		payload = binary.AppendUvarint(payload, 1)
+		payload = binary.AppendUvarint(payload, uint64(len(r.Data)))
+		payload = append(payload, r.Data...)
+	default:
+		return nil, fmt.Errorf("wal: cannot encode record kind %d", r.Kind)
+	}
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderLen:], payload)
+	return frame, nil
+}
+
+// decodeRecord decodes one record from buf starting at off, returning the
+// record and the offset of the next frame. io.EOF signals a clean end of
+// log; ErrTorn an incomplete tail frame; ErrCorrupt a checksum or structure
+// violation.
+func decodeRecord(buf []byte, off int) (Record, int, error) {
+	if off == len(buf) {
+		return Record{}, off, io.EOF
+	}
+	rest := buf[off:]
+	if len(rest) < frameHeaderLen {
+		return Record{}, off, fmt.Errorf("%w: %d trailing bytes, need %d for a frame header",
+			ErrTorn, len(rest), frameHeaderLen)
+	}
+	n := binary.LittleEndian.Uint32(rest[0:4])
+	crc := binary.LittleEndian.Uint32(rest[4:8])
+	if n == 0 {
+		// A written frame is never empty; zero-length frames are the
+		// zero-fill signature some filesystems leave after a crash.
+		return Record{}, off, fmt.Errorf("%w: zero-length frame (zero-fill tail)", ErrTorn)
+	}
+	if n > maxRecordBytes {
+		return Record{}, off, fmt.Errorf("%w: frame claims %d bytes (limit %d)", ErrCorrupt, n, maxRecordBytes)
+	}
+	if len(rest) < frameHeaderLen+int(n) {
+		return Record{}, off, fmt.Errorf("%w: frame claims %d bytes, only %d remain",
+			ErrTorn, n, len(rest)-frameHeaderLen)
+	}
+	payload := rest[frameHeaderLen : frameHeaderLen+int(n)]
+	if got := crc32.Checksum(payload, castagnoli); got != crc {
+		return Record{}, off, fmt.Errorf("%w: checksum mismatch at offset %d (stored %08x, computed %08x)",
+			ErrCorrupt, off, crc, got)
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, off, err
+	}
+	return rec, off + frameHeaderLen + int(n), nil
+}
+
+// decodePayload parses a checksum-verified payload. Structural errors are
+// still ErrCorrupt: the checksum matched, but the bytes are not a record we
+// ever wrote.
+func decodePayload(payload []byte) (Record, error) {
+	corrupt := func(format string, args ...any) (Record, error) {
+		return Record{}, fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+	if len(payload) == 0 {
+		return corrupt("empty payload")
+	}
+	rec := Record{Kind: Kind(payload[0])}
+	p := payload[1:]
+	gen, used := binary.Uvarint(p)
+	if used <= 0 {
+		return corrupt("bad generation varint")
+	}
+	rec.Gen = gen
+	p = p[used:]
+	count, used := binary.Uvarint(p)
+	if used <= 0 {
+		return corrupt("bad item count varint")
+	}
+	p = p[used:]
+	if count > uint64(len(p)) {
+		return corrupt("item count %d exceeds payload", count)
+	}
+	items := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n, used := binary.Uvarint(p)
+		if used <= 0 {
+			return corrupt("bad item length varint (item %d)", i)
+		}
+		p = p[used:]
+		if n > uint64(len(p)) {
+			return corrupt("item %d claims %d bytes, %d remain", i, n, len(p))
+		}
+		items = append(items, p[:n])
+		p = p[n:]
+	}
+	if len(p) != 0 {
+		return corrupt("%d stray bytes after last item", len(p))
+	}
+	switch rec.Kind {
+	case KindAdd, KindRemove, KindReplace, KindClear:
+		if rec.Kind == KindReplace && len(items) != 2 {
+			return corrupt("replace record has %d items, want 2", len(items))
+		}
+		rec.Triples = make([]rdf.Triple, 0, len(items))
+		for i, it := range items {
+			t, err := parseTripleLine(string(it))
+			if err != nil {
+				return corrupt("item %d: %v", i, err)
+			}
+			rec.Triples = append(rec.Triples, t)
+		}
+	case KindAudit:
+		if len(items) != 1 {
+			return corrupt("audit record has %d items, want 1", len(items))
+		}
+		rec.Data = append([]byte(nil), items[0]...)
+	default:
+		return corrupt("unknown record kind %d", uint8(rec.Kind))
+	}
+	return rec, nil
+}
+
+// parseTripleLine parses exactly one N-Triples statement.
+func parseTripleLine(line string) (rdf.Triple, error) {
+	r := ntriples.NewReader(strings.NewReader(line))
+	t, err := r.Read()
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	if _, err := r.Read(); err != io.EOF {
+		return rdf.Triple{}, fmt.Errorf("more than one statement in record item")
+	}
+	return t, nil
+}
