@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -41,7 +42,12 @@ func main() {
 	sites := flag.String("sites", "", "comma-separated dataset sizes for E6/E9/E10")
 	requests := flag.Int("requests", 0, "workload size for E8 (cache requests), E14 (federation requests) and E15 (WAL records)")
 	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<id>.json output")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "grdf-bench")
+		return
+	}
 
 	var sizes []int
 	if *sites != "" {
@@ -74,6 +80,7 @@ func main() {
 		{"E13", func() *experiments.Table { return experiments.E13Planner(sizes) }},
 		{"E14", func() *experiments.Table { return experiments.E14Federation(*requests) }},
 		{"E15", func() *experiments.Table { return experiments.E15Durability(*requests) }},
+		{"E16", func() *experiments.Table { return experiments.E16Tracing(*requests) }},
 	}
 
 	selected := map[string]bool{}
@@ -106,6 +113,7 @@ func main() {
 	// the harness timing histogram as it stood when that experiment
 	// finished, and the last file reflects the whole session.
 	reg := obs.NewRegistry()
+	buildinfo.Register(reg)
 	for _, r := range runners {
 		if len(selected) > 0 && !selected[r.id] {
 			continue

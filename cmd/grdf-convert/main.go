@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/gml"
 	"repro/internal/ntriples"
 	"repro/internal/rdf"
@@ -30,7 +31,12 @@ func main() {
 	in := flag.String("in", "-", "input file ('-' = stdin)")
 	out := flag.String("out", "-", "output file ('-' = stdout)")
 	ns := flag.String("ns", rdf.AppNS, "namespace for feature IRIs minted from GML ids")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "grdf-convert")
+		return
+	}
 
 	if err := run(*from, *to, *in, *out, *ns); err != nil {
 		fmt.Fprintf(os.Stderr, "grdf-convert: %v\n", err)

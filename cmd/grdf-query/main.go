@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/grdf"
 	"repro/internal/ntriples"
 	"repro/internal/owl"
@@ -38,7 +39,12 @@ func main() {
 	query := flag.String("q", "", "SPARQL query; when empty the query is read from stdin")
 	reason := flag.Bool("reason", false, "materialize OWL inferences (loads the GRDF ontology) before querying")
 	validate := flag.Bool("validate", false, "validate the data against the GRDF ontology before querying")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "grdf-query")
+		return
+	}
 
 	if err := run(files, *query, *reason, *validate); err != nil {
 		fmt.Fprintf(os.Stderr, "grdf-query: %v\n", err)

@@ -54,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/datagen"
 	"repro/internal/federation"
 	"repro/internal/grdf"
@@ -104,6 +105,8 @@ type flagConfig struct {
 	sourceTimeout time.Duration
 	breakerThresh int
 	retryMax      int
+	traceBuffer   int
+	slowQuery     time.Duration
 }
 
 // validateFlags rejects inconsistent or out-of-range configurations. It is a
@@ -164,6 +167,12 @@ func validateFlags(c flagConfig) error {
 			return fmt.Errorf("-retry-max must be at least 1")
 		}
 	}
+	if c.traceBuffer < 0 {
+		return fmt.Errorf("-trace-buffer must be non-negative (0 disables trace retention)")
+	}
+	if c.slowQuery < 0 {
+		return fmt.Errorf("-slow-query-threshold must be non-negative (0 disables the slow-query log)")
+	}
 	return nil
 }
 
@@ -196,7 +205,15 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open time before a half-open probe")
 	retryMax := flag.Int("retry-max", 3, "attempts per source per request (1 disables retries)")
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "base backoff before the first retry")
+
+	traceBuffer := flag.Int("trace-buffer", 256, "completed traces retained for /v1/traces (0 disables retention; spans still feed explain=analyze and the slow-query log)")
+	slowQuery := flag.Duration("slow-query-threshold", 0, "log the full span tree of any request slower than this (0 disables)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "gsacs-server")
+		return
+	}
 
 	cfg := flagConfig{
 		addr: *addr, addrFile: *addrFile, dataFile: *dataFile, policyFile: *policyFile,
@@ -206,6 +223,7 @@ func main() {
 		snapshotEvery: *snapshotEvery, writerRole: *writerRole,
 		sources: sources, sourceTimeout: *sourceTimeout,
 		breakerThresh: *breakerThreshold, retryMax: *retryMax,
+		traceBuffer: *traceBuffer, slowQuery: *slowQuery,
 	}
 	if err := validateFlags(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "gsacs-server: %v\n\n", err)
@@ -215,6 +233,11 @@ func main() {
 
 	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel))
 	reg := obs.NewRegistry()
+	buildinfo.Register(reg)
+	tracer := obs.NewTracer(*traceBuffer).Instrument(reg)
+	if *slowQuery > 0 {
+		tracer.SetSlowQueryLog(*slowQuery, logger)
+	}
 
 	seedData, policies, err := loadDataset(*dataFile, *policyFile, *sites, *seed)
 	if err != nil {
@@ -254,9 +277,19 @@ func main() {
 
 	opts := []gsacs.ServerOption{gsacs.WithMetrics(reg), gsacs.WithLogger(logger),
 		gsacs.WithQueryTimeout(*queryTimeout), gsacs.WithMaxBodyBytes(*maxBodyBytes),
-		gsacs.WithReadiness(ready.Load)}
+		gsacs.WithReadiness(ready.Load), gsacs.WithTracer(tracer)}
 	if *pprofOn {
 		opts = append(opts, gsacs.WithPprof())
+	}
+	if durable {
+		// The repository appears only after recovery; the closure tolerates the
+		// window by answering nil, which /healthz renders as no wal block yet.
+		opts = append(opts, gsacs.WithWALStatus(func() any {
+			if repo := repoPtr.Load(); repo != nil {
+				return repo.WALStatus()
+			}
+			return nil
+		}))
 	}
 	if len(sources) > 0 {
 		members := []federation.Source{federation.NewLocalSource("local", engine)}

@@ -1,0 +1,32 @@
+// Package buildinfo is the single source of the repository's release
+// identity: the version constant stamped into the grdf_build_info metric and
+// printed by every binary's -version flag. Scrapes can therefore answer
+// "which build produced these numbers" without shell access to the host.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/obs"
+)
+
+// Version identifies the source tree the binaries were built from. Bumped
+// once per release line, not per commit — the Go runtime version next to it
+// in grdf_build_info pins the toolchain.
+const Version = "0.5.0"
+
+// Register exports grdf_build_info{version,go} into reg with the conventional
+// constant value 1, so joins like `grdf_build_info * on() group_left ...`
+// attach the build identity to any other series. Nil-safe.
+func Register(reg *obs.Registry) {
+	reg.Gauge("grdf_build_info",
+		"Build identity of the running binary (value is always 1).",
+		"version", Version, "go", runtime.Version()).Set(1)
+}
+
+// Print writes the one-line -version output for the named binary.
+func Print(w io.Writer, binary string) {
+	fmt.Fprintf(w, "%s %s (%s)\n", binary, Version, runtime.Version())
+}

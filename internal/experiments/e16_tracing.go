@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/sparql"
+)
+
+// E16Tracing measures the cost of hierarchical span tracing on the E13
+// planner workload: the same query, on the same engine, with tracing off and
+// with a root span per request against ring buffers of 0, 256 and 4096
+// retained traces. Ring 0 isolates the span bookkeeping itself (spans run,
+// nothing is retained); the larger rings add the publish-and-retain cost.
+// The budget stated in EXPERIMENTS.md is < 5% p50 overhead for any arm.
+func E16Tracing(reps int) *Table {
+	if reps <= 0 {
+		reps = 300
+	}
+	t := &Table{
+		ID:    "E16",
+		Title: "Span tracing overhead on the E13 workload (Sec 7.1 query)",
+		Columns: []string{"arm", "p50", "p95", "p50 overhead", "spans/trace",
+			"traces retained"},
+	}
+	sc := datagen.NewScenario(datagen.ScenarioConfig{Seed: 53, Sites: 50})
+	eng := sparql.NewEngine(sc.Merged)
+
+	// Warm the engine (dictionary, planner statistics) outside the timings.
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Query(e13Query); err != nil {
+			t.AddNote("evaluation error: %v", err)
+			return t
+		}
+	}
+
+	arms := []struct {
+		name   string
+		tracer *obs.Tracer
+		traced bool
+	}{
+		{"tracing off", nil, false},
+		{"ring 0", obs.NewTracer(0), true},
+		{"ring 256", obs.NewTracer(256), true},
+		{"ring 4096", obs.NewTracer(4096), true},
+	}
+	var basis time.Duration
+	for _, arm := range arms {
+		durs := make([]time.Duration, 0, reps)
+		spans := 0
+		for i := 0; i < reps; i++ {
+			ctx := context.Background()
+			var root *obs.Span
+			if arm.traced {
+				ctx, root = arm.tracer.StartTrace(ctx, "bench e16", "")
+			}
+			start := time.Now()
+			res, err := eng.QueryCtx(ctx, e13Query)
+			durs = append(durs, time.Since(start))
+			if arm.traced {
+				spans = len(obs.ActiveTrace(ctx).Completed()) + 1 // + the root
+				root.End()
+			}
+			if err != nil {
+				t.AddNote("evaluation error (%s): %v", arm.name, err)
+				return t
+			}
+			_ = res
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		p50 := durs[len(durs)/2]
+		p95 := durs[len(durs)*95/100]
+		overhead := "baseline"
+		if arm.traced && basis > 0 {
+			overhead = fmt.Sprintf("%+.1f%%", 100*(float64(p50)/float64(basis)-1))
+		}
+		if !arm.traced {
+			basis = p50
+		}
+		retained := 0
+		if arm.tracer != nil {
+			retained = len(arm.tracer.Traces(0))
+		}
+		t.AddRow(arm.name,
+			p50.Round(time.Microsecond).String(),
+			p95.Round(time.Microsecond).String(),
+			overhead,
+			fmt.Sprintf("%d", spans),
+			fmt.Sprintf("%d", retained))
+	}
+	t.AddNote("budget: every traced arm stays within 5%% p50 overhead of the tracing-off baseline")
+	t.AddNote("ring 0 runs the spans without retention; larger rings add the publish cost, bounded by the ring capacity")
+	return t
+}

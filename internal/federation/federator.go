@@ -183,7 +183,10 @@ func (f *Federator) BreakerState(source string) (BreakerState, bool) {
 // Err wraps ErrAllSourcesFailed (or the parent ctx error) only when not a
 // single source answered.
 func (f *Federator) Query(ctx context.Context, role, action rdf.IRI, query string) *Response {
+	ctx, span := obs.StartSpan(ctx, "fed.fanout")
+	defer span.End()
 	n := len(f.sources)
+	span.Add("sources", int64(n))
 	results := make([]*Result, n)
 	statuses := make([]SourceStatus, n)
 	var wg sync.WaitGroup
@@ -206,6 +209,7 @@ func (f *Federator) Query(ctx context.Context, role, action rdf.IRI, query strin
 			results[i] = nil
 		}
 	}
+	span.Add("answered", int64(answered))
 	switch {
 	case answered == 0:
 		if err := ctx.Err(); err != nil {
@@ -214,9 +218,11 @@ func (f *Federator) Query(ctx context.Context, role, action rdf.IRI, query strin
 			resp.Err = fmt.Errorf("%w (%d sources)", ErrAllSourcesFailed, n)
 		}
 		f.mFailed.Inc()
+		span.Fail(resp.Err)
 		return resp
 	case resp.Degraded:
 		f.mDegraded.Inc()
+		span.SetAttr("degraded", "true")
 	default:
 		f.mRequests.Inc()
 	}
@@ -226,12 +232,23 @@ func (f *Federator) Query(ctx context.Context, role, action rdf.IRI, query strin
 
 // querySource runs the full per-source pipeline: breaker admission, retry
 // loop with backoff and budget, attempt deadlines, outcome classification.
+// Each source gets a fed.source span — including breaker-rejected and dead
+// sources, so a skipped peer shows up in the trace as a failed span rather
+// than a hole.
 func (f *Federator) querySource(ctx context.Context, ss *sourceState, role, action rdf.IRI, query string) (*Result, SourceStatus) {
 	status := SourceStatus{Source: ss.src.Name()}
+	ctx, span := obs.StartSpan(ctx, "fed.source")
+	span.SetAttr("source", ss.src.Name())
+	if ss.breaker != nil {
+		span.SetAttr("breaker", ss.breaker.State().String())
+	}
 	start := time.Now()
 	defer func() {
 		status.Millis = float64(time.Since(start).Microseconds()) / 1000
 		ss.mLatency.ObserveSince(start)
+		span.SetAttr("state", status.State)
+		span.Add("attempts", int64(status.Attempts))
+		span.End()
 	}()
 
 	report := func(bool) {}
@@ -241,6 +258,7 @@ func (f *Federator) querySource(ctx context.Context, ss *sourceState, role, acti
 			status.State = StateOpen
 			status.Error = err.Error()
 			ss.mOpen.Inc()
+			span.Fail(err)
 			return nil, status
 		}
 		report = r
@@ -268,6 +286,7 @@ func (f *Federator) querySource(ctx context.Context, ss *sourceState, role, acti
 			break
 		}
 		ss.mRetries.Inc()
+		span.Add("retries", 1)
 		if err := f.cfg.Retry.sleep(ctx, f.cfg.Retry.backoff(attempt)); err != nil {
 			lastErr = err
 			break
@@ -284,5 +303,6 @@ func (f *Federator) querySource(ctx context.Context, ss *sourceState, role, acti
 	if lastErr != nil {
 		status.Error = lastErr.Error()
 	}
+	span.Fail(lastErr)
 	return nil, status
 }

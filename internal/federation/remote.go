@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -66,6 +67,15 @@ func (s *RemoteSource) Query(ctx context.Context, role, action rdf.IRI, query st
 		s.base+"/v1/query?"+q.Encode(), nil)
 	if err != nil {
 		return nil, fmt.Errorf("federation: build request for %s: %w", s.name, err)
+	}
+	// Propagate the trace across the process boundary: the peer adopts the
+	// trace ID (joining its logs and metrics to ours) and parents its own
+	// root span under our current fed.source span.
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+	if sid := obs.CurrentSpanID(ctx); sid != "" {
+		req.Header.Set(obs.ParentSpanHeader, sid)
 	}
 	resp, err := s.client.Do(req)
 	if err != nil {

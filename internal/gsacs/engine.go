@@ -196,12 +196,25 @@ func (e *Engine) Decide(subject, action rdf.IRI, resource rdf.Term) Access {
 
 // DecideCtx is the context-first form of Decide: it refuses to start once
 // ctx is done, returning ctx.Err(). The decision itself is in-memory and
-// fast, so no further checks happen mid-decision.
+// fast, so no further checks happen mid-decision. On a traced context the
+// decision gets a gsacs.decide span carrying role, outcome and how many
+// policies fired.
 func (e *Engine) DecideCtx(ctx context.Context, subject, action rdf.IRI, resource rdf.Term) (Access, error) {
 	if err := ctx.Err(); err != nil {
 		return Access{}, err
 	}
-	return e.Decide(subject, action, resource), nil
+	_, sp := obs.StartSpan(ctx, "gsacs.decide")
+	sp.SetAttr("role", subject.LocalName())
+	sp.SetAttr("action", action.LocalName())
+	acc := e.Decide(subject, action, resource)
+	if acc.Allowed {
+		sp.SetAttr("outcome", "allowed")
+	} else {
+		sp.SetAttr("outcome", "denied")
+	}
+	sp.Add("policies_matched", int64(len(acc.Matched)))
+	sp.End()
+	return acc, nil
 }
 
 // decide is the un-instrumented decision procedure.

@@ -1,9 +1,11 @@
 package gsacs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/seconto"
 	"repro/internal/store"
@@ -64,25 +66,49 @@ func (e *Engine) authorizeTriple(subject, action rdf.IRI, t rdf.Triple) error {
 // mutation is acknowledged only once the store's commit hook (the WAL, when
 // the repository is durable) has accepted it.
 func (e *Engine) Insert(subject rdf.IRI, t rdf.Triple) error {
+	return e.InsertCtx(context.Background(), subject, t)
+}
+
+// InsertCtx is Insert with the request context: the mutation runs under a
+// gsacs.mutate span and the context rides the store op into the commit hook,
+// so WAL append/fsync cost lands on the request's trace.
+func (e *Engine) InsertCtx(ctx context.Context, subject rdf.IRI, t rdf.Triple) error {
+	ctx, sp := e.mutateSpan(ctx, "insert", subject)
+	defer sp.End()
 	if !t.Valid() {
-		return fmt.Errorf("gsacs: invalid triple %v", t)
-	}
-	if err := e.authorizeTriple(subject, seconto.ActionModify, t); err != nil {
+		err := fmt.Errorf("gsacs: invalid triple %v", t)
+		sp.Fail(err)
 		return err
 	}
-	if _, err := e.data.Apply(store.Op{Kind: store.OpAdd, Triples: []rdf.Triple{t}}); err != nil {
-		return fmt.Errorf("gsacs: insert not persisted: %w", err)
+	if err := e.authorizeTriple(subject, seconto.ActionModify, t); err != nil {
+		sp.Fail(err)
+		return err
+	}
+	if _, err := e.data.Apply(store.Op{Kind: store.OpAdd, Triples: []rdf.Triple{t}, Ctx: ctx}); err != nil {
+		err = fmt.Errorf("gsacs: insert not persisted: %w", err)
+		sp.Fail(err)
+		return err
 	}
 	return nil
 }
 
 // Delete removes a triple on behalf of subject after a Delete decision.
 func (e *Engine) Delete(subject rdf.IRI, t rdf.Triple) error {
+	return e.DeleteCtx(context.Background(), subject, t)
+}
+
+// DeleteCtx is Delete with the request context (see InsertCtx).
+func (e *Engine) DeleteCtx(ctx context.Context, subject rdf.IRI, t rdf.Triple) error {
+	ctx, sp := e.mutateSpan(ctx, "delete", subject)
+	defer sp.End()
 	if err := e.authorizeTriple(subject, seconto.ActionDelete, t); err != nil {
+		sp.Fail(err)
 		return err
 	}
-	if _, err := e.data.Apply(store.Op{Kind: store.OpRemove, Triples: []rdf.Triple{t}}); err != nil {
-		return fmt.Errorf("gsacs: delete not persisted: %w", err)
+	if _, err := e.data.Apply(store.Op{Kind: store.OpRemove, Triples: []rdf.Triple{t}, Ctx: ctx}); err != nil {
+		err = fmt.Errorf("gsacs: delete not persisted: %w", err)
+		sp.Fail(err)
+		return err
 	}
 	return nil
 }
@@ -93,20 +119,42 @@ func (e *Engine) Delete(subject rdf.IRI, t rdf.Triple) error {
 // query cache is invalidated exactly once, and the WAL records one replace
 // record instead of a remove/add pair.
 func (e *Engine) Update(subject rdf.IRI, resource rdf.Term, property rdf.IRI, oldObj, newObj rdf.Term) error {
+	return e.UpdateCtx(context.Background(), subject, resource, property, oldObj, newObj)
+}
+
+// UpdateCtx is Update with the request context (see InsertCtx).
+func (e *Engine) UpdateCtx(ctx context.Context, subject rdf.IRI, resource rdf.Term, property rdf.IRI, oldObj, newObj rdf.Term) error {
+	ctx, sp := e.mutateSpan(ctx, "update", subject)
+	defer sp.End()
 	t := rdf.T(resource, property, oldObj)
 	if err := e.authorizeTriple(subject, seconto.ActionModify, t); err != nil {
+		sp.Fail(err)
 		return err
 	}
 	nt := rdf.T(resource, property, newObj)
 	if !nt.Valid() {
-		return fmt.Errorf("gsacs: invalid replacement triple %v", nt)
+		err := fmt.Errorf("gsacs: invalid replacement triple %v", nt)
+		sp.Fail(err)
+		return err
 	}
-	changed, err := e.data.Replace(t, nt)
+	n, err := e.data.Apply(store.Op{Kind: store.OpReplace, Triples: []rdf.Triple{t, nt}, Ctx: ctx})
 	if err != nil {
-		return fmt.Errorf("gsacs: update not persisted: %w", err)
+		err = fmt.Errorf("gsacs: update not persisted: %w", err)
+		sp.Fail(err)
+		return err
 	}
-	if !changed {
-		return fmt.Errorf("gsacs: %w: %s", ErrNotFound, t)
+	if n == 0 {
+		err = fmt.Errorf("gsacs: %w: %s", ErrNotFound, t)
+		sp.Fail(err)
+		return err
 	}
 	return nil
+}
+
+// mutateSpan opens the gsacs.mutate span shared by the write entry points.
+func (e *Engine) mutateSpan(ctx context.Context, op string, subject rdf.IRI) (context.Context, *obs.Span) {
+	ctx, sp := obs.StartSpan(ctx, "gsacs.mutate")
+	sp.SetAttr("op", op)
+	sp.SetAttr("role", subject.LocalName())
+	return ctx, sp
 }

@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -50,6 +51,12 @@ type Server struct {
 	// ready gates every route except /healthz and /metrics while the durable
 	// state is still being recovered (nil = always ready).
 	ready func() bool
+	// tracer, when set, records a span tree per request and serves it at
+	// /v1/traces (see WithTracer).
+	tracer *obs.Tracer
+	// walStatus, when set, contributes the durability block to /healthz
+	// (see WithWALStatus).
+	walStatus func() any
 }
 
 // ServerOption customizes NewServer.
@@ -108,11 +115,28 @@ func WithReadiness(ready func() bool) ServerOption {
 	return func(s *Server) { s.ready = ready }
 }
 
+// WithTracer records a hierarchical span tree for every request (root span
+// in the middleware, child spans in the decision engine, query cache, SPARQL
+// join executor, federation fan-out and WAL) and mounts the inspection
+// surface: /v1/traces lists recent traces, /v1/traces/{id} renders one tree.
+func WithTracer(t *obs.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
+}
+
+// WithWALStatus contributes a durability block to /healthz — typically
+// wal.Repository.WALStatus wrapped in a closure. The function must be safe
+// to call concurrently and may return nil while the repository is still
+// being opened.
+func WithWALStatus(status func() any) ServerOption {
+	return func(s *Server) { s.walStatus = status }
+}
+
 // routes are the fixed mux patterns, reused as bounded metric label values.
 // The /v1/ names are canonical; the bare names are legacy aliases.
 var routes = []string{
 	"/v1/roles", "/v1/view", "/v1/resource", "/v1/query",
 	"/v1/ontologies", "/v1/insert", "/v1/delete", "/v1/update", "/v1/audit",
+	"/v1/traces",
 	"/healthz", "/roles", "/view", "/resource", "/query",
 	"/ontologies", "/insert", "/delete", "/update", "/audit", "/metrics",
 }
@@ -124,6 +148,9 @@ func routeLabel(r *http.Request) string {
 		if r.URL.Path == known {
 			return known
 		}
+	}
+	if strings.HasPrefix(r.URL.Path, "/v1/traces/") {
+		return "/v1/traces/{id}"
 	}
 	if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
 		return "/debug/pprof/"
@@ -165,10 +192,15 @@ func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Serv
 	if s.metrics != nil {
 		s.mux.Handle("/metrics", s.metrics.Handler())
 	}
+	if s.tracer != nil {
+		s.mux.HandleFunc("/v1/traces", s.readOnly(s.handleTraces))
+		s.mux.HandleFunc("/v1/traces/", s.readOnly(s.handleTrace))
+	}
 	s.handler = obs.Middleware(obs.MiddlewareConfig{
 		Registry: s.metrics,
 		Logger:   s.logger,
 		Route:    routeLabel,
+		Tracer:   s.tracer,
 		Panic: func(w http.ResponseWriter, r *http.Request, v any) {
 			s.writeError(w, r, http.StatusInternalServerError, "internal",
 				"internal server error")
@@ -263,7 +295,92 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if st := s.engine.AuditStats(); st.Capacity > 0 {
 		body["audit"] = st
 	}
+	if s.walStatus != nil {
+		if ws := s.walStatus(); ws != nil {
+			body["wal"] = ws
+		}
+	}
 	s.writeJSON(w, r, body)
+}
+
+// handleTraces lists the tracer's retained traces, newest first. The limit
+// parameter bounds the listing (default 50).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit, err := positiveIntParam(r, "limit", 50)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	traces := s.tracer.Traces(limit)
+	if traces == nil {
+		traces = []obs.TraceSummary{}
+	}
+	s.writeJSON(w, r, map[string]any{
+		"traces":   traces,
+		"capacity": s.tracer.Capacity(),
+	})
+}
+
+// spanNode is one span with its children nested — the tree shape of
+// /v1/traces/{id}.
+type spanNode struct {
+	obs.SpanData
+	Children []*spanNode `json:"children,omitempty"`
+}
+
+// spanTree reconstructs the span tree from the flat completion-order list.
+// Spans whose parent is not in the trace (the root's remote parent on a
+// federation peer, or a parent still open when the trace was cut) become
+// roots.
+func spanTree(spans []obs.SpanData) []*spanNode {
+	nodes := make(map[string]*spanNode, len(spans))
+	for _, sd := range spans {
+		nodes[sd.SpanID] = &spanNode{SpanData: sd}
+	}
+	var roots []*spanNode
+	for _, sd := range spans {
+		n := nodes[sd.SpanID]
+		if p, ok := nodes[sd.ParentID]; ok && sd.ParentID != sd.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	// Children complete before their parents, so completion order lists the
+	// leaves first; sort every level by start time for a readable tree.
+	var sortLevel func(ns []*spanNode)
+	sortLevel = func(ns []*spanNode) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Start.Before(ns[j].Start) })
+		for _, n := range ns {
+			sortLevel(n.Children)
+		}
+	}
+	sortLevel(roots)
+	return roots
+}
+
+// handleTrace renders one retained trace as a span tree.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
+	if id == "" || strings.Contains(id, "/") {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "trace id required")
+		return
+	}
+	td, ok := s.tracer.Trace(id)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, "not_found",
+			"trace not retained (evicted from the ring buffer, or never recorded)")
+		return
+	}
+	s.writeJSON(w, r, map[string]any{
+		"trace_id":      td.TraceID,
+		"root":          td.Root,
+		"start":         td.Start,
+		"duration_us":   td.DurationUS,
+		"failed":        td.Failed,
+		"dropped_spans": td.DroppedSpans,
+		"tree":          spanTree(td.Spans),
+	})
 }
 
 func (s *Server) handleRoles(w http.ResponseWriter, r *http.Request) {
@@ -357,7 +474,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "bad_request", "missing q parameter")
 		return
 	}
-	if explain := r.URL.Query().Get("explain"); explain == "1" || explain == "true" {
+	explain := r.URL.Query().Get("explain")
+	if explain == "1" || explain == "true" {
 		plan, err := s.engine.ExplainQuery(role, seconto.ActionView, q)
 		if err != nil {
 			s.writeError(w, r, http.StatusBadRequest, "query_error", err.Error())
@@ -371,6 +489,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
 		defer cancel()
+	}
+	if explain == "analyze" {
+		s.handleExplainAnalyze(w, r, ctx, role, q)
+		return
 	}
 	if s.fed != nil {
 		s.handleFederatedQuery(w, r, ctx, role, q)
@@ -423,6 +545,90 @@ func (s *Server) handleFederatedQuery(w http.ResponseWriter, r *http.Request, ct
 	if resp.Degraded {
 		obs.Logger(r.Context()).Warn("federated query degraded",
 			"role", string(role), "sources", fmt.Sprintf("%+v", resp.Sources))
+	}
+	s.writeJSON(w, r, body)
+}
+
+// analyzeStage is one executed BGP join step of an EXPLAIN ANALYZE response:
+// the planner's estimate next to what actually happened.
+type analyzeStage struct {
+	// Stage is the execution position within its BGP (join order).
+	Stage int `json:"stage"`
+	// PatternIndex is the pattern's position in the query text.
+	PatternIndex int    `json:"pattern_index"`
+	Pattern      string `json:"pattern"`
+	// Estimate is the planner's cardinality estimate; -1 when the planner was
+	// off and no estimate exists.
+	Estimate    float64 `json:"estimate"`
+	RowsIn      int64   `json:"rows_in"`
+	RowsScanned int64   `json:"rows_scanned"`
+	RowsOut     int64   `json:"rows_out"`
+	DurationUS  int64   `json:"duration_us"`
+}
+
+// handleExplainAnalyze answers ?explain=analyze: the query actually runs, and
+// the response reports per-stage actual timings and est-vs-actual
+// cardinalities harvested from the sparql.bgp.step spans, plus the result
+// summary. On an untraced request (no tracer configured) a detached trace
+// supplies the span accumulator, so the endpoint works either way.
+func (s *Server) handleExplainAnalyze(w http.ResponseWriter, r *http.Request, ctx context.Context, role rdf.IRI, q string) {
+	at := obs.ActiveTrace(ctx)
+	var root *obs.Span
+	if at == nil {
+		ctx, root = obs.StartDetachedTrace(ctx, "explain.analyze")
+		at = obs.ActiveTrace(ctx)
+	}
+	// On a traced request the accumulator already holds earlier spans
+	// (middleware, decision engine); only spans completed past this mark
+	// belong to the analyzed query.
+	mark := len(at.Completed())
+	start := time.Now()
+	res, err := s.engine.QueryCtx(ctx, role, seconto.ActionView, q)
+	elapsed := time.Since(start)
+	root.End()
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.writeError(w, r, http.StatusGatewayTimeout, "timeout",
+				fmt.Sprintf("query exceeded the %s evaluation deadline", s.queryTimeout))
+		case errors.Is(err, context.Canceled):
+			s.writeError(w, r, http.StatusServiceUnavailable, "canceled", "query canceled")
+		default:
+			s.writeError(w, r, http.StatusBadRequest, "query_error", err.Error())
+		}
+		return
+	}
+	var stages []analyzeStage
+	for _, sd := range at.Completed()[mark:] {
+		if sd.Name != "sparql.bgp.step" {
+			continue
+		}
+		st := analyzeStage{
+			Pattern:     sd.Attrs["pattern"],
+			Estimate:    -1,
+			RowsIn:      sd.Counters["rows_in"],
+			RowsScanned: sd.Counters["rows_scanned"],
+			RowsOut:     sd.Counters["rows_out"],
+			DurationUS:  sd.DurationUS,
+		}
+		st.Stage, _ = strconv.Atoi(sd.Attrs["stage"])
+		st.PatternIndex, _ = strconv.Atoi(sd.Attrs["pattern_index"])
+		if raw := sd.Attrs["estimate"]; raw != "" {
+			if est, perr := strconv.ParseFloat(raw, 64); perr == nil {
+				st.Estimate = est
+			}
+		}
+		stages = append(stages, st)
+	}
+	if stages == nil {
+		stages = []analyzeStage{}
+	}
+	body := map[string]any{
+		"stages":    stages,
+		"total_us":  elapsed.Microseconds(),
+		"kind":      res.Kind.String(),
+		"solutions": len(res.Bindings),
+		"trace_id":  obs.TraceID(ctx),
 	}
 	s.writeJSON(w, r, body)
 }
@@ -545,9 +751,9 @@ func (s *Server) handleMutate(insert bool) http.HandlerFunc {
 		applied := 0
 		for _, t := range g.Triples() {
 			if insert {
-				err = s.engine.Insert(role, t)
+				err = s.engine.InsertCtx(r.Context(), role, t)
 			} else {
-				err = s.engine.Delete(role, t)
+				err = s.engine.DeleteCtx(r.Context(), role, t)
 			}
 			if err != nil {
 				s.writeMutationError(w, r,
@@ -639,7 +845,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "bad_request", "predicate must be an IRI")
 		return
 	}
-	if err := s.engine.Update(role, old.Subject, pred, old.Object, new.Object); err != nil {
+	if err := s.engine.UpdateCtx(r.Context(), role, old.Subject, pred, old.Object, new.Object); err != nil {
 		s.writeMutationError(w, r, err)
 		return
 	}

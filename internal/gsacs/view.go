@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -91,12 +92,25 @@ func (e *Engine) isStructuralNode(node rdf.Term) bool {
 // presenting the layered view, middleware needs to eliminate data that
 // violates security with respect to this role."
 func (e *Engine) View(subject, action rdf.IRI) *store.Store {
+	return e.ViewCtx(context.Background(), subject, action)
+}
+
+// ViewCtx is View with the request context: on a traced context the cache
+// probe and (on a miss) the view build run under a gsacs.view span whose
+// counters distinguish hit from miss.
+func (e *Engine) ViewCtx(ctx context.Context, subject, action rdf.IRI) *store.Store {
+	_, sp := obs.StartSpan(ctx, "gsacs.view")
+	defer sp.End()
+	sp.SetAttr("role", subject.LocalName())
 	if e.cache != nil {
 		if cached, ok := e.cache.Get(viewKey(subject, action), e.data.Generation()); ok {
+			sp.Add("cache_hit", 1)
 			return cached
 		}
+		sp.Add("cache_miss", 1)
 	}
 	view := e.buildView(subject, action)
+	sp.Add("view_triples", int64(view.Len()))
 	if e.cache != nil {
 		e.cache.Put(viewKey(subject, action), e.data.Generation(), view)
 	}
@@ -140,12 +154,21 @@ func (e *Engine) Query(subject, action rdf.IRI, query string) (*sparql.Result, e
 }
 
 // QueryCtx is the context-first form of Query: evaluation honors ctx
-// cancellation and deadlines between join steps.
+// cancellation and deadlines between join steps. On a traced context the
+// request runs under a gsacs.query span parenting the view (cache) span and
+// the SPARQL evaluation spans.
 func (e *Engine) QueryCtx(ctx context.Context, subject, action rdf.IRI, query string) (*sparql.Result, error) {
-	view := e.View(subject, action)
+	ctx, sp := obs.StartSpan(ctx, "gsacs.query")
+	defer sp.End()
+	sp.SetAttr("role", subject.LocalName())
+	view := e.ViewCtx(ctx, subject, action)
 	eng := sparql.NewEngine(view).Instrument(e.metrics)
 	grdf.RegisterSpatialFuncs(eng, view)
-	return eng.QueryCtx(ctx, query)
+	res, err := eng.QueryCtx(ctx, query)
+	if err != nil {
+		sp.Fail(err)
+	}
+	return res, err
 }
 
 // ExplainQuery plans query against the subject's filtered view and returns

@@ -29,6 +29,10 @@ type MiddlewareConfig struct {
 	// recovery itself — counter, stack-trace log, keeping the connection
 	// and process alive — happens regardless.
 	Panic func(w http.ResponseWriter, r *http.Request, v any)
+	// Tracer, when set, opens a root span per request (named after the
+	// route), adopting X-Parent-Span as a remote parent so a federation
+	// peer's tree hangs under the originating request.
+	Tracer *Tracer
 }
 
 // statusWriter captures the response status code and bytes written.
@@ -81,6 +85,15 @@ func Middleware(cfg MiddlewareConfig, next http.Handler) http.Handler {
 		ctx := WithLogger(WithTraceID(r.Context(), traceID), logger)
 		w.Header().Set(TraceHeader, traceID)
 
+		var root *Span
+		if cfg.Tracer != nil {
+			parent := r.Header.Get(ParentSpanHeader)
+			if len(parent) > 64 {
+				parent = ""
+			}
+			ctx, root = cfg.Tracer.StartTrace(ctx, "http "+route(r), parent)
+		}
+
 		inFlight.Inc()
 		sw := &statusWriter{ResponseWriter: w}
 		req := r.WithContext(ctx)
@@ -108,11 +121,19 @@ func Middleware(cfg MiddlewareConfig, next http.Handler) http.Handler {
 			}
 			elapsed := time.Since(start)
 			rt := route(r)
+			if root != nil {
+				root.SetAttr("method", r.Method)
+				root.SetAttr("status", itoa(sw.status))
+				if sw.status >= 500 {
+					root.Fail(nil)
+				}
+				root.End()
+			}
 			reg.Counter("grdf_http_requests_total", "Completed HTTP requests.",
 				"route", rt, "code", itoa(sw.status)).Inc()
 			reg.Histogram("grdf_http_request_duration_seconds",
 				"HTTP request latency by route.", nil, "route", rt).
-				Observe(elapsed.Seconds())
+				ObserveWithExemplar(elapsed.Seconds(), traceID)
 			Logger(ctx).Info("http request",
 				"method", r.Method,
 				"route", rt,

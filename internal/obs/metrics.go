@@ -79,19 +79,42 @@ func (g *Gauge) Value() float64 {
 	return (*series)(g).value()
 }
 
+// exemplar links one sampled observation to the trace that produced it, in
+// the OpenMetrics sense: an outlier bucket on a dashboard becomes a click
+// through to the span tree at /v1/traces/{id}.
+type exemplar struct {
+	traceID string
+	value   float64
+}
+
 // Histogram counts observations into fixed upper-bound buckets, tracking
 // sum and count. Observe is lock-free. Nil-safe.
 type Histogram struct {
-	bounds  []float64 // sorted upper bounds, exclusive of +Inf
-	counts  []atomic.Uint64
-	count   atomic.Uint64
-	sumBits atomic.Uint64
+	bounds    []float64 // sorted upper bounds, exclusive of +Inf
+	counts    []atomic.Uint64
+	count     atomic.Uint64
+	sumBits   atomic.Uint64
+	exemplars []atomic.Pointer[exemplar] // len(bounds)+1; last is +Inf
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b))}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)),
+		exemplars: make([]atomic.Pointer[exemplar], len(b)+1),
+	}
+}
+
+// bucketIndex returns the bucket v falls into (len(bounds) means +Inf).
+func (h *Histogram) bucketIndex(v float64) int {
+	for i, ub := range h.bounds {
+		if v <= ub {
+			return i
+		}
+	}
+	return len(h.bounds)
 }
 
 // Observe records one sample.
@@ -99,11 +122,26 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	for i, ub := range h.bounds {
-		if v <= ub {
-			h.counts[i].Add(1)
-			break
-		}
+	if i := h.bucketIndex(v); i < len(h.counts) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// ObserveWithExemplar records one sample and, when traceID is non-empty,
+// replaces the bucket's exemplar with (traceID, v). Last writer wins — an
+// exemplar is a sample, not an aggregate, so no coordination is needed.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.bucketIndex(v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	}
+	if traceID != "" && i < len(h.exemplars) {
+		h.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
 	}
 	h.count.Add(1)
 	addFloat(&h.sumBits, v)
@@ -148,24 +186,29 @@ func (h *Histogram) snapshot() (uint64, float64, map[string]uint64) {
 }
 
 // write renders the histogram in Prometheus text format, merging the series
-// labels with the le bucket label.
+// labels with the le bucket label. Bucket lines whose bucket holds an
+// exemplar gain an OpenMetrics-style `# {trace_id="..."} value` suffix.
 func (h *Histogram) write(sb *strings.Builder, name, labels string) {
-	bucket := func(le string, v uint64) {
+	bucket := func(le string, v uint64, ex *exemplar) {
 		sb.WriteString(name)
 		sb.WriteString("_bucket{")
 		if labels != "" {
 			sb.WriteString(labels)
 			sb.WriteByte(',')
 		}
-		fmt.Fprintf(sb, "le=%q} %d\n", le, v)
+		fmt.Fprintf(sb, "le=%q} %d", le, v)
+		if ex != nil {
+			fmt.Fprintf(sb, " # {trace_id=%q} %s", ex.traceID, formatFloat(ex.value))
+		}
+		sb.WriteByte('\n')
 	}
 	var running uint64
 	for i, ub := range h.bounds {
 		running += h.counts[i].Load()
-		bucket(formatFloat(ub), running)
+		bucket(formatFloat(ub), running, h.exemplars[i].Load())
 	}
 	count := h.count.Load()
-	bucket("+Inf", count)
+	bucket("+Inf", count, h.exemplars[len(h.bounds)].Load())
 	suffix := func(kind, val string) {
 		sb.WriteString(name)
 		sb.WriteString(kind)

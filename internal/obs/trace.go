@@ -4,8 +4,6 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
-	"log/slog"
-	"time"
 )
 
 // Request-scoped tracing. A trace ID is minted (or adopted from the
@@ -13,7 +11,7 @@ import (
 // context, echoed in the response header, and attached to every structured
 // log line — so one ID follows a query from the client interface through the
 // decision engine, cache, reasoner and store, matching the Fig. 3 request
-// path end to end. Spans time one named stage within a trace.
+// path end to end. Spans (span.go) time the named stages within a trace.
 
 // TraceHeader is the HTTP header carrying the trace ID in both directions.
 const TraceHeader = "X-Trace-Id"
@@ -54,43 +52,4 @@ func EnsureTraceID(ctx context.Context) (context.Context, string) {
 	}
 	id := NewID()
 	return WithTraceID(ctx, id), id
-}
-
-// Span times one named stage of a request.
-type Span struct {
-	Name    string
-	TraceID string
-	start   time.Time
-	hist    *Histogram
-	logger  *slog.Logger
-}
-
-// StartSpan begins timing a stage. The span inherits the context's trace ID
-// and logger; End stops the clock.
-func StartSpan(ctx context.Context, name string) *Span {
-	return &Span{Name: name, TraceID: TraceID(ctx), start: time.Now()}
-}
-
-// ObserveInto directs End to record the span duration into h (nil ok).
-func (s *Span) ObserveInto(h *Histogram) *Span {
-	s.hist = h
-	return s
-}
-
-// LogTo directs End to emit a debug line to l.
-func (s *Span) LogTo(l *slog.Logger) *Span {
-	s.logger = l
-	return s
-}
-
-// End stops the span, records its duration into the configured histogram,
-// optionally logs it, and returns the elapsed time.
-func (s *Span) End() time.Duration {
-	d := time.Since(s.start)
-	s.hist.Observe(d.Seconds())
-	if s.logger != nil {
-		s.logger.Debug("span", "name", s.Name, "trace_id", s.TraceID,
-			"duration_us", d.Microseconds())
-	}
-	return d
 }

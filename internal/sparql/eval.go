@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -161,28 +162,43 @@ func (e *Engine) Eval(q *Query) (*Result, error) {
 }
 
 // EvalCtx evaluates a parsed query under ctx, recording phase timing and
-// solution counts when the engine is instrumented.
+// solution counts when the engine is instrumented. On a traced context the
+// whole evaluation runs under a sparql.eval span that parents the per-stage
+// BGP spans, and the eval histogram's bucket gains the trace as an exemplar.
 func (e *Engine) EvalCtx(ctx context.Context, q *Query) (*Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "sparql.eval")
+	sp.SetAttr("kind", q.Kind.String())
 	if e.met == nil {
-		return e.eval(ctx, q)
+		res, err := e.eval(ctx, q)
+		if err != nil {
+			sp.Fail(err)
+		}
+		sp.End()
+		return res, err
 	}
 	start := time.Now()
 	res, err := e.eval(ctx, q)
-	e.met.eval.ObserveSince(start)
+	e.met.eval.ObserveWithExemplar(time.Since(start).Seconds(), obs.TraceID(ctx))
 	e.met.reg.Counter("grdf_sparql_queries_total",
 		"Queries evaluated by kind.", "kind", q.Kind.String()).Inc()
 	if err != nil {
 		e.met.errors.Inc()
+		sp.Fail(err)
+		sp.End()
 		return nil, err
 	}
 	switch res.Kind {
 	case Ask:
 		e.met.solutions.Inc()
+		sp.Add("solutions", 1)
 	case Construct, Describe:
 		e.met.solutions.Add(float64(res.Graph.Len()))
+		sp.Add("solutions", int64(res.Graph.Len()))
 	default:
 		e.met.solutions.Add(float64(len(res.Bindings)))
+		sp.Add("solutions", int64(len(res.Bindings)))
 	}
+	sp.End()
 	return res, nil
 }
 
@@ -521,12 +537,15 @@ const cancelCheckEvery = 256
 
 // evalBGP joins the triple patterns against the store in ID space. The join
 // order comes from the selectivity planner (or the legacy static order when
-// planning is off); terms are materialized once, at BGP output.
+// planning is off); terms are materialized once, at BGP output. On a traced
+// context every join stage gets a sparql.bgp.step span carrying the planner's
+// cost estimate next to the actual row counts — the raw material of
+// EXPLAIN ANALYZE.
 func (e *Engine) evalBGP(ctx context.Context, bgp *BGP, in []Binding) ([]Binding, error) {
 	if len(bgp.Patterns) == 0 {
 		return in, nil
 	}
-	var ordered []TriplePattern
+	var steps []PlanStep
 	if e.planning {
 		bound := make(map[Variable]struct{})
 		if len(in) > 0 {
@@ -535,7 +554,7 @@ func (e *Engine) evalBGP(ctx context.Context, bgp *BGP, in []Binding) ([]Binding
 			}
 		}
 		plan := PlanBGP(e.store, bgp.Patterns, bound)
-		ordered = plan.Patterns()
+		steps = plan.Steps
 		if e.met != nil {
 			e.met.plans.Inc()
 			if plan.Reordered {
@@ -543,26 +562,46 @@ func (e *Engine) evalBGP(ctx context.Context, bgp *BGP, in []Binding) ([]Binding
 			}
 		}
 	} else {
-		ordered = orderPatterns(bgp.Patterns)
+		ordered := orderPatterns(bgp.Patterns)
+		steps = make([]PlanStep, len(ordered))
+		for i, tp := range ordered {
+			// No planner ran: there is no cost estimate to compare against.
+			steps[i] = PlanStep{Pattern: tp, Index: i, Estimate: -1}
+		}
 	}
 
 	sols := make([]*idSol, len(in))
 	for i, b := range in {
 		sols[i] = &idSol{base: b}
 	}
-	for _, tp := range ordered {
+	for stage, ps := range steps {
+		tp := ps.Pattern
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var err error
-		if isCompositePath(tp.Predicate) {
-			sols, err = e.stepPath(ctx, tp, sols)
-		} else {
-			sols, err = e.stepSimple(ctx, tp, sols)
+		_, sp := obs.StartSpan(ctx, "sparql.bgp.step")
+		sp.SetAttr("pattern", tp.String())
+		sp.SetAttr("stage", strconv.Itoa(stage))
+		sp.SetAttr("pattern_index", strconv.Itoa(ps.Index))
+		if ps.Estimate >= 0 {
+			sp.SetAttr("estimate", strconv.FormatFloat(ps.Estimate, 'g', 4, 64))
 		}
+		sp.Add("rows_in", int64(len(sols)))
+		var err error
+		var scanned int
+		if isCompositePath(tp.Predicate) {
+			sols, scanned, err = e.stepPath(ctx, tp, sols)
+		} else {
+			sols, scanned, err = e.stepSimple(ctx, tp, sols)
+		}
+		sp.Add("rows_scanned", int64(scanned))
+		sp.Add("rows_out", int64(len(sols)))
 		if err != nil {
+			sp.Fail(err)
+			sp.End()
 			return nil, err
 		}
+		sp.End()
 		if len(sols) == 0 {
 			return nil, nil
 		}
@@ -594,8 +633,9 @@ type slot struct {
 }
 
 // stepSimple extends every solution with the store matches of a simple
-// pattern (plain IRI link or predicate variable), entirely in ID space.
-func (e *Engine) stepSimple(ctx context.Context, tp TriplePattern, sols []*idSol) ([]*idSol, error) {
+// pattern (plain IRI link or predicate variable), entirely in ID space. The
+// second return value counts index entries scanned, for the stage span.
+func (e *Engine) stepSimple(ctx context.Context, tp TriplePattern, sols []*idSol) ([]*idSol, int, error) {
 	var slots [3]slot
 	terms := [3]rdf.Term{tp.Subject, nil, tp.Object}
 	switch pe := tp.Predicate.(type) {
@@ -613,7 +653,7 @@ func (e *Engine) stepSimple(ctx context.Context, tp TriplePattern, sols []*idSol
 		if !ok {
 			// The constant was never interned: nothing can match, and the
 			// BGP is conjunctive, so the whole join is empty.
-			return nil, nil
+			return nil, 0, nil
 		}
 		slots[i] = slot{id: id}
 	}
@@ -622,7 +662,7 @@ func (e *Engine) stepSimple(ctx context.Context, tp TriplePattern, sols []*idSol
 	produced := 0
 	for _, s := range sols {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, produced, err
 		}
 		var probe [3]store.ID
 		var free [3]Variable // variables to bind, by position (empty = fixed)
@@ -708,28 +748,30 @@ func (e *Engine) stepSimple(ctx context.Context, tp TriplePattern, sols []*idSol
 			return true
 		})
 		if stepErr != nil {
-			return nil, stepErr
+			return nil, produced, stepErr
 		}
 	}
-	return out, nil
+	return out, produced, nil
 }
 
 // stepPath extends every solution through a composite property path. Paths
 // run at the term level: closures with Min==0 can relate terms the store
 // has never interned, so endpoint values may land in the solution's term
 // overflow map rather than the ID map.
-func (e *Engine) stepPath(ctx context.Context, tp TriplePattern, sols []*idSol) ([]*idSol, error) {
+func (e *Engine) stepPath(ctx context.Context, tp TriplePattern, sols []*idSol) ([]*idSol, int, error) {
 	var out []*idSol
+	scanned := 0
 	for _, s := range sols {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, scanned, err
 		}
 		subj := e.resolvePatternTerm(s, tp.Subject)
 		obj := e.resolvePatternTerm(s, tp.Object)
 		pairs, err := e.evalPath(ctx, tp.Predicate, subj, obj)
 		if err != nil {
-			return nil, err
+			return nil, scanned, err
 		}
+		scanned += len(pairs)
 		for _, pr := range pairs {
 			ns := s.clone()
 			if !e.bindSolTerm(ns, tp.Subject, pr[0]) || !e.bindSolTerm(ns, tp.Object, pr[1]) {
@@ -738,7 +780,7 @@ func (e *Engine) stepPath(ctx context.Context, tp TriplePattern, sols []*idSol) 
 			out = append(out, ns)
 		}
 	}
-	return out, nil
+	return out, scanned, nil
 }
 
 // resolvePatternTerm turns a pattern position into a concrete term for the

@@ -17,6 +17,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -113,6 +114,13 @@ type Op struct {
 	// Gen is the store generation observed immediately before the op was
 	// applied. Apply fills it in; callers leave it zero.
 	Gen uint64
+	// Ctx carries the request context of the mutation, if any, so a commit
+	// hook can attach observability spans (WAL append/fsync) to the
+	// originating trace. Nil means no request context (recovery, tests,
+	// internal maintenance); hooks must treat it as context.Background().
+	// Carrying a context in a struct is deliberate here, for the same reason
+	// http.Request does it: the Op is the request.
+	Ctx context.Context
 }
 
 // CommitHook observes every mutation before it is applied, while the write

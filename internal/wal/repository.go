@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -121,6 +122,12 @@ type Repository struct {
 
 	recovery    RecoveryInfo
 	auditReplay [][]byte
+
+	// statusMu guards the snapshot provenance served by Status — written
+	// rarely (recovery, snapshot completion), read by /healthz.
+	statusMu    sync.Mutex
+	lastSnapSeq uint64
+	lastSnapGen uint64
 
 	snapCh   chan struct{}
 	stopCh   chan struct{}
@@ -261,7 +268,8 @@ func (r *Repository) recover(maxAudit int) error {
 		loaded = true
 		r.recovery.SnapshotSeq = seq
 		r.recovery.SnapshotTriples = len(triples)
-		_ = gen // diagnostic only; the replayed log re-establishes liveness
+		r.lastSnapSeq = seq
+		r.lastSnapGen = gen
 		break
 	}
 	if hadSnapshots && !loaded {
@@ -406,6 +414,47 @@ func (r *Repository) applyRecord(rec Record, maxAudit int) error {
 // Info returns what recovery reconstructed.
 func (r *Repository) Info() RecoveryInfo { return r.recovery }
 
+// Status is the durability state block surfaced by /healthz: snapshot
+// provenance, live segment count, and how the last recovery went. It is a
+// point-in-time read, cheap enough for a health probe.
+type Status struct {
+	// LastSnapshotSeq / LastSnapshotGen identify the most recent usable
+	// snapshot (written this run, or loaded at recovery). Zero = none yet.
+	LastSnapshotSeq uint64 `json:"last_snapshot_seq"`
+	LastSnapshotGen uint64 `json:"last_snapshot_generation"`
+	// Segments counts live WAL segment files on disk.
+	Segments int `json:"segments"`
+	// RecoverySeconds is the wall time the last crash recovery took.
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	// RecordsReplayed counts WAL records replayed during that recovery.
+	RecordsReplayed int `json:"records_replayed"`
+	// TornTailTruncated reports whether recovery cut away a torn final record.
+	TornTailTruncated bool `json:"torn_tail_truncated,omitempty"`
+	// Broken reports the log has failed stop (an fsync error): the store is
+	// effectively read-only until restart.
+	Broken bool `json:"broken,omitempty"`
+}
+
+// WALStatus reports the repository's current durability state.
+func (r *Repository) WALStatus() Status {
+	st := Status{
+		RecoverySeconds:   r.recovery.Duration.Seconds(),
+		RecordsReplayed:   r.recovery.RecordsReplayed,
+		TornTailTruncated: r.recovery.TornTailTruncated,
+	}
+	r.statusMu.Lock()
+	st.LastSnapshotSeq = r.lastSnapSeq
+	st.LastSnapshotGen = r.lastSnapGen
+	r.statusMu.Unlock()
+	r.mu.Lock()
+	st.Broken = r.broken != nil
+	r.mu.Unlock()
+	if dirSt, err := listDir(r.fsys, r.dir); err == nil {
+		st.Segments = len(dirSt.segments)
+	}
+	return st
+}
+
 // AuditReplay returns the audit payloads recovered from the log, oldest
 // first, so the caller can restore its audit trail.
 func (r *Repository) AuditReplay() [][]byte { return r.auditReplay }
@@ -413,16 +462,34 @@ func (r *Repository) AuditReplay() [][]byte { return r.auditReplay }
 // commit is the store's commit hook: journal the op before the store applies
 // it. It runs under the store write lock, so append order is exactly apply
 // order; an error here aborts the mutation and the caller never sees an ack.
+// The op's request context (when present) carries the trace, so durability
+// cost shows up as wal.append / wal.fsync spans on the mutation's trace.
 func (r *Repository) commit(op store.Op) error {
+	ctx := op.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, sp := obs.StartSpan(ctx, "wal.append")
+	defer sp.End()
 	kind, ok := opKindOf(op.Kind)
 	if !ok {
-		return fmt.Errorf("wal: unloggable op kind %v", op.Kind)
-	}
-	frame, err := encodeRecord(Record{Kind: kind, Gen: op.Gen, Triples: op.Triples})
-	if err != nil {
+		err := fmt.Errorf("wal: unloggable op kind %v", op.Kind)
+		sp.Fail(err)
 		return err
 	}
-	return r.append(frame, r.policy == FsyncAlways)
+	sp.SetAttr("kind", kind.String())
+	sp.Add("triples", int64(len(op.Triples)))
+	frame, err := encodeRecord(Record{Kind: kind, Gen: op.Gen, Triples: op.Triples})
+	if err != nil {
+		sp.Fail(err)
+		return err
+	}
+	sp.Add("bytes", int64(len(frame)))
+	if err := r.append(ctx, frame, r.policy == FsyncAlways); err != nil {
+		sp.Fail(err)
+		return err
+	}
+	return nil
 }
 
 // AppendAudit journals an opaque audit payload. Audit entries are never
@@ -434,7 +501,7 @@ func (r *Repository) AppendAudit(data []byte) error {
 	if err != nil {
 		return err
 	}
-	return r.append(frame, false)
+	return r.append(context.Background(), frame, false)
 }
 
 // append writes one frame to the active segment, optionally fsyncing.
@@ -445,7 +512,7 @@ func (r *Repository) AppendAudit(data []byte) error {
 // can no longer re-write (the "fsyncgate" lesson), so the log is marked
 // broken and every later append refuses until the process restarts and
 // recovery re-establishes a trustworthy tail.
-func (r *Repository) append(frame []byte, syncNow bool) error {
+func (r *Repository) append(ctx context.Context, frame []byte, syncNow bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.broken != nil {
@@ -466,7 +533,7 @@ func (r *Repository) append(frame []byte, syncNow bool) error {
 	r.segBytes += int64(len(frame))
 	r.dirty = true
 	if syncNow {
-		if err := r.syncLocked(); err != nil {
+		if err := r.syncCtxLocked(ctx); err != nil {
 			return err
 		}
 	}
@@ -484,14 +551,24 @@ func (r *Repository) append(frame []byte, syncNow bool) error {
 
 // syncLocked fsyncs the active segment; a failure breaks the log (fail-stop).
 func (r *Repository) syncLocked() error {
+	return r.syncCtxLocked(context.Background())
+}
+
+// syncCtxLocked is syncLocked with a request context: when ctx carries a
+// trace (FsyncAlways on the mutation path), the fsync cost gets its own span.
+func (r *Repository) syncCtxLocked(ctx context.Context) error {
 	if !r.dirty {
 		return nil
 	}
+	_, sp := obs.StartSpan(ctx, "wal.fsync")
 	start := time.Now()
 	if err := r.seg.Sync(); err != nil {
 		r.broken = fmt.Errorf("fsync failed: %w", err)
+		sp.Fail(err)
+		sp.End()
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
+	sp.End()
 	r.mFsync.ObserveSince(start)
 	r.dirty = false
 	return nil
@@ -608,6 +685,10 @@ func (r *Repository) Snapshot() error {
 	r.mSnapDur.ObserveSince(start)
 	r.mSnapTrip.Set(float64(len(triples)))
 	r.mSnapSize.Set(float64(size))
+	r.statusMu.Lock()
+	r.lastSnapSeq = oldSeq
+	r.lastSnapGen = gen
+	r.statusMu.Unlock()
 	r.logger.Info("wal: snapshot written", "seq", oldSeq, "triples", len(triples),
 		"bytes", size, "duration", time.Since(start))
 

@@ -1,0 +1,112 @@
+package wal
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// TestWALStatus follows the status block through a repository's life: empty
+// open, mutations, snapshot, crash recovery — the fields /healthz serves.
+func TestWALStatus(t *testing.T) {
+	dir := t.TempDir()
+	st, repo := openRepo(t, dir, Options{Fsync: FsyncAlways})
+
+	got := repo.WALStatus()
+	if got.LastSnapshotSeq != 0 || got.LastSnapshotGen != 0 {
+		t.Errorf("fresh repo snapshot ids = %d/%d, want 0/0",
+			got.LastSnapshotSeq, got.LastSnapshotGen)
+	}
+	if got.Segments != 1 {
+		t.Errorf("fresh repo segments = %d, want the one open segment", got.Segments)
+	}
+	if got.Broken {
+		t.Error("fresh repo reports broken")
+	}
+
+	for i := 0; i < 5; i++ {
+		st.Add(triple(i))
+	}
+	if err := repo.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	got = repo.WALStatus()
+	if got.LastSnapshotSeq == 0 {
+		t.Error("snapshot seq still 0 after Snapshot")
+	}
+	if got.LastSnapshotGen != st.Generation() {
+		t.Errorf("snapshot generation = %d, want the store's %d",
+			got.LastSnapshotGen, st.Generation())
+	}
+	if err := repo.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: recovery loads the snapshot and replays the (empty) tail; the
+	// status must carry the recovery cost and the loaded snapshot identity.
+	st2, repo2 := openRepo(t, dir, Options{})
+	defer repo2.Close()
+	if st2.Len() != 5 {
+		t.Fatalf("recovered %d triples, want 5", st2.Len())
+	}
+	got = repo2.WALStatus()
+	if got.LastSnapshotSeq == 0 || got.LastSnapshotGen == 0 {
+		t.Errorf("recovered snapshot ids = %d/%d, want the loaded snapshot",
+			got.LastSnapshotSeq, got.LastSnapshotGen)
+	}
+	if got.RecoverySeconds <= 0 {
+		t.Error("recovery duration not reported")
+	}
+	if got.Segments == 0 {
+		t.Error("no segments reported after reopen")
+	}
+}
+
+// TestWALSpans: a mutation whose Op carries a traced context must leave
+// wal.append (and, under FsyncAlways, wal.fsync) spans on that trace, with
+// the batch size on the append span's counters.
+func TestWALSpans(t *testing.T) {
+	st, repo := openRepo(t, t.TempDir(), Options{Fsync: FsyncAlways})
+	defer repo.Close()
+
+	tr := obs.NewTracer(4)
+	ctx, root := tr.StartTrace(context.Background(), "mutation", "")
+	if _, err := st.Apply(store.Op{
+		Kind:    store.OpAdd,
+		Triples: []rdf.Triple{triple(1), triple(2)},
+		Ctx:     ctx,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	td, ok := tr.Trace(obs.TraceID(ctx))
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	byName := map[string]obs.SpanData{}
+	for _, sd := range td.Spans {
+		byName[sd.Name] = sd
+	}
+	app, ok := byName["wal.append"]
+	if !ok {
+		t.Fatalf("no wal.append span: %+v", td.Spans)
+	}
+	if app.Counters["triples"] != 2 || app.Counters["bytes"] == 0 {
+		t.Errorf("wal.append counters = %v, want 2 triples and a byte count", app.Counters)
+	}
+	if app.Failed {
+		t.Errorf("wal.append failed: %s", app.Error)
+	}
+	if _, ok := byName["wal.fsync"]; !ok {
+		t.Fatalf("no wal.fsync span under FsyncAlways: %+v", td.Spans)
+	}
+
+	// An untraced op must work identically, just without spans.
+	if _, err := st.Apply(store.Op{Kind: store.OpAdd, Triples: []rdf.Triple{triple(3)}}); err != nil {
+		t.Fatal(err)
+	}
+}
