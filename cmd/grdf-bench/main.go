@@ -1,5 +1,5 @@
 // Command grdf-bench regenerates every experiment table of the reproduction
-// (E1–E15, see DESIGN.md and EXPERIMENTS.md).
+// (E1–E17, see DESIGN.md and EXPERIMENTS.md).
 //
 // With -json DIR it additionally writes one machine-readable BENCH_<id>.json
 // per experiment — the table cells, the wall time, and a snapshot of the
@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -30,10 +31,31 @@ import (
 	"repro/internal/obs"
 )
 
+// benchRuntime pins the machine context a BENCH file was produced on, so a
+// numeric regression can be told apart from a hardware change.
+type benchRuntime struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+func readBenchRuntime() benchRuntime {
+	return benchRuntime{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
 // benchResult is the machine-readable per-experiment record.
 type benchResult struct {
 	Experiment *experiments.Table `json:"experiment"`
 	Seconds    float64            `json:"seconds"`
+	Runtime    benchRuntime       `json:"runtime"`
 	Metrics    []obs.Metric       `json:"metrics,omitempty"`
 }
 
@@ -81,6 +103,7 @@ func main() {
 		{"E14", func() *experiments.Table { return experiments.E14Federation(*requests) }},
 		{"E15", func() *experiments.Table { return experiments.E15Durability(*requests) }},
 		{"E16", func() *experiments.Table { return experiments.E16Tracing(*requests) }},
+		{"E17", func() *experiments.Table { return experiments.E17Load(*requests) }},
 	}
 
 	selected := map[string]bool{}
@@ -129,7 +152,7 @@ func main() {
 		if *jsonDir == "" {
 			continue
 		}
-		out := benchResult{Experiment: table, Seconds: elapsed.Seconds(), Metrics: reg.Snapshot()}
+		out := benchResult{Experiment: table, Seconds: elapsed.Seconds(), Runtime: readBenchRuntime(), Metrics: reg.Snapshot()}
 		path := filepath.Join(*jsonDir, "BENCH_"+r.id+".json")
 		if err := writeJSON(path, out); err != nil {
 			fmt.Fprintf(os.Stderr, "grdf-bench: %v\n", err)

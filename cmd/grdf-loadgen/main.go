@@ -1,0 +1,279 @@
+// Command grdf-loadgen fires an open-loop (constant-arrival-rate) Section
+// 7.1 traffic mix at a live gsacs-server and reports coordinated-omission-
+// corrected latency distributions with an SLO verdict.
+//
+// Unlike a closed-loop client, the arrival schedule never slows down when
+// the server stalls: every request's latency is measured from its intended
+// start on the schedule, so queueing delay is charged to the samples that
+// suffered it. The exit status encodes the verdict — 0 on pass, 1 on SLO
+// breach, 2 on usage errors — so CI can gate on capacity.
+//
+// Usage:
+//
+//	grdf-loadgen -target http://127.0.0.1:8080 -rps 500 -duration 30s
+//	grdf-loadgen -target ... -sweep 250,500,1000,2000 -json report.json
+//	grdf-loadgen -target ... -writer-role Writer -mix query=70,view=25,mutate=5
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/load"
+)
+
+// flagConfig carries every flag through validation so bad configurations
+// fail fast with a usage error.
+type flagConfig struct {
+	target      string
+	rps         float64
+	duration    time.Duration
+	sweep       string
+	mix         string
+	writerRole  string
+	sloLatency  time.Duration
+	sloQuantile float64
+	sloAvail    float64
+	maxInFlight int
+	timeout     time.Duration
+	seed        int64
+}
+
+// parseSweep parses "250,500,1000" into rates.
+func parseSweep(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad sweep rate %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseMix parses "query=70,view=25,mutate=5" into weights. Unmentioned
+// classes get weight 0; an empty string keeps the defaults.
+func parseMix(s string) (query, view, mutate int, err error) {
+	if strings.TrimSpace(s) == "" {
+		return 0, 0, 0, nil // ScenarioArms defaults apply
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return 0, 0, 0, fmt.Errorf("bad mix entry %q (want class=weight)", part)
+		}
+		w, werr := strconv.Atoi(strings.TrimSpace(kv[1]))
+		if werr != nil || w < 0 {
+			return 0, 0, 0, fmt.Errorf("bad mix weight %q", kv[1])
+		}
+		switch strings.ToLower(strings.TrimSpace(kv[0])) {
+		case "query":
+			query = w
+		case "view":
+			view = w
+		case "mutate":
+			mutate = w
+		default:
+			return 0, 0, 0, fmt.Errorf("unknown mix class %q (query, view, mutate)", kv[0])
+		}
+	}
+	if query+view+mutate == 0 {
+		return 0, 0, 0, fmt.Errorf("mix %q has zero total weight", s)
+	}
+	return query, view, mutate, nil
+}
+
+// validateFlags rejects inconsistent configurations; pure for testing.
+func validateFlags(c flagConfig) error {
+	if c.target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	if !strings.HasPrefix(c.target, "http://") && !strings.HasPrefix(c.target, "https://") {
+		return fmt.Errorf("-target must be an http(s) URL (got %q)", c.target)
+	}
+	sweep, err := parseSweep(c.sweep)
+	if err != nil {
+		return fmt.Errorf("-sweep: %v", err)
+	}
+	if len(sweep) == 0 && c.rps <= 0 {
+		return fmt.Errorf("-rps must be positive (or use -sweep)")
+	}
+	if c.duration <= 0 {
+		return fmt.Errorf("-duration must be positive")
+	}
+	_, _, mutate, err := parseMix(c.mix)
+	if err != nil {
+		return fmt.Errorf("-mix: %v", err)
+	}
+	if mutate > 0 && c.writerRole == "" {
+		return fmt.Errorf("-mix includes mutations but -writer-role is empty")
+	}
+	if c.sloLatency <= 0 {
+		return fmt.Errorf("-slo-latency must be positive")
+	}
+	if c.sloQuantile <= 0 || c.sloQuantile >= 1 {
+		return fmt.Errorf("-slo-quantile must be in (0, 1)")
+	}
+	if c.sloAvail <= 0 || c.sloAvail >= 1 {
+		return fmt.Errorf("-slo-availability must be in (0, 1)")
+	}
+	if c.maxInFlight < 1 {
+		return fmt.Errorf("-max-in-flight must be at least 1")
+	}
+	if c.timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive")
+	}
+	return nil
+}
+
+func main() {
+	target := flag.String("target", "", "gsacs-server base URL (required), e.g. http://127.0.0.1:8080")
+	rps := flag.Float64("rps", 100, "constant arrival rate (ignored with -sweep)")
+	duration := flag.Duration("duration", 10*time.Second, "dispatch window per rate")
+	sweep := flag.String("sweep", "", "comma-separated RPS list to sweep for max sustained throughput (e.g. 250,500,1000)")
+	mix := flag.String("mix", "", "traffic weights, e.g. query=70,view=25,mutate=5 (default 70/25/5; mutate needs -writer-role)")
+	writerRole := flag.String("writer-role", "", "role with write grants on the server (enables the mutate arm)")
+	sloLatency := flag.Duration("slo-latency", 100*time.Millisecond, "latency objective at -slo-quantile")
+	sloQuantile := flag.Float64("slo-quantile", 0.99, "quantile the latency objective applies to")
+	sloAvail := flag.Float64("slo-availability", 0.999, "minimum fraction of non-error responses")
+	maxInFlight := flag.Int("max-in-flight", 4096, "concurrent request cap (arrivals past it queue, and the wait is measured)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	seed := flag.Int64("seed", 1, "arm-selection seed (reproducible schedules)")
+	jsonOut := flag.String("json", "", "write the machine-readable report to this file (- for stdout)")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "grdf-loadgen")
+		return
+	}
+
+	cfg := flagConfig{
+		target: *target, rps: *rps, duration: *duration, sweep: *sweep,
+		mix: *mix, writerRole: *writerRole, sloLatency: *sloLatency,
+		sloQuantile: *sloQuantile, sloAvail: *sloAvail,
+		maxInFlight: *maxInFlight, timeout: *timeout, seed: *seed,
+	}
+	if err := validateFlags(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "grdf-loadgen: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	qw, vw, mw, _ := parseMix(*mix)
+	arms, err := load.ScenarioArms(load.MixConfig{
+		BaseURL:      *target,
+		Client:       load.NewClient(*maxInFlight, *timeout),
+		QueryWeight:  qw,
+		ViewWeight:   vw,
+		MutateWeight: mw,
+		WriterRole:   *writerRole,
+		Timeout:      *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grdf-loadgen: %v\n", err)
+		os.Exit(2)
+	}
+
+	base := load.Config{
+		Duration:    *duration,
+		Arms:        arms,
+		MaxInFlight: *maxInFlight,
+		Seed:        *seed,
+		SLO: load.SLO{
+			Latency:      *sloLatency,
+			Quantile:     *sloQuantile,
+			Availability: *sloAvail,
+		},
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// With -json - the report owns stdout; the human summary moves to
+	// stderr so the JSON stream stays parseable in a pipe.
+	human := os.Stdout
+	if *jsonOut == "-" {
+		human = os.Stderr
+	}
+
+	rates, _ := parseSweep(*sweep)
+	var report any
+	pass := true
+	if len(rates) > 0 {
+		fmt.Fprintf(os.Stderr, "grdf-loadgen: sweeping %v rps x %s against %s\n",
+			rates, duration.String(), *target)
+		sw, err := load.Sweep(ctx, base, rates)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grdf-loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		for _, step := range sw.Steps {
+			printStep(human, step)
+		}
+		fmt.Fprintf(human, "max sustained: %.0f rps at p%g<=%s avail>=%g (pass=%v)\n",
+			sw.MaxSustainedRPS, *sloQuantile*100, sloLatency.String(), *sloAvail, sw.Pass)
+		report, pass = sw, sw.Pass
+	} else {
+		base.RPS = *rps
+		fmt.Fprintf(os.Stderr, "grdf-loadgen: %g rps x %s against %s\n",
+			*rps, duration.String(), *target)
+		res, err := load.Run(ctx, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grdf-loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		rep := res.Report()
+		printStep(human, rep)
+		report, pass = rep, rep.SLO.Pass
+	}
+
+	if *jsonOut != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grdf-loadgen: encode report: %v\n", err)
+			os.Exit(2)
+		}
+		raw = append(raw, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(raw)
+		} else if err := os.WriteFile(*jsonOut, raw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "grdf-loadgen: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if !pass {
+		os.Exit(1)
+	}
+}
+
+// printStep renders one run's human-readable summary line pair.
+func printStep(w *os.File, r load.Report) {
+	fmt.Fprintf(w, "rps target=%.0f achieved=%.1f requests=%d ok=%d degraded=%d errors=%d\n",
+		r.TargetRPS, r.AchievedRPS, r.Requests, r.OK, r.Degraded, r.Errors)
+	fmt.Fprintf(w, "  corrected p50=%.2fms p90=%.2fms p99=%.2fms p99.9=%.2fms max=%.2fms\n",
+		r.Corrected.P50Ms, r.Corrected.P90Ms, r.Corrected.P99Ms,
+		r.Corrected.P999Ms, r.Corrected.MaxMs)
+	fmt.Fprintf(w, "  service   p50=%.2fms p90=%.2fms p99=%.2fms p99.9=%.2fms max=%.2fms\n",
+		r.Service.P50Ms, r.Service.P90Ms, r.Service.P99Ms,
+		r.Service.P999Ms, r.Service.MaxMs)
+	verdict := "PASS"
+	if !r.SLO.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "  slo %s: p%g=%.2fms (target %.0fms) availability=%.4f (target %.4f)\n",
+		verdict, r.SLO.LatencyQuantile*100, r.SLO.LatencyMs,
+		r.SLO.LatencyTargetMs, r.SLO.Availability, r.SLO.AvailabilityTarget)
+}

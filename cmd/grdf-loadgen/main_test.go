@@ -1,0 +1,85 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func validFlags() flagConfig {
+	return flagConfig{
+		target: "http://127.0.0.1:8080", rps: 100, duration: 10 * time.Second,
+		sloLatency: 100 * time.Millisecond, sloQuantile: 0.99, sloAvail: 0.999,
+		maxInFlight: 4096, timeout: 10 * time.Second, seed: 1,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(validFlags()); err != nil {
+		t.Fatalf("baseline rejected: %v", err)
+	}
+	cases := map[string]func(*flagConfig){
+		"empty target":         func(c *flagConfig) { c.target = "" },
+		"non-http target":      func(c *flagConfig) { c.target = "127.0.0.1:8080" },
+		"zero rps no sweep":    func(c *flagConfig) { c.rps = 0 },
+		"bad sweep":            func(c *flagConfig) { c.sweep = "100,banana" },
+		"negative sweep":       func(c *flagConfig) { c.sweep = "-5" },
+		"zero duration":        func(c *flagConfig) { c.duration = 0 },
+		"bad mix entry":        func(c *flagConfig) { c.mix = "query" },
+		"unknown mix class":    func(c *flagConfig) { c.mix = "delete=5" },
+		"zero-weight mix":      func(c *flagConfig) { c.mix = "query=0,view=0" },
+		"mutate without role":  func(c *flagConfig) { c.mix = "query=1,mutate=1" },
+		"zero slo latency":     func(c *flagConfig) { c.sloLatency = 0 },
+		"slo quantile 1":       func(c *flagConfig) { c.sloQuantile = 1 },
+		"slo availability 0":   func(c *flagConfig) { c.sloAvail = 0 },
+		"zero max in flight":   func(c *flagConfig) { c.maxInFlight = 0 },
+		"zero request timeout": func(c *flagConfig) { c.timeout = 0 },
+	}
+	for name, mutate := range cases {
+		c := validFlags()
+		mutate(&c)
+		if err := validateFlags(c); err == nil {
+			t.Errorf("%s: accepted, want error", name)
+		}
+	}
+
+	// Valid variants.
+	ok := validFlags()
+	ok.rps = 0
+	ok.sweep = "250, 500,1000"
+	if err := validateFlags(ok); err != nil {
+		t.Errorf("sweep without rps rejected: %v", err)
+	}
+	ok = validFlags()
+	ok.mix = "query=70,view=25,mutate=5"
+	ok.writerRole = "Writer"
+	if err := validateFlags(ok); err != nil {
+		t.Errorf("full mix with writer rejected: %v", err)
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	rates, err := parseSweep(" 250,500 , 1000 ")
+	if err != nil || len(rates) != 3 || rates[0] != 250 || rates[2] != 1000 {
+		t.Fatalf("parseSweep = %v, %v", rates, err)
+	}
+	if rates, err := parseSweep(""); err != nil || rates != nil {
+		t.Fatalf("empty sweep = %v, %v", rates, err)
+	}
+	if _, err := parseSweep("0"); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	q, v, m, err := parseMix("query=70, view=25, mutate=5")
+	if err != nil || q != 70 || v != 25 || m != 5 {
+		t.Fatalf("parseMix = %d/%d/%d, %v", q, v, m, err)
+	}
+	q, v, m, err = parseMix("")
+	if err != nil || q != 0 || v != 0 || m != 0 {
+		t.Fatalf("empty mix = %d/%d/%d, %v", q, v, m, err)
+	}
+	if _, _, _, err := parseMix("query=-1"); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}

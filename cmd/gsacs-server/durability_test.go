@@ -24,6 +24,7 @@ func validFlags() flagConfig {
 		maxBodyBytes: 1 << 20, fsync: "always",
 		fsyncInterval: 50 * time.Millisecond, snapshotEvery: 10000,
 		sourceTimeout: 2 * time.Second, breakerThresh: 5, retryMax: 3,
+		sloLatency: 100 * time.Millisecond, sloAvail: 0.999,
 	}
 }
 
@@ -49,6 +50,9 @@ func TestValidateFlags(t *testing.T) {
 		"zero source timeout":     func(c *flagConfig) { c.sources = []string{"http://p"}; c.sourceTimeout = 0 },
 		"zero breaker threshold":  func(c *flagConfig) { c.sources = []string{"http://p"}; c.breakerThresh = 0 },
 		"zero retry max":          func(c *flagConfig) { c.sources = []string{"http://p"}; c.retryMax = 0 },
+		"zero slo latency":        func(c *flagConfig) { c.sloLatency = 0 },
+		"slo availability 1":      func(c *flagConfig) { c.sloAvail = 1 },
+		"negative slo avail":      func(c *flagConfig) { c.sloAvail = -0.5 },
 	}
 	for name, mutate := range cases {
 		c := validFlags()

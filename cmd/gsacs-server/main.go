@@ -107,6 +107,8 @@ type flagConfig struct {
 	retryMax      int
 	traceBuffer   int
 	slowQuery     time.Duration
+	sloLatency    time.Duration
+	sloAvail      float64
 }
 
 // validateFlags rejects inconsistent or out-of-range configurations. It is a
@@ -173,6 +175,12 @@ func validateFlags(c flagConfig) error {
 	if c.slowQuery < 0 {
 		return fmt.Errorf("-slow-query-threshold must be non-negative (0 disables the slow-query log)")
 	}
+	if c.sloLatency <= 0 {
+		return fmt.Errorf("-slo-latency must be positive")
+	}
+	if c.sloAvail <= 0 || c.sloAvail >= 1 {
+		return fmt.Errorf("-slo-availability must be in (0, 1), e.g. 0.999")
+	}
 	return nil
 }
 
@@ -208,6 +216,8 @@ func main() {
 
 	traceBuffer := flag.Int("trace-buffer", 256, "completed traces retained for /v1/traces (0 disables retention; spans still feed explain=analyze and the slow-query log)")
 	slowQuery := flag.Duration("slow-query-threshold", 0, "log the full span tree of any request slower than this (0 disables)")
+	sloLatency := flag.Duration("slo-latency", 100*time.Millisecond, "p99 latency objective tracked by /v1/slo and grdf_slo_* metrics")
+	sloAvail := flag.Float64("slo-availability", 0.999, "availability objective (fraction of requests that must not 5xx)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -224,6 +234,7 @@ func main() {
 		sources: sources, sourceTimeout: *sourceTimeout,
 		breakerThresh: *breakerThreshold, retryMax: *retryMax,
 		traceBuffer: *traceBuffer, slowQuery: *slowQuery,
+		sloLatency: *sloLatency, sloAvail: *sloAvail,
 	}
 	if err := validateFlags(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "gsacs-server: %v\n\n", err)
@@ -275,9 +286,13 @@ func main() {
 	ontoRepo.Register("grdf", grdf.Ontology())
 	ontoRepo.Register("seconto", seconto.Ontology())
 
+	slo := obs.NewSLOEngine(obs.SLOConfig{
+		LatencyTarget:      *sloLatency,
+		AvailabilityTarget: *sloAvail,
+	})
 	opts := []gsacs.ServerOption{gsacs.WithMetrics(reg), gsacs.WithLogger(logger),
 		gsacs.WithQueryTimeout(*queryTimeout), gsacs.WithMaxBodyBytes(*maxBodyBytes),
-		gsacs.WithReadiness(ready.Load), gsacs.WithTracer(tracer)}
+		gsacs.WithReadiness(ready.Load), gsacs.WithTracer(tracer), gsacs.WithSLO(slo)}
 	if *pprofOn {
 		opts = append(opts, gsacs.WithPprof())
 	}

@@ -1,0 +1,119 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+func TestStreamScenarioBatchesAndDeterminism(t *testing.T) {
+	cfg := BulkConfig{Seed: 3, Regions: 3, SitesPerRegion: 10, BatchSize: 100}
+	var batches [][]rdf.Triple
+	var total int
+	err := StreamScenario(cfg, func(b []rdf.Triple) error {
+		cp := append([]rdf.Triple(nil), b...)
+		batches = append(batches, cp)
+		total += len(b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 || len(batches) < 2 {
+		t.Fatalf("total=%d batches=%d", total, len(batches))
+	}
+	// Every batch except the last must be exactly BatchSize.
+	for i, b := range batches[:len(batches)-1] {
+		if len(b) != cfg.BatchSize {
+			t.Fatalf("batch %d has %d triples, want %d", i, len(b), cfg.BatchSize)
+		}
+	}
+	// Same seed, same stream.
+	var again int
+	if err := StreamScenario(cfg, func(b []rdf.Triple) error {
+		again += len(b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if again != total {
+		t.Fatalf("non-deterministic: %d then %d triples", total, again)
+	}
+}
+
+func TestStreamScenarioRegionIRIsDisjoint(t *testing.T) {
+	st := store.New()
+	if _, _, err := BulkLoad(st, BulkConfig{Seed: 1, Regions: 2, SitesPerRegion: 5}); err != nil {
+		t.Fatal(err)
+	}
+	sites := st.SubjectsOfType(ChemSite)
+	// Two tiles of five sites each: without the IRI prefix they would
+	// collide onto five subjects.
+	if len(sites) != 10 {
+		t.Fatalf("sites = %d, want 10 (regions must not collide)", len(sites))
+	}
+	var r1, r2 int
+	for _, s := range sites {
+		iri := string(s.(rdf.IRI))
+		switch {
+		case strings.Contains(iri, "r1_chem_site"):
+			r1++
+		case strings.Contains(iri, "r2_chem_site"):
+			r2++
+		}
+	}
+	if r1 != 5 || r2 != 5 {
+		t.Fatalf("region prefixes r1=%d r2=%d, want 5/5", r1, r2)
+	}
+}
+
+// TestBulkLoadBatchesWALRecords is the point of the streaming loader: a
+// durable store must journal one WAL record per batch, not per triple.
+func TestBulkLoadBatchesWALRecords(t *testing.T) {
+	st := store.New()
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	repo, err := wal.Open(st, wal.Options{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BulkConfig{Seed: 5, Regions: 2, SitesPerRegion: 20, BatchSize: 250}
+	triples, batches, err := BulkLoad(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if triples != st.Len() {
+		t.Fatalf("reported %d triples, store holds %d", triples, st.Len())
+	}
+	if triples < 2*cfg.BatchSize {
+		t.Fatalf("fixture too small to exercise batching: %d triples", triples)
+	}
+	var appends float64
+	for _, m := range reg.Snapshot() {
+		if m.Name == "grdf_wal_appends_total" {
+			appends += m.Value
+		}
+	}
+	if int(appends) != batches {
+		t.Fatalf("WAL appended %v records for %d batches — batching broke", appends, batches)
+	}
+	if err := repo.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: recovery must reconstruct the whole fixture from the batched
+	// records.
+	st2 := store.New()
+	repo2, err := wal.Open(st2, wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo2.Close()
+	if st2.Len() != triples {
+		t.Fatalf("recovered %d triples, want %d", st2.Len(), triples)
+	}
+}

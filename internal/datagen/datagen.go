@@ -200,6 +200,11 @@ type ChemicalConfig struct {
 	// NearFraction is the fraction of sites placed near streams (default 0.5
 	// when NearStreams is set).
 	NearFraction float64
+	// IRIPrefix is inserted into every minted IRI after the namespace
+	// (e.g. "r3_" yields app:r3_chem_site001). The streaming bulk loader
+	// uses it to tile many generated regions into one store without IRI
+	// collisions. Empty keeps the historical IRIs.
+	IRIPrefix string
 }
 
 func (c *ChemicalConfig) defaults() {
@@ -289,7 +294,7 @@ func Chemicals(cfg ChemicalConfig) *ChemicalDataset {
 			name = fmt.Sprintf("%s %s %d", words[0], words[1], i/len(companyWords)+1)
 		}
 		siteID := fmt.Sprintf("%06d", 4000+i*17)
-		iri := rdf.IRI(fmt.Sprintf("%schem_site%03d", rdf.AppNS, i+1))
+		iri := rdf.IRI(fmt.Sprintf("%s%schem_site%03d", rdf.AppNS, cfg.IRIPrefix, i+1))
 
 		grdf.NewFeature(ds.Store, iri, ChemSite)
 		ds.Store.Add(rdf.T(iri, HasSiteName, rdf.NewString(name)))

@@ -266,6 +266,35 @@ func TestE14FederationShape(t *testing.T) {
 	}
 }
 
+func TestE17LoadShape(t *testing.T) {
+	tab := E17Load(40)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 RPS arms:\n%s", len(tab.Rows), tab)
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tab.Columns))
+		}
+		var achieved float64
+		if _, err := fmt.Sscanf(row[1], "%f", &achieved); err != nil || achieved <= 0 {
+			t.Errorf("achieved rate %q not positive: %v", row[1], row)
+		}
+		if v := row[len(row)-1]; v != "PASS" && v != "FAIL" {
+			t.Errorf("verdict %q, want PASS or FAIL: %v", v, row)
+		}
+	}
+	joined := strings.Join(tab.Notes, " ")
+	if strings.Contains(joined, "failed") {
+		t.Fatalf("an arm errored:\n%s", tab)
+	}
+	if !strings.Contains(joined, "max sustained") {
+		t.Errorf("missing max-sustained note: %v", tab.Notes)
+	}
+	if !strings.Contains(joined, "client/server p99 ratio") {
+		t.Errorf("missing agreement note: %v", tab.Notes)
+	}
+}
+
 func TestE15DurabilityShape(t *testing.T) {
 	const records = 60
 	tab := E15Durability(records)

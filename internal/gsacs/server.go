@@ -57,6 +57,9 @@ type Server struct {
 	// walStatus, when set, contributes the durability block to /healthz
 	// (see WithWALStatus).
 	walStatus func() any
+	// slo, when set, receives every request's (route, latency, status) and
+	// serves the objective report at /v1/slo (see WithSLO).
+	slo *obs.SLOEngine
 }
 
 // ServerOption customizes NewServer.
@@ -131,12 +134,20 @@ func WithWALStatus(status func() any) ServerOption {
 	return func(s *Server) { s.walStatus = status }
 }
 
+// WithSLO tracks every request against service-level objectives: the
+// middleware feeds the engine one observation per request, /v1/slo serves
+// the windowed quantile / burn-rate report, and grdf_slo_* gauges are
+// registered on the server's metrics registry.
+func WithSLO(e *obs.SLOEngine) ServerOption {
+	return func(s *Server) { s.slo = e }
+}
+
 // routes are the fixed mux patterns, reused as bounded metric label values.
 // The /v1/ names are canonical; the bare names are legacy aliases.
 var routes = []string{
 	"/v1/roles", "/v1/view", "/v1/resource", "/v1/query",
 	"/v1/ontologies", "/v1/insert", "/v1/delete", "/v1/update", "/v1/audit",
-	"/v1/traces",
+	"/v1/traces", "/v1/slo",
 	"/healthz", "/roles", "/view", "/resource", "/query",
 	"/ontologies", "/insert", "/delete", "/update", "/audit", "/metrics",
 }
@@ -196,11 +207,16 @@ func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Serv
 		s.mux.HandleFunc("/v1/traces", s.readOnly(s.handleTraces))
 		s.mux.HandleFunc("/v1/traces/", s.readOnly(s.handleTrace))
 	}
+	if s.slo != nil {
+		s.mux.HandleFunc("/v1/slo", s.readOnly(s.handleSLO))
+		s.slo.Instrument(s.metrics)
+	}
 	s.handler = obs.Middleware(obs.MiddlewareConfig{
 		Registry: s.metrics,
 		Logger:   s.logger,
 		Route:    routeLabel,
 		Tracer:   s.tracer,
+		SLO:      s.slo,
 		Panic: func(w http.ResponseWriter, r *http.Request, v any) {
 			s.writeError(w, r, http.StatusInternalServerError, "internal",
 				"internal server error")
@@ -300,7 +316,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			body["wal"] = ws
 		}
 	}
+	// Saturation signals: the resources that exhaust first under load, so
+	// an external load generator can distinguish "saturated" from "broken".
+	body["saturation"] = obs.ReadSaturation(s.metrics)
 	s.writeJSON(w, r, body)
+}
+
+// handleSLO serves the engine's sliding-window objective report: per-window
+// latency quantiles, error rates and burn rates, overall and per route.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, s.slo.Status())
 }
 
 // handleTraces lists the tracer's retained traces, newest first. The limit

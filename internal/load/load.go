@@ -1,0 +1,392 @@
+// Package load is an open-loop (constant-arrival-rate) load harness for the
+// G-SACS HTTP surface. Requests are dispatched on a fixed schedule derived
+// from the target RPS, independent of how fast earlier responses come back —
+// the closed-loop alternative (fire, wait, fire) silently slows its own
+// arrival rate whenever the server stalls, hiding exactly the latencies a
+// capacity test exists to find (coordinated omission). Every sample is
+// measured from its *intended* start time on that schedule, so a request
+// that spent 900ms queued behind a stalled server and 100ms being served
+// reports one second, not one hundred milliseconds.
+package load
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Outcome classifies one completed request.
+type Outcome int
+
+const (
+	// OK is a successful, full-fidelity response.
+	OK Outcome = iota
+	// Degraded is a successful response that carried a degradation marker
+	// (a federated answer missing sources).
+	Degraded
+	// Error is a failed request: transport error or 5xx.
+	Error
+)
+
+// Arm is one traffic class in the mix: a weight and a request function.
+// Do must honor ctx and classify the response; its error is recorded but
+// not propagated (a load test keeps going when requests fail).
+type Arm struct {
+	Name   string
+	Weight int
+	Do     func(ctx context.Context) (Outcome, error)
+}
+
+// SLO are the client-side pass/fail targets applied to a Report.
+type SLO struct {
+	// Latency is the objective for Quantile (default 100ms).
+	Latency time.Duration
+	// Quantile the latency objective applies to (default 0.99).
+	Quantile float64
+	// Availability is the minimum fraction of non-Error outcomes
+	// (default 0.999).
+	Availability float64
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.Latency <= 0 {
+		s.Latency = 100 * time.Millisecond
+	}
+	if s.Quantile <= 0 || s.Quantile >= 1 {
+		s.Quantile = 0.99
+	}
+	if s.Availability <= 0 || s.Availability >= 1 {
+		s.Availability = 0.999
+	}
+	return s
+}
+
+// Config drives one Run.
+type Config struct {
+	// RPS is the constant arrival rate (required, > 0).
+	RPS float64
+	// Duration is how long to keep dispatching (required, > 0).
+	Duration time.Duration
+	// Arms is the weighted traffic mix (required, non-empty).
+	Arms []Arm
+	// MaxInFlight bounds concurrently executing requests (default 4096).
+	// Arrivals beyond the bound still start on schedule; they queue for a
+	// slot and the queue wait counts into their recorded latency, exactly
+	// like a real client staring at a saturated server.
+	MaxInFlight int
+	// Seed makes the arm-selection sequence reproducible (default 1).
+	Seed int64
+	// SLO are the pass/fail targets for the report.
+	SLO SLO
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4096
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.SLO = c.SLO.withDefaults()
+	return c
+}
+
+func (c Config) validate() error {
+	if c.RPS <= 0 {
+		return errors.New("load: RPS must be positive")
+	}
+	if c.Duration <= 0 {
+		return errors.New("load: Duration must be positive")
+	}
+	if len(c.Arms) == 0 {
+		return errors.New("load: at least one arm required")
+	}
+	total := 0
+	for _, a := range c.Arms {
+		if a.Weight < 0 {
+			return errors.New("load: negative arm weight")
+		}
+		if a.Do == nil {
+			return errors.New("load: arm without Do function")
+		}
+		total += a.Weight
+	}
+	if total == 0 {
+		return errors.New("load: all arm weights are zero")
+	}
+	return nil
+}
+
+// armStats accumulates one arm's samples.
+type armStats struct {
+	name      string
+	corrected *obs.LatencySketch // measured from intended start
+	service   *obs.LatencySketch // measured from actual dispatch
+	ok        atomic.Uint64
+	degraded  atomic.Uint64
+	errors    atomic.Uint64
+}
+
+// Result is the raw outcome of one Run; Report renders it.
+type Result struct {
+	cfg     Config
+	arms    []*armStats
+	elapsed time.Duration
+	sent    uint64
+}
+
+// Run executes one constant-rate trial. It returns when every dispatched
+// request has completed or ctx is cancelled (in-flight requests are
+// cancelled through the ctx handed to each arm).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	stats := make([]*armStats, len(cfg.Arms))
+	for i, a := range cfg.Arms {
+		stats[i] = &armStats{
+			name:      a.Name,
+			corrected: obs.NewLatencySketch(),
+			service:   obs.NewLatencySketch(),
+		}
+	}
+	// Pre-draw the arm schedule so selection cost is off the dispatch path
+	// and the sequence is reproducible for a given seed.
+	total := int(cfg.RPS * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	picks := make([]int, total)
+	weightSum := 0
+	for _, a := range cfg.Arms {
+		weightSum += a.Weight
+	}
+	for i := range picks {
+		w := rng.Intn(weightSum)
+		for j, a := range cfg.Arms {
+			if w -= a.Weight; w < 0 {
+				picks[i] = j
+				break
+			}
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	var sent uint64
+
+dispatch:
+	for i := 0; i < total; i++ {
+		intended := start.Add(time.Duration(i) * interval)
+		if d := time.Until(intended); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				break dispatch
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		sent++
+		arm := picks[i]
+		wg.Add(1)
+		// The goroutine — not the dispatcher — waits for an in-flight slot:
+		// the dispatcher must never block, or the arrival rate would degrade
+		// into a closed loop. Queue wait lands in the corrected latency.
+		go func(intended time.Time, arm int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				stats[arm].errors.Add(1)
+				stats[arm].corrected.Record(time.Since(intended))
+				return
+			}
+			callStart := time.Now()
+			out, _ := cfg.Arms[arm].Do(ctx)
+			stats[arm].service.Record(time.Since(callStart))
+			stats[arm].corrected.Record(time.Since(intended))
+			switch out {
+			case OK:
+				stats[arm].ok.Add(1)
+			case Degraded:
+				stats[arm].degraded.Add(1)
+			default:
+				stats[arm].errors.Add(1)
+			}
+		}(intended, arm)
+	}
+	wg.Wait()
+	return &Result{cfg: cfg, arms: stats, elapsed: time.Since(start), sent: sent}, nil
+}
+
+// Quantiles is the latency summary of one distribution, in milliseconds.
+type Quantiles struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+func quantilesOf(s *obs.LatencySketch) Quantiles {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Quantiles{
+		P50Ms:  ms(s.Quantile(0.50)),
+		P90Ms:  ms(s.Quantile(0.90)),
+		P99Ms:  ms(s.Quantile(0.99)),
+		P999Ms: ms(s.Quantile(0.999)),
+		MaxMs:  ms(s.Max()),
+		MeanMs: ms(s.Mean()),
+	}
+}
+
+// ArmReport is one arm's slice of the report.
+type ArmReport struct {
+	Name      string    `json:"name"`
+	Requests  uint64    `json:"requests"`
+	OK        uint64    `json:"ok"`
+	Degraded  uint64    `json:"degraded"`
+	Errors    uint64    `json:"errors"`
+	Corrected Quantiles `json:"corrected"`
+	Service   Quantiles `json:"service"`
+}
+
+// Verdict is the SLO pass/fail block.
+type Verdict struct {
+	LatencyTargetMs    float64 `json:"latency_target_ms"`
+	LatencyQuantile    float64 `json:"latency_quantile"`
+	LatencyMs          float64 `json:"latency_ms"`
+	LatencyOK          bool    `json:"latency_ok"`
+	AvailabilityTarget float64 `json:"availability_target"`
+	Availability       float64 `json:"availability"`
+	AvailabilityOK     bool    `json:"availability_ok"`
+	Pass               bool    `json:"pass"`
+}
+
+// Report is the machine-readable result of one Run.
+type Report struct {
+	TargetRPS   float64 `json:"target_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    uint64  `json:"requests"`
+	OK          uint64  `json:"ok"`
+	Degraded    uint64  `json:"degraded"`
+	Errors      uint64  `json:"errors"`
+	// Corrected is the coordinated-omission-corrected distribution: every
+	// sample anchored at its intended start on the arrival schedule.
+	Corrected Quantiles `json:"corrected"`
+	// Service is the same traffic timed from actual dispatch — the number a
+	// closed-loop harness would (misleadingly) report. The gap between the
+	// two is the cost of queueing.
+	Service Quantiles   `json:"service"`
+	Arms    []ArmReport `json:"arms"`
+	SLO     Verdict     `json:"slo"`
+}
+
+// Report renders r against its configured SLO.
+func (r *Result) Report() Report {
+	var armReports []ArmReport
+	var corrected, service []*obs.LatencySketch
+	var ok, degraded, errs uint64
+	for _, a := range r.arms {
+		ar := ArmReport{
+			Name:      a.name,
+			OK:        a.ok.Load(),
+			Degraded:  a.degraded.Load(),
+			Errors:    a.errors.Load(),
+			Corrected: quantilesOf(a.corrected),
+			Service:   quantilesOf(a.service),
+		}
+		ar.Requests = ar.OK + ar.Degraded + ar.Errors
+		armReports = append(armReports, ar)
+		corrected = append(corrected, a.corrected)
+		service = append(service, a.service)
+		ok += ar.OK
+		degraded += ar.Degraded
+		errs += ar.Errors
+	}
+	allCorrected := obs.MergeSketches(corrected...)
+	rep := Report{
+		TargetRPS:   r.cfg.RPS,
+		DurationSec: r.elapsed.Seconds(),
+		Requests:    r.sent,
+		OK:          ok,
+		Degraded:    degraded,
+		Errors:      errs,
+		Corrected:   quantilesOf(allCorrected),
+		Service:     quantilesOf(obs.MergeSketches(service...)),
+		Arms:        armReports,
+	}
+	if r.elapsed > 0 {
+		rep.AchievedRPS = float64(r.sent) / r.elapsed.Seconds()
+	}
+	slo := r.cfg.SLO
+	v := Verdict{
+		LatencyTargetMs:    float64(slo.Latency) / float64(time.Millisecond),
+		LatencyQuantile:    slo.Quantile,
+		LatencyMs:          float64(allCorrected.Quantile(slo.Quantile)) / float64(time.Millisecond),
+		AvailabilityTarget: slo.Availability,
+	}
+	v.LatencyOK = v.LatencyMs <= v.LatencyTargetMs
+	if r.sent > 0 {
+		v.Availability = float64(ok+degraded) / float64(r.sent)
+	}
+	v.AvailabilityOK = v.Availability >= slo.Availability
+	v.Pass = v.LatencyOK && v.AvailabilityOK
+	rep.SLO = v
+	return rep
+}
+
+// SweepReport is the result of a Sweep: one Report per target rate plus the
+// highest rate that passed its SLO.
+type SweepReport struct {
+	Steps []Report `json:"steps"`
+	// MaxSustainedRPS is the highest *achieved* RPS among SLO-passing
+	// steps, 0 when every step breached.
+	MaxSustainedRPS float64 `json:"max_sustained_rps"`
+	Pass            bool    `json:"pass"`
+}
+
+// Sweep runs base once per rate in rpsList (ascending), returning every
+// step's report and the maximum sustained rate under SLO. Later steps still
+// run after a breach — the shape of the degradation is the point.
+func Sweep(ctx context.Context, base Config, rpsList []float64) (SweepReport, error) {
+	rates := append([]float64(nil), rpsList...)
+	sort.Float64s(rates)
+	var sw SweepReport
+	for _, rps := range rates {
+		cfg := base
+		cfg.RPS = rps
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			return sw, err
+		}
+		rep := res.Report()
+		sw.Steps = append(sw.Steps, rep)
+		if rep.SLO.Pass {
+			sw.Pass = true
+			if rep.AchievedRPS > sw.MaxSustainedRPS {
+				sw.MaxSustainedRPS = rep.AchievedRPS
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return sw, nil
+}

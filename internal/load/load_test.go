@@ -1,0 +1,206 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// instantArm completes immediately with the given outcome.
+func instantArm(name string, out Outcome) Arm {
+	return Arm{Name: name, Weight: 1,
+		Do: func(ctx context.Context) (Outcome, error) { return out, nil }}
+}
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	for name, cfg := range map[string]Config{
+		"zero rps":      {Duration: time.Second, Arms: []Arm{instantArm("a", OK)}},
+		"zero duration": {RPS: 10, Arms: []Arm{instantArm("a", OK)}},
+		"no arms":       {RPS: 10, Duration: time.Second},
+		"zero weights": {RPS: 10, Duration: time.Second,
+			Arms: []Arm{{Name: "a", Weight: 0, Do: func(context.Context) (Outcome, error) { return OK, nil }}}},
+		"nil do": {RPS: 10, Duration: time.Second, Arms: []Arm{{Name: "a", Weight: 1}}},
+	} {
+		if _, err := Run(ctx, cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRunCountsAndReport(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		RPS:      500,
+		Duration: 200 * time.Millisecond,
+		Seed:     7,
+		Arms: []Arm{
+			instantArm("ok", OK),
+			instantArm("degraded", Degraded),
+			instantArm("err", Error),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if rep.Requests == 0 || rep.Requests != rep.OK+rep.Degraded+rep.Errors {
+		t.Fatalf("request accounting broken: %+v", rep)
+	}
+	if rep.OK == 0 || rep.Degraded == 0 || rep.Errors == 0 {
+		t.Fatalf("mix not exercised: ok=%d deg=%d err=%d", rep.OK, rep.Degraded, rep.Errors)
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Fatalf("achieved rps %v", rep.AchievedRPS)
+	}
+	if len(rep.Arms) != 3 {
+		t.Fatalf("arms %d", len(rep.Arms))
+	}
+	// A run with errors on one third of traffic must fail availability.
+	if rep.SLO.AvailabilityOK || rep.SLO.Pass {
+		t.Fatalf("verdict must fail: %+v", rep.SLO)
+	}
+	// The report must round-trip as JSON (the -json contract).
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != rep.Requests || back.SLO.Pass != rep.SLO.Pass {
+		t.Fatal("report JSON round-trip lost fields")
+	}
+}
+
+// TestCoordinatedOmissionCorrection is the heart of the harness: with one
+// in-flight slot and a service time far slower than the arrival interval,
+// requests pile up behind the slot. A closed-loop (service-time) view sees
+// only the ~20ms each call took; the corrected view must charge every
+// sample its queueing delay from the intended schedule, so the corrected
+// tail has to dwarf the service tail.
+func TestCoordinatedOmissionCorrection(t *testing.T) {
+	const service = 20 * time.Millisecond
+	res, err := Run(context.Background(), Config{
+		RPS:         100, // arrival every 10ms, service 20ms: queue grows
+		Duration:    300 * time.Millisecond,
+		MaxInFlight: 1,
+		Arms: []Arm{{Name: "slow", Weight: 1,
+			Do: func(ctx context.Context) (Outcome, error) {
+				time.Sleep(service)
+				return OK, nil
+			}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if rep.Requests < 20 {
+		t.Fatalf("only %d requests dispatched", rep.Requests)
+	}
+	// ~30 arrivals at 10ms spacing into a 20ms server: the last arrival
+	// queues behind ~29 predecessors, so the corrected max approaches
+	// 29*20ms - 290ms intended offset ≈ 300ms of schedule slip. Service
+	// max stays near 20ms. Generous CI margins: corrected p99 must exceed
+	// service p99 by at least 4x, and the corrected max must exceed 100ms.
+	if rep.Corrected.P99Ms < 4*rep.Service.P99Ms {
+		t.Fatalf("correction missing: corrected p99 %.1fms vs service p99 %.1fms",
+			rep.Corrected.P99Ms, rep.Service.P99Ms)
+	}
+	if rep.Corrected.MaxMs < 100 {
+		t.Fatalf("corrected max %.1fms, want the queueing tail (>100ms)", rep.Corrected.MaxMs)
+	}
+	if rep.Service.MaxMs > 120 {
+		t.Fatalf("service max %.1fms — the slot wait leaked into service time", rep.Service.MaxMs)
+	}
+}
+
+// TestOpenLoopHoldsArrivalRate: the dispatcher must not slow down when the
+// server stalls. With plenty of in-flight slots and a slow arm, the achieved
+// rate has to stay near the target.
+func TestOpenLoopHoldsArrivalRate(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		RPS:      200,
+		Duration: 250 * time.Millisecond,
+		Arms: []Arm{{Name: "stall", Weight: 1,
+			Do: func(ctx context.Context) (Outcome, error) {
+				time.Sleep(50 * time.Millisecond)
+				return OK, nil
+			}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	want := 200 * 0.25
+	if float64(rep.Requests) < want*0.8 {
+		t.Fatalf("dispatched %d, want ~%.0f — the loop closed", rep.Requests, want)
+	}
+}
+
+func TestRunHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := Run(ctx, Config{
+		RPS:      10,
+		Duration: 10 * time.Second, // cancelled long before this
+		Arms:     []Arm{instantArm("a", OK)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancel did not stop the dispatcher")
+	}
+	if res.Report().Requests > 20 {
+		t.Fatalf("dispatched %d after cancel", res.Report().Requests)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	slow := func(ctx context.Context) (Outcome, error) {
+		time.Sleep(2 * time.Millisecond)
+		return OK, nil
+	}
+	sw, err := Sweep(context.Background(), Config{
+		Duration: 150 * time.Millisecond,
+		Arms:     []Arm{{Name: "a", Weight: 1, Do: slow}},
+		SLO:      SLO{Latency: 500 * time.Millisecond, Availability: 0.9},
+	}, []float64{100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Steps) != 2 {
+		t.Fatalf("steps %d", len(sw.Steps))
+	}
+	// Ascending order regardless of input order.
+	if sw.Steps[0].TargetRPS != 50 || sw.Steps[1].TargetRPS != 100 {
+		t.Fatalf("steps not sorted: %v, %v", sw.Steps[0].TargetRPS, sw.Steps[1].TargetRPS)
+	}
+	if !sw.Pass || sw.MaxSustainedRPS <= 0 {
+		t.Fatalf("easy SLO must pass: %+v", sw)
+	}
+	// An impossible SLO must fail every step and report no sustained rate.
+	sw, err = Sweep(context.Background(), Config{
+		Duration: 100 * time.Millisecond,
+		Arms:     []Arm{{Name: "a", Weight: 1, Do: slow}},
+		SLO:      SLO{Latency: time.Nanosecond, Availability: 0.999},
+	}, []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Pass || sw.MaxSustainedRPS != 0 {
+		t.Fatalf("impossible SLO passed: %+v", sw)
+	}
+}
+
+func TestSweepPropagatesRunError(t *testing.T) {
+	_, err := Sweep(context.Background(), Config{
+		Duration: time.Second, // no arms: Run must reject
+	}, []float64{10})
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/grdf"
+	"repro/internal/gsacs"
+	"repro/internal/rdf"
+	"repro/internal/seconto"
+)
+
+// testServer spins up a gsacs server over the built-in scenario with a
+// writer role, mirroring gsacs-server -writer-role Writer.
+func testServer(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	sc := datagen.NewScenario(datagen.ScenarioConfig{Seed: 7, Sites: 4})
+	writer := rdf.IRI(seconto.NS + "Writer")
+	for _, action := range []rdf.IRI{seconto.ActionView, seconto.ActionModify, seconto.ActionDelete} {
+		sc.Policies.Rules = append(sc.Policies.Rules, seconto.Rule{
+			ID:       rdf.IRI(seconto.NS + "LoadWriter" + action.LocalName()),
+			Subject:  writer,
+			Action:   action,
+			Resource: grdf.Feature,
+			Permit:   true,
+		})
+	}
+	reasoner := gsacs.NewOWLReasoner(sc.Merged, grdf.Ontology(), seconto.Ontology())
+	e := gsacs.New(sc.Policies, sc.Merged, gsacs.Options{Reasoner: reasoner})
+	srv := httptest.NewServer(gsacs.NewServer(e, nil))
+	t.Cleanup(srv.Close)
+	return srv, string(sc.Chemical.Sites[0].IRI)
+}
+
+func TestScenarioArmsEndToEnd(t *testing.T) {
+	srv, site := testServer(t)
+	arms, err := ScenarioArms(MixConfig{
+		BaseURL:    srv.URL,
+		Client:     srv.Client(),
+		WriterRole: "Writer",
+		MutateSite: site,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arms) != 4 {
+		t.Fatalf("arms %d, want query x2 + view + mutate", len(arms))
+	}
+	ctx := context.Background()
+	for _, arm := range arms {
+		out, err := arm.Do(ctx)
+		if out != OK || err != nil {
+			t.Errorf("arm %s: outcome %v err %v", arm.Name, out, err)
+		}
+	}
+}
+
+func TestScenarioArmsMutateDisabledWithoutWriter(t *testing.T) {
+	arms, err := ScenarioArms(MixConfig{BaseURL: "http://127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arms {
+		if len(a.Name) >= 6 && a.Name[:6] == "mutate" {
+			t.Fatal("mutate arm present without a writer role")
+		}
+	}
+	if _, err := ScenarioArms(MixConfig{}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+}
+
+// TestRunAgainstLiveServer is the harness acceptance loop: a short open-loop
+// run against a real server must complete with zero errors and a verdict.
+func TestRunAgainstLiveServer(t *testing.T) {
+	srv, site := testServer(t)
+	arms, err := ScenarioArms(MixConfig{
+		BaseURL:    srv.URL,
+		Client:     srv.Client(),
+		WriterRole: "Writer",
+		MutateSite: site,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Config{
+		RPS:      50,
+		Duration: 300 * time.Millisecond,
+		Arms:     arms,
+		SLO:      SLO{Latency: 5 * time.Second, Availability: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if rep.Errors != 0 {
+		t.Fatalf("errors against a healthy server: %+v", rep)
+	}
+	if rep.Requests < 5 {
+		t.Fatalf("only %d requests", rep.Requests)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("generous SLO failed: %+v", rep.SLO)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	mk := func(status int, body string) (*http.Response, error) {
+		rec := httptest.NewRecorder()
+		rec.WriteHeader(status)
+		fmt.Fprint(rec, body)
+		return rec.Result(), nil
+	}
+	if out, err := classify(mk(200, `{"solutions":[]}`)); out != OK || err != nil {
+		t.Errorf("200 = %v %v", out, err)
+	}
+	if out, _ := classify(mk(200, `{"degraded":true,"solutions":[]}`)); out != Degraded {
+		t.Errorf("degraded = %v", out)
+	}
+	if out, err := classify(mk(500, "boom")); out != Error || err == nil {
+		t.Errorf("500 = %v %v", out, err)
+	}
+	if out, err := classify(mk(403, "denied")); out != Error || err == nil {
+		t.Errorf("403 = %v %v", out, err)
+	}
+	if out, err := classify(nil, fmt.Errorf("dial refused")); out != Error || err == nil {
+		t.Errorf("transport error = %v %v", out, err)
+	}
+}

@@ -33,6 +33,9 @@ type MiddlewareConfig struct {
 	// route), adopting X-Parent-Span as a remote parent so a federation
 	// peer's tree hangs under the originating request.
 	Tracer *Tracer
+	// SLO, when set, receives one (route, latency, status) observation
+	// per request for sliding-window objective tracking.
+	SLO *SLOEngine
 }
 
 // statusWriter captures the response status code and bytes written.
@@ -129,6 +132,7 @@ func Middleware(cfg MiddlewareConfig, next http.Handler) http.Handler {
 				}
 				root.End()
 			}
+			cfg.SLO.Record(rt, elapsed, sw.status)
 			reg.Counter("grdf_http_requests_total", "Completed HTTP requests.",
 				"route", rt, "code", itoa(sw.status)).Inc()
 			reg.Histogram("grdf_http_request_duration_seconds",

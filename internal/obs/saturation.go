@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Saturation is a point-in-time snapshot of the process resources that
+// exhaust first under load, reported on /healthz so a load generator (or
+// an operator) can tell "slow because saturated" from "slow because
+// broken".
+type Saturation struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	HeapObjects    uint64  `json:"heap_objects"`
+	GCCycles       uint32  `json:"gc_cycles"`
+	LastGCPauseUs  float64 `json:"last_gc_pause_us"`
+	TotalGCPauseMs float64 `json:"total_gc_pause_ms"`
+	InFlightHTTP   float64 `json:"in_flight_http"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+}
+
+// ReadSaturation samples the runtime and, when reg is non-nil, the
+// grdf_http_in_flight_requests gauge the HTTP middleware maintains.
+func ReadSaturation(reg *Registry) Saturation {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := Saturation{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		GCCycles:       ms.NumGC,
+		TotalGCPauseMs: float64(ms.PauseTotalNs) / float64(time.Millisecond),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+	}
+	if ms.NumGC > 0 {
+		last := ms.PauseNs[(ms.NumGC+255)%256]
+		s.LastGCPauseUs = float64(last) / float64(time.Microsecond)
+	}
+	if reg != nil {
+		s.InFlightHTTP = reg.Gauge("grdf_http_in_flight_requests",
+			"Requests currently being served.").Value()
+	}
+	return s
+}

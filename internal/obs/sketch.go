@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LatencySketch is a log-linear (HDR-style) histogram over nanosecond
+// durations. Values are bucketed by their power-of-two magnitude, with
+// sketchSubBits of mantissa resolution inside each power of two, which
+// bounds the relative error of any reported quantile by 2^-sketchSubBits
+// (~3.1%). Recording is lock-free and wait-free on the fast path; slabs of
+// buckets are allocated lazily per power of two, so an idle sketch costs a
+// few hundred bytes.
+//
+// All methods are safe on a nil receiver, matching the rest of the obs
+// package: un-instrumented paths pay nothing.
+
+const (
+	// sketchSubBits is the number of mantissa bits kept per power of two.
+	sketchSubBits = 5
+	// sketchSubBuckets is the number of buckets per power of two.
+	sketchSubBuckets = 1 << sketchSubBits
+	// sketchSlabs covers values up to 2^(sketchSubBits+sketchSlabs) ns.
+	// 5+38 = 43 bits ≈ 2.4 hours, far beyond any plausible HTTP latency.
+	sketchSlabs = 38
+)
+
+type sketchSlab [sketchSubBuckets]atomic.Uint64
+
+// LatencySketch records durations and answers quantile queries.
+type LatencySketch struct {
+	slabs [sketchSlabs]atomic.Pointer[sketchSlab]
+	count atomic.Uint64
+	sum   atomic.Uint64 // nanoseconds
+	max   atomic.Uint64 // nanoseconds
+}
+
+// NewLatencySketch returns an empty sketch.
+func NewLatencySketch() *LatencySketch { return &LatencySketch{} }
+
+// sketchIndex maps a nanosecond value to (slab, sub-bucket). Values below
+// sketchSubBuckets are exact in slab 0; larger values keep the top
+// sketchSubBits bits after the leading one.
+func sketchIndex(v uint64) (int, int) {
+	if v < sketchSubBuckets {
+		return 0, int(v)
+	}
+	e := bits.Len64(v) - 1 // position of leading one, >= sketchSubBits
+	slab := e - sketchSubBits + 1
+	sub := int(v>>(uint(e)-sketchSubBits)) - sketchSubBuckets
+	if slab >= sketchSlabs {
+		slab, sub = sketchSlabs-1, sketchSubBuckets-1
+	}
+	return slab, sub
+}
+
+// sketchUpperEdge is the inverse of sketchIndex: the largest value mapping
+// to (slab, sub). Quantiles report this edge, so estimates never undershoot
+// by more than one bucket width.
+func sketchUpperEdge(slab, sub int) uint64 {
+	if slab == 0 {
+		return uint64(sub)
+	}
+	e := slab + sketchSubBits - 1
+	base := uint64(sketchSubBuckets+sub) << (uint(e) - sketchSubBits)
+	width := uint64(1) << (uint(e) - sketchSubBits)
+	return base + width - 1
+}
+
+// Record adds one duration. Negative durations count as zero.
+func (s *LatencySketch) Record(d time.Duration) {
+	if s == nil {
+		return
+	}
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	slab, sub := sketchIndex(v)
+	p := s.slabs[slab].Load()
+	if p == nil {
+		fresh := new(sketchSlab)
+		if !s.slabs[slab].CompareAndSwap(nil, fresh) {
+			p = s.slabs[slab].Load()
+		} else {
+			p = fresh
+		}
+	}
+	p[sub].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+	for {
+		old := s.max.Load()
+		if v <= old || s.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded durations (0 on nil).
+func (s *LatencySketch) Count() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
+}
+
+// Sum returns the total recorded time (0 on nil).
+func (s *LatencySketch) Sum() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.sum.Load())
+}
+
+// Max returns the largest recorded duration (0 on nil).
+func (s *LatencySketch) Max() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.max.Load())
+}
+
+// Mean returns the arithmetic mean of recorded durations (0 when empty).
+func (s *LatencySketch) Mean() time.Duration {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.sum.Load() / n)
+}
+
+// Quantile returns the duration at quantile q in [0,1]: the upper edge of
+// the bucket holding the sample of rank ceil(q*count). Returns 0 on an
+// empty sketch. The estimate's relative error is bounded by the bucket
+// width, 2^-sketchSubBits of the true value.
+func (s *LatencySketch) Quantile(q float64) time.Duration {
+	if s == nil {
+		return 0
+	}
+	total := s.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for slab := 0; slab < sketchSlabs; slab++ {
+		p := s.slabs[slab].Load()
+		if p == nil {
+			continue
+		}
+		for sub := 0; sub < sketchSubBuckets; sub++ {
+			c := p[sub].Load()
+			if c == 0 {
+				continue
+			}
+			seen += c
+			if seen >= rank {
+				edge := sketchUpperEdge(slab, sub)
+				if m := s.max.Load(); edge > m {
+					// The top occupied bucket's edge can overshoot the
+					// true max; clamp so Quantile(1) == Max.
+					edge = m
+				}
+				return time.Duration(edge)
+			}
+		}
+	}
+	return time.Duration(s.max.Load())
+}
+
+// MergeSketches returns a new sketch holding the union of all inputs
+// (nils skipped). Counts are summed bucket-by-bucket; the result is
+// independent of the inputs.
+func MergeSketches(in ...*LatencySketch) *LatencySketch {
+	out := NewLatencySketch()
+	for _, s := range in {
+		if s == nil {
+			continue
+		}
+		for slab := 0; slab < sketchSlabs; slab++ {
+			p := s.slabs[slab].Load()
+			if p == nil {
+				continue
+			}
+			for sub := 0; sub < sketchSubBuckets; sub++ {
+				c := p[sub].Load()
+				if c == 0 {
+					continue
+				}
+				dst := out.slabs[slab].Load()
+				if dst == nil {
+					dst = new(sketchSlab)
+					out.slabs[slab].Store(dst)
+				}
+				dst[sub].Add(c)
+				out.count.Add(c)
+				out.sum.Add(c * sketchUpperEdge(slab, sub))
+			}
+		}
+		if m := s.max.Load(); m > out.max.Load() {
+			out.max.Store(m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// sketchTolerance is the allowed relative error of a quantile estimate:
+// one bucket width (2^-sketchSubBits) plus slack for the rank falling on
+// a bucket edge.
+const sketchTolerance = 2.0 / sketchSubBuckets
+
+// checkQuantiles records samples and asserts each estimated quantile is
+// within sketchTolerance of the exact order statistic.
+func checkQuantiles(t *testing.T, name string, samples []time.Duration) {
+	t.Helper()
+	s := NewLatencySketch()
+	for _, d := range samples {
+		s.Record(d)
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.50, 0.90, 0.99, 0.999} {
+		rank := int(q*float64(len(sorted)) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		exact := float64(sorted[rank-1])
+		got := float64(s.Quantile(q))
+		if exact == 0 {
+			if got != 0 {
+				t.Errorf("%s q=%v: got %v, want 0", name, q, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-exact) / exact; rel > sketchTolerance {
+			t.Errorf("%s q=%v: got %v, exact %v, rel err %.4f > %.4f",
+				name, q, time.Duration(got), time.Duration(exact),
+				rel, sketchTolerance)
+		}
+	}
+	if s.Count() != uint64(len(samples)) {
+		t.Errorf("%s: count %d, want %d", name, s.Count(), len(samples))
+	}
+	if s.Max() != sorted[len(sorted)-1] {
+		t.Errorf("%s: max %v, want %v", name, s.Max(), sorted[len(sorted)-1])
+	}
+	if q1 := s.Quantile(1); q1 != s.Max() {
+		t.Errorf("%s: Quantile(1)=%v, want max %v", name, q1, s.Max())
+	}
+}
+
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 10000
+
+	uniform := make([]time.Duration, n)
+	for i := range uniform {
+		uniform[i] = time.Duration(rng.Int63n(int64(200 * time.Millisecond)))
+	}
+	checkQuantiles(t, "uniform", uniform)
+
+	// Lognormal-ish: exp of a normal — the shape real latencies take.
+	logn := make([]time.Duration, n)
+	for i := range logn {
+		v := math.Exp(rng.NormFloat64()*0.8 + math.Log(5e6)) // median ~5ms
+		logn[i] = time.Duration(v)
+	}
+	checkQuantiles(t, "lognormal", logn)
+
+	// Bimodal: fast cache hits plus a slow 5% tail — the distribution
+	// where mean-based summaries lie and quantiles matter.
+	bimodal := make([]time.Duration, n)
+	for i := range bimodal {
+		if rng.Float64() < 0.95 {
+			bimodal[i] = time.Millisecond + time.Duration(rng.Int63n(int64(time.Millisecond)))
+		} else {
+			bimodal[i] = 300*time.Millisecond + time.Duration(rng.Int63n(int64(100*time.Millisecond)))
+		}
+	}
+	checkQuantiles(t, "bimodal", bimodal)
+}
+
+func TestSketchSmallAndEdgeValues(t *testing.T) {
+	s := NewLatencySketch()
+	if s.Quantile(0.99) != 0 || s.Count() != 0 || s.Max() != 0 {
+		t.Fatal("empty sketch must report zeros")
+	}
+	// Values below sketchSubBuckets ns are exact.
+	for v := time.Duration(0); v < sketchSubBuckets; v++ {
+		one := NewLatencySketch()
+		one.Record(v)
+		if got := one.Quantile(0.5); got != v {
+			t.Fatalf("value %d: quantile %d", v, got)
+		}
+	}
+	s.Record(-time.Second) // negative clamps to zero, doesn't panic
+	if s.Count() != 1 || s.Quantile(0.5) != 0 {
+		t.Fatalf("negative record: count=%d q50=%v", s.Count(), s.Quantile(0.5))
+	}
+	// A value beyond the top slab clamps instead of indexing out of range.
+	s.Record(10 * time.Hour)
+	if s.Max() != 10*time.Hour {
+		t.Fatalf("max %v", s.Max())
+	}
+}
+
+func TestSketchNilSafe(t *testing.T) {
+	var s *LatencySketch
+	s.Record(time.Second)
+	if s.Count() != 0 || s.Quantile(0.9) != 0 || s.Max() != 0 ||
+		s.Sum() != 0 || s.Mean() != 0 {
+		t.Fatal("nil sketch must be inert")
+	}
+}
+
+func TestMergeSketches(t *testing.T) {
+	a, b := NewLatencySketch(), NewLatencySketch()
+	for i := 0; i < 500; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+		b.Record(time.Duration(i+500) * time.Millisecond)
+	}
+	m := MergeSketches(a, nil, b)
+	if m.Count() != 1000 {
+		t.Fatalf("merged count %d", m.Count())
+	}
+	// Median of 0..999ms is ~500ms; allow bucket error.
+	got := float64(m.Quantile(0.5))
+	want := float64(500 * time.Millisecond)
+	if math.Abs(got-want)/want > 2*sketchTolerance {
+		t.Fatalf("merged median %v", time.Duration(got))
+	}
+	if m.Max() != b.Max() {
+		t.Fatalf("merged max %v, want %v", m.Max(), b.Max())
+	}
+	// Merging must not alias the inputs.
+	m.Record(time.Hour)
+	if a.Count() != 500 || b.Count() != 500 {
+		t.Fatal("merge aliased input sketches")
+	}
+}
+
+func TestSketchConcurrentRecord(t *testing.T) {
+	s := NewLatencySketch()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				s.Record(time.Duration(g*1000+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if s.Count() != 8000 {
+		t.Fatalf("count %d, want 8000", s.Count())
+	}
+}
