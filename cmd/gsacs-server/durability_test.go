@@ -23,6 +23,7 @@ func validFlags() flagConfig {
 		queryTimeout: 30 * time.Second, drainTimeout: 10 * time.Second,
 		maxBodyBytes: 1 << 20, fsync: "always",
 		fsyncInterval: 50 * time.Millisecond, snapshotEvery: 10000,
+		commitBatch:   128,
 		sourceTimeout: 2 * time.Second, breakerThresh: 5, retryMax: 3,
 		sloLatency: 100 * time.Millisecond, sloAvail: 0.999,
 	}
@@ -47,6 +48,8 @@ func TestValidateFlags(t *testing.T) {
 		"zero fsync interval":     func(c *flagConfig) { c.fsyncInterval = 0 },
 		"negative snapshot-every": func(c *flagConfig) { c.snapshotEvery = -1 },
 		"fsync without data-dir":  func(c *flagConfig) { c.fsync = "off" },
+		"zero commit max batch":   func(c *flagConfig) { c.commitBatch = 0 },
+		"negative commit delay":   func(c *flagConfig) { c.commitDelay = -time.Millisecond },
 		"zero source timeout":     func(c *flagConfig) { c.sources = []string{"http://p"}; c.sourceTimeout = 0 },
 		"zero breaker threshold":  func(c *flagConfig) { c.sources = []string{"http://p"}; c.breakerThresh = 0 },
 		"zero retry max":          func(c *flagConfig) { c.sources = []string{"http://p"}; c.retryMax = 0 },

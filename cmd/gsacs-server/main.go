@@ -100,6 +100,8 @@ type flagConfig struct {
 	fsync         string
 	fsyncInterval time.Duration
 	snapshotEvery int
+	commitBatch   int
+	commitDelay   time.Duration
 	writerRole    string
 	sources       []string
 	sourceTimeout time.Duration
@@ -158,6 +160,12 @@ func validateFlags(c flagConfig) error {
 	if c.dataDir == "" && c.fsync != "always" {
 		return fmt.Errorf("-fsync has no effect without -data-dir")
 	}
+	if c.commitBatch < 1 {
+		return fmt.Errorf("-commit-max-batch must be at least 1")
+	}
+	if c.commitDelay < 0 {
+		return fmt.Errorf("-commit-max-delay must be non-negative")
+	}
 	if len(c.sources) > 0 {
 		if c.sourceTimeout <= 0 {
 			return fmt.Errorf("-source-timeout must be positive")
@@ -203,6 +211,8 @@ func main() {
 	fsyncMode := flag.String("fsync", "always", "WAL durability: always (fsync per mutation), interval (batched), off")
 	fsyncInterval := flag.Duration("fsync-interval", 50*time.Millisecond, "flush period under -fsync interval")
 	snapshotEvery := flag.Int("snapshot-every", 10000, "WAL records between automatic snapshots (0 disables)")
+	commitMaxBatch := flag.Int("commit-max-batch", 128, "max mutations fused into one group commit (1 disables batching)")
+	commitMaxDelay := flag.Duration("commit-max-delay", 500*time.Microsecond, "straggler-gathering window before a group commit fsyncs; only spent while concurrent writers are in flight (0 = fuse only naturally queued writers)")
 	writerRole := flag.String("writer-role", "", "grant this role full View/Modify/Delete over grdf:Feature (write-path testing)")
 
 	var sources sourceList
@@ -231,6 +241,7 @@ func main() {
 		queryTimeout: *queryTimeout, drainTimeout: *drainTimeout, maxBodyBytes: *maxBodyBytes,
 		dataDir: *dataDir, fsync: *fsyncMode, fsyncInterval: *fsyncInterval,
 		snapshotEvery: *snapshotEvery, writerRole: *writerRole,
+		commitBatch: *commitMaxBatch, commitDelay: *commitMaxDelay,
 		sources: sources, sourceTimeout: *sourceTimeout,
 		breakerThresh: *breakerThreshold, retryMax: *retryMax,
 		traceBuffer: *traceBuffer, slowQuery: *slowQuery,
@@ -281,6 +292,10 @@ func main() {
 		}
 		ready.Store(true)
 	}
+
+	// Group-commit tuning applies to the data store regardless of durability:
+	// in-memory mode still batches generation publications under write load.
+	engine.Data().SetCommitBatching(*commitMaxBatch, *commitMaxDelay)
 
 	ontoRepo := gsacs.NewOntoRepository()
 	ontoRepo.Register("grdf", grdf.Ontology())

@@ -151,6 +151,115 @@ func (e *Engine) UpdateCtx(ctx context.Context, subject rdf.IRI, resource rdf.Te
 	return nil
 }
 
+// MutationOp is one element of an atomic batch mutation: an insert or delete
+// of one or more triples, or an update carrying exactly [old, new]. It is the
+// engine-level unit behind POST /v1/mutate.
+type MutationOp struct {
+	Kind    store.OpKind
+	Triples []rdf.Triple
+}
+
+// BatchOpError attributes a batch-mutation failure to the op that caused it.
+// Unwrap exposes the cause so errors.Is/As see ErrDenied, ErrNotFound and
+// store.ErrCommitHook through it.
+type BatchOpError struct {
+	Index int
+	Err   error
+}
+
+func (e *BatchOpError) Error() string { return fmt.Sprintf("op %d: %v", e.Index, e.Err) }
+func (e *BatchOpError) Unwrap() error { return e.Err }
+
+// MutateCtx applies a batch of mutations atomically on behalf of subject:
+// every op is authorized and validated up front, then the whole batch lands
+// as one store generation and one WAL group-commit entry — or not at all.
+// The returned slice holds the number of triples each op effectively changed.
+//
+// Updates use the store's MustExist replace, so a missing old triple aborts
+// the batch with ErrNotFound instead of silently no-opping. Any failure is
+// wrapped in *BatchOpError naming the offending op.
+func (e *Engine) MutateCtx(ctx context.Context, subject rdf.IRI, muts []MutationOp) ([]int, error) {
+	ctx, sp := e.mutateSpan(ctx, "mutate", subject)
+	defer sp.End()
+	sp.SetAttr("ops", fmt.Sprintf("%d", len(muts)))
+	if len(muts) == 0 {
+		return nil, nil
+	}
+	ops := make([]store.Op, len(muts))
+	for i, m := range muts {
+		op, err := e.authorizeOp(ctx, subject, m)
+		if err != nil {
+			berr := &BatchOpError{Index: i, Err: err}
+			sp.Fail(berr)
+			return nil, berr
+		}
+		ops[i] = op
+	}
+	ns, err := e.data.ApplyBatch(ops)
+	if err != nil {
+		var be *store.BatchError
+		switch {
+		case errors.As(err, &be):
+			cause := be.Err
+			if errors.Is(cause, store.ErrAbsent) {
+				cause = fmt.Errorf("gsacs: %w: %s", ErrNotFound, ops[be.Index].Triples[0])
+			}
+			err = &BatchOpError{Index: be.Index, Err: cause}
+		case errors.Is(err, store.ErrCommitHook):
+			err = fmt.Errorf("gsacs: batch not persisted: %w", err)
+		}
+		sp.Fail(err)
+		return nil, err
+	}
+	return ns, nil
+}
+
+// authorizeOp runs the per-triple decision procedure for one batch op and
+// shapes it into the store.Op the batch will carry.
+func (e *Engine) authorizeOp(ctx context.Context, subject rdf.IRI, m MutationOp) (store.Op, error) {
+	op := store.Op{Kind: m.Kind, Triples: m.Triples, Ctx: ctx}
+	switch m.Kind {
+	case store.OpAdd:
+		if len(m.Triples) == 0 {
+			return op, fmt.Errorf("gsacs: insert op carries no triples")
+		}
+		for _, t := range m.Triples {
+			if !t.Valid() {
+				return op, fmt.Errorf("gsacs: invalid triple %v", t)
+			}
+			if err := e.authorizeTriple(subject, seconto.ActionModify, t); err != nil {
+				return op, err
+			}
+		}
+	case store.OpRemove:
+		if len(m.Triples) == 0 {
+			return op, fmt.Errorf("gsacs: delete op carries no triples")
+		}
+		for _, t := range m.Triples {
+			if err := e.authorizeTriple(subject, seconto.ActionDelete, t); err != nil {
+				return op, err
+			}
+		}
+	case store.OpReplace:
+		if len(m.Triples) != 2 {
+			return op, fmt.Errorf("gsacs: update op needs exactly [old, new], got %d triples", len(m.Triples))
+		}
+		if err := e.authorizeTriple(subject, seconto.ActionModify, m.Triples[0]); err != nil {
+			return op, err
+		}
+		if !m.Triples[1].Valid() {
+			return op, fmt.Errorf("gsacs: invalid replacement triple %v", m.Triples[1])
+		}
+		if err := e.authorizeTriple(subject, seconto.ActionModify, m.Triples[1]); err != nil {
+			return op, err
+		}
+		op.MustExist = true
+	default:
+		return op, fmt.Errorf("gsacs: unsupported mutation kind %d", m.Kind)
+	}
+	return op, nil
+}
+
 // mutateSpan opens the gsacs.mutate span shared by the write entry points.
 func (e *Engine) mutateSpan(ctx context.Context, op string, subject rdf.IRI) (context.Context, *obs.Span) {
 	ctx, sp := obs.StartSpan(ctx, "gsacs.mutate")

@@ -146,8 +146,8 @@ func WithSLO(e *obs.SLOEngine) ServerOption {
 // The /v1/ names are canonical; the bare names are legacy aliases.
 var routes = []string{
 	"/v1/roles", "/v1/view", "/v1/resource", "/v1/query",
-	"/v1/ontologies", "/v1/insert", "/v1/delete", "/v1/update", "/v1/audit",
-	"/v1/traces", "/v1/slo",
+	"/v1/ontologies", "/v1/insert", "/v1/delete", "/v1/update", "/v1/mutate",
+	"/v1/store", "/v1/audit", "/v1/traces", "/v1/slo",
 	"/healthz", "/roles", "/view", "/resource", "/query",
 	"/ontologies", "/insert", "/delete", "/update", "/audit", "/metrics",
 }
@@ -193,6 +193,8 @@ func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Serv
 	s.mux.HandleFunc("/delete", s.handleMutate(false))
 	s.mux.HandleFunc("/v1/update", s.handleUpdate)
 	s.mux.HandleFunc("/update", s.handleUpdate)
+	s.mux.HandleFunc("/v1/mutate", s.handleMutateBatch)
+	s.mux.HandleFunc("/v1/store", s.readOnly(s.handleStoreStats))
 	s.mux.HandleFunc("/healthz", s.readOnly(s.handleHealth))
 	for _, o := range opts {
 		o(s)
@@ -773,22 +775,184 @@ func (s *Server) handleMutate(insert bool) http.HandlerFunc {
 			s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
 			return
 		}
-		applied := 0
-		for _, t := range g.Triples() {
-			if insert {
-				err = s.engine.InsertCtx(r.Context(), role, t)
-			} else {
-				err = s.engine.DeleteCtx(r.Context(), role, t)
-			}
-			if err != nil {
-				s.writeMutationError(w, r,
-					fmt.Errorf("%w (applied %d before failure)", err, applied))
-				return
-			}
-			applied++
+		ts := g.Triples()
+		if len(ts) == 0 {
+			s.writeJSON(w, r, map[string]any{"applied": 0, "changed": 0})
+			return
 		}
-		s.writeJSON(w, r, map[string]any{"applied": applied})
+		// The whole body is one batch op: all statements land atomically as a
+		// single store generation (and one WAL group-commit entry), or none do.
+		kind := store.OpRemove
+		if insert {
+			kind = store.OpAdd
+		}
+		ns, err := s.engine.MutateCtx(r.Context(), role, []MutationOp{{Kind: kind, Triples: ts}})
+		if err != nil {
+			s.writeMutationError(w, r, err)
+			return
+		}
+		s.writeJSON(w, r, map[string]any{"applied": len(ts), "changed": ns[0]})
 	}
+}
+
+// mutateOpRequest is one element of the POST /v1/mutate body. Insert and
+// delete ops carry one or more N-Triples statements in "triples"; update ops
+// carry exactly one statement in each of "old" and "new".
+type mutateOpRequest struct {
+	Op      string `json:"op"`
+	Triples string `json:"triples,omitempty"`
+	Old     string `json:"old,omitempty"`
+	New     string `json:"new,omitempty"`
+}
+
+// handleMutateBatch serves POST /v1/mutate: a JSON array of mutation ops
+// applied atomically — authorization runs per op up front, then the batch
+// commits as exactly one store generation and one WAL group-commit entry.
+// Any failure (denial, missing update target, durability refusal) aborts the
+// whole batch and names the offending op in the error envelope.
+func (s *Server) handleMutateBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
+		return
+	}
+	role, err := resolveRole(r.URL.Query().Get("role"))
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	body := r.Body
+	if s.maxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	}
+	var reqs []mutateOpRequest
+	if err := json.NewDecoder(body).Decode(&reqs); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, r, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
+		s.writeError(w, r, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("body must be a JSON array of ops: %v", err))
+		return
+	}
+	if len(reqs) == 0 {
+		s.writeJSON(w, r, map[string]any{"applied": 0, "changed": 0, "results": []int{}})
+		return
+	}
+	muts := make([]MutationOp, len(reqs))
+	for i, req := range reqs {
+		m, err := parseMutateOp(req)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("op %d: %v", i, err))
+			return
+		}
+		muts[i] = m
+	}
+	ns, err := s.engine.MutateCtx(r.Context(), role, muts)
+	if err != nil {
+		s.writeMutationError(w, r, err)
+		return
+	}
+	changed := 0
+	for _, n := range ns {
+		changed += n
+	}
+	s.writeJSON(w, r, map[string]any{
+		"applied":    len(muts),
+		"changed":    changed,
+		"results":    ns,
+		"generation": s.engine.Data().Generation(),
+	})
+}
+
+// parseMutateOp shapes one JSON op into an engine MutationOp.
+func parseMutateOp(req mutateOpRequest) (MutationOp, error) {
+	parse := func(field, src string) ([]rdf.Triple, error) {
+		g, err := ntriples.NewReader(strings.NewReader(src)).ReadAll()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", field, err)
+		}
+		return g.Triples(), nil
+	}
+	one := func(field, src string) (rdf.Triple, error) {
+		ts, err := parse(field, src)
+		if err != nil {
+			return rdf.Triple{}, err
+		}
+		if len(ts) != 1 {
+			return rdf.Triple{}, fmt.Errorf("%s must hold exactly one statement, got %d", field, len(ts))
+		}
+		return ts[0], nil
+	}
+	switch req.Op {
+	case "insert", "delete":
+		ts, err := parse("triples", req.Triples)
+		if err != nil {
+			return MutationOp{}, err
+		}
+		if len(ts) == 0 {
+			return MutationOp{}, fmt.Errorf("%s op carries no statements in \"triples\"", req.Op)
+		}
+		kind := store.OpAdd
+		if req.Op == "delete" {
+			kind = store.OpRemove
+		}
+		return MutationOp{Kind: kind, Triples: ts}, nil
+	case "update":
+		old, err := one("old", req.Old)
+		if err != nil {
+			return MutationOp{}, err
+		}
+		newT, err := one("new", req.New)
+		if err != nil {
+			return MutationOp{}, err
+		}
+		if !old.Subject.Equal(newT.Subject) || !old.Predicate.Equal(newT.Predicate) {
+			return MutationOp{}, errors.New("old and new statements must share subject and predicate")
+		}
+		return MutationOp{Kind: store.OpReplace, Triples: []rdf.Triple{old, newT}}, nil
+	default:
+		return MutationOp{}, fmt.Errorf("unknown op %q (want insert, delete or update)", req.Op)
+	}
+}
+
+// handleStoreStats serves GET /v1/store: a snapshot of the MVCC store —
+// current generation and published-view epoch, triple and dictionary
+// cardinalities, and the group-commit batcher's size histogram.
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.Data()
+	view := st.View()
+	stats := view.Stats()
+	gc := st.GroupCommitStats()
+	hist := make(map[string]uint64, len(store.BatchBucketLabels))
+	for i, label := range store.BatchBucketLabels {
+		hist[label] = gc.Hist[i]
+	}
+	mean := 0.0
+	if gc.Groups > 0 {
+		mean = float64(gc.Ops) / float64(gc.Groups)
+	}
+	s.writeJSON(w, r, map[string]any{
+		"generation": view.Generation(),
+		"epoch":      view.Epoch(),
+		"triples":    stats.Triples,
+		"cardinalities": map[string]int{
+			"subjects":   stats.Subjects,
+			"predicates": stats.Predicates,
+			"objects":    stats.Objects,
+		},
+		"dict_terms": stats.DictTerms,
+		"group_commit": map[string]any{
+			"groups":          gc.Groups,
+			"ops":             gc.Ops,
+			"max_batch":       gc.MaxBatch,
+			"mean_batch":      mean,
+			"batch_size_hist": hist,
+		},
+	})
 }
 
 // writeMutationError maps a mutation failure onto the v1 error envelope:
@@ -865,12 +1029,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			"old and new statements must share subject and predicate")
 		return
 	}
-	pred, ok := old.Predicate.(rdf.IRI)
-	if !ok {
+	if _, ok := old.Predicate.(rdf.IRI); !ok {
 		s.writeError(w, r, http.StatusBadRequest, "bad_request", "predicate must be an IRI")
 		return
 	}
-	if err := s.engine.UpdateCtx(r.Context(), role, old.Subject, pred, old.Object, new.Object); err != nil {
+	// A single-op batch: the MustExist replace makes the swap atomic and turns
+	// a missing old triple into 404 instead of a silent no-op.
+	if _, err := s.engine.MutateCtx(r.Context(), role,
+		[]MutationOp{{Kind: store.OpReplace, Triples: []rdf.Triple{old, new}}}); err != nil {
 		s.writeMutationError(w, r, err)
 		return
 	}

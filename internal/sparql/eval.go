@@ -20,8 +20,13 @@ type CustomFunc func(args []rdf.Term) (rdf.Term, error)
 
 // Engine evaluates parsed queries against a store (and, when constructed
 // with NewDatasetEngine, the named graphs of a dataset via GRAPH patterns).
+//
+// The engine reads through store.Reader, and every evaluation pins one
+// immutable StoreView at entry (see pinned): the planner's estimates, the
+// join loops and the result materialization all observe the same store
+// version, lock-free, however many mutations commit while the query runs.
 type Engine struct {
-	store    *store.Store
+	store    store.Reader
 	dataset  *store.Dataset
 	funcs    map[rdf.IRI]CustomFunc
 	met      *engineMetrics
@@ -87,11 +92,21 @@ func (e *Engine) SetPlanning(on bool) *Engine {
 }
 
 // forGraph derives an engine over one named graph, sharing functions and the
-// dataset.
+// dataset. The graph is pinned the same way the default graph was.
 func (e *Engine) forGraph(st *store.Store) *Engine {
 	// Metrics stay with the outer engine: nested GRAPH evaluation is part of
 	// the same query, so timing it separately would double-count.
-	return &Engine{store: st, dataset: e.dataset, funcs: e.funcs, planning: e.planning}
+	return &Engine{store: st.View(), dataset: e.dataset, funcs: e.funcs, planning: e.planning}
+}
+
+// pinned returns a shallow engine copy whose store is pinned to the current
+// version (one atomic load). A query evaluated through the pinned engine
+// sees a single consistent revision end to end — concurrent commits neither
+// block it nor leak into its results.
+func (e *Engine) pinned() *Engine {
+	ne := *e
+	ne.store = e.store.View()
+	return &ne
 }
 
 // RegisterFunc installs a custom filter function under the given IRI.
@@ -202,8 +217,10 @@ func (e *Engine) EvalCtx(ctx context.Context, q *Query) (*Result, error) {
 	return res, nil
 }
 
-// eval is the un-instrumented evaluation path.
+// eval is the un-instrumented evaluation path. It runs entirely against one
+// pinned store version.
 func (e *Engine) eval(ctx context.Context, q *Query) (*Result, error) {
+	e = e.pinned()
 	seed := []Binding{{}}
 	sols, err := e.evalGroup(ctx, q.Where, seed)
 	if err != nil {

@@ -136,7 +136,7 @@ func hasVar(tp TriplePattern) bool {
 
 // estimatePattern computes the cost of running tp next, given the set of
 // variables bound by previously scheduled patterns.
-func estimatePattern(st *store.Store, tp TriplePattern, bound map[Variable]struct{}) float64 {
+func estimatePattern(st store.Reader, tp TriplePattern, bound map[Variable]struct{}) float64 {
 	var cost float64
 	if isCompositePath(tp.Predicate) {
 		// Closures and sequences can traverse a large share of the graph;
@@ -201,7 +201,7 @@ func estimatePattern(st *store.Store, tp TriplePattern, bound map[Variable]struc
 // bound holds variables already bound by the enclosing group (may be nil).
 // Ties keep textual order, so a store with uniform statistics degrades to
 // the old behavior rather than an arbitrary shuffle.
-func PlanBGP(st *store.Store, patterns []TriplePattern, bound map[Variable]struct{}) Plan {
+func PlanBGP(st store.Reader, patterns []TriplePattern, bound map[Variable]struct{}) Plan {
 	n := len(patterns)
 	plan := Plan{Steps: make([]PlanStep, 0, n)}
 	remaining := make([]int, n)
@@ -242,6 +242,7 @@ func (e *Engine) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	e = e.pinned()
 	var sb strings.Builder
 	e.explainGroup(q.Where, make(map[Variable]struct{}), &sb)
 	if sb.Len() == 0 {

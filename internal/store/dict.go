@@ -116,6 +116,9 @@ type DictView struct {
 	terms []rdf.Term
 }
 
+// Len returns the number of terms resolvable through the view.
+func (v DictView) Len() int { return len(v.terms) }
+
 // Term resolves id, or nil for NoID and IDs interned after the view was
 // taken.
 func (v DictView) Term(id ID) rdf.Term {

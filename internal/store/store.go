@@ -5,21 +5,28 @@
 // reasoner.
 //
 // Storage is dictionary-encoded: every term is interned into a lock-striped
-// Dict (term ⇄ dense uint32 ID) and the three hash indexes (SPO, POS, OSP)
-// hold ID triples, so that any triple pattern with at least one bound
+// Dict (term ⇄ dense uint32 ID) and the three persistent indexes (SPO, POS,
+// OSP) hold ID triples, so that any triple pattern with at least one bound
 // position resolves without a full scan and joins can run entirely in ID
-// space. Per-position cardinality counters ride along with the indexes and
-// feed the SPARQL planner's selectivity estimates in O(1).
+// space. Per-branch cardinality counts ride along with the indexes and feed
+// the SPARQL planner's selectivity estimates in O(1).
 //
-// Readers take a read lock and may run concurrently; writers are serialized.
-// Snapshot() produces an independent copy (sharing the dictionary, which
-// only grows) for long-running consumers such as the query cache.
+// Concurrency is MVCC: the current revision is an immutable version
+// published through one atomic pointer. Readers acquire it with a single
+// atomic load (View) and never block — not on writers, not on each other —
+// while writers path-copy the persistent indexes to build the next version.
+// Mutations funnel through a group-commit batcher: concurrent Apply calls
+// enqueue, one caller becomes the leader, drains the queue, runs the commit
+// hook once for the whole group (for the WAL hook: one append + one fsync),
+// and publishes a single new version. Snapshot() and View() are O(1) and may
+// be held indefinitely without stalling anything.
 package store
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -29,50 +36,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rdf"
 )
-
-// index is a two-level nested hash index over ID triples terminating in an
-// ID set.
-type index map[ID]map[ID]map[ID]struct{}
-
-func (ix index) add(a, b, c ID) bool {
-	m1, ok := ix[a]
-	if !ok {
-		m1 = make(map[ID]map[ID]struct{})
-		ix[a] = m1
-	}
-	m2, ok := m1[b]
-	if !ok {
-		m2 = make(map[ID]struct{})
-		m1[b] = m2
-	}
-	if _, dup := m2[c]; dup {
-		return false
-	}
-	m2[c] = struct{}{}
-	return true
-}
-
-func (ix index) remove(a, b, c ID) bool {
-	m1, ok := ix[a]
-	if !ok {
-		return false
-	}
-	m2, ok := m1[b]
-	if !ok {
-		return false
-	}
-	if _, ok := m2[c]; !ok {
-		return false
-	}
-	delete(m2, c)
-	if len(m2) == 0 {
-		delete(m1, b)
-		if len(m1) == 0 {
-			delete(ix, a)
-		}
-	}
-	return true
-}
 
 // OpKind identifies the kind of a batch mutation Op.
 type OpKind uint8
@@ -105,7 +68,7 @@ func (k OpKind) String() string {
 
 // Op describes one atomic batch mutation. It is both the store's uniform
 // mutation request and the unit the write-ahead log persists: the commit
-// hook receives exactly this value before the store applies it.
+// hook receives exactly this value before the store publishes it.
 type Op struct {
 	Kind OpKind
 	// Triples carries the batch for OpAdd/OpRemove; for OpReplace it holds
@@ -114,6 +77,11 @@ type Op struct {
 	// Gen is the store generation observed immediately before the op was
 	// applied. Apply fills it in; callers leave it zero.
 	Gen uint64
+	// MustExist makes an OpReplace whose old triple is absent an error
+	// (ErrAbsent) instead of a silent no-op. Inside an atomic batch this
+	// fails the whole batch before anything is logged or applied — it is how
+	// /v1/mutate gives "update" not-found semantics without a racy pre-check.
+	MustExist bool
 	// Ctx carries the request context of the mutation, if any, so a commit
 	// hook can attach observability spans (WAL append/fsync) to the
 	// originating trace. Nil means no request context (recovery, tests,
@@ -123,12 +91,24 @@ type Op struct {
 	Ctx context.Context
 }
 
-// CommitHook observes every mutation before it is applied, while the write
-// lock is held — hook call order is exactly apply order. Returning an error
-// aborts the mutation (nothing is applied) and propagates to the caller:
-// this is how the WAL layer refuses to acknowledge writes it could not make
-// durable. The hook must not call back into the store (it would deadlock).
+// CommitHook observes every mutation before it is acknowledged, while the
+// writer lock is held — hook call order is exactly apply order. Returning an
+// error aborts the mutation (nothing is applied) and propagates to the
+// caller: this is how the WAL layer refuses to acknowledge writes it could
+// not make durable. The hook must not mutate the store (it would deadlock).
+//
+// A per-op hook forces one hook call per mutation and therefore cannot be
+// group-committed; durable deployments should install a GroupCommitHook
+// instead. Only one of the two may be set.
 type CommitHook func(Op) error
+
+// GroupCommitHook observes one commit group before it is acknowledged. Each
+// element is one logical commit — a single op for Apply, possibly several
+// for ApplyBatch — in exact apply order, no-ops already filtered out. The
+// hook runs once per group however many concurrent callers were batched
+// together, so a WAL hook pays one append and one fsync per group. An error
+// fails every op in the group and nothing is published.
+type GroupCommitHook func(groups [][]Op) error
 
 // ErrCommitHook marks mutation failures caused by the commit hook refusing
 // the batch (for a WAL hook: the write could not be made durable). Callers
@@ -136,37 +116,148 @@ type CommitHook func(Op) error
 // errors.
 var ErrCommitHook = errors.New("commit hook refused mutation")
 
-// Store is an indexed triple store. The zero value is not usable; call New.
-type Store struct {
-	mu   sync.RWMutex
-	dict *Dict
-	hook CommitHook
-	spo  index
-	pos  index
-	osp  index
-	// Per-position cardinality counters: triples per bound subject /
-	// predicate / object. The planner reads these through EstimateIDs.
-	subjCard map[ID]int
-	predCard map[ID]int
-	objCard  map[ID]int
-	size     int
-	// generation increments on every successful mutation; the query cache
-	// uses it for O(1) invalidation checks.
-	generation uint64
+// ErrAbsent marks a MustExist replace whose old triple was not present.
+var ErrAbsent = errors.New("required triple absent")
 
-	// mLockHold, when set by Instrument, samples write-lock hold times.
-	// holdTick picks every lockSampleEvery-th mutation so the hot path pays
-	// one atomic increment, not a clock read, per write.
-	mLockHold *obs.Histogram
-	holdTick  atomic.Uint64
-}
-
-// lockSampleEvery is the write-lock sampling period (power of two).
+// lockSampleEvery is the commit-hold sampling period (power of two).
 const lockSampleEvery = 16
 
-// Instrument exports the store's vitals into reg: triple count, generation
-// and dictionary size as callback gauges (zero hot-path cost) plus a sampled
-// write-lock hold-time histogram. Call before concurrent use.
+// defaultMaxBatch bounds how many queued commits one leader drains.
+const defaultMaxBatch = 128
+
+// defaultMaxDelay is the default straggler-gathering window. The leader only
+// ever waits while other writers are verifiably in flight, so the delay
+// costs a serial workload nothing (see lead).
+const defaultMaxDelay = 500 * time.Microsecond
+
+// gatherGraceYields is how many consecutive empty-queue scheduler yields the
+// leader tolerates before deciding no more writers are coming. Writers woken
+// by the previous group need a moment to re-enter submit; on a busy machine
+// one yield is usually enough for all of them.
+const gatherGraceYields = 8
+
+// commitWaiter is one enqueued commit: a single op (Apply) or an atomic
+// multi-op batch (ApplyBatch), plus the slots its results are delivered in.
+type commitWaiter struct {
+	ops []Op
+	// atomic marks an all-or-nothing batch: one generation bump, one WAL
+	// record group, any failure rolls back every op.
+	atomic bool
+	ns     []int
+	err    error
+	eff    []Op
+	done   chan struct{}
+}
+
+// batchHist is the group-commit batch-size histogram for /v1/store:
+// buckets count groups of size 1, 2–3, 4–7, 8–15, and 16+.
+const batchBuckets = 5
+
+// BatchBucketLabels names the GroupCommitStats histogram buckets.
+var BatchBucketLabels = [batchBuckets]string{"1", "2-3", "4-7", "8-15", "16+"}
+
+// GroupCommitStats summarizes the commit batcher's behavior since startup.
+type GroupCommitStats struct {
+	// Groups is the number of published commit groups (== epoch advances
+	// attributable to the batcher).
+	Groups uint64
+	// Ops is the total number of effective ops committed across all groups.
+	Ops uint64
+	// MaxBatch is the largest group observed.
+	MaxBatch uint64
+	// Hist counts groups per size bucket (see BatchBucketLabels).
+	Hist [batchBuckets]uint64
+}
+
+type batchStats struct {
+	groups  atomic.Uint64
+	ops     atomic.Uint64
+	max     atomic.Uint64
+	buckets [batchBuckets]atomic.Uint64
+}
+
+func (b *batchStats) record(n int) {
+	b.groups.Add(1)
+	b.ops.Add(uint64(n))
+	for {
+		cur := b.max.Load()
+		if uint64(n) <= cur || b.max.CompareAndSwap(cur, uint64(n)) {
+			break
+		}
+	}
+	var bucket int
+	switch {
+	case n <= 1:
+		bucket = 0
+	case n <= 3:
+		bucket = 1
+	case n <= 7:
+		bucket = 2
+	case n <= 15:
+		bucket = 3
+	default:
+		bucket = 4
+	}
+	b.buckets[bucket].Add(1)
+}
+
+func (b *batchStats) snapshot() GroupCommitStats {
+	out := GroupCommitStats{
+		Groups:   b.groups.Load(),
+		Ops:      b.ops.Load(),
+		MaxBatch: b.max.Load(),
+	}
+	for i := range b.buckets {
+		out.Hist[i] = b.buckets[i].Load()
+	}
+	return out
+}
+
+// Store is an indexed triple store. The zero value is not usable; call New.
+type Store struct {
+	dict *Dict
+	// cur is the published version; every read path starts with one atomic
+	// load of it and never takes a lock.
+	cur atomic.Pointer[version]
+
+	// writeMu serializes version building. Whoever holds it is the commit
+	// leader; everyone else's work is either already queued (and will be
+	// committed by the leader) or waits to lead the next group.
+	writeMu sync.Mutex
+	// qmu guards the commit queue. It is only ever held for O(1) append or
+	// drain, so enqueueing never waits on an in-flight fsync.
+	qmu   sync.Mutex
+	queue []*commitWaiter
+	// leading (guarded by qmu) is true while some goroutine is the commit
+	// leader. The first writer to enqueue onto an idle batcher elects itself;
+	// everyone else parks on their waiter's done channel and never touches
+	// writeMu, so a closed done wakes them with nothing left to contend on.
+	leading bool
+	// inflight counts ops that have entered submit and not yet been
+	// committed. The leader uses it to tell "more writers are on their way"
+	// (keep gathering) from "the queue has genuinely dried up" (commit now).
+	inflight atomic.Int64
+
+	hook      CommitHook
+	groupHook GroupCommitHook
+
+	maxBatch int
+	maxDelay time.Duration
+
+	batches batchStats
+
+	// mLockHold, when set by Instrument, samples commit-leader hold times.
+	// holdTick picks every lockSampleEvery-th group so the hot path pays one
+	// atomic increment, not a clock read, per commit.
+	mLockHold  *obs.Histogram
+	mBatchSize *obs.Histogram
+	holdTick   atomic.Uint64
+}
+
+// Instrument exports the store's vitals into reg: triple count, generation,
+// view epoch and dictionary size as callback gauges (zero hot-path cost), a
+// sampled commit hold-time histogram, and the group-commit batch-size
+// distribution. Call before concurrent use.
 func (s *Store) Instrument(reg *obs.Registry) *Store {
 	if reg == nil {
 		return s
@@ -176,17 +267,21 @@ func (s *Store) Instrument(reg *obs.Registry) *Store {
 	reg.GaugeFunc("grdf_store_generation",
 		"Mutation generation counter (cache invalidation epoch).",
 		func() float64 { return float64(s.Generation()) })
+	reg.GaugeFunc("grdf_store_epoch",
+		"Published MVCC version epoch (one publish per commit group).",
+		func() float64 { return float64(s.Epoch()) })
 	reg.GaugeFunc("grdf_store_dict_terms",
 		"Distinct terms interned in the store dictionary.",
 		func() float64 { return float64(s.DictLen()) })
 	s.mLockHold = reg.Histogram("grdf_store_write_lock_hold_seconds",
-		"Write-lock hold time, sampled every 16th mutation.", nil)
+		"Commit-leader hold time, sampled every 16th commit group.", nil)
+	s.mBatchSize = reg.Histogram("grdf_store_commit_batch_size",
+		"Effective ops per group commit.", []float64{1, 2, 4, 8, 16, 32, 64, 128})
 	return s
 }
 
-// beginHold starts timing this write-lock hold when it falls on the
-// sampling grid; returns the zero time otherwise. Call with the write lock
-// held.
+// beginHold starts timing this commit when it falls on the sampling grid;
+// returns the zero time otherwise.
 func (s *Store) beginHold() time.Time {
 	if s.mLockHold == nil {
 		return time.Time{}
@@ -211,15 +306,9 @@ func New() *Store { return NewWithDict(NewDict()) }
 // dictionary across stores keeps their ID spaces compatible (Snapshot relies
 // on this); the dictionary only grows, so sharing is always safe.
 func NewWithDict(dict *Dict) *Store {
-	return &Store{
-		dict:     dict,
-		spo:      make(index),
-		pos:      make(index),
-		osp:      make(index),
-		subjCard: make(map[ID]int),
-		predCard: make(map[ID]int),
-		objCard:  make(map[ID]int),
-	}
+	s := &Store{dict: dict, maxBatch: defaultMaxBatch, maxDelay: defaultMaxDelay}
+	s.cur.Store(&version{terms: dict.View()})
+	return s
 }
 
 // FromGraph loads all triples of g into a fresh store.
@@ -250,127 +339,292 @@ func (s *Store) TermOf(id ID) rdf.Term { return s.dict.Term(id) }
 // dictionary contents (see Dict.View).
 func (s *Store) DictView() DictView { return s.dict.View() }
 
-// SetCommitHook installs (or, with nil, removes) the mutation hook. Install
-// it only while no mutations are in flight — typically right after recovery,
-// before the store serves traffic.
+// View pins the current published version: one atomic load, O(1), never
+// blocking. The view stays valid (and consistent) forever; writers keep
+// publishing new versions alongside it.
+func (s *Store) View() StoreView { return StoreView{v: s.cur.Load(), dict: s.dict} }
+
+// SetCommitHook installs (or, with nil, removes) the per-op mutation hook.
+// Install it only while no mutations are in flight — typically right after
+// recovery, before the store serves traffic. Clears any group hook.
 func (s *Store) SetCommitHook(h CommitHook) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	s.hook = h
+	if h != nil {
+		s.groupHook = nil
+	}
 }
+
+// SetGroupCommitHook installs (or, with nil, removes) the group commit hook.
+// Install it only while no mutations are in flight. Clears any per-op hook.
+func (s *Store) SetGroupCommitHook(h GroupCommitHook) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.groupHook = h
+	if h != nil {
+		s.hook = nil
+	}
+}
+
+// SetCommitBatching bounds the commit batcher: a leader drains at most
+// maxBatch queued commits per group (0 restores the default of 128), and a
+// leader whose first drain comes up short gathers stragglers for at most
+// maxDelay before committing (0 disables gathering; the default is 500µs).
+// Gathering time is only ever spent while other writers are verifiably in
+// flight, so serial workloads pay nothing.
+func (s *Store) SetCommitBatching(maxBatch int, maxDelay time.Duration) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatch
+	}
+	s.maxBatch = maxBatch
+	if maxDelay < 0 {
+		maxDelay = 0
+	}
+	s.maxDelay = maxDelay
+}
+
+// GroupCommitStats returns the commit batcher's size distribution.
+func (s *Store) GroupCommitStats() GroupCommitStats { return s.batches.snapshot() }
 
 // Apply performs one atomic batch mutation and returns how many triples
-// changed. When a commit hook is installed it runs first, under the write
-// lock; a hook error aborts the whole batch. Invalid triples in an
-// OpAdd batch are skipped (matching AddAll); an OpReplace whose old triple
-// is absent returns (0, nil) without invoking the hook.
+// changed. The call may be group-committed together with other concurrent
+// mutations: the commit hook then runs once for the whole group, but this
+// op keeps its own error result. Invalid triples in an OpAdd batch are
+// skipped (matching AddAll); an OpReplace whose old triple is absent returns
+// (0, nil) without reaching the hook.
 func (s *Store) Apply(op Op) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	defer s.endHold(s.beginHold())
-	return s.applyLocked(op)
+	w := &commitWaiter{ops: []Op{op}, done: make(chan struct{})}
+	s.submit(w)
+	n := 0
+	if len(w.ns) == 1 {
+		n = w.ns[0]
+	}
+	return n, w.err
 }
 
-func (s *Store) applyLocked(op Op) (int, error) {
-	switch op.Kind {
-	case OpAdd:
-		// Reduce the batch to triples that will actually land, so the commit
-		// hook (and therefore the WAL) never records no-ops.
-		op.Triples = s.filterLocked(op.Triples, false)
-	case OpRemove:
-		op.Triples = s.filterLocked(op.Triples, true)
-	case OpClear:
-		if s.size == 0 {
-			return 0, nil
-		}
-	case OpReplace:
-		if len(op.Triples) != 2 {
-			return 0, fmt.Errorf("store: replace needs [old, new], got %d triples", len(op.Triples))
-		}
-		if !op.Triples[1].Valid() {
-			return 0, fmt.Errorf("store: invalid replacement triple %v", op.Triples[1])
-		}
-		// Probe the old triple before logging: a replace of an absent triple
-		// is a no-op and must not reach the WAL.
-		ids, ok := s.lookupTriple(op.Triples[0])
-		if !ok {
-			return 0, nil
-		}
-		if _, present := s.spo[ids[0]][ids[1]][ids[2]]; !present {
-			return 0, nil
-		}
-	default:
-		return 0, fmt.Errorf("store: unknown op kind %d", op.Kind)
+// ApplyBatch applies ops as one atomic commit: all-or-nothing, one
+// generation bump however many ops land, and — through the group hook — one
+// WAL record group. The returned slice holds per-op changed-triple counts.
+// Any validation failure, MustExist miss, or hook refusal leaves the store
+// untouched and reports the failing op via BatchError.
+func (s *Store) ApplyBatch(ops []Op) ([]int, error) {
+	if len(ops) == 0 {
+		return nil, nil
 	}
-	if (op.Kind == OpAdd || op.Kind == OpRemove) && len(op.Triples) == 0 {
-		return 0, nil
+	w := &commitWaiter{ops: ops, atomic: true, done: make(chan struct{})}
+	s.submit(w)
+	return w.ns, w.err
+}
+
+// BatchError reports which op of an atomic batch failed.
+type BatchError struct {
+	Index int
+	Err   error
+}
+
+func (e *BatchError) Error() string { return fmt.Sprintf("op %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// submit enqueues w and blocks until some leader (possibly this goroutine)
+// has committed it. Queue order is commit order is WAL order.
+//
+// The first writer to enqueue onto an idle batcher becomes the leader: it
+// takes writeMu and commits groups until the queue is empty, then retires.
+// Every other writer parks on its done channel — the leader closes it once
+// the op is durable — so a committed writer's wake-up path is one channel
+// receive, never a lock acquisition behind the next group's fsync.
+func (s *Store) submit(w *commitWaiter) {
+	s.inflight.Add(1)
+	s.qmu.Lock()
+	s.queue = append(s.queue, w)
+	lead := !s.leading
+	if lead {
+		s.leading = true
 	}
-	if s.hook != nil {
-		op.Gen = s.generation
-		if err := s.hook(op); err != nil {
-			return 0, fmt.Errorf("store: %w: %w", ErrCommitHook, err)
+	s.qmu.Unlock()
+	if !lead {
+		<-w.done
+		return
+	}
+	s.writeMu.Lock()
+	for {
+		s.lead()
+		// Retire only on a verifiably empty queue; the check and the flag
+		// clear are one qmu critical section, so a racing enqueuer either
+		// sees leading=true (and parks) or finds the flag clear and elects
+		// itself. No waiter is ever left behind.
+		s.qmu.Lock()
+		if len(s.queue) == 0 {
+			s.leading = false
+			s.qmu.Unlock()
+			break
 		}
+		s.qmu.Unlock()
 	}
-	switch op.Kind {
-	case OpAdd:
-		n := 0
-		for _, t := range op.Triples {
-			if !t.Valid() {
+	s.writeMu.Unlock()
+	// The leader's own op was at the head of the first group it drained
+	// (retirement guarantees the queue was empty when it enqueued), so done
+	// is closed by now; the receive is an invariant check, not a wait.
+	<-w.done
+}
+
+// drain takes up to max waiters off the queue.
+func (s *Store) drain(max int) []*commitWaiter {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	n := len(s.queue)
+	if n == 0 {
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	batch := s.queue[:n:n]
+	s.queue = s.queue[n:]
+	return batch
+}
+
+// lead runs one group commit. Caller holds writeMu.
+func (s *Store) lead() {
+	batch := s.drain(s.maxBatch)
+	if len(batch) == 0 {
+		return
+	}
+	if d := s.maxDelay; d > 0 && len(batch) < s.maxBatch {
+		// Gather stragglers before paying the fsync, in the spirit of
+		// Postgres's commit_delay/commit_siblings: keep collecting while other
+		// writers are demonstrably in flight (inflight counts them), and give
+		// just-committed writers a short grace to re-enter before concluding
+		// the queue has dried up. A solitary writer exits this loop after a
+		// few scheduler yields, so the delay never taxes serial workloads.
+		// Only writeMu is held throughout: readers are unaffected and later
+		// writers enqueue through qmu without waiting.
+		deadline := time.Now().Add(d)
+		idle := 0
+		for len(batch) < s.maxBatch && idle < gatherGraceYields {
+			more := s.drain(s.maxBatch - len(batch))
+			if len(more) > 0 {
+				batch = append(batch, more...)
+				idle = 0
 				continue
 			}
-			if s.addLocked(t) {
-				n++
+			if int64(len(batch)) >= s.inflight.Load() {
+				idle++
 			}
+			if !time.Now().Before(deadline) {
+				break
+			}
+			runtime.Gosched()
 		}
-		return n, nil
-	case OpRemove:
-		n := 0
-		for _, t := range op.Triples {
-			ids, ok := s.lookupTriple(t)
-			if !ok {
-				continue
-			}
-			if s.removeLocked(ids[0], ids[1], ids[2]) {
-				n++
-			}
+	}
+	start := s.beginHold()
+	s.commitGroup(batch)
+	s.endHold(start)
+	for _, w := range batch {
+		close(w.done)
+	}
+	s.inflight.Add(-int64(len(batch)))
+}
+
+// commitGroup validates, logs and applies one group of commits, publishing
+// at most one new version. Caller holds writeMu.
+func (s *Store) commitGroup(batch []*commitWaiter) {
+	base := s.cur.Load()
+	b := newBuilder(base, s.dict)
+	for _, w := range batch {
+		s.prepareWaiter(b, w)
+	}
+	var groups [][]Op
+	nOps := 0
+	for _, w := range batch {
+		if w.err == nil && len(w.eff) > 0 {
+			groups = append(groups, w.eff)
+			nOps += len(w.eff)
 		}
-		return n, nil
-	case OpReplace:
-		return 1, s.replaceLocked(op.Triples[0], op.Triples[1])
-	default: // OpClear
-		s.clearLocked()
-		return 0, nil
+	}
+	if len(groups) > 0 && s.groupHook != nil {
+		if err := s.groupHook(groups); err != nil {
+			// The group could not be made durable: nothing is published and
+			// every op in the group — including ones that individually
+			// no-oped against speculative state — reports the failure.
+			werr := fmt.Errorf("store: %w: %w", ErrCommitHook, err)
+			for _, w := range batch {
+				w.err = werr
+				w.ns = nil
+			}
+			return
+		}
+	}
+	if b.dirty {
+		s.cur.Store(b.seal(base.epoch + 1))
+		s.batches.record(nOps)
+		if s.mBatchSize != nil {
+			s.mBatchSize.Observe(float64(nOps))
+		}
 	}
 }
 
-// filterLocked returns the subset of ts that would change the store:
-// present triples when removing, valid absent ones when adding. The input
-// slice is never mutated.
-func (s *Store) filterLocked(ts []rdf.Triple, present bool) []rdf.Triple {
-	eff := make([]rdf.Triple, 0, len(ts))
-	for _, t := range ts {
-		ids, ok := s.lookupTriple(t)
-		has := ok && func() bool { _, in := s.spo[ids[0]][ids[1]][ids[2]]; return in }()
-		if present && has {
-			eff = append(eff, t)
-		} else if !present && t.Valid() && !has {
-			eff = append(eff, t)
+// prepareWaiter validates w's ops against the builder and applies them
+// speculatively, recording per-op change counts and the effective
+// (no-op-filtered) ops for the commit hook. Any failure rolls the builder
+// back to its pre-waiter state — rollback is O(1) because the builder's
+// indexes are persistent values.
+func (s *Store) prepareWaiter(b *builder, w *commitWaiter) {
+	save := *b
+	ns := make([]int, len(w.ops))
+	var eff []Op
+	for i := range w.ops {
+		n, effOp, err := b.applyOp(w.ops[i])
+		if err != nil {
+			*b = save
+			if w.atomic {
+				err = &BatchError{Index: i, Err: err}
+			}
+			w.err = err
+			return
+		}
+		ns[i] = n
+		if effOp.Kind == 0 {
+			continue
+		}
+		if s.hook != nil && !w.atomic {
+			// Legacy per-op hook: consult it before acknowledging this op.
+			// Hook call order across the group is exactly apply order.
+			if err := s.hook(effOp); err != nil {
+				*b = save
+				w.err = fmt.Errorf("store: %w: %w", ErrCommitHook, err)
+				return
+			}
+		}
+		eff = append(eff, effOp)
+	}
+	if w.atomic && len(eff) > 0 {
+		// One logical commit: a single generation bump and a single Gen
+		// stamp however many sub-ops the batch carried.
+		for i := range eff {
+			eff[i].Gen = save.generation
+		}
+		b.generation = save.generation + 1
+		if s.hook != nil {
+			// With only a per-op hook available, log the batch op-by-op
+			// after full validation. A mid-batch hook failure still rolls
+			// the store back whole; durable deployments install the group
+			// hook, which logs the batch as one record.
+			for _, op := range eff {
+				if err := s.hook(op); err != nil {
+					*b = save
+					w.err = fmt.Errorf("store: %w: %w", ErrCommitHook, err)
+					return
+				}
+			}
 		}
 	}
-	return eff
-}
-
-// replaceLocked swaps old for new as one mutation epoch. The caller has
-// already verified old is present.
-func (s *Store) replaceLocked(old, new rdf.Triple) error {
-	gen := s.generation
-	ids, _ := s.lookupTriple(old)
-	s.removeLocked(ids[0], ids[1], ids[2])
-	s.addLocked(new)
-	// A replace is one atomic mutation: readers and the query cache must see
-	// exactly one epoch boundary, not a remove epoch and an add epoch.
-	s.generation = gen + 1
-	return nil
+	w.ns, w.eff = ns, eff
 }
 
 // Add inserts t, reporting whether it was new. Invalid triples are rejected.
@@ -382,45 +636,6 @@ func (s *Store) Add(t rdf.Triple) bool {
 	}
 	n, _ := s.Apply(Op{Kind: OpAdd, Triples: []rdf.Triple{t}})
 	return n > 0
-}
-
-func (s *Store) addLocked(t rdf.Triple) bool {
-	sid := s.dict.Intern(t.Subject)
-	pid := s.dict.Intern(t.Predicate)
-	oid := s.dict.Intern(t.Object)
-	if !s.spo.add(sid, pid, oid) {
-		return false
-	}
-	s.pos.add(pid, oid, sid)
-	s.osp.add(oid, sid, pid)
-	s.subjCard[sid]++
-	s.predCard[pid]++
-	s.objCard[oid]++
-	s.size++
-	s.generation++
-	return true
-}
-
-func (s *Store) removeLocked(sid, pid, oid ID) bool {
-	if !s.spo.remove(sid, pid, oid) {
-		return false
-	}
-	s.pos.remove(pid, oid, sid)
-	s.osp.remove(oid, sid, pid)
-	decCard(s.subjCard, sid)
-	decCard(s.predCard, pid)
-	decCard(s.objCard, oid)
-	s.size--
-	s.generation++
-	return true
-}
-
-func decCard(m map[ID]int, id ID) {
-	if n := m[id] - 1; n <= 0 {
-		delete(m, id)
-	} else {
-		m[id] = n
-	}
 }
 
 // AddAll inserts the given triples, returning how many were new.
@@ -447,26 +662,6 @@ func (s *Store) Replace(old, new rdf.Triple) (bool, error) {
 	return n > 0, err
 }
 
-// lookupTriple resolves a triple's terms to IDs without interning.
-func (s *Store) lookupTriple(t rdf.Triple) ([3]ID, bool) {
-	if t.Subject == nil || t.Predicate == nil || t.Object == nil {
-		return [3]ID{}, false
-	}
-	sid, ok := s.dict.Lookup(t.Subject)
-	if !ok {
-		return [3]ID{}, false
-	}
-	pid, ok := s.dict.Lookup(t.Predicate)
-	if !ok {
-		return [3]ID{}, false
-	}
-	oid, ok := s.dict.Lookup(t.Object)
-	if !ok {
-		return [3]ID{}, false
-	}
-	return [3]ID{sid, pid, oid}, true
-}
-
 // RemoveMatching deletes all triples matching the pattern (nil = wildcard)
 // and returns how many were removed. The victims are materialized as a
 // batch remove op so a commit hook sees the concrete triples.
@@ -479,235 +674,65 @@ func (s *Store) RemoveMatching(sub, pred, obj rdf.Term) int {
 	return n
 }
 
-// Has reports whether t is in the store.
-func (s *Store) Has(t rdf.Triple) bool {
-	ids, ok := s.lookupTriple(t)
-	if !ok {
-		return false
-	}
-	return s.HasIDs(ids[0], ids[1], ids[2])
+// Clear removes every triple. Interned terms stay in the dictionary.
+func (s *Store) Clear() {
+	_, _ = s.Apply(Op{Kind: OpClear})
 }
+
+// Has reports whether t is in the store.
+func (s *Store) Has(t rdf.Triple) bool { return s.View().Has(t) }
 
 // HasIDs reports whether the fully-bound ID triple is in the store.
-func (s *Store) HasIDs(sid, pid, oid ID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.spo[sid][pid][oid]
-	return ok
-}
+func (s *Store) HasIDs(sid, pid, oid ID) bool { return s.cur.Load().spo.has(sid, pid, oid) }
 
 // Len returns the number of triples.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.size
-}
+func (s *Store) Len() int { return s.cur.Load().size }
 
 // Generation returns a counter that increases on every mutation.
-func (s *Store) Generation() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.generation
-}
+func (s *Store) Generation() uint64 { return s.cur.Load().generation }
 
-// lookupPattern resolves pattern terms to IDs (nil → NoID wildcard). ok is
-// false when a non-nil term is absent from the dictionary, which means the
-// pattern cannot match anything.
-func (s *Store) lookupPattern(sub, pred, obj rdf.Term) (sid, pid, oid ID, ok bool) {
-	if sub != nil {
-		if sid, ok = s.dict.Lookup(sub); !ok {
-			return 0, 0, 0, false
-		}
-	}
-	if pred != nil {
-		if pid, ok = s.dict.Lookup(pred); !ok {
-			return 0, 0, 0, false
-		}
-	}
-	if obj != nil {
-		if oid, ok = s.dict.Lookup(obj); !ok {
-			return 0, 0, 0, false
-		}
-	}
-	return sid, pid, oid, true
-}
+// Epoch returns the number of published versions: one group commit — however
+// many concurrent mutations it carried — publishes exactly one.
+func (s *Store) Epoch() uint64 { return s.cur.Load().epoch }
 
 // Match returns all triples matching the pattern; nil positions are
 // wildcards. The result is a fresh slice safe for the caller to keep.
-func (s *Store) Match(sub, pred, obj rdf.Term) []rdf.Triple {
-	var out []rdf.Triple
-	s.ForEachMatch(sub, pred, obj, func(t rdf.Triple) bool {
-		out = append(out, t)
-		return true
-	})
-	return out
-}
+func (s *Store) Match(sub, pred, obj rdf.Term) []rdf.Triple { return s.View().Match(sub, pred, obj) }
 
 // Count returns the number of triples matching the pattern without
 // materializing them.
-func (s *Store) Count(sub, pred, obj rdf.Term) int {
-	sid, pid, oid, ok := s.lookupPattern(sub, pred, obj)
-	if !ok {
-		return 0
-	}
-	n := 0
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	s.forEachMatchLocked(sid, pid, oid, func(ID, ID, ID) bool { n++; return true })
-	return n
-}
+func (s *Store) Count(sub, pred, obj rdf.Term) int { return s.View().Count(sub, pred, obj) }
 
 // EstimateIDs returns the exact number of triples matching the ID pattern
-// (NoID = wildcard) in O(1), using the per-position cardinality counters.
+// (NoID = wildcard) in O(1), using the per-branch cardinality counts.
 // This is the planner's selectivity source.
-func (s *Store) EstimateIDs(sid, pid, oid ID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	switch {
-	case sid != NoID && pid != NoID && oid != NoID:
-		if _, ok := s.spo[sid][pid][oid]; ok {
-			return 1
-		}
-		return 0
-	case sid != NoID && pid != NoID:
-		return len(s.spo[sid][pid])
-	case pid != NoID && oid != NoID:
-		return len(s.pos[pid][oid])
-	case sid != NoID && oid != NoID:
-		return len(s.osp[oid][sid])
-	case sid != NoID:
-		return s.subjCard[sid]
-	case pid != NoID:
-		return s.predCard[pid]
-	case oid != NoID:
-		return s.objCard[oid]
-	default:
-		return s.size
-	}
-}
+func (s *Store) EstimateIDs(sid, pid, oid ID) int { return s.cur.Load().estimate(sid, pid, oid) }
 
-// ForEachMatch streams matching triples to fn under a read lock; fn returning
-// false stops iteration early. fn must not mutate the store (it would
-// deadlock); collect first if mutation is needed.
+// ForEachMatch streams matching triples to fn against the current version;
+// fn returning false stops iteration early. The iteration is lock-free: fn
+// may block or even mutate the store (it will not see its own writes).
 func (s *Store) ForEachMatch(sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) {
-	sid, pid, oid, ok := s.lookupPattern(sub, pred, obj)
-	if !ok {
-		return
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	// Capture the dictionary view under the store lock: every ID reachable
-	// from the indexes is interned by now, so the view resolves them all.
-	// Taken before the lock, a concurrent add could intern terms the view
-	// misses, materializing triples with nil positions.
-	view := s.dict.View()
-	s.forEachMatchLocked(sid, pid, oid, func(a, b, c ID) bool {
-		return fn(rdf.T(view.Term(a), view.Term(b), view.Term(c)))
-	})
+	s.View().ForEachMatch(sub, pred, obj, fn)
 }
 
-// ForEachMatchIDs streams matching ID triples to fn under a read lock;
-// NoID positions are wildcards and fn returning false stops early. This is
-// the evaluator's join primitive: no terms are materialized.
+// ForEachMatchIDs streams matching ID triples to fn against the current
+// version; NoID positions are wildcards and fn returning false stops early.
+// This is the evaluator's join primitive: no terms are materialized.
 func (s *Store) ForEachMatchIDs(sid, pid, oid ID, fn func(sid, pid, oid ID) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	s.forEachMatchLocked(sid, pid, oid, fn)
-}
-
-// forEachMatchLocked dispatches the pattern to the index with the longest
-// bound prefix. Callers hold at least a read lock.
-func (s *Store) forEachMatchLocked(sid, pid, oid ID, fn func(sid, pid, oid ID) bool) {
-	switch {
-	case sid != NoID && pid != NoID && oid != NoID:
-		if _, ok := s.spo[sid][pid][oid]; ok {
-			fn(sid, pid, oid)
-		}
-	case sid != NoID && pid != NoID:
-		for o := range s.spo[sid][pid] {
-			if !fn(sid, pid, o) {
-				return
-			}
-		}
-	case sid != NoID && oid != NoID:
-		for p := range s.osp[oid][sid] {
-			if !fn(sid, p, oid) {
-				return
-			}
-		}
-	case pid != NoID && oid != NoID:
-		for su := range s.pos[pid][oid] {
-			if !fn(su, pid, oid) {
-				return
-			}
-		}
-	case sid != NoID:
-		for p, objs := range s.spo[sid] {
-			for o := range objs {
-				if !fn(sid, p, o) {
-					return
-				}
-			}
-		}
-	case pid != NoID:
-		for o, subs := range s.pos[pid] {
-			for su := range subs {
-				if !fn(su, pid, o) {
-					return
-				}
-			}
-		}
-	case oid != NoID:
-		for su, preds := range s.osp[oid] {
-			for p := range preds {
-				if !fn(su, p, oid) {
-					return
-				}
-			}
-		}
-	default:
-		for su, m1 := range s.spo {
-			for p, objs := range m1 {
-				for o := range objs {
-					if !fn(su, p, o) {
-						return
-					}
-				}
-			}
-		}
-	}
+	s.cur.Load().forEachMatch(sid, pid, oid, fn)
 }
 
 // Objects returns the distinct objects of triples (sub, pred, *).
-func (s *Store) Objects(sub, pred rdf.Term) []rdf.Term {
-	var out []rdf.Term
-	s.ForEachMatch(sub, pred, nil, func(t rdf.Triple) bool {
-		out = append(out, t.Object)
-		return true
-	})
-	return out
-}
+func (s *Store) Objects(sub, pred rdf.Term) []rdf.Term { return s.View().Objects(sub, pred) }
 
 // FirstObject returns one object of (sub, pred, *), if any. When several
 // objects exist the choice is unspecified.
 func (s *Store) FirstObject(sub, pred rdf.Term) (rdf.Term, bool) {
-	var got rdf.Term
-	s.ForEachMatch(sub, pred, nil, func(t rdf.Triple) bool {
-		got = t.Object
-		return false
-	})
-	return got, got != nil
+	return s.View().FirstObject(sub, pred)
 }
 
 // Subjects returns the distinct subjects of triples (*, pred, obj).
-func (s *Store) Subjects(pred, obj rdf.Term) []rdf.Term {
-	var out []rdf.Term
-	s.ForEachMatch(nil, pred, obj, func(t rdf.Triple) bool {
-		out = append(out, t.Subject)
-		return true
-	})
-	return out
-}
+func (s *Store) Subjects(pred, obj rdf.Term) []rdf.Term { return s.View().Subjects(pred, obj) }
 
 // SubjectsOfType returns all subjects with rdf:type class.
 func (s *Store) SubjectsOfType(class rdf.Term) []rdf.Term {
@@ -715,7 +740,7 @@ func (s *Store) SubjectsOfType(class rdf.Term) []rdf.Term {
 }
 
 // Triples returns every triple (fresh slice).
-func (s *Store) Triples() []rdf.Triple { return s.Match(nil, nil, nil) }
+func (s *Store) Triples() []rdf.Triple { return s.View().Triples() }
 
 // Graph copies the whole store into an rdf.Graph.
 func (s *Store) Graph() *rdf.Graph {
@@ -726,29 +751,15 @@ func (s *Store) Graph() *rdf.Graph {
 	return g
 }
 
-// Snapshot returns an independent copy of the store. Mutating either side
-// does not affect the other. The dictionary is shared (it only grows), so
-// IDs remain valid across the snapshot boundary.
+// Snapshot returns an independent store pinned to the current version.
+// Because versions are immutable and updates path-copy, this is O(1):
+// both stores share structure until either mutates, and mutating one never
+// affects the other. The dictionary is shared (it only grows), so IDs remain
+// valid across the snapshot boundary. The snapshot has no commit hook.
 func (s *Store) Snapshot() *Store {
 	out := NewWithDict(s.dict)
-	out.AddAll(s.Triples())
+	out.cur.Store(s.cur.Load())
 	return out
-}
-
-// Clear removes every triple. Interned terms stay in the dictionary.
-func (s *Store) Clear() {
-	_, _ = s.Apply(Op{Kind: OpClear})
-}
-
-func (s *Store) clearLocked() {
-	s.spo = make(index)
-	s.pos = make(index)
-	s.osp = make(index)
-	s.subjCard = make(map[ID]int)
-	s.predCard = make(map[ID]int)
-	s.objCard = make(map[ID]int)
-	s.size = 0
-	s.generation++
 }
 
 // Stats summarizes the store for diagnostics and the experiment reports.
@@ -761,17 +772,7 @@ type Stats struct {
 }
 
 // Stats computes summary statistics.
-func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return Stats{
-		Triples:    s.size,
-		Subjects:   len(s.spo),
-		Predicates: len(s.pos),
-		Objects:    len(s.osp),
-		DictTerms:  s.dict.Len(),
-	}
-}
+func (s *Store) Stats() Stats { return s.View().Stats() }
 
 // String renders the store as sorted N-Triples (for tests and debugging).
 func (s *Store) String() string {
@@ -787,67 +788,205 @@ func (s *Store) String() string {
 // DescribeResource returns all triples with sub as subject, in a stable
 // predicate-sorted order — used by the G-SACS result assembler.
 func (s *Store) DescribeResource(sub rdf.Term) []rdf.Triple {
-	ts := s.Match(sub, nil, nil)
-	sort.Slice(ts, func(i, j int) bool {
-		pi, pj := ts[i].Predicate.String(), ts[j].Predicate.String()
-		if pi != pj {
-			return pi < pj
-		}
-		return ts[i].Object.String() < ts[j].Object.String()
-	})
-	return ts
+	return s.View().DescribeResource(sub)
 }
 
 // Validate checks internal index consistency; it is exercised by tests and
 // the property-based suite. It returns an error describing the first
 // inconsistency found.
-func (s *Store) Validate() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n := 0
-	subjSeen := make(map[ID]int)
-	predSeen := make(map[ID]int)
-	objSeen := make(map[ID]int)
-	for su, m1 := range s.spo {
-		for p, objs := range m1 {
-			for o := range objs {
+func (s *Store) Validate() error { return s.View().Validate() }
+
+// ---- builder ---------------------------------------------------------------
+
+// builder accumulates the next version by path-copying from a base version.
+// It is only ever touched by the commit leader under writeMu. Because its
+// index fields are persistent values, copying the struct snapshots the whole
+// builder state — prepareWaiter uses that for O(1) rollback.
+type builder struct {
+	dict       *Dict
+	spo        tindex
+	pos        tindex
+	osp        tindex
+	size       int
+	generation uint64
+	dirty      bool
+}
+
+func newBuilder(base *version, dict *Dict) *builder {
+	return &builder{
+		dict:       dict,
+		spo:        base.spo,
+		pos:        base.pos,
+		osp:        base.osp,
+		size:       base.size,
+		generation: base.generation,
+	}
+}
+
+// seal publishes the builder as an immutable version. The dictionary view is
+// captured here — after every term of the version was interned — so the
+// version resolves all of its own IDs.
+func (b *builder) seal(epoch uint64) *version {
+	return &version{
+		spo:        b.spo,
+		pos:        b.pos,
+		osp:        b.osp,
+		size:       b.size,
+		generation: b.generation,
+		epoch:      epoch,
+		terms:      b.dict.View(),
+	}
+}
+
+func (b *builder) lookupTriple(t rdf.Triple) ([3]ID, bool) {
+	if t.Subject == nil || t.Predicate == nil || t.Object == nil {
+		return [3]ID{}, false
+	}
+	sid, ok := b.dict.Lookup(t.Subject)
+	if !ok {
+		return [3]ID{}, false
+	}
+	pid, ok := b.dict.Lookup(t.Predicate)
+	if !ok {
+		return [3]ID{}, false
+	}
+	oid, ok := b.dict.Lookup(t.Object)
+	if !ok {
+		return [3]ID{}, false
+	}
+	return [3]ID{sid, pid, oid}, true
+}
+
+func (b *builder) has(t rdf.Triple) bool {
+	ids, ok := b.lookupTriple(t)
+	return ok && b.spo.has(ids[0], ids[1], ids[2])
+}
+
+func (b *builder) add(t rdf.Triple) bool {
+	sid := b.dict.Intern(t.Subject)
+	pid := b.dict.Intern(t.Predicate)
+	oid := b.dict.Intern(t.Object)
+	nspo, added := b.spo.with(sid, pid, oid)
+	if !added {
+		return false
+	}
+	b.spo = nspo
+	b.pos, _ = b.pos.with(pid, oid, sid)
+	b.osp, _ = b.osp.with(oid, sid, pid)
+	b.size++
+	b.generation++
+	b.dirty = true
+	return true
+}
+
+func (b *builder) removeIDs(sid, pid, oid ID) bool {
+	nspo, removed := b.spo.without(sid, pid, oid)
+	if !removed {
+		return false
+	}
+	b.spo = nspo
+	b.pos, _ = b.pos.without(pid, oid, sid)
+	b.osp, _ = b.osp.without(oid, sid, pid)
+	b.size--
+	b.generation++
+	b.dirty = true
+	return true
+}
+
+func (b *builder) clear() {
+	b.spo = tindex{}
+	b.pos = tindex{}
+	b.osp = tindex{}
+	b.size = 0
+	b.generation++
+	b.dirty = true
+}
+
+// filter returns the subset of ts that would change the builder state:
+// present triples when removing, valid absent ones when adding. The input
+// slice is never mutated.
+func (b *builder) filter(ts []rdf.Triple, present bool) []rdf.Triple {
+	eff := make([]rdf.Triple, 0, len(ts))
+	for _, t := range ts {
+		ids, ok := b.lookupTriple(t)
+		has := ok && b.spo.has(ids[0], ids[1], ids[2])
+		if present && has {
+			eff = append(eff, t)
+		} else if !present && t.Valid() && !has {
+			eff = append(eff, t)
+		}
+	}
+	return eff
+}
+
+// applyOp validates op against the builder and applies it. It returns the
+// number of triples changed and the effective op for the commit hook — Kind
+// zero when the op was a no-op that must not be logged. Validation failures
+// leave the builder untouched.
+func (b *builder) applyOp(op Op) (int, Op, error) {
+	var none Op
+	switch op.Kind {
+	case OpAdd:
+		// Reduce the batch to triples that will actually land, so the commit
+		// hook (and therefore the WAL) never records no-ops.
+		op.Triples = b.filter(op.Triples, false)
+		if len(op.Triples) == 0 {
+			return 0, none, nil
+		}
+		op.Gen = b.generation
+		n := 0
+		for _, t := range op.Triples {
+			if b.add(t) {
 				n++
-				subjSeen[su]++
-				predSeen[p]++
-				objSeen[o]++
-				if _, ok := s.pos[p][o][su]; !ok {
-					return fmt.Errorf("store: POS missing %d %d %d", su, p, o)
-				}
-				if _, ok := s.osp[o][su][p]; !ok {
-					return fmt.Errorf("store: OSP missing %d %d %d", su, p, o)
-				}
-				if s.dict.Term(su) == nil || s.dict.Term(p) == nil || s.dict.Term(o) == nil {
-					return fmt.Errorf("store: dangling dictionary ID in %d %d %d", su, p, o)
-				}
 			}
 		}
-	}
-	if n != s.size {
-		return fmt.Errorf("store: size %d != indexed %d", s.size, n)
-	}
-	for id, want := range subjSeen {
-		if s.subjCard[id] != want {
-			return fmt.Errorf("store: subject cardinality %d != %d for id %d", s.subjCard[id], want, id)
+		return n, op, nil
+	case OpRemove:
+		op.Triples = b.filter(op.Triples, true)
+		if len(op.Triples) == 0 {
+			return 0, none, nil
 		}
-	}
-	for id, want := range predSeen {
-		if s.predCard[id] != want {
-			return fmt.Errorf("store: predicate cardinality %d != %d for id %d", s.predCard[id], want, id)
+		op.Gen = b.generation
+		n := 0
+		for _, t := range op.Triples {
+			if ids, ok := b.lookupTriple(t); ok && b.removeIDs(ids[0], ids[1], ids[2]) {
+				n++
+			}
 		}
-	}
-	for id, want := range objSeen {
-		if s.objCard[id] != want {
-			return fmt.Errorf("store: object cardinality %d != %d for id %d", s.objCard[id], want, id)
+		return n, op, nil
+	case OpReplace:
+		if len(op.Triples) != 2 {
+			return 0, none, fmt.Errorf("store: replace needs [old, new], got %d triples", len(op.Triples))
 		}
+		if !op.Triples[1].Valid() {
+			return 0, none, fmt.Errorf("store: invalid replacement triple %v", op.Triples[1])
+		}
+		// Probe the old triple before logging: a replace of an absent triple
+		// is a no-op (or, with MustExist, an error) and must not reach the
+		// WAL.
+		if !b.has(op.Triples[0]) {
+			if op.MustExist {
+				return 0, none, fmt.Errorf("store: %w: %v", ErrAbsent, op.Triples[0])
+			}
+			return 0, none, nil
+		}
+		op.Gen = b.generation
+		gen := b.generation
+		ids, _ := b.lookupTriple(op.Triples[0])
+		b.removeIDs(ids[0], ids[1], ids[2])
+		b.add(op.Triples[1])
+		// A replace is one atomic mutation: readers and the query cache must
+		// see exactly one epoch boundary, not a remove and an add.
+		b.generation = gen + 1
+		return 1, op, nil
+	case OpClear:
+		if b.size == 0 {
+			return 0, none, nil
+		}
+		op.Gen = b.generation
+		b.clear()
+		return 0, op, nil
+	default:
+		return 0, none, fmt.Errorf("store: unknown op kind %d", op.Kind)
 	}
-	if len(subjSeen) != len(s.subjCard) || len(predSeen) != len(s.predCard) || len(objSeen) != len(s.objCard) {
-		return fmt.Errorf("store: stale cardinality entries (subj %d/%d pred %d/%d obj %d/%d)",
-			len(s.subjCard), len(subjSeen), len(s.predCard), len(predSeen), len(s.objCard), len(objSeen))
-	}
-	return nil
 }

@@ -30,6 +30,11 @@ const (
 	KindClear Kind = 4
 	// KindAudit carries an opaque audit payload in Data.
 	KindAudit Kind = 5
+	// KindBatch is one atomic multi-op commit (a /v1/mutate batch): all of
+	// its sub-ops live inside a single frame, so the one-frame atomicity the
+	// torn-tail repair already provides makes batch replay all-or-nothing for
+	// free — recovery can never resurrect half a batch.
+	KindBatch Kind = 6
 )
 
 func (k Kind) String() string {
@@ -44,6 +49,8 @@ func (k Kind) String() string {
 		return "clear"
 	case KindAudit:
 		return "audit"
+	case KindBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -56,6 +63,13 @@ type Record struct {
 	Gen     uint64
 	Triples []rdf.Triple // mutation kinds; [old, new] for KindReplace
 	Data    []byte       // KindAudit payload
+	Ops     []SubOp      // KindBatch sub-ops, in apply order
+}
+
+// SubOp is one mutation of a KindBatch record.
+type SubOp struct {
+	Kind    Kind
+	Triples []rdf.Triple
 }
 
 // On-disk frame: uint32 LE payload length, uint32 LE CRC32C of the payload,
@@ -117,6 +131,19 @@ func encodeRecord(r Record) ([]byte, error) {
 		payload = binary.AppendUvarint(payload, 1)
 		payload = binary.AppendUvarint(payload, uint64(len(r.Data)))
 		payload = append(payload, r.Data...)
+	case KindBatch:
+		if len(r.Ops) == 0 {
+			return nil, fmt.Errorf("wal: batch record needs at least one sub-op")
+		}
+		payload = binary.AppendUvarint(payload, uint64(len(r.Ops)))
+		for i, sub := range r.Ops {
+			blob, err := encodeSubOp(sub)
+			if err != nil {
+				return nil, fmt.Errorf("wal: batch sub-op %d: %w", i, err)
+			}
+			payload = binary.AppendUvarint(payload, uint64(len(blob)))
+			payload = append(payload, blob...)
+		}
 	default:
 		return nil, fmt.Errorf("wal: cannot encode record kind %d", r.Kind)
 	}
@@ -229,10 +256,90 @@ func decodePayload(payload []byte) (Record, error) {
 			return corrupt("audit record has %d items, want 1", len(items))
 		}
 		rec.Data = append([]byte(nil), items[0]...)
+	case KindBatch:
+		if len(items) == 0 {
+			return corrupt("batch record has no sub-ops")
+		}
+		rec.Ops = make([]SubOp, 0, len(items))
+		for i, it := range items {
+			sub, err := decodeSubOp(it)
+			if err != nil {
+				return corrupt("batch sub-op %d: %v", i, err)
+			}
+			rec.Ops = append(rec.Ops, sub)
+		}
 	default:
 		return corrupt("unknown record kind %d", uint8(rec.Kind))
 	}
 	return rec, nil
+}
+
+// encodeSubOp renders one KindBatch item: sub-op kind (1 byte), triple count
+// (uvarint), then length-prefixed N-Triples statements.
+func encodeSubOp(sub SubOp) ([]byte, error) {
+	switch sub.Kind {
+	case KindAdd, KindRemove, KindClear:
+	case KindReplace:
+		if len(sub.Triples) != 2 {
+			return nil, fmt.Errorf("replace sub-op needs [old, new], got %d triples", len(sub.Triples))
+		}
+	default:
+		return nil, fmt.Errorf("kind %s cannot appear in a batch", sub.Kind)
+	}
+	blob := make([]byte, 0, 64)
+	blob = append(blob, byte(sub.Kind))
+	blob = binary.AppendUvarint(blob, uint64(len(sub.Triples)))
+	for _, t := range sub.Triples {
+		line := t.String()
+		blob = binary.AppendUvarint(blob, uint64(len(line)))
+		blob = append(blob, line...)
+	}
+	return blob, nil
+}
+
+func decodeSubOp(blob []byte) (SubOp, error) {
+	if len(blob) == 0 {
+		return SubOp{}, fmt.Errorf("empty sub-op")
+	}
+	sub := SubOp{Kind: Kind(blob[0])}
+	switch sub.Kind {
+	case KindAdd, KindRemove, KindReplace, KindClear:
+	default:
+		return SubOp{}, fmt.Errorf("kind %d cannot appear in a batch", uint8(sub.Kind))
+	}
+	p := blob[1:]
+	count, used := binary.Uvarint(p)
+	if used <= 0 {
+		return SubOp{}, fmt.Errorf("bad triple count varint")
+	}
+	p = p[used:]
+	if count > uint64(len(p)) {
+		return SubOp{}, fmt.Errorf("triple count %d exceeds sub-op bytes", count)
+	}
+	if sub.Kind == KindReplace && count != 2 {
+		return SubOp{}, fmt.Errorf("replace sub-op has %d triples, want 2", count)
+	}
+	sub.Triples = make([]rdf.Triple, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n, used := binary.Uvarint(p)
+		if used <= 0 {
+			return SubOp{}, fmt.Errorf("bad triple length varint (triple %d)", i)
+		}
+		p = p[used:]
+		if n > uint64(len(p)) {
+			return SubOp{}, fmt.Errorf("triple %d claims %d bytes, %d remain", i, n, len(p))
+		}
+		t, err := parseTripleLine(string(p[:n]))
+		if err != nil {
+			return SubOp{}, fmt.Errorf("triple %d: %v", i, err)
+		}
+		sub.Triples = append(sub.Triples, t)
+		p = p[n:]
+	}
+	if len(p) != 0 {
+		return SubOp{}, fmt.Errorf("%d stray bytes after last triple", len(p))
+	}
+	return sub, nil
 }
 
 // parseTripleLine parses exactly one N-Triples statement.

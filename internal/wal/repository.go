@@ -205,7 +205,7 @@ func Open(st *store.Store, opts Options) (*Repository, error) {
 		"duration", r.recovery.Duration)
 
 	r.instrument(opts.Metrics)
-	st.SetCommitHook(r.commit)
+	st.SetGroupCommitHook(r.commitGroup)
 
 	if r.policy == FsyncInterval {
 		iv := opts.FsyncInterval
@@ -405,10 +405,39 @@ func (r *Repository) applyRecord(rec Record, maxAudit int) error {
 		if len(r.auditReplay) > maxAudit {
 			r.auditReplay = r.auditReplay[len(r.auditReplay)-maxAudit:]
 		}
+	case KindBatch:
+		// Replay the batch exactly as it committed: atomically, as one store
+		// generation. Sub-ops already reflected in the snapshot no-op out.
+		ops := make([]store.Op, 0, len(rec.Ops))
+		for _, sub := range rec.Ops {
+			kind, ok := storeKindOf(sub.Kind)
+			if !ok {
+				return fmt.Errorf("%w: batch sub-op kind %d", ErrCorrupt, sub.Kind)
+			}
+			ops = append(ops, store.Op{Kind: kind, Triples: sub.Triples})
+		}
+		if _, err := r.st.ApplyBatch(ops); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, rec.Kind)
 	}
 	return nil
+}
+
+// storeKindOf is the inverse of opKindOf: record kind → store op kind.
+func storeKindOf(k Kind) (store.OpKind, bool) {
+	switch k {
+	case KindAdd:
+		return store.OpAdd, true
+	case KindRemove:
+		return store.OpRemove, true
+	case KindReplace:
+		return store.OpReplace, true
+	case KindClear:
+		return store.OpClear, true
+	}
+	return 0, false
 }
 
 // Info returns what recovery reconstructed.
@@ -459,37 +488,82 @@ func (r *Repository) WALStatus() Status {
 // first, so the caller can restore its audit trail.
 func (r *Repository) AuditReplay() [][]byte { return r.auditReplay }
 
-// commit is the store's commit hook: journal the op before the store applies
-// it. It runs under the store write lock, so append order is exactly apply
-// order; an error here aborts the mutation and the caller never sees an ack.
-// The op's request context (when present) carries the trace, so durability
-// cost shows up as wal.append / wal.fsync spans on the mutation's trace.
-func (r *Repository) commit(op store.Op) error {
-	ctx := op.Ctx
-	if ctx == nil {
-		ctx = context.Background()
+// commitGroup is the store's group commit hook: journal every logical commit
+// of the group before the store publishes any of it. It runs under the store
+// writer lock, so append order is exactly apply order; an error here aborts
+// the whole group and no caller sees an ack. Each single-op commit becomes
+// one plain record; an atomic multi-op batch becomes one KindBatch record,
+// so torn-tail truncation can only ever drop whole commits. The group pays
+// one segment write and — under FsyncAlways — one fsync, however many
+// concurrent mutations it carries: that is the whole point.
+//
+// Each commit's request context (when present) carries its trace, so the
+// durability cost shows up as wal.append / wal.fsync spans per mutation.
+func (r *Repository) commitGroup(groups [][]store.Op) error {
+	frames := make([][]byte, 0, len(groups))
+	spans := make([]*obs.Span, 0, len(groups))
+	finish := func(err error) {
+		for _, sp := range spans {
+			if err != nil {
+				sp.Fail(err)
+			}
+			sp.End()
+		}
 	}
-	ctx, sp := obs.StartSpan(ctx, "wal.append")
-	defer sp.End()
-	kind, ok := opKindOf(op.Kind)
-	if !ok {
-		err := fmt.Errorf("wal: unloggable op kind %v", op.Kind)
-		sp.Fail(err)
-		return err
+	fsyncCtx := context.Background()
+	for i, ops := range groups {
+		ctx := context.Background()
+		if len(ops) > 0 && ops[0].Ctx != nil {
+			ctx = ops[0].Ctx
+		}
+		if i == 0 {
+			fsyncCtx = ctx
+		}
+		_, sp := obs.StartSpan(ctx, "wal.append")
+		spans = append(spans, sp)
+		frame, err := encodeGroup(ops, sp)
+		if err != nil {
+			finish(err)
+			return err
+		}
+		sp.Add("bytes", int64(len(frame)))
+		frames = append(frames, frame)
 	}
-	sp.SetAttr("kind", kind.String())
-	sp.Add("triples", int64(len(op.Triples)))
-	frame, err := encodeRecord(Record{Kind: kind, Gen: op.Gen, Triples: op.Triples})
-	if err != nil {
-		sp.Fail(err)
-		return err
+	err := r.appendFrames(fsyncCtx, frames, r.policy == FsyncAlways)
+	finish(err)
+	return err
+}
+
+// encodeGroup renders one logical commit as one WAL frame: a plain record
+// for a single op, a KindBatch record for an atomic multi-op batch.
+func encodeGroup(ops []store.Op, sp *obs.Span) ([]byte, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("wal: empty commit group")
 	}
-	sp.Add("bytes", int64(len(frame)))
-	if err := r.append(ctx, frame, r.policy == FsyncAlways); err != nil {
-		sp.Fail(err)
-		return err
+	if len(ops) == 1 {
+		op := ops[0]
+		kind, ok := opKindOf(op.Kind)
+		if !ok {
+			return nil, fmt.Errorf("wal: unloggable op kind %v", op.Kind)
+		}
+		sp.SetAttr("kind", kind.String())
+		sp.Add("triples", int64(len(op.Triples)))
+		return encodeRecord(Record{Kind: kind, Gen: op.Gen, Triples: op.Triples})
 	}
-	return nil
+	subs := make([]SubOp, 0, len(ops))
+	triples := 0
+	for _, op := range ops {
+		kind, ok := opKindOf(op.Kind)
+		if !ok {
+			return nil, fmt.Errorf("wal: unloggable op kind %v", op.Kind)
+		}
+		subs = append(subs, SubOp{Kind: kind, Triples: op.Triples})
+		triples += len(op.Triples)
+	}
+	sp.SetAttr("kind", KindBatch.String())
+	sp.Add("ops", int64(len(subs)))
+	sp.Add("triples", int64(triples))
+	return encodeRecord(Record{Kind: KindBatch, Gen: ops[0].Gen, Ops: subs})
 }
 
 // AppendAudit journals an opaque audit payload. Audit entries are never
@@ -513,6 +587,25 @@ func (r *Repository) AppendAudit(data []byte) error {
 // broken and every later append refuses until the process restarts and
 // recovery re-establishes a trustworthy tail.
 func (r *Repository) append(ctx context.Context, frame []byte, syncNow bool) error {
+	return r.appendFrames(ctx, [][]byte{frame}, syncNow)
+}
+
+// appendFrames writes a group of frames to the active segment as one
+// contiguous write, optionally fsyncing once afterwards. The write is
+// all-or-nothing: on failure the segment is truncated back to the last
+// committed offset, so a group never half-lands.
+func (r *Repository) appendFrames(ctx context.Context, frames [][]byte, syncNow bool) error {
+	buf := frames[0]
+	if len(frames) > 1 {
+		total := 0
+		for _, f := range frames {
+			total += len(f)
+		}
+		buf = make([]byte, 0, total)
+		for _, f := range frames {
+			buf = append(buf, f...)
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.broken != nil {
@@ -521,8 +614,8 @@ func (r *Repository) append(ctx context.Context, frame []byte, syncNow bool) err
 	if r.closed {
 		return errClosed
 	}
-	if _, err := r.seg.Write(frame); err != nil {
-		// Repair the torn frame so the in-memory offset stays truthful. If
+	if _, err := r.seg.Write(buf); err != nil {
+		// Repair the torn frames so the in-memory offset stays truthful. If
 		// even that fails, the tail is untrustworthy: fail stop.
 		name := filepath.Join(r.dir, segmentName(r.segSeq))
 		if terr := r.truncateSegment(name, r.segBytes); terr != nil {
@@ -530,16 +623,16 @@ func (r *Repository) append(ctx context.Context, frame []byte, syncNow bool) err
 		}
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	r.segBytes += int64(len(frame))
+	r.segBytes += int64(len(buf))
 	r.dirty = true
 	if syncNow {
 		if err := r.syncCtxLocked(ctx); err != nil {
 			return err
 		}
 	}
-	r.mAppends.Inc()
-	r.mBytes.Add(float64(len(frame)))
-	r.recordsSinceSnap++
+	r.mAppends.Add(float64(len(frames)))
+	r.mBytes.Add(float64(len(buf)))
+	r.recordsSinceSnap += len(frames)
 	if r.snapshotEvery > 0 && r.recordsSinceSnap >= r.snapshotEvery {
 		select {
 		case r.snapCh <- struct{}{}:
