@@ -1,5 +1,5 @@
 // Command grdf-bench regenerates every experiment table of the reproduction
-// (E1–E18, see DESIGN.md and EXPERIMENTS.md).
+// (E1–E19, see DESIGN.md and EXPERIMENTS.md).
 //
 // With -json DIR it additionally writes one machine-readable BENCH_<id>.json
 // per experiment — the table cells, the wall time, and a snapshot of the
@@ -105,6 +105,7 @@ func main() {
 		{"E16", func() *experiments.Table { return experiments.E16Tracing(*requests) }},
 		{"E17", func() *experiments.Table { return experiments.E17Load(*requests) }},
 		{"E18", func() *experiments.Table { return experiments.E18GroupCommit(*requests) }},
+		{"E19", func() *experiments.Table { return experiments.E19Replication(*requests) }},
 	}
 
 	selected := map[string]bool{}

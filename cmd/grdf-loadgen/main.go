@@ -8,11 +8,17 @@
 // suffered it. The exit status encodes the verdict — 0 on pass, 1 on SLO
 // breach, 2 on usage errors — so CI can gate on capacity.
 //
+// -target accepts a comma-separated list of servers; the read arms are
+// round-robined across all of them (the replicas of a replicated
+// deployment), while mutations always address the first entry — list the
+// leader first when the mix includes writes.
+//
 // Usage:
 //
 //	grdf-loadgen -target http://127.0.0.1:8080 -rps 500 -duration 30s
 //	grdf-loadgen -target ... -sweep 250,500,1000,2000 -json report.json
 //	grdf-loadgen -target ... -writer-role Writer -mix query=70,view=25,mutate=5
+//	grdf-loadgen -target http://r1:8081,http://r2:8082 -rps 1000  # replica fan-out
 package main
 
 import (
@@ -46,6 +52,18 @@ type flagConfig struct {
 	maxInFlight int
 	timeout     time.Duration
 	seed        int64
+}
+
+// parseTargets splits a comma-separated -target list, dropping empty
+// entries so a trailing comma is harmless.
+func parseTargets(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // parseSweep parses "250,500,1000" into rates.
@@ -98,11 +116,14 @@ func parseMix(s string) (query, view, mutate int, err error) {
 
 // validateFlags rejects inconsistent configurations; pure for testing.
 func validateFlags(c flagConfig) error {
-	if c.target == "" {
+	targets := parseTargets(c.target)
+	if len(targets) == 0 {
 		return fmt.Errorf("-target is required")
 	}
-	if !strings.HasPrefix(c.target, "http://") && !strings.HasPrefix(c.target, "https://") {
-		return fmt.Errorf("-target must be an http(s) URL (got %q)", c.target)
+	for _, t := range targets {
+		if !strings.HasPrefix(t, "http://") && !strings.HasPrefix(t, "https://") {
+			return fmt.Errorf("-target entries must be http(s) URLs (got %q)", t)
+		}
 	}
 	sweep, err := parseSweep(c.sweep)
 	if err != nil {
@@ -140,7 +161,7 @@ func validateFlags(c flagConfig) error {
 }
 
 func main() {
-	target := flag.String("target", "", "gsacs-server base URL (required), e.g. http://127.0.0.1:8080")
+	target := flag.String("target", "", "gsacs-server base URL(s), comma-separated; reads round-robin across all, mutations hit the first")
 	rps := flag.Float64("rps", 100, "constant arrival rate (ignored with -sweep)")
 	duration := flag.Duration("duration", 10*time.Second, "dispatch window per rate")
 	sweep := flag.String("sweep", "", "comma-separated RPS list to sweep for max sustained throughput (e.g. 250,500,1000)")
@@ -174,7 +195,7 @@ func main() {
 
 	qw, vw, mw, _ := parseMix(*mix)
 	arms, err := load.ScenarioArms(load.MixConfig{
-		BaseURL:      *target,
+		BaseURLs:     parseTargets(*target),
 		Client:       load.NewClient(*maxInFlight, *timeout),
 		QueryWeight:  qw,
 		ViewWeight:   vw,

@@ -56,6 +56,24 @@ func TestValidateFlags(t *testing.T) {
 		"zero slo latency":        func(c *flagConfig) { c.sloLatency = 0 },
 		"slo availability 1":      func(c *flagConfig) { c.sloAvail = 1 },
 		"negative slo avail":      func(c *flagConfig) { c.sloAvail = -0.5 },
+		"follow with data-dir": func(c *flagConfig) {
+			c.follow = "http://leader:8080"
+			c.dataDir = "/tmp/x"
+		},
+		"follow with sources": func(c *flagConfig) {
+			c.follow = "http://leader:8080"
+			c.sources = []string{"http://p"}
+		},
+		"follow with router": func(c *flagConfig) {
+			c.follow = "http://leader:8080"
+			c.router = true
+		},
+		"follow with negative lag": func(c *flagConfig) {
+			c.follow = "http://leader:8080"
+			c.maxReplicaLag = -time.Second
+		},
+		"router without sources":         func(c *flagConfig) { c.router = true },
+		"retain-min-seq without datadir": func(c *flagConfig) { c.retainMinSeq = 10 },
 	}
 	for name, mutate := range cases {
 		c := validFlags()
@@ -77,6 +95,24 @@ func TestValidateFlags(t *testing.T) {
 	ok.sites = 0 // irrelevant when data files are given
 	if err := validateFlags(ok); err != nil {
 		t.Errorf("custom dataset with zero sites rejected: %v", err)
+	}
+	ok = validFlags()
+	ok.follow = "http://leader:8080"
+	ok.maxReplicaLag = 5 * time.Second
+	if err := validateFlags(ok); err != nil {
+		t.Errorf("plain follower rejected: %v", err)
+	}
+	ok = validFlags()
+	ok.router = true
+	ok.sources = []string{"http://replica1:8081", "http://replica2:8082"}
+	if err := validateFlags(ok); err != nil {
+		t.Errorf("router over replicas rejected: %v", err)
+	}
+	ok = validFlags()
+	ok.dataDir = "/tmp/x"
+	ok.retainMinSeq = 42
+	if err := validateFlags(ok); err != nil {
+		t.Errorf("manual retention floor on a durable leader rejected: %v", err)
 	}
 }
 

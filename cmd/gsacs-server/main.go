@@ -30,6 +30,16 @@
 // tolerance"). SIGINT/SIGTERM drain in-flight requests for up to
 // -drain-timeout before exit, then close the log cleanly.
 //
+// A durable server (-data-dir) is also a replication leader: followers pull
+// its WAL over GET /v1/wal/stream and bootstrap from GET /v1/wal/snapshot.
+// With -follow the server runs as a read replica instead: it replicates the
+// leader's state, serves reads, answers every mutation with 421 and a
+// Location header naming the leader, and gates its readiness on replication
+// lag (-max-replica-lag) — /healthz flips to 503 "lagging" whenever the
+// replica cannot prove itself caught up within the bound (see README
+// "Replication & failover"). -router serves /v1/query purely by fanning out
+// across -source replicas, with no local engine in the merge.
+//
 // Usage:
 //
 //	gsacs-server -addr :8080                       # built-in scenario
@@ -38,6 +48,9 @@
 //	gsacs-server -pprof -log-level debug           # profiling + verbose logs
 //	gsacs-server -source http://peer1:8080 -source-timeout 2s \
 //	             -breaker-threshold 5 -retry-max 3 # federated front-end
+//	gsacs-server -follow http://leader:8080 -max-replica-lag 5s  # read replica
+//	gsacs-server -router -source http://replica1:8081 \
+//	             -source http://replica2:8082       # replica-only query router
 package main
 
 import (
@@ -62,6 +75,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/owl"
 	"repro/internal/rdf"
+	"repro/internal/repl"
 	"repro/internal/seconto"
 	"repro/internal/store"
 	"repro/internal/turtle"
@@ -111,6 +125,10 @@ type flagConfig struct {
 	slowQuery     time.Duration
 	sloLatency    time.Duration
 	sloAvail      float64
+	follow        string
+	maxReplicaLag time.Duration
+	router        bool
+	retainMinSeq  uint64
 }
 
 // validateFlags rejects inconsistent or out-of-range configurations. It is a
@@ -177,6 +195,23 @@ func validateFlags(c flagConfig) error {
 			return fmt.Errorf("-retry-max must be at least 1")
 		}
 	}
+	if c.follow != "" {
+		if c.dataDir != "" {
+			return fmt.Errorf("-follow runs a read replica; -data-dir would fork the leader's durable history")
+		}
+		if len(c.sources) > 0 || c.router {
+			return fmt.Errorf("-follow cannot be combined with -source or -router; run the router as its own process")
+		}
+		if c.maxReplicaLag < 0 {
+			return fmt.Errorf("-max-replica-lag must be non-negative (0 disables the lag gate)")
+		}
+	}
+	if c.router && len(c.sources) == 0 {
+		return fmt.Errorf("-router requires at least one -source replica to route to")
+	}
+	if c.retainMinSeq > 0 && c.dataDir == "" {
+		return fmt.Errorf("-wal-retain-min-seq has no effect without -data-dir")
+	}
 	if c.traceBuffer < 0 {
 		return fmt.Errorf("-trace-buffer must be non-negative (0 disables trace retention)")
 	}
@@ -224,6 +259,11 @@ func main() {
 	retryMax := flag.Int("retry-max", 3, "attempts per source per request (1 disables retries)")
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "base backoff before the first retry")
 
+	follow := flag.String("follow", "", "run as a read replica of this leader base URL (replicates its WAL; mutations answer 421 pointing at the leader)")
+	maxReplicaLag := flag.Duration("max-replica-lag", 5*time.Second, "replica staleness bound: readiness flips to 503 \"lagging\" when the follower cannot prove itself caught up within this window (0 disables)")
+	router := flag.Bool("router", false, "federate /v1/query across -source replicas only, with no local engine in the merge")
+	walRetainMinSeq := flag.Uint64("wal-retain-min-seq", 0, "manual WAL GC retention floor: never delete segments holding records at or after this sequence (0 = active follower positions alone drive retention)")
+
 	traceBuffer := flag.Int("trace-buffer", 256, "completed traces retained for /v1/traces (0 disables retention; spans still feed explain=analyze and the slow-query log)")
 	slowQuery := flag.Duration("slow-query-threshold", 0, "log the full span tree of any request slower than this (0 disables)")
 	sloLatency := flag.Duration("slo-latency", 100*time.Millisecond, "p99 latency objective tracked by /v1/slo and grdf_slo_* metrics")
@@ -246,6 +286,8 @@ func main() {
 		breakerThresh: *breakerThreshold, retryMax: *retryMax,
 		traceBuffer: *traceBuffer, slowQuery: *slowQuery,
 		sloLatency: *sloLatency, sloAvail: *sloAvail,
+		follow: *follow, maxReplicaLag: *maxReplicaLag,
+		router: *router, retainMinSeq: *walRetainMinSeq,
 	}
 	if err := validateFlags(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "gsacs-server: %v\n\n", err)
@@ -272,14 +314,26 @@ func main() {
 	}
 
 	// Durable mode builds the engine over an empty store and recovers into it
-	// asynchronously; in-memory mode serves the loaded dataset directly.
+	// asynchronously; follower mode builds it over an empty store that the
+	// replication loop fills; in-memory mode serves the loaded dataset
+	// directly.
 	var engine *gsacs.Engine
 	var ready atomic.Bool
 	var repoPtr atomic.Pointer[wal.Repository]
+	var leaderPtr atomic.Pointer[repl.Leader]
 	durable := *dataDir != ""
-	if durable {
+	following := *follow != ""
+	if durable || following {
 		st := store.New().Instrument(reg)
 		engine = gsacs.New(policies, st, gsacs.Options{CacheSize: *cache, Metrics: reg})
+		if following {
+			if *auditCap > 0 {
+				engine.EnableAudit(*auditCap)
+			}
+			// A replica's serving gate is its replication state (bootstrapped,
+			// within the lag bound), not the durable-recovery probe.
+			ready.Store(true)
+		}
 	} else {
 		seedData.Instrument(reg)
 		engine = gsacs.New(policies, seedData, gsacs.Options{
@@ -320,9 +374,38 @@ func main() {
 			}
 			return nil
 		}))
+		// A durable server is a replication leader: followers stream its WAL
+		// and bootstrap from its snapshots. Like the repository, the leader
+		// appears only once recovery completes.
+		opts = append(opts, gsacs.WithReplLeader(leaderPtr.Load))
+	}
+	var follower *repl.Follower
+	if following {
+		f, err := repl.NewFollower(engine.Data(), repl.FollowerOptions{
+			LeaderURL: *follow,
+			MaxLag:    *maxReplicaLag,
+			Metrics:   reg,
+			Logger:    logger,
+			// Every bootstrap (initial, post-fencing, post-compaction) replaces
+			// the triple set wholesale; the reasoner's inferences must follow.
+			OnBootstrap: func() { engine.SetReasoner(newReasoner(engine.Data(), reg)) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsacs-server: %v\n", err)
+			os.Exit(1)
+		}
+		follower = f
+		opts = append(opts,
+			gsacs.WithReplStatus(f.Status),
+			gsacs.WithMutationRedirect(*follow))
 	}
 	if len(sources) > 0 {
-		members := []federation.Source{federation.NewLocalSource("local", engine)}
+		var members []federation.Source
+		if !*router {
+			// A dedicated router process carries no data of its own; anything
+			// else merges its local engine into the fan-out.
+			members = append(members, federation.NewLocalSource("local", engine))
+		}
 		for i, base := range sources {
 			members = append(members,
 				federation.NewRemoteSource(fmt.Sprintf("peer%d", i+1), base, nil))
@@ -369,6 +452,8 @@ func main() {
 	logger.Info("gsacs-server listening",
 		"addr", ln.Addr().String(),
 		"durable", durable,
+		"follow", *follow,
+		"router", *router,
 		"policies", len(engine.Policies().Rules),
 		"cache_entries", *cache,
 		"audit_capacity", *auditCap,
@@ -376,6 +461,12 @@ func main() {
 		"federated_sources", len(sources),
 		"drain_timeout", drainTimeout.String(),
 	)
+
+	replCtx, replCancel := context.WithCancel(context.Background())
+	defer replCancel()
+	if follower != nil {
+		go follower.Run(replCtx)
+	}
 
 	if durable {
 		policy, _ := wal.ParseFsyncPolicy(*fsyncMode)
@@ -393,6 +484,13 @@ func main() {
 				// must decide what to do with the damaged directory.
 				os.Exit(1)
 			}
+			// Recovery done: stand up the replication leader over the open
+			// repository so followers can stream and bootstrap.
+			leaderPtr.Store(repl.NewLeader(engine.Data(), repoPtr.Load(), repl.LeaderOptions{
+				RetainMinSeq: *walRetainMinSeq,
+				Metrics:      reg,
+				Logger:       logger,
+			}))
 			ready.Store(true)
 			logger.Info("gsacs-server ready", "triples", engine.Data().Len())
 		}()
@@ -401,8 +499,13 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	serveErr := serve(srv, ln, stop, *drainTimeout, logger)
-	// Drain finished (or failed): flush and close the log so the final
-	// fsync state on disk matches what clients were told.
+	// Drain finished (or failed): stop replication first, then flush and
+	// close the log so the final fsync state on disk matches what clients
+	// were told.
+	replCancel()
+	if ld := leaderPtr.Load(); ld != nil {
+		ld.Close()
+	}
 	if repo := repoPtr.Load(); repo != nil {
 		if err := repo.Close(); err != nil {
 			logger.Error("closing repository", "err", err.Error())

@@ -321,3 +321,34 @@ func TestE15DurabilityShape(t *testing.T) {
 		t.Errorf("snapshot recovery row = %v, want snapshot=yes records=0", last)
 	}
 }
+
+func TestE19ReplicationShape(t *testing.T) {
+	tab := E19Replication(90)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 replica counts:\n%s", len(tab.Rows), tab)
+	}
+	if joined := strings.Join(tab.Notes, " "); strings.Contains(joined, "failed") {
+		t.Fatalf("an arm errored (kill, restart, or rejoin broke):\n%s", tab)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tab.Columns))
+		}
+		var errors int
+		if _, err := fmt.Sscanf(row[5], "%d", &errors); err != nil {
+			t.Fatalf("errors cell %q not numeric: %v", row[5], row)
+		}
+		if i == 0 && errors == 0 {
+			// A lone replica has nothing to hide behind: the kill window
+			// must surface as unanswered requests.
+			t.Errorf("single-replica arm took a kill with zero errors: %v", row)
+		}
+		if i > 0 && errors != 0 {
+			// Behind the router, surviving replicas must absorb the outage.
+			t.Errorf("%s-replica arm dropped %d requests: %v", row[0], errors, row)
+		}
+		if !strings.Contains(row[len(row)-1], "snapshots") {
+			t.Errorf("rejoin cell %q missing snapshot count: %v", row[len(row)-1], row)
+		}
+	}
+}

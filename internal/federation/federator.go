@@ -60,7 +60,7 @@ type Response struct {
 type sourceState struct {
 	src     Source
 	breaker *Breaker
-	budget  *retryBudget
+	budget  *RetryBudget
 
 	mOK, mErr, mTimeout, mOpen *obs.Counter
 	mRetries                   *obs.Counter
@@ -105,7 +105,7 @@ func New(cfg Config, sources ...Source) (*Federator, error) {
 		seen[name] = true
 		ss := &sourceState{
 			src:      src,
-			budget:   newRetryBudget(cfg.Retry),
+			budget:   NewRetryBudget(cfg.Retry),
 			mOK:      sourceCounter(reg, name, StateOK),
 			mErr:     sourceCounter(reg, name, StateError),
 			mTimeout: sourceCounter(reg, name, StateTimeout),
@@ -263,7 +263,7 @@ func (f *Federator) querySource(ctx context.Context, ss *sourceState, role, acti
 		}
 		report = r
 	}
-	ss.budget.deposit()
+	ss.budget.Deposit()
 
 	var lastErr error
 	for attempt := 1; attempt <= f.cfg.Retry.MaxAttempts; attempt++ {
@@ -281,7 +281,7 @@ func (f *Federator) querySource(ctx context.Context, ss *sourceState, role, acti
 		if ctx.Err() != nil || !IsRetryable(err) || attempt == f.cfg.Retry.MaxAttempts {
 			break
 		}
-		if !ss.budget.withdraw() {
+		if !ss.budget.Withdraw() {
 			lastErr = fmt.Errorf("federation: retry budget exhausted: %w", err)
 			break
 		}

@@ -86,6 +86,16 @@ func (c *RetryConfig) backoff(retry int) time.Duration {
 	return time.Duration(d)
 }
 
+// Backoff computes the delay before retry number retry (1-based) using the
+// config's exponential/jitter policy with defaults filled in, without
+// mutating the receiver. Exported for callers outside the federator loop —
+// the replication follower paces its reconnects with the same policy a
+// federated query retry uses.
+func (c RetryConfig) Backoff(retry int) time.Duration {
+	c.defaults()
+	return c.backoff(retry)
+}
+
 // sleepCtx waits d or until ctx is done, returning ctx.Err() in the latter
 // case.
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -99,21 +109,26 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// retryBudget is a token bucket shared by all requests to one source:
-// each request deposits BudgetRatio tokens, each retry withdraws one.
-type retryBudget struct {
+// RetryBudget is a token bucket shared by all requests to one target:
+// each request deposits BudgetRatio tokens, each retry withdraws one, so
+// sustained retries are capped at a fraction of real traffic. The federator
+// keeps one per source; the replication follower keeps one per leader.
+type RetryBudget struct {
 	mu     sync.Mutex
 	tokens float64
 	max    float64
 	ratio  float64
 }
 
-func newRetryBudget(cfg RetryConfig) *retryBudget {
-	return &retryBudget{tokens: cfg.BudgetBurst, max: cfg.BudgetBurst, ratio: cfg.BudgetRatio}
+// NewRetryBudget builds a bucket from cfg's BudgetBurst/BudgetRatio
+// (defaults applied).
+func NewRetryBudget(cfg RetryConfig) *RetryBudget {
+	cfg.defaults()
+	return &RetryBudget{tokens: cfg.BudgetBurst, max: cfg.BudgetBurst, ratio: cfg.BudgetRatio}
 }
 
-// deposit credits one request's worth of retry allowance.
-func (b *retryBudget) deposit() {
+// Deposit credits one request's worth of retry allowance.
+func (b *RetryBudget) Deposit() {
 	b.mu.Lock()
 	b.tokens += b.ratio
 	if b.tokens > b.max {
@@ -122,8 +137,8 @@ func (b *retryBudget) deposit() {
 	b.mu.Unlock()
 }
 
-// withdraw takes one retry token, reporting whether the budget allows it.
-func (b *retryBudget) withdraw() bool {
+// Withdraw takes one retry token, reporting whether the budget allows it.
+func (b *RetryBudget) Withdraw() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.tokens < 1 {

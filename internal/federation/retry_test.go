@@ -53,19 +53,19 @@ func TestBackoffBounds(t *testing.T) {
 // TestRetryBudget verifies the token bucket: a burst of retries drains it,
 // deposits refill it at the configured ratio.
 func TestRetryBudget(t *testing.T) {
-	b := newRetryBudget(RetryConfig{BudgetBurst: 2, BudgetRatio: 0.5})
-	if !b.withdraw() || !b.withdraw() {
+	b := NewRetryBudget(RetryConfig{BudgetBurst: 2, BudgetRatio: 0.5})
+	if !b.Withdraw() || !b.Withdraw() {
 		t.Fatal("burst capacity of 2 not available")
 	}
-	if b.withdraw() {
+	if b.Withdraw() {
 		t.Fatal("withdraw succeeded on an empty budget")
 	}
-	b.deposit() // +0.5 — still under one token
-	if b.withdraw() {
+	b.Deposit() // +0.5 — still under one token
+	if b.Withdraw() {
 		t.Fatal("withdraw succeeded on a fractional budget")
 	}
-	b.deposit() // 1.0
-	if !b.withdraw() {
+	b.Deposit() // 1.0
+	if !b.Withdraw() {
 		t.Fatal("refilled budget refused a withdrawal")
 	}
 }

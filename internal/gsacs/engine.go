@@ -14,6 +14,7 @@ package gsacs
 import (
 	"context"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -55,7 +56,10 @@ func (n nilReasoner) TypesOf(ind rdf.Term) []rdf.Term {
 type Engine struct {
 	policies *seconto.Set
 	data     *store.Store
-	reasoner Reasoner
+	// reasoner is swapped atomically: a read replica rebuilds it over the
+	// fresh triple set after every bootstrap, concurrently with decisions
+	// already in flight.
+	reasoner atomic.Pointer[Reasoner]
 	cache    *QueryCache
 	audit    *auditLog
 
@@ -84,11 +88,8 @@ type Options struct {
 
 // New builds an engine over a policy set and a data store.
 func New(policies *seconto.Set, data *store.Store, opts Options) *Engine {
-	e := &Engine{policies: policies, data: data, reasoner: opts.Reasoner,
-		metrics: opts.Metrics}
-	if e.reasoner == nil {
-		e.reasoner = nilReasoner{data: data}
-	}
+	e := &Engine{policies: policies, data: data, metrics: opts.Metrics}
+	e.SetReasoner(opts.Reasoner)
 	if opts.CacheSize > 0 {
 		e.cache = NewQueryCache(opts.CacheSize)
 		if e.metrics != nil {
@@ -106,17 +107,23 @@ func New(policies *seconto.Set, data *store.Store, opts Options) *Engine {
 func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // SetReasoner swaps the inference engine (nil restores direct assertions
-// only). It exists for crash recovery: the server builds the engine over an
-// empty store, recovers the durable state into it, and only then
-// materializes the reasoner over the recovered triples. Call it before the
-// engine serves traffic — the readiness gate in the HTTP front-end holds
-// requests back until recovery completes, so no decision is in flight.
+// only). Crash recovery and replication both need it: the server builds the
+// engine over an empty store, fills it (durable recovery, or a replica's
+// snapshot bootstrap), and only then materializes the reasoner over the
+// loaded triples. The swap is atomic — a replica re-bootstraps while
+// serving, so a decision in flight keeps the reasoner it started with and
+// the next decision sees the new one.
 func (e *Engine) SetReasoner(r Reasoner) {
 	if r == nil {
 		r = nilReasoner{data: e.data}
 	}
-	e.reasoner = r
+	e.reasoner.Store(&r)
 }
+
+// Reasoner returns the current inference engine. Callers that make several
+// reasoner calls for one decision read it once, so the decision is judged
+// by a single consistent reasoner even if a bootstrap swaps it mid-flight.
+func (e *Engine) Reasoner() Reasoner { return *e.reasoner.Load() }
 
 // Data exposes the underlying (unfiltered) store — for administrative paths
 // only.
@@ -278,14 +285,15 @@ func (e *Engine) resourceMatches(policyRes rdf.IRI, resource rdf.Term) bool {
 	if policyRes.Equal(resource) {
 		return true
 	}
-	for _, ty := range e.reasoner.TypesOf(resource) {
-		if e.reasoner.IsSubClassOf(ty, policyRes) {
+	reasoner := e.Reasoner()
+	for _, ty := range reasoner.TypesOf(resource) {
+		if reasoner.IsSubClassOf(ty, policyRes) {
 			return true
 		}
 	}
 	// Also check direct data types when the reasoner is external to data.
 	for _, ty := range e.data.Objects(resource, rdf.RDFType) {
-		if e.reasoner.IsSubClassOf(ty, policyRes) {
+		if reasoner.IsSubClassOf(ty, policyRes) {
 			return true
 		}
 	}

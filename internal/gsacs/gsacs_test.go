@@ -32,11 +32,11 @@ func TestDecideMainRepairSiteExtentOnly(t *testing.T) {
 		t.Fatalf("access = %+v", acc)
 	}
 	boundedBy := rdf.IRI(grdf.NS + "boundedBy")
-	if !acc.PropertyVisible(boundedBy, e.reasoner) {
+	if !acc.PropertyVisible(boundedBy, e.Reasoner()) {
 		t.Error("boundedBy not visible")
 	}
 	for _, hidden := range []rdf.IRI{datagen.HasSiteName, datagen.HasChemicalInfo, datagen.HasContactPhone} {
-		if acc.PropertyVisible(hidden, e.reasoner) {
+		if acc.PropertyVisible(hidden, e.Reasoner()) {
 			t.Errorf("%s visible to main repair", hidden.LocalName())
 		}
 	}
@@ -230,10 +230,10 @@ func TestDenyOverridesAndPriority(t *testing.T) {
 	if !acc.Allowed || !acc.Full {
 		t.Fatalf("access = %+v", acc)
 	}
-	if acc.PropertyVisible(rdf.IRI("http://e/p"), e.reasoner) {
+	if acc.PropertyVisible(rdf.IRI("http://e/p"), e.Reasoner()) {
 		t.Error("denied property still visible")
 	}
-	if !acc.PropertyVisible(rdf.IRI("http://e/q"), e.reasoner) {
+	if !acc.PropertyVisible(rdf.IRI("http://e/q"), e.Reasoner()) {
 		t.Error("unrelated property hidden")
 	}
 }

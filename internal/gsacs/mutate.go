@@ -56,7 +56,7 @@ func (e *Engine) authorizeTriple(subject, action rdf.IRI, t rdf.Triple) error {
 		}
 		return nil
 	}
-	if !acc.PropertyVisible(pred, e.reasoner) {
+	if !acc.PropertyVisible(pred, e.Reasoner()) {
 		return &ErrDenied{Subject: subject, Action: action, Resource: t.Subject, Property: pred}
 	}
 	return nil

@@ -18,6 +18,7 @@ import (
 	"repro/internal/ntriples"
 	"repro/internal/obs"
 	"repro/internal/rdf"
+	"repro/internal/repl"
 	"repro/internal/seconto"
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -60,6 +61,18 @@ type Server struct {
 	// slo, when set, receives every request's (route, latency, status) and
 	// serves the objective report at /v1/slo (see WithSLO).
 	slo *obs.SLOEngine
+	// replLeader, when set, mounts the WAL replication endpoints
+	// (/v1/wal/stream, /v1/wal/snapshot) served by the returned leader; a
+	// nil return answers 503 while durable recovery is still running
+	// (see WithReplLeader).
+	replLeader func() *repl.Leader
+	// replStatus, when set, marks this server a read replica: /healthz
+	// carries the replication block and readiness follows the follower's
+	// lag gate (see WithReplStatus).
+	replStatus func() repl.FollowerStatus
+	// leaderURL, when set, answers every mutation with 421 and a Location
+	// header pointing at the leader (see WithMutationRedirect).
+	leaderURL string
 }
 
 // ServerOption customizes NewServer.
@@ -142,12 +155,40 @@ func WithSLO(e *obs.SLOEngine) ServerOption {
 	return func(s *Server) { s.slo = e }
 }
 
+// WithReplLeader mounts the WAL-shipping endpoints — GET /v1/wal/stream
+// (long-poll record stream) and GET /v1/wal/snapshot (bootstrap state
+// transfer) — on whatever leader get() currently returns. A nil return
+// (durable recovery still running, so the repository is not yet open)
+// answers 503 "recovering". Both routes are excluded from SLO accounting:
+// a caught-up stream request parks on purpose for the whole poll window.
+func WithReplLeader(get func() *repl.Leader) ServerOption {
+	return func(s *Server) { s.replLeader = get }
+}
+
+// WithReplStatus marks this server a read replica fed by status(): /healthz
+// gains a "replication" block, and readiness is gated on the follower's
+// state — 503 "recovering" before the bootstrap snapshot lands, 503
+// "lagging" whenever replication lag exceeds the configured bound, so a
+// load balancer health-checking /healthz routes around a stale replica.
+func WithReplStatus(status func() repl.FollowerStatus) ServerOption {
+	return func(s *Server) { s.replStatus = status }
+}
+
+// WithMutationRedirect rejects every mutation (/insert, /delete, /update,
+// /v1/mutate) with 421 "not_leader" and a Location header addressed to the
+// leader — a follower's store is a replica; writing to it would fork
+// history. Clients retry the same request against the Location target.
+func WithMutationRedirect(leaderURL string) ServerOption {
+	return func(s *Server) { s.leaderURL = leaderURL }
+}
+
 // routes are the fixed mux patterns, reused as bounded metric label values.
 // The /v1/ names are canonical; the bare names are legacy aliases.
 var routes = []string{
 	"/v1/roles", "/v1/view", "/v1/resource", "/v1/query",
 	"/v1/ontologies", "/v1/insert", "/v1/delete", "/v1/update", "/v1/mutate",
 	"/v1/store", "/v1/audit", "/v1/traces", "/v1/slo",
+	"/v1/wal/stream", "/v1/wal/snapshot",
 	"/healthz", "/roles", "/view", "/resource", "/query",
 	"/ontologies", "/insert", "/delete", "/update", "/audit", "/metrics",
 }
@@ -213,12 +254,20 @@ func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Serv
 		s.mux.HandleFunc("/v1/slo", s.readOnly(s.handleSLO))
 		s.slo.Instrument(s.metrics)
 	}
+	if s.replLeader != nil {
+		s.mux.HandleFunc("/v1/wal/stream", s.handleWALStream)
+		s.mux.HandleFunc("/v1/wal/snapshot", s.handleWALSnapshot)
+	}
 	s.handler = obs.Middleware(obs.MiddlewareConfig{
 		Registry: s.metrics,
 		Logger:   s.logger,
 		Route:    routeLabel,
 		Tracer:   s.tracer,
 		SLO:      s.slo,
+		// A caught-up follower's stream request parks for the whole poll
+		// window by design; feeding that into the latency objectives would
+		// page on healthy behavior.
+		SLOSkip: func(route string) bool { return strings.HasPrefix(route, "/v1/wal/") },
 		Panic: func(w http.ResponseWriter, r *http.Request, v any) {
 			s.writeError(w, r, http.StatusInternalServerError, "internal",
 				"internal server error")
@@ -228,21 +277,75 @@ func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Serv
 }
 
 // readinessGate holds every route except /healthz and /metrics behind the
-// readiness probe: listening starts before recovery finishes, but no request
-// reaches an engine whose state is still being rebuilt.
+// readiness probes: listening starts before recovery finishes, but no request
+// reaches an engine whose state is still being rebuilt. On a read replica the
+// gate also tracks the follower: unbootstrapped answers "recovering", and a
+// replica whose replication lag exceeds its bound answers "lagging" — stale
+// reads are refused rather than silently served.
 func (s *Server) readinessGate(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.ready != nil && !s.ready() {
-			switch r.URL.Path {
-			case "/healthz", "/metrics":
-			default:
+		switch r.URL.Path {
+		case "/healthz", "/metrics":
+		default:
+			if s.ready != nil && !s.ready() {
 				s.writeError(w, r, http.StatusServiceUnavailable, "recovering",
 					"durable state is being recovered; retry shortly")
 				return
 			}
+			if s.replStatus != nil {
+				if rs := s.replStatus(); !rs.Ready {
+					if !rs.Bootstrapped {
+						s.writeError(w, r, http.StatusServiceUnavailable, "recovering",
+							"replica is bootstrapping from the leader snapshot; retry shortly")
+					} else {
+						s.writeError(w, r, http.StatusServiceUnavailable, "lagging",
+							fmt.Sprintf("replication lag %.2fs exceeds the %.2fs bound; use another replica",
+								rs.LagSeconds, rs.MaxLagSeconds))
+					}
+					return
+				}
+			}
 		}
 		next.ServeHTTP(w, r)
 	})
+}
+
+// handleWALStream serves the follower record stream once the leader exists;
+// during durable recovery the repository is still replaying, so there is
+// nothing to stream from yet.
+func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
+	ld := s.replLeader()
+	if ld == nil {
+		s.writeError(w, r, http.StatusServiceUnavailable, "recovering",
+			"replication leader is still recovering; retry shortly")
+		return
+	}
+	ld.ServeStream(w, r)
+}
+
+// handleWALSnapshot serves the bootstrap state transfer, with the same
+// recovery window as the stream.
+func (s *Server) handleWALSnapshot(w http.ResponseWriter, r *http.Request) {
+	ld := s.replLeader()
+	if ld == nil {
+		s.writeError(w, r, http.StatusServiceUnavailable, "recovering",
+			"replication leader is still recovering; retry shortly")
+		return
+	}
+	ld.ServeSnapshot(w, r)
+}
+
+// notLeader intercepts mutations on a read replica: 421 "not_leader" with a
+// Location header naming the leader, so a well-behaved client re-issues the
+// identical request there instead of forking the replica's history.
+func (s *Server) notLeader(w http.ResponseWriter, r *http.Request) bool {
+	if s.leaderURL == "" {
+		return false
+	}
+	w.Header().Set("Location", strings.TrimSuffix(s.leaderURL, "/")+r.URL.RequestURI())
+	s.writeError(w, r, http.StatusMisdirectedRequest, "not_leader",
+		"this server is a read replica; send mutations to the leader")
+	return true
 }
 
 // ServeHTTP implements http.Handler.
@@ -321,6 +424,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// Saturation signals: the resources that exhaust first under load, so
 	// an external load generator can distinguish "saturated" from "broken".
 	body["saturation"] = obs.ReadSaturation(s.metrics)
+	if s.replStatus != nil {
+		rs := s.replStatus()
+		body["replication"] = rs
+		if !rs.Ready {
+			// The replica still answers /healthz with the full picture, but
+			// the status line and code tell a probe to stop routing reads here.
+			if rs.Bootstrapped {
+				body["status"] = "lagging"
+			} else {
+				body["status"] = "recovering"
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}
 	s.writeJSON(w, r, body)
 }
 
@@ -750,6 +868,9 @@ func positiveIntParam(r *http.Request, name string, def int) (int, error) {
 // more N-Triples statements, applied through the write-authorization path.
 func (s *Server) handleMutate(insert bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.notLeader(w, r) {
+			return
+		}
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", "POST")
 			s.writeError(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
@@ -811,6 +932,9 @@ type mutateOpRequest struct {
 // Any failure (denial, missing update target, durability refusal) aborts the
 // whole batch and names the offending op in the error envelope.
 func (s *Server) handleMutateBatch(w http.ResponseWriter, r *http.Request) {
+	if s.notLeader(w, r) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		s.writeError(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
@@ -978,6 +1102,9 @@ func (s *Server) writeMutationError(w http.ResponseWriter, r *http.Request, err 
 // and predicate. The swap runs through the write-authorization path and is
 // applied atomically (readers never observe the triple absent).
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.notLeader(w, r) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		s.writeError(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")

@@ -45,7 +45,7 @@ func (e *Engine) FilterResource(resource rdf.Term, acc Access) []rdf.Triple {
 			add(t)
 			continue
 		}
-		if !acc.PropertyVisible(pred, e.reasoner) {
+		if !acc.PropertyVisible(pred, e.Reasoner()) {
 			continue
 		}
 		add(t)

@@ -37,6 +37,12 @@ const mixSiteQuery = `SELECT ?site ?name WHERE {
 type MixConfig struct {
 	// BaseURL is the gsacs-server root, e.g. http://127.0.0.1:8080.
 	BaseURL string
+	// BaseURLs, when set, round-robins the read arms across several server
+	// roots — the read replicas of a replicated deployment. Overrides
+	// BaseURL. The mutate arm always addresses the first entry: in a
+	// leader/follower deployment only the leader accepts writes, so list it
+	// first when mutating.
+	BaseURLs []string
 	// Client is the shared HTTP client (default: keep-alive tuned for the
 	// configured concurrency).
 	Client *http.Client
@@ -67,12 +73,23 @@ func NewClient(maxInFlight int, timeout time.Duration) *http.Client {
 	return &http.Client{Transport: tr, Timeout: timeout}
 }
 
-// ScenarioArms builds the weighted Sec 7.1 arms against cfg.BaseURL.
+// ScenarioArms builds the weighted Sec 7.1 arms against cfg.BaseURL, or
+// round-robin across cfg.BaseURLs.
 func ScenarioArms(cfg MixConfig) ([]Arm, error) {
-	if cfg.BaseURL == "" {
-		return nil, fmt.Errorf("load: BaseURL required")
+	bases := cfg.BaseURLs
+	if len(bases) == 0 {
+		if cfg.BaseURL == "" {
+			return nil, fmt.Errorf("load: BaseURL required")
+		}
+		bases = []string{cfg.BaseURL}
 	}
-	base := strings.TrimRight(cfg.BaseURL, "/")
+	for i := range bases {
+		bases[i] = strings.TrimRight(bases[i], "/")
+		if bases[i] == "" {
+			return nil, fmt.Errorf("load: target %d is empty", i)
+		}
+	}
+	base := bases[0]
 	if cfg.QueryWeight == 0 && cfg.ViewWeight == 0 && cfg.MutateWeight == 0 {
 		cfg.QueryWeight, cfg.ViewWeight, cfg.MutateWeight = 70, 25, 5
 	}
@@ -87,9 +104,16 @@ func ScenarioArms(cfg MixConfig) ([]Arm, error) {
 		cfg.MutateSite = "http://grdf.org/app#chem_site001"
 	}
 
+	// One shared cursor keeps the interleaving even across arms: with k
+	// targets, every k-th read (whatever its arm) lands on the same server.
+	var rr atomic.Uint64
 	get := func(path string) func(ctx context.Context) (Outcome, error) {
-		u := base + path
+		urls := make([]string, len(bases))
+		for i, b := range bases {
+			urls[i] = b + path
+		}
 		return func(ctx context.Context) (Outcome, error) {
+			u := urls[rr.Add(1)%uint64(len(urls))]
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 			if err != nil {
 				return Error, err

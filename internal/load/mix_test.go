@@ -75,6 +75,59 @@ func TestScenarioArmsMutateDisabledWithoutWriter(t *testing.T) {
 	}
 }
 
+// TestScenarioArmsRoundRobin: with several targets the read arms must
+// spread evenly across all of them, and the mutate arm must pin to the
+// first (the leader of a replicated deployment).
+func TestScenarioArmsRoundRobin(t *testing.T) {
+	const n = 3
+	hits := make([]int, n)
+	bases := make([]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i]++
+			fmt.Fprint(w, `{"results":[]}`)
+		}))
+		t.Cleanup(srv.Close)
+		bases[i] = srv.URL
+	}
+	arms, err := ScenarioArms(MixConfig{BaseURLs: bases, WriterRole: "Writer", MutateWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const rounds = 12
+	for r := 0; r < rounds; r++ {
+		for _, arm := range arms {
+			if arm.Name[:6] == "mutate" {
+				continue
+			}
+			if out, err := arm.Do(ctx); out != OK || err != nil {
+				t.Fatalf("arm %s: %v %v", arm.Name, out, err)
+			}
+		}
+	}
+	// 3 read arms x 12 rounds over 3 targets: exactly 12 requests each.
+	for i, h := range hits {
+		if h != rounds {
+			t.Fatalf("target %d served %d requests, want %d (hits %v)", i, h, rounds, hits)
+		}
+	}
+	// The mutate arm addresses the first target only.
+	before := append([]int(nil), hits...)
+	for _, arm := range arms {
+		if arm.Name[:6] != "mutate" {
+			continue
+		}
+		for r := 0; r < 4; r++ {
+			arm.Do(ctx) // outcome irrelevant; the stub is not a gsacs server
+		}
+	}
+	if hits[0] != before[0]+4 || hits[1] != before[1] || hits[2] != before[2] {
+		t.Fatalf("mutations not pinned to the first target: before %v after %v", before, hits)
+	}
+}
+
 // TestRunAgainstLiveServer is the harness acceptance loop: a short open-loop
 // run against a real server must complete with zero errors and a verdict.
 func TestRunAgainstLiveServer(t *testing.T) {

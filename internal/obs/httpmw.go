@@ -36,6 +36,10 @@ type MiddlewareConfig struct {
 	// SLO, when set, receives one (route, latency, status) observation
 	// per request for sliding-window objective tracking.
 	SLO *SLOEngine
+	// SLOSkip, when set, excludes matching routes from SLO accounting.
+	// Long-poll endpoints (the replication WAL stream) park on purpose for
+	// seconds at a time; counting them would poison the latency quantiles.
+	SLOSkip func(route string) bool
 }
 
 // statusWriter captures the response status code and bytes written.
@@ -132,7 +136,9 @@ func Middleware(cfg MiddlewareConfig, next http.Handler) http.Handler {
 				}
 				root.End()
 			}
-			cfg.SLO.Record(rt, elapsed, sw.status)
+			if cfg.SLOSkip == nil || !cfg.SLOSkip(rt) {
+				cfg.SLO.Record(rt, elapsed, sw.status)
+			}
 			reg.Counter("grdf_http_requests_total", "Completed HTTP requests.",
 				"route", rt, "code", itoa(sw.status)).Inc()
 			reg.Histogram("grdf_http_request_duration_seconds",

@@ -1,0 +1,174 @@
+package repl
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// corruptingProxy forwards requests to a leader and, while armed, flips
+// one bit in the middle of every 200 stream body — the in-transit
+// counterpart of the FaultFS at-rest bit flips.
+type corruptingProxy struct {
+	target string
+	armed  atomic.Bool
+	flips  atomic.Int64
+}
+
+func (p *corruptingProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	resp, err := http.Get(p.target + r.URL.Path + "?" + r.URL.RawQuery)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if p.armed.Load() && resp.StatusCode == http.StatusOK &&
+		strings.HasSuffix(r.URL.Path, "/stream") && len(body) > 0 {
+		wal.FlipBitBytes(body, len(body)/2, 2)
+		p.flips.Add(1)
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Del("Content-Length") // body length may be unchanged, but be safe
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// TestStreamCorruptionRefusedAndResumed: a bit flipped in transit must be
+// refused (CRC), counted, and retried from the last good sequence — and an
+// atomic batch corrupted mid-stream must never half-apply, even while the
+// corruption persists across several retries.
+func TestStreamCorruptionRefusedAndResumed(t *testing.T) {
+	node := newLeaderNode(t, t.TempDir(), LeaderOptions{PollTimeout: 100 * time.Millisecond})
+	for i := 0; i < 10; i++ {
+		node.st.Add(triple(i))
+	}
+	srv := startLeaderServer(t, func() *Leader { return node.leader })
+
+	proxy := &corruptingProxy{target: srv.URL}
+	proxySrv := httptest.NewServer(proxy)
+	defer proxySrv.Close()
+
+	f, fst, _ := startFollower(t, FollowerOptions{LeaderURL: proxySrv.URL, MaxLag: 5 * time.Second})
+	waitFor(t, 5*time.Second, "clean convergence", func() bool { return converged(node.st, fst) })
+
+	// A pair that must only ever appear atomically on the follower.
+	pairA, pairB := triple(500), triple(501)
+	sawPartial := atomic.Bool{}
+	stopWatch := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		for {
+			select {
+			case <-stopWatch:
+				return
+			default:
+			}
+			v := fst.View()
+			if v.Has(pairA) != v.Has(pairB) {
+				sawPartial.Store(true)
+			}
+		}
+	}()
+
+	// Corrupt every stream response while the batch ships.
+	proxy.armed.Store(true)
+	if _, err := node.st.ApplyBatch([]store.Op{
+		{Kind: store.OpAdd, Triples: []rdf.Triple{pairA}},
+		{Kind: store.OpAdd, Triples: []rdf.Triple{pairB}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower must refuse the corrupt record — repeatedly — without
+	// applying anything from those responses.
+	waitFor(t, 10*time.Second, "corrupt records refused", func() bool {
+		return f.Status().CorruptRecords >= 2
+	})
+	if fv := fst.View(); fv.Has(pairA) || fv.Has(pairB) {
+		// Refusal means the corrupt batch never applied, not even once.
+		t.Fatal("follower applied a record from a corrupted response")
+	}
+
+	// Heal the stream: the follower resumes from its last good sequence and
+	// converges with the batch intact.
+	proxy.armed.Store(false)
+	waitFor(t, 10*time.Second, "post-corruption convergence", func() bool { return converged(node.st, fst) })
+	close(stopWatch)
+	<-watchDone
+
+	if sawPartial.Load() {
+		t.Fatal("follower exposed half an atomic batch")
+	}
+	st := f.Status()
+	if st.CorruptRecords < 2 {
+		t.Fatalf("corrupt records = %d, want >= 2", st.CorruptRecords)
+	}
+	if st.SnapshotTransfers != 1 {
+		t.Fatalf("snapshot transfers = %d, want 1: corruption must resume the stream, not re-bootstrap", st.SnapshotTransfers)
+	}
+	if got := proxy.flips.Load(); got < 2 {
+		t.Fatalf("proxy flipped %d bodies, want >= 2", got)
+	}
+}
+
+// TestSnapshotCorruptionRefused: a bit flipped in a snapshot transfer
+// fails the snapshot's own CRC footer; the follower keeps retrying and
+// bootstraps successfully once the corruption clears.
+func TestSnapshotCorruptionRefused(t *testing.T) {
+	node := newLeaderNode(t, t.TempDir(), LeaderOptions{})
+	for i := 0; i < 10; i++ {
+		node.st.Add(triple(i))
+	}
+	srv := startLeaderServer(t, func() *Leader { return node.leader })
+
+	var corruptSnaps atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/wal/stream", func(w http.ResponseWriter, r *http.Request) {
+		node.leader.ServeStream(w, r)
+	})
+	mux.HandleFunc("/v1/wal/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(srv.URL + "/v1/wal/snapshot?" + r.URL.RawQuery)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if corruptSnaps.Add(1) <= 2 {
+			wal.FlipBitBytes(body, len(body)/3, 5)
+		}
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+	})
+	proxySrv := httptest.NewServer(mux)
+	defer proxySrv.Close()
+
+	f, fst, _ := startFollower(t, FollowerOptions{LeaderURL: proxySrv.URL})
+	waitFor(t, 10*time.Second, "bootstrap past corrupted snapshots", func() bool { return converged(node.st, fst) })
+	if st := f.Status(); st.CorruptRecords < 2 {
+		t.Fatalf("corrupt counter = %d, want >= 2 refused snapshot bodies", st.CorruptRecords)
+	}
+}

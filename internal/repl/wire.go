@@ -1,0 +1,60 @@
+// Package repl implements WAL-shipping replication for the G-SACS
+// repository: a leader serves its write-ahead log and snapshots over HTTP,
+// and followers replay them into their own MVCC stores to serve read-only
+// queries. The paper's architecture keeps one authoritative secured
+// ontology (Fig. 3); replication scales the *consumer* side of that design
+// — emergency responders and analysts fan out across read replicas — while
+// every byte they serve still originates from the single authoritative
+// write path.
+//
+// Wire protocol (all under /v1/wal/ on the leader):
+//
+//	GET /v1/wal/stream?from=<seq>&epoch=<epoch>&follower=<id>
+//	  200  body = concatenated raw WAL frames (disk representation,
+//	       CRC32C-framed), starting at record <from>
+//	  204  caught up: no records past from-1 within the long-poll window
+//	  409  epoch mismatch — the leader restarted; re-bootstrap
+//	  410  compacted — <from> predates the retained log; re-bootstrap
+//	GET /v1/wal/snapshot?follower=<id>
+//	  200  body = wal.EncodeSnapshotBytes state transfer
+//
+// Record sequence numbers are leader-incarnation-local. Every response
+// carries the leader's epoch — a random token minted at leader start — and
+// a follower pins the epoch it bootstrapped under. On mismatch the
+// follower discards its state and re-bootstraps from a snapshot: that is
+// the generation fencing that makes a leader restart safe without
+// cross-incarnation sequence durability.
+package repl
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Wire header names shared by leader and follower.
+const (
+	// HeaderEpoch carries the leader's incarnation token on every response;
+	// followers send their pinned epoch as the "epoch" query parameter.
+	HeaderEpoch = "X-Repl-Epoch"
+	// HeaderHeadSeq is the leader's newest record sequence at response time.
+	HeaderHeadSeq = "X-Repl-Head-Seq"
+	// HeaderHeadGen is the leader's store generation at response time.
+	HeaderHeadGen = "X-Repl-Head-Gen"
+	// HeaderNextSeq, on a snapshot response, is the sequence the follower
+	// must stream from after loading the snapshot body.
+	HeaderNextSeq = "X-Repl-Next-Seq"
+	// HeaderGeneration, on a snapshot response, is the leader store
+	// generation the snapshot captures.
+	HeaderGeneration = "X-Repl-Generation"
+)
+
+// NewEpoch mints a leader incarnation token: 16 random hex characters.
+func NewEpoch() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to a
+		// fixed-but-valid token rather than panicking the server.
+		return "epoch-rand-failed"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -419,6 +419,16 @@ func (s *Store) ApplyBatch(ops []Op) ([]int, error) {
 	return w.ns, w.err
 }
 
+// Barrier blocks until every mutation submitted before the call has been
+// committed and published. It rides the group-commit queue as an empty
+// waiter: FIFO processing means the barrier's group cannot commit before
+// any group enqueued ahead of it. The replication leader uses this to
+// order a snapshot capture against the WAL position read just before it.
+func (s *Store) Barrier() {
+	w := &commitWaiter{done: make(chan struct{})}
+	s.submit(w)
+}
+
 // BatchError reports which op of an atomic batch failed.
 type BatchError struct {
 	Index int

@@ -136,3 +136,14 @@ func FlipBit(path string, offset int64, bit uint) error {
 func TruncateFile(path string, size int64) error {
 	return os.Truncate(path, size)
 }
+
+// FlipBitBytes flips one bit of an in-memory buffer — the chaos tests'
+// model of in-transit corruption on a replication stream. offset indexes
+// the byte; bit selects 0–7. Out-of-range offsets are a no-op so tests can
+// aim at arbitrary positions of variable-length frames.
+func FlipBitBytes(buf []byte, offset int, bit uint) {
+	if offset < 0 || offset >= len(buf) {
+		return
+	}
+	buf[offset] ^= 1 << (bit % 8)
+}

@@ -157,6 +157,50 @@ func encodeRecord(r Record) ([]byte, error) {
 	return frame, nil
 }
 
+// EncodeRecord renders the full on-disk/wire frame (length + CRC32C header
+// + payload) for r. Exported for the replication transport, which ships
+// frames byte-identical to their disk representation.
+func EncodeRecord(r Record) ([]byte, error) { return encodeRecord(r) }
+
+// DecodeRecord decodes one record from buf starting at off, returning the
+// record and the offset of the next frame. io.EOF signals a clean end of
+// input; ErrTorn an incomplete tail frame; ErrCorrupt a checksum or
+// structure violation. A replication follower runs every streamed frame
+// through this — the same verification recovery uses — before applying it.
+func DecodeRecord(buf []byte, off int) (Record, int, error) { return decodeRecord(buf, off) }
+
+// frameAt verifies the length header and CRC32C of the frame starting at
+// off and returns the raw frame bytes (header included) plus the next
+// offset — without parsing the payload. The streaming read path uses this
+// to slice frames out of segments cheaply; full structural validation
+// happens on the receiving side via DecodeRecord.
+func frameAt(buf []byte, off int) ([]byte, int, error) {
+	rest := buf[off:]
+	if len(rest) < frameHeaderLen {
+		return nil, off, fmt.Errorf("%w: %d trailing bytes, need %d for a frame header",
+			ErrTorn, len(rest), frameHeaderLen)
+	}
+	n := binary.LittleEndian.Uint32(rest[0:4])
+	crc := binary.LittleEndian.Uint32(rest[4:8])
+	if n == 0 {
+		return nil, off, fmt.Errorf("%w: zero-length frame (zero-fill tail)", ErrTorn)
+	}
+	if n > maxRecordBytes {
+		return nil, off, fmt.Errorf("%w: frame claims %d bytes (limit %d)", ErrCorrupt, n, maxRecordBytes)
+	}
+	if len(rest) < frameHeaderLen+int(n) {
+		return nil, off, fmt.Errorf("%w: frame claims %d bytes, only %d remain",
+			ErrTorn, n, len(rest)-frameHeaderLen)
+	}
+	payload := rest[frameHeaderLen : frameHeaderLen+int(n)]
+	if got := crc32.Checksum(payload, castagnoli); got != crc {
+		return nil, off, fmt.Errorf("%w: checksum mismatch at offset %d (stored %08x, computed %08x)",
+			ErrCorrupt, off, crc, got)
+	}
+	end := off + frameHeaderLen + int(n)
+	return buf[off:end], end, nil
+}
+
 // decodeRecord decodes one record from buf starting at off, returning the
 // record and the offset of the next frame. io.EOF signals a clean end of
 // log; ErrTorn an incomplete tail frame; ErrCorrupt a checksum or structure

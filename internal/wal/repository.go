@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -118,6 +119,15 @@ type Repository struct {
 	broken           error // fail-stop: first unrecoverable write/sync error
 	closed           bool
 
+	// Replication streaming state (also under mu). Record sequence numbers
+	// are incarnation-local: rebuilt by indexSegments at recovery, advanced
+	// by every append. See stream.go.
+	headSeq   uint64            // seq of the newest appended record (0 = none yet)
+	minSeq    uint64            // oldest record seq still streamable from disk
+	segStarts map[uint64]uint64 // segment seq -> seq of its first record
+	retainSeq uint64            // GC retention floor for followers (0 = none)
+	watch     chan struct{}     // closed and replaced on every append (long-poll)
+
 	snapMu sync.Mutex // serializes whole snapshot cycles
 
 	recovery    RecoveryInfo
@@ -175,6 +185,7 @@ func Open(st *store.Store, opts Options) (*Repository, error) {
 		st:            st,
 		snapCh:        make(chan struct{}, 1),
 		stopCh:        make(chan struct{}),
+		watch:         make(chan struct{}),
 	}
 	if r.fsys == nil {
 		r.fsys = OSFS()
@@ -192,6 +203,9 @@ func Open(st *store.Store, opts Options) (*Repository, error) {
 
 	start := time.Now()
 	if err := r.recover(maxAudit); err != nil {
+		return nil, err
+	}
+	if err := r.indexSegments(); err != nil {
 		return nil, err
 	}
 	r.recovery.AuditRecords = len(r.auditReplay)
@@ -387,27 +401,38 @@ func (r *Repository) truncateSegment(name string, size int64) error {
 
 // applyRecord replays one record into the store (or the audit buffer).
 func (r *Repository) applyRecord(rec Record, maxAudit int) error {
-	switch rec.Kind {
-	case KindAdd:
-		r.st.AddAll(rec.Triples)
-	case KindRemove:
-		for _, t := range rec.Triples {
-			r.st.Remove(t)
-		}
-	case KindReplace:
-		if _, err := r.st.Replace(rec.Triples[0], rec.Triples[1]); err != nil {
-			return err
-		}
-	case KindClear:
-		r.st.Clear()
-	case KindAudit:
+	if rec.Kind == KindAudit {
 		r.auditReplay = append(r.auditReplay, rec.Data)
 		if len(r.auditReplay) > maxAudit {
 			r.auditReplay = r.auditReplay[len(r.auditReplay)-maxAudit:]
 		}
+		return nil
+	}
+	return ApplyRecord(r.st, rec)
+}
+
+// ApplyRecord replays one mutation record into st exactly as it committed:
+// a KindBatch applies atomically as one store generation, and sub-ops
+// already present in st no-op out, so replay is idempotent. KindAudit is a
+// no-op here — the audit trail is node-local state, not replicated data.
+// Shared by crash recovery and the replication follower, so a streamed
+// record applies precisely the way the leader's own recovery would apply it.
+func ApplyRecord(st *store.Store, rec Record) error {
+	switch rec.Kind {
+	case KindAdd:
+		st.AddAll(rec.Triples)
+	case KindRemove:
+		for _, t := range rec.Triples {
+			st.Remove(t)
+		}
+	case KindReplace:
+		if _, err := st.Replace(rec.Triples[0], rec.Triples[1]); err != nil {
+			return err
+		}
+	case KindClear:
+		st.Clear()
+	case KindAudit:
 	case KindBatch:
-		// Replay the batch exactly as it committed: atomically, as one store
-		// generation. Sub-ops already reflected in the snapshot no-op out.
 		ops := make([]store.Op, 0, len(rec.Ops))
 		for _, sub := range rec.Ops {
 			kind, ok := storeKindOf(sub.Kind)
@@ -416,7 +441,7 @@ func (r *Repository) applyRecord(rec Record, maxAudit int) error {
 			}
 			ops = append(ops, store.Op{Kind: kind, Triples: sub.Triples})
 		}
-		if _, err := r.st.ApplyBatch(ops); err != nil {
+		if _, err := st.ApplyBatch(ops); err != nil {
 			return err
 		}
 	default:
@@ -630,6 +655,12 @@ func (r *Repository) appendFrames(ctx context.Context, frames [][]byte, syncNow 
 			return err
 		}
 	}
+	// Advance the replication head and wake any long-polling streamers. Only
+	// after a successful write (and fsync, when demanded): a record a
+	// follower can see is always one the leader would survive a crash with.
+	r.headSeq += uint64(len(frames))
+	close(r.watch)
+	r.watch = make(chan struct{})
 	r.mAppends.Add(float64(len(frames)))
 	r.mBytes.Add(float64(len(buf)))
 	r.recordsSinceSnap += len(frames)
@@ -761,6 +792,7 @@ func (r *Repository) Snapshot() error {
 	r.segBytes = 0
 	r.dirty = false
 	r.recordsSinceSnap = 0
+	r.segStarts[r.segSeq] = r.headSeq + 1
 	r.mu.Unlock()
 	if err := old.Close(); err != nil {
 		r.logger.Warn("wal: closing rotated segment", "seq", oldSeq, "err", err)
@@ -793,6 +825,13 @@ func (r *Repository) Snapshot() error {
 // segment already covered by the older kept snapshot. Keeping one predecessor
 // snapshot (and the segments after it) lets recovery fall back if the newest
 // snapshot turns out corrupt.
+//
+// A non-zero retention floor (SetRetainSeq) additionally pins every segment
+// holding record sequences at or after the floor — the replication leader
+// keeps the floor at the slowest active follower's acknowledged position, so
+// GC can never delete a segment between a follower's acked seq and the head.
+// Because segment record ranges are ascending, the pinned set is always a
+// suffix of the log: the streamable window stays contiguous.
 func (r *Repository) gc() {
 	dirSt, err := listDir(r.fsys, r.dir)
 	if err != nil {
@@ -808,13 +847,56 @@ func (r *Repository) gc() {
 			r.logger.Warn("wal: gc snapshot", "seq", seq, "err", err)
 		}
 	}
+
+	r.mu.Lock()
+	retain := r.retainSeq
+	head := r.headSeq
+	starts := make(map[uint64]uint64, len(r.segStarts))
+	for seg, start := range r.segStarts {
+		starts[seg] = start
+	}
+	r.mu.Unlock()
+	// Last record seq per streamable segment: next segment's start - 1, and
+	// the head for the newest.
+	ordered := make([]uint64, 0, len(starts))
+	for seg := range starts {
+		ordered = append(ordered, seg)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	ends := make(map[uint64]uint64, len(ordered))
+	for i, seg := range ordered {
+		if i+1 < len(ordered) {
+			ends[seg] = starts[ordered[i+1]] - 1
+		} else {
+			ends[seg] = head
+		}
+	}
+
+	var deleted []uint64
 	for _, seq := range dirSt.segments {
 		if seq > keepFrom {
 			continue
 		}
+		if retain > 0 {
+			if end, ok := ends[seq]; ok && end >= retain {
+				r.logger.Info("wal: gc pinned segment below retention floor",
+					"segment", seq, "end_seq", end, "retain_seq", retain)
+				continue
+			}
+		}
 		if err := r.fsys.Remove(filepath.Join(r.dir, segmentName(seq))); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			r.logger.Warn("wal: gc segment", "seq", seq, "err", err)
+		} else {
+			deleted = append(deleted, seq)
 		}
+	}
+	if len(deleted) > 0 {
+		r.mu.Lock()
+		for _, seq := range deleted {
+			delete(r.segStarts, seq)
+		}
+		r.minSeq = r.minSeqLocked()
+		r.mu.Unlock()
 	}
 }
 

@@ -82,11 +82,13 @@ func listDir(fsys FS, dir string) (dirState, error) {
 	return st, nil
 }
 
-// writeSnapshot persists the full triple set atomically: temp file, fsync,
-// rename into place, parent-directory fsync. The file ends with a CRC32C
-// footer over everything before it, so a half-written or bit-flipped
-// snapshot is detected at load time. Returns the snapshot's byte size.
-func writeSnapshot(fsys FS, dir string, seq, gen uint64, triples []rdf.Triple) (int64, error) {
+// EncodeSnapshotBytes renders the self-verifying snapshot representation:
+// magic, uvarint generation, uvarint triple count, length-prefixed
+// N-Triples lines, CRC32C footer. The same bytes serve as the on-disk
+// snapshot file and the /v1/wal/snapshot transfer body, so a bootstrap
+// transfer corrupted in transit fails the identical integrity checks a
+// damaged file would at recovery.
+func EncodeSnapshotBytes(gen uint64, triples []rdf.Triple) []byte {
 	var body bytes.Buffer
 	body.Write(snapMagic)
 	var scratch [binary.MaxVarintLen64]byte
@@ -103,50 +105,17 @@ func writeSnapshot(fsys FS, dir string, seq, gen uint64, triples []rdf.Triple) (
 	var footer [4]byte
 	binary.LittleEndian.PutUint32(footer[:], crc32.Checksum(body.Bytes(), castagnoli))
 	body.Write(footer[:])
-
-	final := filepath.Join(dir, snapshotName(seq))
-	tmp := final + tmpSuffix
-	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return 0, fmt.Errorf("wal: snapshot temp: %w", err)
-	}
-	if _, err := f.Write(body.Bytes()); err != nil {
-		f.Close()
-		fsys.Remove(tmp)
-		return 0, fmt.Errorf("wal: snapshot write: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		fsys.Remove(tmp)
-		return 0, fmt.Errorf("wal: snapshot fsync: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		fsys.Remove(tmp)
-		return 0, fmt.Errorf("wal: snapshot close: %w", err)
-	}
-	if err := fsys.Rename(tmp, final); err != nil {
-		fsys.Remove(tmp)
-		return 0, fmt.Errorf("wal: snapshot rename: %w", err)
-	}
-	if err := syncDir(fsys, dir); err != nil {
-		return 0, fmt.Errorf("wal: snapshot dir sync: %w", err)
-	}
-	return int64(body.Len()), nil
+	return body.Bytes()
 }
 
-// loadSnapshot reads and verifies snap-<seq>. Any integrity violation
-// returns an error wrapping ErrCorrupt; callers may fall back to an older
-// snapshot (the GC retains one predecessor for exactly that reason).
-func loadSnapshot(fsys FS, dir string, seq uint64) (gen uint64, triples []rdf.Triple, err error) {
-	buf, err := readAll(fsys, filepath.Join(dir, snapshotName(seq)))
-	if err != nil {
-		return 0, nil, err
-	}
+// DecodeSnapshotBytes verifies and parses an EncodeSnapshotBytes blob.
+// Any integrity violation wraps ErrCorrupt.
+func DecodeSnapshotBytes(buf []byte) (gen uint64, triples []rdf.Triple, err error) {
 	corrupt := func(format string, args ...any) (uint64, []rdf.Triple, error) {
-		return 0, nil, fmt.Errorf("%w: snapshot %d: %s", ErrCorrupt, seq, fmt.Sprintf(format, args...))
+		return 0, nil, fmt.Errorf("%w: snapshot: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 	}
 	if len(buf) < len(snapMagic)+4 {
-		return corrupt("file of %d bytes is too short", len(buf))
+		return corrupt("body of %d bytes is too short", len(buf))
 	}
 	if !bytes.Equal(buf[:len(snapMagic)], snapMagic) {
 		return corrupt("bad magic")
@@ -189,6 +158,58 @@ func loadSnapshot(fsys FS, dir string, seq uint64) (gen uint64, triples []rdf.Tr
 	}
 	if len(p) != 0 {
 		return corrupt("%d stray bytes after last triple", len(p))
+	}
+	return gen, triples, nil
+}
+
+// writeSnapshot persists the full triple set atomically: temp file, fsync,
+// rename into place, parent-directory fsync. The file ends with a CRC32C
+// footer over everything before it, so a half-written or bit-flipped
+// snapshot is detected at load time. Returns the snapshot's byte size.
+func writeSnapshot(fsys FS, dir string, seq, gen uint64, triples []rdf.Triple) (int64, error) {
+	body := bytes.NewBuffer(EncodeSnapshotBytes(gen, triples))
+
+	final := filepath.Join(dir, snapshotName(seq))
+	tmp := final + tmpSuffix
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("wal: snapshot temp: %w", err)
+	}
+	if _, err := f.Write(body.Bytes()); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return 0, fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return 0, fmt.Errorf("wal: snapshot fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return 0, fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
+		return 0, fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if err := syncDir(fsys, dir); err != nil {
+		return 0, fmt.Errorf("wal: snapshot dir sync: %w", err)
+	}
+	return int64(body.Len()), nil
+}
+
+// loadSnapshot reads and verifies snap-<seq>. Any integrity violation
+// returns an error wrapping ErrCorrupt; callers may fall back to an older
+// snapshot (the GC retains one predecessor for exactly that reason).
+func loadSnapshot(fsys FS, dir string, seq uint64) (gen uint64, triples []rdf.Triple, err error) {
+	buf, err := readAll(fsys, filepath.Join(dir, snapshotName(seq)))
+	if err != nil {
+		return 0, nil, err
+	}
+	gen, triples, err = DecodeSnapshotBytes(buf)
+	if err != nil {
+		return 0, nil, fmt.Errorf("snapshot %d: %w", seq, err)
 	}
 	return gen, triples, nil
 }
