@@ -1,5 +1,5 @@
 // Command grdf-bench regenerates every experiment table of the reproduction
-// (E1–E19, see DESIGN.md and EXPERIMENTS.md).
+// (E1–E20, see DESIGN.md and EXPERIMENTS.md).
 //
 // With -json DIR it additionally writes one machine-readable BENCH_<id>.json
 // per experiment — the table cells, the wall time, and a snapshot of the
@@ -106,6 +106,7 @@ func main() {
 		{"E17", func() *experiments.Table { return experiments.E17Load(*requests) }},
 		{"E18", func() *experiments.Table { return experiments.E18GroupCommit(*requests) }},
 		{"E19", func() *experiments.Table { return experiments.E19Replication(*requests) }},
+		{"E20", func() *experiments.Table { return experiments.E20Admission(*requests) }},
 	}
 
 	selected := map[string]bool{}

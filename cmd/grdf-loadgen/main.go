@@ -282,8 +282,9 @@ func main() {
 
 // printStep renders one run's human-readable summary line pair.
 func printStep(w *os.File, r load.Report) {
-	fmt.Fprintf(w, "rps target=%.0f achieved=%.1f requests=%d ok=%d degraded=%d errors=%d\n",
-		r.TargetRPS, r.AchievedRPS, r.Requests, r.OK, r.Degraded, r.Errors)
+	fmt.Fprintf(w, "rps target=%.0f achieved=%.1f goodput=%.1f requests=%d ok=%d degraded=%d errors=%d shed=%d (%.1f%%)\n",
+		r.TargetRPS, r.AchievedRPS, r.GoodputRPS, r.Requests, r.OK, r.Degraded, r.Errors,
+		r.Shed, r.ShedRate*100)
 	fmt.Fprintf(w, "  corrected p50=%.2fms p90=%.2fms p99=%.2fms p99.9=%.2fms max=%.2fms\n",
 		r.Corrected.P50Ms, r.Corrected.P90Ms, r.Corrected.P99Ms,
 		r.Corrected.P999Ms, r.Corrected.MaxMs)

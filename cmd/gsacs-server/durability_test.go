@@ -26,6 +26,7 @@ func validFlags() flagConfig {
 		commitBatch:   128,
 		sourceTimeout: 2 * time.Second, breakerThresh: 5, retryMax: 3,
 		sloLatency: 100 * time.Millisecond, sloAvail: 0.999,
+		admissionOn: true, maxQueue: 128, queueDeadline: 100 * time.Millisecond,
 	}
 }
 
@@ -74,6 +75,8 @@ func TestValidateFlags(t *testing.T) {
 		},
 		"router without sources":         func(c *flagConfig) { c.router = true },
 		"retain-min-seq without datadir": func(c *flagConfig) { c.retainMinSeq = 10 },
+		"negative max-queue":             func(c *flagConfig) { c.maxQueue = -1 },
+		"zero queue deadline":            func(c *flagConfig) { c.queueDeadline = 0 },
 	}
 	for name, mutate := range cases {
 		c := validFlags()
@@ -113,6 +116,13 @@ func TestValidateFlags(t *testing.T) {
 	ok.retainMinSeq = 42
 	if err := validateFlags(ok); err != nil {
 		t.Errorf("manual retention floor on a durable leader rejected: %v", err)
+	}
+	ok = validFlags()
+	ok.admissionOn = false
+	ok.maxQueue = -1
+	ok.queueDeadline = 0
+	if err := validateFlags(ok); err != nil {
+		t.Errorf("admission knobs irrelevant when admission is off: %v", err)
 	}
 }
 

@@ -67,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/buildinfo"
 	"repro/internal/datagen"
 	"repro/internal/federation"
@@ -129,6 +130,9 @@ type flagConfig struct {
 	maxReplicaLag time.Duration
 	router        bool
 	retainMinSeq  uint64
+	admissionOn   bool
+	maxQueue      int
+	queueDeadline time.Duration
 }
 
 // validateFlags rejects inconsistent or out-of-range configurations. It is a
@@ -224,6 +228,14 @@ func validateFlags(c flagConfig) error {
 	if c.sloAvail <= 0 || c.sloAvail >= 1 {
 		return fmt.Errorf("-slo-availability must be in (0, 1), e.g. 0.999")
 	}
+	if c.admissionOn {
+		if c.maxQueue < 0 {
+			return fmt.Errorf("-max-queue must be non-negative (0 disables queueing)")
+		}
+		if c.queueDeadline <= 0 {
+			return fmt.Errorf("-queue-deadline must be positive")
+		}
+	}
 	return nil
 }
 
@@ -268,6 +280,10 @@ func main() {
 	slowQuery := flag.Duration("slow-query-threshold", 0, "log the full span tree of any request slower than this (0 disables)")
 	sloLatency := flag.Duration("slo-latency", 100*time.Millisecond, "p99 latency objective tracked by /v1/slo and grdf_slo_* metrics")
 	sloAvail := flag.Float64("slo-availability", 0.999, "availability objective (fraction of requests that must not 5xx)")
+	admissionOn := flag.Bool("admission", true, "adaptive admission control: shed load with 429 + Retry-After instead of queueing unboundedly")
+	maxQueue := flag.Int("max-queue", 128, "per-class admission queue bound (0 disables queueing; over-limit arrivals shed immediately)")
+	queueDeadline := flag.Duration("queue-deadline", 100*time.Millisecond, "longest a request may wait for an admission slot before it is shed")
+	priorityHeader := flag.String("priority-header", "X-Priority", "request header carrying the client priority tier (high/normal/low)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -288,6 +304,7 @@ func main() {
 		sloLatency: *sloLatency, sloAvail: *sloAvail,
 		follow: *follow, maxReplicaLag: *maxReplicaLag,
 		router: *router, retainMinSeq: *walRetainMinSeq,
+		admissionOn: *admissionOn, maxQueue: *maxQueue, queueDeadline: *queueDeadline,
 	}
 	if err := validateFlags(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "gsacs-server: %v\n\n", err)
@@ -362,6 +379,31 @@ func main() {
 	opts := []gsacs.ServerOption{gsacs.WithMetrics(reg), gsacs.WithLogger(logger),
 		gsacs.WithQueryTimeout(*queryTimeout), gsacs.WithMaxBodyBytes(*maxBodyBytes),
 		gsacs.WithReadiness(ready.Load), gsacs.WithTracer(tracer), gsacs.WithSLO(slo)}
+	if *admissionOn {
+		// The AIMD loop defends post-admission service latency; the SLO is
+		// end-to-end. Leave the queue deadline as headroom between the two so
+		// an admitted request that waited its full deadline can still finish
+		// inside the SLO — but never defend less than half the SLO, or a fat
+		// deadline would starve the target.
+		target := *sloLatency - *queueDeadline
+		if target < *sloLatency/2 {
+			target = *sloLatency / 2
+		}
+		mq := *maxQueue
+		if mq == 0 {
+			mq = admission.NoQueue
+		}
+		opts = append(opts, gsacs.WithAdmission(gsacs.AdmissionConfig{
+			Controller: admission.NewController(admission.Config{
+				MaxQueue:      mq,
+				QueueDeadline: *queueDeadline,
+				LatencyTarget: target,
+				Signal:        admission.DefaultSignal(slo, reg),
+				Metrics:       reg,
+			}),
+			PriorityHeader: *priorityHeader,
+		}))
+	}
 	if *pprofOn {
 		opts = append(opts, gsacs.WithPprof())
 	}
@@ -459,6 +501,7 @@ func main() {
 		"audit_capacity", *auditCap,
 		"pprof", *pprofOn,
 		"federated_sources", len(sources),
+		"admission", *admissionOn,
 		"drain_timeout", drainTimeout.String(),
 	)
 

@@ -1,0 +1,500 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// testConfig is a small, fast base configuration; tests override fields.
+func testConfig() Config {
+	return Config{
+		InitialLimit:  2,
+		MinLimit:      1,
+		MaxLimit:      64,
+		MaxQueue:      8,
+		QueueDeadline: 200 * time.Millisecond,
+		LatencyTarget: 50 * time.Millisecond,
+		AdjustEvery:   10 * time.Millisecond,
+		MinSamples:    3,
+	}
+}
+
+func mustAdmit(t *testing.T, c *Controller, class Class, pri Priority) func() {
+	t.Helper()
+	release, err := c.Admit(context.Background(), class, pri)
+	if err != nil {
+		t.Fatalf("Admit(%s, %s): %v", class, pri, err)
+	}
+	return release
+}
+
+func TestAdmitFastPathAndRelease(t *testing.T) {
+	c := NewController(testConfig())
+	r1 := mustAdmit(t, c, ClassQuery, Normal)
+	r2 := mustAdmit(t, c, ClassQuery, Normal)
+	st := c.Status()
+	if got := st.Classes[ClassQuery].InFlight; got != 2 {
+		t.Fatalf("in-flight = %d, want 2", got)
+	}
+	// Class pools are independent: the query pool being full must not
+	// affect mutate admissions.
+	rm := mustAdmit(t, c, ClassMutate, High)
+	rm()
+	r1()
+	r2()
+	if got := c.Status().Classes[ClassQuery].InFlight; got != 0 {
+		t.Fatalf("in-flight after release = %d, want 0", got)
+	}
+	if got := c.Status().Classes[ClassQuery].Admitted; got != 2 {
+		t.Fatalf("admitted = %d, want 2", got)
+	}
+}
+
+func TestShedImmediatelyWithQueueDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.InitialLimit = 1
+	cfg.MaxQueue = NoQueue
+	c := NewController(cfg)
+	release := mustAdmit(t, c, ClassQuery, Normal)
+	defer release()
+
+	_, err := c.Admit(context.Background(), ClassQuery, Normal)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want ShedError, got %v", err)
+	}
+	if shed.Reason != "queue_full" {
+		t.Fatalf("reason = %q, want queue_full", shed.Reason)
+	}
+	if shed.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %s, want >= 1s floor", shed.RetryAfter)
+	}
+	if got := c.Status().Classes[ClassQuery].Shed; got != 1 {
+		t.Fatalf("shed count = %d, want 1", got)
+	}
+}
+
+func TestQueuedRequestGrantedOnRelease(t *testing.T) {
+	cfg := testConfig()
+	cfg.InitialLimit = 1
+	c := NewController(cfg)
+	release := mustAdmit(t, c, ClassQuery, Normal)
+
+	got := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r2, err := c.Admit(context.Background(), ClassQuery, Normal)
+		if err == nil {
+			r2()
+		}
+		got <- err
+	}()
+	// Wait until the second request is actually queued before releasing.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Status().Classes[ClassQuery].Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	wg.Wait()
+	if err := <-got; err != nil {
+		t.Fatalf("queued request should have been granted, got %v", err)
+	}
+}
+
+func TestDeadlinePrecheckShedsBeforeQueueing(t *testing.T) {
+	cfg := testConfig()
+	cfg.InitialLimit = 1
+	// Estimated wait for the first queued request is one service time
+	// (LatencyTarget before any samples) = 100ms > the 20ms deadline, so
+	// the arrival must shed instantly instead of parking to time out.
+	cfg.LatencyTarget = 100 * time.Millisecond
+	cfg.QueueDeadline = 20 * time.Millisecond
+	c := NewController(cfg)
+	release := mustAdmit(t, c, ClassQuery, Normal)
+	defer release()
+
+	start := time.Now()
+	_, err := c.Admit(context.Background(), ClassQuery, Normal)
+	elapsed := time.Since(start)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want ShedError, got %v", err)
+	}
+	if shed.Reason != "queue_deadline" {
+		t.Fatalf("reason = %q, want queue_deadline", shed.Reason)
+	}
+	if elapsed > 10*time.Millisecond {
+		t.Fatalf("immediate shed took %s — it queued instead", elapsed)
+	}
+}
+
+func TestQueueDeadlineExpiry(t *testing.T) {
+	cfg := testConfig()
+	cfg.InitialLimit = 1
+	cfg.LatencyTarget = time.Millisecond // keeps the wait estimate under the deadline
+	cfg.QueueDeadline = 30 * time.Millisecond
+	c := NewController(cfg)
+	release := mustAdmit(t, c, ClassQuery, Normal)
+	defer release()
+
+	_, err := c.Admit(context.Background(), ClassQuery, Normal)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want ShedError, got %v", err)
+	}
+	if shed.Reason != "queue_deadline" {
+		t.Fatalf("reason = %q, want queue_deadline", shed.Reason)
+	}
+}
+
+func TestHighPriorityEvictsBestEffort(t *testing.T) {
+	cfg := testConfig()
+	cfg.InitialLimit = 1
+	cfg.MaxQueue = 1
+	cfg.LatencyTarget = time.Millisecond
+	cfg.QueueDeadline = 2 * time.Second
+	c := NewController(cfg)
+	release := mustAdmit(t, c, ClassQuery, Normal)
+
+	bestEffortErr := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(context.Background(), ClassQuery, BestEffort)
+		bestEffortErr <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Status().Classes[ClassQuery].Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("best-effort request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is full; a High arrival must displace the BestEffort
+	// waiter rather than be refused.
+	highDone := make(chan error, 1)
+	go func() {
+		r, err := c.Admit(context.Background(), ClassQuery, High)
+		if err == nil {
+			r()
+		}
+		highDone <- err
+	}()
+
+	if err := <-bestEffortErr; err == nil {
+		t.Fatal("best-effort waiter should have been evicted")
+	} else {
+		var shed *ShedError
+		if !errors.As(err, &shed) || shed.Reason != "evicted" {
+			t.Fatalf("want evicted ShedError, got %v", err)
+		}
+	}
+	release()
+	if err := <-highDone; err != nil {
+		t.Fatalf("high-priority request should have been granted, got %v", err)
+	}
+
+	// The inverse must not hold: a BestEffort arrival cannot evict peers.
+	release2 := mustAdmit(t, c, ClassQuery, Normal)
+	defer release2()
+	queued := make(chan struct{})
+	go func() {
+		close(queued)
+		c.Admit(context.Background(), ClassQuery, Normal) //nolint:errcheck
+	}()
+	<-queued
+	deadline = time.Now().Add(2 * time.Second)
+	for c.Status().Classes[ClassQuery].Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("normal request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := c.Admit(context.Background(), ClassQuery, BestEffort)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want ShedError for best-effort arrival on a full queue, got %v", err)
+	}
+}
+
+func TestContextCancelWhileQueuedIsNotAShed(t *testing.T) {
+	cfg := testConfig()
+	cfg.InitialLimit = 1
+	cfg.LatencyTarget = time.Millisecond
+	cfg.QueueDeadline = 5 * time.Second
+	c := NewController(cfg)
+	release := mustAdmit(t, c, ClassQuery, Normal)
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, ClassQuery, Normal)
+		errCh <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Status().Classes[ClassQuery].Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := c.Status().Classes[ClassQuery].Shed; got != 0 {
+		t.Fatalf("a client hanging up is not a shed; counted %d", got)
+	}
+	if got := c.Status().Classes[ClassQuery].Queued; got != 0 {
+		t.Fatalf("queued = %d after cancel, want 0", got)
+	}
+}
+
+func TestSignalBreachForcesBackoff(t *testing.T) {
+	var breached atomic.Bool
+	cfg := testConfig()
+	cfg.InitialLimit = 32
+	cfg.AdjustEvery = time.Millisecond
+	cfg.Signal = func() Signal { return Signal{FastBurnBreached: breached.Load()} }
+	c := NewController(cfg)
+
+	breached.Store(true)
+	// Drive adjustments: each release past the period runs one AIMD step.
+	for i := 0; i < 20; i++ {
+		mustAdmit(t, c, ClassView, Normal)()
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := c.Status().Classes[ClassView]
+	if st.Limit >= 32 {
+		t.Fatalf("limit = %.1f after sustained fast-burn breach, want < 32", st.Limit)
+	}
+	if st.Backoffs == 0 {
+		t.Fatal("no backoffs recorded")
+	}
+
+	// Signal recovers; with demand at the limit the pool must probe back up.
+	breached.Store(false)
+	floor := st.Limit
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 40; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r, err := c.Admit(context.Background(), ClassView, Normal)
+				if err == nil {
+					time.Sleep(200 * time.Microsecond)
+					r()
+				}
+			}
+		}()
+	}
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := c.Status().Classes[ClassView]; got.Limit <= floor {
+		t.Fatalf("limit = %.1f did not probe above %.1f after recovery", got.Limit, floor)
+	}
+}
+
+// TestAIMDConvergence drives the limiter against a simulated backend with a
+// hard capacity knee: below 8 concurrent requests service takes ~1ms, above
+// it ~25ms (5x the target). The limit must converge into the neighborhood
+// of the knee — well below both the initial limit and the offered
+// concurrency — while requests keep flowing.
+func TestAIMDConvergence(t *testing.T) {
+	cfg := testConfig()
+	cfg.InitialLimit = 48
+	cfg.MaxLimit = 64
+	cfg.MinLimit = 1
+	cfg.LatencyTarget = 5 * time.Millisecond
+	cfg.LatencyQuantile = 0.9
+	cfg.AdjustEvery = 15 * time.Millisecond
+	cfg.MinSamples = 5
+	cfg.BackoffRatio = 0.6
+	cfg.ProbeStep = 1
+	cfg.MaxQueue = 16
+	cfg.QueueDeadline = 100 * time.Millisecond
+	c := NewController(cfg)
+
+	const knee = 8
+	var inService atomic.Int64
+	backend := func() {
+		n := inService.Add(1)
+		defer inService.Add(-1)
+		if n <= knee {
+			time.Sleep(time.Millisecond)
+		} else {
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var served, shed atomic.Uint64
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				release, err := c.Admit(context.Background(), ClassQuery, Normal)
+				if err != nil {
+					shed.Add(1)
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				backend()
+				release()
+				served.Add(1)
+			}
+		}()
+	}
+	time.Sleep(1500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	st := c.Status().Classes[ClassQuery]
+	if st.Backoffs == 0 {
+		t.Fatal("limiter never backed off against a saturated backend")
+	}
+	if st.Limit >= 32 {
+		t.Fatalf("limit = %.1f after convergence, want well below the 32 offered (knee at %d)", st.Limit, knee)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no requests served")
+	}
+	t.Logf("converged limit=%.1f served=%d shed=%d probes=%d backoffs=%d ewma=%.2fms",
+		st.Limit, served.Load(), shed.Load(), st.Probes, st.Backoffs, st.EWMALatencyMs)
+}
+
+// TestConcurrentChurn hammers every path — admissions, queueing, eviction,
+// deadlines, cancellations — from many goroutines; run under -race it is
+// the package's memory-model check. The invariant at the end: nothing is
+// left in flight or queued.
+func TestConcurrentChurn(t *testing.T) {
+	cfg := testConfig()
+	cfg.InitialLimit = 4
+	cfg.MaxQueue = 8
+	cfg.LatencyTarget = 2 * time.Millisecond
+	cfg.QueueDeadline = 10 * time.Millisecond
+	cfg.AdjustEvery = 5 * time.Millisecond
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Signal = func() Signal { return Signal{} }
+	c := NewController(cfg)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 48; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 100; i++ {
+				class := Class(rng.Intn(int(numClasses)))
+				pri := Priority(rng.Intn(int(numPriorities)))
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if rng.Intn(4) == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(3))*time.Millisecond)
+				}
+				release, err := c.Admit(ctx, class, pri)
+				if err == nil {
+					time.Sleep(time.Duration(rng.Intn(500)) * time.Microsecond)
+					release()
+				}
+				if cancel != nil {
+					cancel()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, cs := range c.Status().Classes {
+		if cs.InFlight != 0 || cs.Queued != 0 {
+			t.Fatalf("class %s left in_flight=%d queued=%d after churn", cs.Class, cs.InFlight, cs.Queued)
+		}
+	}
+}
+
+func TestParsePriority(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Priority
+		ok   bool
+	}{
+		{"high", High, true},
+		{"CRITICAL", High, true},
+		{"emergency", High, true},
+		{"normal", Normal, true},
+		{"default", Normal, true},
+		{"low", BestEffort, true},
+		{"best-effort", BestEffort, true},
+		{"best_effort", BestEffort, true},
+		{" High ", High, true},
+		{"", Normal, false},
+		{"frobnicate", Normal, false},
+	}
+	for _, tc := range cases {
+		got, ok := ParsePriority(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("ParsePriority(%q) = (%s, %v), want (%s, %v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig()
+	cfg.InitialLimit = 1
+	cfg.MaxQueue = NoQueue
+	cfg.Metrics = reg
+	c := NewController(cfg)
+	release := mustAdmit(t, c, ClassQuery, Normal)
+	if _, err := c.Admit(context.Background(), ClassQuery, BestEffort); err == nil {
+		t.Fatal("second admit should shed")
+	}
+	release()
+
+	found := map[string]bool{}
+	for _, m := range reg.Snapshot() {
+		found[m.Name] = true
+	}
+	for _, name := range []string{
+		"grdf_admission_limit", "grdf_admission_queued", "grdf_admission_in_flight",
+		"grdf_admission_shed_total", "grdf_admission_admitted_total",
+		"grdf_admission_queue_wait_seconds",
+	} {
+		if !found[name] {
+			t.Errorf("metric %s not registered", name)
+		}
+	}
+}
+
+func TestDefaultSignalNilInputs(t *testing.T) {
+	sig := DefaultSignal(nil, nil)()
+	if sig.FastBurnBreached {
+		t.Fatal("nil SLO engine must not report a breach")
+	}
+}

@@ -1,0 +1,445 @@
+package admission
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// shedReasons are the bounded reason labels of grdf_admission_shed_total.
+var shedReasons = [...]string{"queue_deadline", "queue_full", "evicted"}
+
+const (
+	reasonDeadline = iota
+	reasonQueueFull
+	reasonEvicted
+)
+
+// waiter is one queued request. ready is buffered and receives exactly one
+// value in the waiter's lifetime: true when a slot is granted, false when a
+// higher-priority arrival evicts it (shed pre-populated). A waiter that
+// abandons the queue (deadline, context) is removed without a send.
+type waiter struct {
+	pri   Priority
+	enq   time.Time
+	ready chan bool
+	shed  *ShedError
+}
+
+// classLimiter is one class's adaptive concurrency pool: the AIMD limit,
+// the in-flight count, and the bounded priority wait queue.
+//
+// Invariant: the queue is non-empty only while the in-flight count is at
+// the limit — every released slot and every limit increase drains waiters
+// (highest priority first, FIFO within a tier) before new arrivals can take
+// the fast path.
+type classLimiter struct {
+	class Class
+	cfg   Config
+	sig   *signalCache
+
+	mu       sync.Mutex
+	limit    float64
+	inflight int
+	queues   [numPriorities][]*waiter
+	queued   int
+	// peak is the maximum concurrent demand (in-flight + queued) since the
+	// last adjustment: the probe gate. A limit that demand never reached
+	// must not creep upward on an idle class.
+	peak int
+	// ewma tracks admitted service latency in seconds — the queue-wait
+	// estimator's denominator input.
+	ewma float64
+	// window holds this period's admitted service latencies; its quantile
+	// is the AIMD loop's own breach detector. Deliberately NOT the SLO
+	// engine's latency: once shedding starts, fast 429s drag the SLO
+	// quantile down and would tell the limiter everything is fine.
+	window     *obs.LatencySketch
+	lastAdjust time.Time
+	adjusting  bool
+
+	admitted uint64
+	shedN    uint64
+	probes   uint64
+	backoffs uint64
+
+	mAdmitted  *obs.Counter
+	mQueueWait *obs.Histogram
+	mShed      [numPriorities][len(shedReasons)]*obs.Counter
+}
+
+func newClassLimiter(class Class, cfg Config, sig *signalCache, reg *obs.Registry) *classLimiter {
+	l := &classLimiter{
+		class:      class,
+		cfg:        cfg,
+		sig:        sig,
+		limit:      float64(cfg.InitialLimit),
+		window:     obs.NewLatencySketch(),
+		lastAdjust: cfg.now(),
+	}
+	cls := class.String()
+	l.mAdmitted = reg.Counter("grdf_admission_admitted_total",
+		"Requests admitted past the concurrency limit, by class.", "class", cls)
+	l.mQueueWait = reg.Histogram("grdf_admission_queue_wait_seconds",
+		"Time admitted requests spent queued for a slot.", nil, "class", cls)
+	for p := range l.mShed {
+		for r := range l.mShed[p] {
+			l.mShed[p][r] = reg.Counter("grdf_admission_shed_total",
+				"Requests refused under overload, by class, priority and reason.",
+				"class", cls, "priority", Priority(p).String(), "reason", shedReasons[r])
+		}
+	}
+	reg.GaugeFunc("grdf_admission_limit",
+		"Current adaptive concurrency limit per class.", func() float64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return l.limit
+		}, "class", cls)
+	reg.GaugeFunc("grdf_admission_in_flight",
+		"Requests holding an admission slot per class.", func() float64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return float64(l.inflight)
+		}, "class", cls)
+	reg.GaugeFunc("grdf_admission_queued",
+		"Requests waiting for an admission slot per class.", func() float64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return float64(l.queued)
+		}, "class", cls)
+	return l
+}
+
+// admit implements Controller.Admit for one class.
+func (l *classLimiter) admit(ctx context.Context, pri Priority) (func(), error) {
+	l.mu.Lock()
+	if l.queued == 0 && float64(l.inflight) < l.limit {
+		l.inflight++
+		l.admitted++
+		if d := l.inflight + l.queued; d > l.peak {
+			l.peak = d
+		}
+		l.mu.Unlock()
+		l.mAdmitted.Inc()
+		start := l.cfg.now()
+		return func() { l.release(start) }, nil
+	}
+	// Over the limit. Shed immediately rather than queue when queueing is
+	// off, when the wait estimate already blows the deadline (a request
+	// that would predictably time out in queue must not occupy a queue
+	// slot dying), or when the queue is full of peers we may not evict.
+	if l.cfg.MaxQueue == 0 {
+		return nil, l.shedLocked(pri, reasonQueueFull)
+	}
+	if l.estWaitLocked(pri) > l.cfg.QueueDeadline {
+		return nil, l.shedLocked(pri, reasonDeadline)
+	}
+	if l.queued >= l.cfg.MaxQueue && !l.evictLocked(pri) {
+		return nil, l.shedLocked(pri, reasonQueueFull)
+	}
+	w := &waiter{pri: pri, enq: l.cfg.now(), ready: make(chan bool, 1)}
+	l.queues[pri] = append(l.queues[pri], w)
+	l.queued++
+	if d := l.inflight + l.queued; d > l.peak {
+		l.peak = d
+	}
+	l.mu.Unlock()
+
+	timer := time.NewTimer(l.cfg.QueueDeadline)
+	defer timer.Stop()
+	select {
+	case ok := <-w.ready:
+		return l.afterWait(w, ok)
+	case <-timer.C:
+		if err := l.abandonShed(w); err != nil {
+			return nil, err
+		}
+		// Lost the race: a grant or eviction landed first. Honor it.
+		return l.afterWait(w, <-w.ready)
+	case <-ctx.Done():
+		if l.abandonQuiet(w) {
+			return nil, ctx.Err()
+		}
+		if <-w.ready {
+			// Granted concurrently with the caller giving up: hand the
+			// slot straight to the next waiter, no latency sample.
+			l.mu.Lock()
+			l.inflight--
+			l.grantLocked()
+			l.mu.Unlock()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// afterWait finishes a queued admission: a granted waiter records its queue
+// wait and becomes in-flight; an evicted one surfaces the shed its evictor
+// prepared.
+func (l *classLimiter) afterWait(w *waiter, granted bool) (func(), error) {
+	if !granted {
+		return nil, w.shed
+	}
+	start := l.cfg.now()
+	l.mQueueWait.Observe(start.Sub(w.enq).Seconds())
+	return func() { l.release(start) }, nil
+}
+
+// release returns a slot, feeds the AIMD loop one latency sample, hands the
+// slot to the next waiter, and runs the periodic adjustment when due.
+func (l *classLimiter) release(start time.Time) {
+	d := l.cfg.now().Sub(start)
+	l.mu.Lock()
+	l.window.Record(d)
+	sec := d.Seconds()
+	if l.ewma == 0 {
+		l.ewma = sec
+	} else {
+		l.ewma += 0.2 * (sec - l.ewma)
+	}
+	l.inflight--
+	l.grantLocked()
+	now := l.cfg.now()
+	due := !l.adjusting && now.Sub(l.lastAdjust) >= l.cfg.AdjustEvery
+	if due {
+		l.adjusting = true
+	}
+	l.mu.Unlock()
+	if due {
+		l.adjust()
+	}
+}
+
+// grantLocked drains waiters into freed capacity, highest tier first, FIFO
+// within a tier.
+func (l *classLimiter) grantLocked() {
+	for l.queued > 0 && float64(l.inflight) < l.limit {
+		var w *waiter
+		for p := int(numPriorities) - 1; p >= 0; p-- {
+			if q := l.queues[p]; len(q) > 0 {
+				w = q[0]
+				copy(q, q[1:])
+				q[len(q)-1] = nil
+				l.queues[p] = q[:len(q)-1]
+				break
+			}
+		}
+		l.queued--
+		l.inflight++
+		l.admitted++
+		l.mAdmitted.Inc()
+		w.ready <- true
+	}
+}
+
+// adjust is the AIMD step, run at most once per period: multiplicative
+// back-off when the admitted-latency window or the external signal
+// breaches, additive probe when healthy and demand actually filled the
+// current limit.
+func (l *classLimiter) adjust() {
+	sig := l.sig.read() // outside the lock: may walk the SLO engine and read memstats
+	l.mu.Lock()
+	win := l.window
+	l.window = obs.NewLatencySketch()
+	breach := sig.FastBurnBreached || sig.Saturated
+	if !breach && win.Count() >= uint64(l.cfg.MinSamples) {
+		breach = win.Quantile(l.cfg.LatencyQuantile) > l.cfg.LatencyTarget
+	}
+	switch {
+	case breach:
+		l.limit *= l.cfg.BackoffRatio
+		if l.limit < float64(l.cfg.MinLimit) {
+			l.limit = float64(l.cfg.MinLimit)
+		}
+		l.backoffs++
+	case l.peak >= int(l.limit):
+		l.limit += l.cfg.ProbeStep
+		if l.limit > float64(l.cfg.MaxLimit) {
+			l.limit = float64(l.cfg.MaxLimit)
+		}
+		l.probes++
+		l.grantLocked()
+	}
+	l.peak = l.inflight + l.queued
+	l.lastAdjust = l.cfg.now()
+	l.adjusting = false
+	l.mu.Unlock()
+}
+
+// estWaitLocked estimates how long an arrival at pri would wait: the
+// waiters it queues behind (its own tier and above), drained at the pool's
+// current throughput (limit slots, ewma seconds each).
+func (l *classLimiter) estWaitLocked(pri Priority) time.Duration {
+	ahead := 0
+	for p := int(pri); p < int(numPriorities); p++ {
+		ahead += len(l.queues[p])
+	}
+	return l.drainTimeLocked(ahead + 1)
+}
+
+// drainTimeLocked is the time to serve n queued requests at current
+// capacity and observed service latency.
+func (l *classLimiter) drainTimeLocked(n int) time.Duration {
+	per := l.ewma
+	if per <= 0 {
+		per = l.cfg.LatencyTarget.Seconds()
+	}
+	lim := l.limit
+	if lim < 1 {
+		lim = 1
+	}
+	return time.Duration(float64(n) * per / lim * float64(time.Second))
+}
+
+// retryAfterLocked estimates when the pool will have drained enough for a
+// comeback to stand a chance: full-queue drain time, floored at one second
+// (the Retry-After header granularity) and capped so a transient spike
+// cannot send clients away for minutes.
+func (l *classLimiter) retryAfterLocked() time.Duration {
+	d := l.drainTimeLocked(l.queued + 1)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// shedLocked refuses an arrival: accounts the shed and returns the
+// ShedError. Unlocks l.mu.
+func (l *classLimiter) shedLocked(pri Priority, reason int) error {
+	err := &ShedError{
+		Class:      l.class,
+		Priority:   pri,
+		Reason:     shedReasons[reason],
+		RetryAfter: l.retryAfterLocked(),
+	}
+	l.shedN++
+	l.mShed[pri][reason].Inc()
+	l.mu.Unlock()
+	return err
+}
+
+// evictLocked displaces the newest waiter of the highest tier strictly
+// below pri, making room for a more important arrival. Newest-first keeps
+// the eviction fair to waiters who have already invested queue time.
+func (l *classLimiter) evictLocked(pri Priority) bool {
+	for p := int(pri) - 1; p >= 0; p-- {
+		q := l.queues[p]
+		if len(q) == 0 {
+			continue
+		}
+		w := q[len(q)-1]
+		q[len(q)-1] = nil
+		l.queues[p] = q[:len(q)-1]
+		l.queued--
+		w.shed = &ShedError{
+			Class:      l.class,
+			Priority:   w.pri,
+			Reason:     shedReasons[reasonEvicted],
+			RetryAfter: l.retryAfterLocked(),
+		}
+		l.shedN++
+		l.mShed[w.pri][reasonEvicted].Inc()
+		w.ready <- false
+		return true
+	}
+	return false
+}
+
+// abandonShed removes w from the queue after its deadline expired,
+// accounting a shed. Reports false when w was granted or evicted first.
+func (l *classLimiter) abandonShed(w *waiter) error {
+	l.mu.Lock()
+	if !l.removeLocked(w) {
+		l.mu.Unlock()
+		return nil
+	}
+	w.shed = &ShedError{
+		Class:      l.class,
+		Priority:   w.pri,
+		Reason:     shedReasons[reasonDeadline],
+		RetryAfter: l.retryAfterLocked(),
+	}
+	l.shedN++
+	l.mShed[w.pri][reasonDeadline].Inc()
+	l.mu.Unlock()
+	return w.shed
+}
+
+// abandonQuiet removes w when its caller's context ended — the client went
+// away, which is not a shed. Reports false when w was granted or evicted
+// first.
+func (l *classLimiter) abandonQuiet(w *waiter) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.removeLocked(w)
+}
+
+func (l *classLimiter) removeLocked(w *waiter) bool {
+	q := l.queues[w.pri]
+	for i, cand := range q {
+		if cand == w {
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			l.queues[w.pri] = q[:len(q)-1]
+			l.queued--
+			return true
+		}
+	}
+	return false
+}
+
+func (l *classLimiter) status() ClassStatus {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return ClassStatus{
+		Class:         l.class.String(),
+		Limit:         l.limit,
+		InFlight:      l.inflight,
+		Queued:        l.queued,
+		Admitted:      l.admitted,
+		Shed:          l.shedN,
+		Probes:        l.probes,
+		Backoffs:      l.backoffs,
+		EWMALatencyMs: l.ewma * 1000,
+	}
+}
+
+// signalCache samples the external Signal at most once per ttl across all
+// classes: the saturation probe stops the world briefly (ReadMemStats) and
+// the SLO status walk merges every route's sketches, so three limiters must
+// not each pay that per adjustment.
+type signalCache struct {
+	fn  func() Signal
+	ttl time.Duration
+	now func() time.Time
+
+	mu  sync.Mutex
+	at  time.Time
+	val Signal
+}
+
+func newSignalCache(fn func() Signal, ttl time.Duration, now func() time.Time) *signalCache {
+	if ttl <= 0 {
+		ttl = 100 * time.Millisecond
+	}
+	return &signalCache{fn: fn, ttl: ttl, now: now}
+}
+
+func (s *signalCache) read() Signal {
+	if s == nil || s.fn == nil {
+		return Signal{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	if !s.at.IsZero() && now.Sub(s.at) < s.ttl {
+		return s.val
+	}
+	s.at = now
+	s.val = s.fn()
+	return s.val
+}

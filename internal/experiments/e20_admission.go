@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/datagen"
+	"repro/internal/grdf"
+	"repro/internal/gsacs"
+	"repro/internal/load"
+	"repro/internal/obs"
+	"repro/internal/seconto"
+)
+
+// E20Admission closes the loop E17 opened. E17 (BENCH_LOAD) measured the
+// failure mode of an ungated server: past the knee, every request is
+// admitted, queues grow without bound, and the corrected p99 collapses into
+// seconds while goodput stalls. This experiment re-runs the same offered-load
+// sweep with the admission controller in front — AIMD concurrency limits per
+// route class, a deadline-bounded queue that sheds with 429 + Retry-After,
+// and priority tiers — and records what overload looks like when refusal is
+// a first-class answer:
+//
+//   - at every offered rate, admitted requests keep a bounded corrected p99
+//     (the queue deadline caps how much waiting can become latency);
+//   - goodput at 2x the knee stays at the knee's plateau instead of
+//     collapsing — the controller converts excess offered load into fast
+//     sheds, not queueing;
+//   - under the same overload, high-priority traffic (the paper's
+//     EmergencyResponse role) is answered at >= 99% while best-effort
+//     absorbs the sheds.
+func E20Admission(requests int) *Table {
+	if requests <= 0 {
+		requests = 200
+	}
+	t := &Table{
+		ID: "E20",
+		Title: "Adaptive admission control under overload: goodput, admitted p99 " +
+			"and priority tiers vs the E17 ungated collapse",
+		Columns: []string{"arm", "offered rps", "achieved", "goodput",
+			"admitted p99", "shed", "shed%", "slo"},
+	}
+	const (
+		sloLatency = 250 * time.Millisecond
+		sloAvail   = 0.999
+	)
+
+	row := func(name string, rps float64, rep load.Report) {
+		verdict := "PASS"
+		if !rep.SLO.Pass {
+			verdict = "FAIL"
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.0f", rps),
+			fmt.Sprintf("%.1f", rep.AchievedRPS),
+			fmt.Sprintf("%.1f", rep.GoodputRPS),
+			fmt.Sprintf("%.2fms", rep.Corrected.P99Ms),
+			fmt.Sprintf("%d", rep.Shed),
+			fmt.Sprintf("%.1f%%", rep.ShedRate*100),
+			verdict)
+	}
+
+	// The admission-on sweep over the same fixed rates as E17/BENCH_LOAD.
+	// The e20 server runs the engine uncached so the knee sits inside the
+	// sweep on any plausible hardware; the overload comparison below still
+	// calibrates its own rate rather than trusting the fixed steps.
+	var plateau float64
+	for _, rps := range []float64{100, 200, 400, 800} {
+		rep, err := e20Arm(rps, requests, true, sloLatency, sloAvail)
+		if err != nil {
+			t.AddNote("admission arm %v rps failed: %v", rps, err)
+			return t
+		}
+		row("admission", rps, rep)
+		if rep.SLO.Pass && rep.GoodputRPS > plateau {
+			plateau = rep.GoodputRPS
+		}
+	}
+
+	// Calibrate this machine's actual capacity with a short ungated blast,
+	// then offer twice that — guaranteed overload wherever the knee is.
+	capacity, err := e20Capacity(sloLatency, sloAvail)
+	if err != nil {
+		t.AddNote("capacity calibration failed: %v", err)
+		return t
+	}
+	overloadRPS := 2 * capacity
+
+	over, err := e20Arm(overloadRPS, requests, true, sloLatency, sloAvail)
+	if err != nil {
+		t.AddNote("admission overload arm failed: %v", err)
+		return t
+	}
+	row("admission", overloadRPS, over)
+	base, err := e20Arm(overloadRPS, requests, false, sloLatency, sloAvail)
+	if err != nil {
+		t.AddNote("ungated baseline failed: %v", err)
+		return t
+	}
+	row("ungated", overloadRPS, base)
+
+	t.AddNote("calibrated capacity ~%.0f rps (ungated goodput under blast); overload arms offer 2x", capacity)
+	t.AddNote("admission at %.0f rps offered (2x capacity): admitted p99 %.1fms (target <= %v), goodput %.1f rps vs sweep plateau %.1f (held: %s)",
+		overloadRPS, over.Corrected.P99Ms, sloLatency, over.GoodputRPS, plateau,
+		mark(over.Corrected.P99Ms <= float64(sloLatency)/float64(time.Millisecond) &&
+			over.GoodputRPS >= plateau*0.9))
+	t.AddNote("ungated at %.0f rps offered: corrected p99 %.1fms, goodput %.1f — the queue-collapse mode admission exists to prevent",
+		overloadRPS, base.Corrected.P99Ms, base.GoodputRPS)
+
+	// Priority tiers under the same overload: 25% of the offered load rides
+	// the EmergencyResponse role (High on the server), 75% tags itself low.
+	highRate, lowRate, shed, err := e20Priority(overloadRPS, requests, sloLatency, sloAvail)
+	if err != nil {
+		t.AddNote("priority arm failed: %v", err)
+		return t
+	}
+	t.AddNote("priority tiers at %.0f rps offered: EmergencyResponse answered %.2f%% (>= 99%%: %s), best-effort answered %.2f%% (%d sheds)",
+		overloadRPS, highRate*100, mark(highRate >= 0.99), lowRate*100, shed)
+	t.AddNote("sheds answer in microseconds with Retry-After and are excluded from the latency distributions; p99 is admitted traffic only")
+	return t
+}
+
+// e20Capacity measures the machine's ungated goodput for the Sec 7.1 mix
+// with a short open-loop blast far past any plausible knee.
+func e20Capacity(sloLatency time.Duration, sloAvail float64) (float64, error) {
+	srv := e20Server(false, sloLatency, sloAvail)
+	defer srv.Close()
+	arms, err := load.ScenarioArms(load.MixConfig{BaseURL: srv.URL, Client: srv.Client()})
+	if err != nil {
+		return 0, err
+	}
+	// Bounded concurrency: an unbounded blast would push the server into
+	// the very collapse we are calibrating around and goodput would measure
+	// the collapse, not the capacity. 32 workers drain at the service rate.
+	res, err := load.Run(context.Background(), load.Config{
+		RPS:         2000,
+		Duration:    500 * time.Millisecond,
+		MaxInFlight: 32,
+		Arms:        arms,
+		SLO:         load.SLO{Latency: sloLatency, Availability: sloAvail},
+	})
+	if err != nil {
+		return 0, err
+	}
+	c := res.Report().GoodputRPS
+	if c < 50 {
+		c = 50
+	}
+	return c, nil
+}
+
+// e20Server starts a fresh in-process server over the Sec 7.1 scenario,
+// optionally fronted by an admission controller defending the experiment's
+// 250ms SLO. Unlike E17 the engine runs with the query cache off: every
+// request pays the full decision-engine walk, which pins the capacity knee
+// low enough that the open-loop generator in the same process can genuinely
+// over-drive it.
+func e20Server(withAdmission bool, sloLatency time.Duration, sloAvail float64) *httptest.Server {
+	sc := datagen.NewScenario(datagen.ScenarioConfig{Seed: 61, Sites: 12})
+	reasoner := gsacs.NewOWLReasoner(sc.Merged, grdf.Ontology(), seconto.Ontology())
+	engine := gsacs.New(sc.Policies, sc.Merged, gsacs.Options{Reasoner: reasoner})
+	slo := obs.NewSLOEngine(obs.SLOConfig{
+		LatencyTarget:      sloLatency,
+		AvailabilityTarget: sloAvail,
+	})
+	opts := []gsacs.ServerOption{gsacs.WithSLO(slo)}
+	if withAdmission {
+		// The SLO is judged on the p99 of queue wait + service, so the AIMD
+		// loop defends a p98 service target of 1/5 the SLO — the queue
+		// deadline plus the defended tail then fit the end-to-end budget
+		// with headroom for the quantile gap. On a CPU-bound engine,
+		// "service time" is mostly run-queue sharing: wall latency scales
+		// with TOTAL in-flight across every class pool, which the per-class
+		// windows cannot see. MaxLimit pins the aggregate to a few requests
+		// per processor so one pool's healthy-looking concurrency cannot
+		// inflate another pool's tail, and the loop is tuned smooth (small
+		// probes, soft backoff, short period) because at this per-request
+		// cost a probe burst is itself a visible latency spike.
+		opts = append(opts, gsacs.WithAdmission(gsacs.AdmissionConfig{
+			Controller: admission.NewController(admission.Config{
+				MaxLimit:        4 * runtime.GOMAXPROCS(0),
+				QueueDeadline:   100 * time.Millisecond,
+				LatencyTarget:   sloLatency / 5,
+				LatencyQuantile: 0.98,
+				AdjustEvery:     100 * time.Millisecond,
+				ProbeStep:       1,
+				BackoffRatio:    0.8,
+				Signal:          admission.DefaultSignal(slo, nil),
+			}),
+			PriorityHeader: "X-Priority",
+		}))
+	}
+	return httptest.NewServer(gsacs.NewServer(engine, nil, opts...))
+}
+
+// e20Duration sizes one fixed-rate trial: nominally requests/rps, floored so
+// the AIMD controller (250ms adjustment period) gets several control cycles
+// even on small -requests runs, capped so the full sweep stays tractable.
+func e20Duration(rps float64, requests int) time.Duration {
+	d := time.Duration(float64(requests) / rps * float64(time.Second))
+	if d < 1500*time.Millisecond {
+		d = 1500 * time.Millisecond
+	}
+	if d > 6*time.Second {
+		d = 6 * time.Second
+	}
+	return d
+}
+
+// e20Arm runs the standard Sec 7.1 mix at one offered rate.
+func e20Arm(rps float64, requests int, withAdmission bool, sloLatency time.Duration, sloAvail float64) (load.Report, error) {
+	srv := e20Server(withAdmission, sloLatency, sloAvail)
+	defer srv.Close()
+	arms, err := load.ScenarioArms(load.MixConfig{
+		BaseURL: srv.URL,
+		Client:  srv.Client(),
+	})
+	if err != nil {
+		return load.Report{}, err
+	}
+	res, err := load.Run(context.Background(), load.Config{
+		RPS:      rps,
+		Duration: e20Duration(rps, requests),
+		Arms:     arms,
+		SLO:      load.SLO{Latency: sloLatency, Availability: sloAvail},
+	})
+	if err != nil {
+		return load.Report{}, err
+	}
+	return res.Report(), nil
+}
+
+// e20Priority overloads one admission-gated server with a 25/75 split of
+// high-tier (EmergencyResponse role) and self-tagged best-effort traffic and
+// returns each tier's answered rate plus the total shed count.
+func e20Priority(rps float64, requests int, sloLatency time.Duration, sloAvail float64) (high, low float64, shed uint64, err error) {
+	srv := e20Server(true, sloLatency, sloAvail)
+	defer srv.Close()
+	client := srv.Client()
+
+	// Both tiers issue the heavy Sec 7.1 aggregation walk: the contention
+	// must be over the same query pool, or the light tier would simply fit
+	// inside spare capacity and prove nothing.
+	const aggQuery = `SELECT ?site ?name ?chem WHERE {
+  ?site a app:ChemSite .
+  ?site app:hasSiteName ?name .
+  ?site app:hasChemicalInfo ?info .
+  ?info app:chemical ?rec .
+  ?rec app:hasChemName ?chem .
+}`
+	arm := func(name, role, priority string, weight int) load.Arm {
+		u := srv.URL + "/v1/query?role=" + url.QueryEscape(role) + "&q=" + url.QueryEscape(aggQuery)
+		return load.Arm{Name: name, Weight: weight,
+			Do: func(ctx context.Context) (load.Outcome, error) {
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+				if err != nil {
+					return load.Error, err
+				}
+				if priority != "" {
+					req.Header.Set("X-Priority", priority)
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					return load.Error, err
+				}
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					return load.Shed, nil
+				case resp.StatusCode == http.StatusOK:
+					return load.OK, nil
+				default:
+					return load.Error, fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}}
+	}
+	res, err := load.Run(context.Background(), load.Config{
+		RPS:      rps,
+		Duration: e20Duration(rps, requests),
+		Arms: []load.Arm{
+			arm("high:EmergencyResponse", "EmergencyResponse", "", 1),
+			arm("low:Hazmat", "Hazmat", "low", 3),
+		},
+		SLO: load.SLO{Latency: sloLatency, Availability: sloAvail},
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rep := res.Report()
+	rate := func(name string) float64 {
+		for _, a := range rep.Arms {
+			if a.Name == name && a.Requests > 0 {
+				return float64(a.OK+a.Degraded) / float64(a.Requests)
+			}
+		}
+		return 0
+	}
+	return rate("high:EmergencyResponse"), rate("low:Hazmat"), rep.Shed, nil
+}

@@ -295,6 +295,39 @@ func TestE17LoadShape(t *testing.T) {
 	}
 }
 
+func TestE20AdmissionShape(t *testing.T) {
+	tab := E20Admission(40)
+	// Four admission sweep steps plus the calibrated overload pair
+	// (admission + ungated at 2x measured capacity).
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6:\n%s", len(tab.Rows), tab)
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tab.Columns))
+		}
+		if row[0] != "admission" && row[0] != "ungated" {
+			t.Errorf("arm %q, want admission or ungated", row[0])
+		}
+		var goodput float64
+		if _, err := fmt.Sscanf(row[3], "%f", &goodput); err != nil || goodput <= 0 {
+			t.Errorf("goodput %q not positive: %v", row[3], row)
+		}
+	}
+	if tab.Rows[len(tab.Rows)-1][0] != "ungated" {
+		t.Errorf("last row should be the ungated baseline: %v", tab.Rows)
+	}
+	joined := strings.Join(tab.Notes, " ")
+	if strings.Contains(joined, "failed") {
+		t.Fatalf("an arm errored:\n%s", tab)
+	}
+	for _, want := range []string{"calibrated capacity", "2x capacity", "ungated at", "priority tiers"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q note: %v", want, tab.Notes)
+		}
+	}
+}
+
 func TestE15DurabilityShape(t *testing.T) {
 	const records = 60
 	tab := E15Durability(records)

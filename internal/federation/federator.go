@@ -18,6 +18,7 @@ const (
 	StateError   = "error"
 	StateTimeout = "timeout"
 	StateOpen    = "open" // skipped: circuit breaker rejected the request
+	StateShed    = "shed" // refused: peer answered 429 (load shed, not a fault)
 )
 
 // Config tunes a Federator. Zero values select the defaults noted on each
@@ -40,7 +41,7 @@ type Config struct {
 // happened at this source for this request.
 type SourceStatus struct {
 	Source   string  `json:"source"`
-	State    string  `json:"state"` // ok | error | timeout | open
+	State    string  `json:"state"` // ok | error | timeout | open | shed
 	Attempts int     `json:"attempts"`
 	Error    string  `json:"error,omitempty"`
 	Millis   float64 `json:"ms"`
@@ -62,9 +63,9 @@ type sourceState struct {
 	breaker *Breaker
 	budget  *RetryBudget
 
-	mOK, mErr, mTimeout, mOpen *obs.Counter
-	mRetries                   *obs.Counter
-	mLatency                   *obs.Histogram
+	mOK, mErr, mTimeout, mOpen, mShed *obs.Counter
+	mRetries                          *obs.Counter
+	mLatency                          *obs.Histogram
 }
 
 // Federator fans queries out to its sources and merges the answers under
@@ -110,6 +111,7 @@ func New(cfg Config, sources ...Source) (*Federator, error) {
 			mErr:     sourceCounter(reg, name, StateError),
 			mTimeout: sourceCounter(reg, name, StateTimeout),
 			mOpen:    sourceCounter(reg, name, StateOpen),
+			mShed:    sourceCounter(reg, name, StateShed),
 			mRetries: reg.Counter("grdf_fed_retries_total",
 				"Retries issued per source.", "source", name),
 			mLatency: reg.Histogram("grdf_fed_source_duration_seconds",
@@ -287,16 +289,34 @@ func (f *Federator) querySource(ctx context.Context, ss *sourceState, role, acti
 		}
 		ss.mRetries.Inc()
 		span.Add("retries", 1)
-		if err := f.cfg.Retry.sleep(ctx, f.cfg.Retry.backoff(attempt)); err != nil {
+		// A shedding peer names its own comeback time: take the larger of
+		// our backoff and its Retry-After hint (still capped — the hint is
+		// advice from an overloaded machine, not a contract), so retries
+		// land after its queue drains instead of joining the stampede.
+		delay := f.cfg.Retry.backoff(attempt)
+		if hint := RetryAfterHint(err); hint > delay {
+			delay = hint
+			if delay > f.cfg.Retry.MaxDelay {
+				delay = f.cfg.Retry.MaxDelay
+			}
+		}
+		if err := f.cfg.Retry.sleep(ctx, delay); err != nil {
 			lastErr = err
 			break
 		}
 	}
 	report(false)
-	if errors.Is(lastErr, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(lastErr, context.DeadlineExceeded):
 		status.State = StateTimeout
 		ss.mTimeout.Inc()
-	} else {
+	case IsShed(lastErr):
+		// The peer is up and talking — it refused the work on purpose. Keep
+		// the outcome distinct from faults so shed storms don't masquerade
+		// as peer failures on dashboards.
+		status.State = StateShed
+		ss.mShed.Inc()
+	default:
 		status.State = StateError
 		ss.mErr.Inc()
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -92,6 +93,13 @@ func (s *RemoteSource) Query(ctx context.Context, role, action rdf.IRI, query st
 		se := &StatusError{Status: resp.StatusCode}
 		if decodeErr == nil {
 			se.Code, se.Msg = wire.Code, wire.Error
+		}
+		// An overloaded or restarting peer names its comeback time; carry it
+		// so the retry loop can honor it instead of stampeding back.
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
 		}
 		return nil, se
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"sync"
 	"time"
 )
@@ -154,6 +155,11 @@ type StatusError struct {
 	Status int
 	Code   string
 	Msg    string
+	// RetryAfter is the peer's Retry-After hint (zero when absent). A peer
+	// that sheds with 429 names the moment its queue will have drained;
+	// retrying sooner is a stampede, so the backoff loop takes the larger of
+	// its own delay and this hint.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -161,6 +167,23 @@ func (e *StatusError) Error() string {
 		return fmt.Sprintf("federation: remote status %d (%s): %s", e.Status, e.Code, e.Msg)
 	}
 	return fmt.Sprintf("federation: remote status %d", e.Status)
+}
+
+// RetryAfterHint extracts the peer's Retry-After hint from err, or zero when
+// err carries none.
+func RetryAfterHint(err error) time.Duration {
+	var se *StatusError
+	if errors.As(err, &se) && se.RetryAfter > 0 {
+		return se.RetryAfter
+	}
+	return 0
+}
+
+// IsShed reports whether err is a peer's load-shed answer (429): the peer is
+// healthy but refusing work, which is an overload outcome, not a fault.
+func IsShed(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Status == http.StatusTooManyRequests
 }
 
 // terminalError marks an error as not worth retrying regardless of its

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/federation"
 	"repro/internal/ntriples"
 	"repro/internal/obs"
@@ -73,6 +75,19 @@ type Server struct {
 	// leaderURL, when set, answers every mutation with 421 and a Location
 	// header pointing at the leader (see WithMutationRedirect).
 	leaderURL string
+	// admission, when set, gates the query/view/mutate routes behind the
+	// adaptive concurrency limiter — over-capacity requests answer 429
+	// with Retry-After instead of queueing without bound (see
+	// WithAdmission).
+	admission *admission.Controller
+	// priorityHeader names the request header clients use to tag a
+	// priority tier ("high" / "normal" / "low"); empty disables the
+	// header.
+	priorityHeader string
+	// highRoles maps resolved role IRIs onto the High admission tier —
+	// the paper's emergency-response roles, whose queries must outlive
+	// best-effort traffic under shed.
+	highRoles map[rdf.IRI]bool
 }
 
 // ServerOption customizes NewServer.
@@ -182,6 +197,45 @@ func WithMutationRedirect(leaderURL string) ServerOption {
 	return func(s *Server) { s.leaderURL = leaderURL }
 }
 
+// AdmissionConfig wires a Controller into the server.
+type AdmissionConfig struct {
+	// Controller is the adaptive limiter (required).
+	Controller *admission.Controller
+	// PriorityHeader names the header clients use to tag a request's tier
+	// ("high" / "normal" / "low"; see admission.ParsePriority). Empty
+	// disables client-supplied priorities.
+	PriorityHeader string
+	// HighPriorityRoles are role names (local names or full IRIs) whose
+	// queries ride the High tier regardless of headers — default
+	// EmergencyResponse, per the paper's Sec 7.1 scenario. Mutations are
+	// always High: losing a write costs more than delaying a read.
+	HighPriorityRoles []string
+}
+
+// WithAdmission puts the adaptive admission controller between the
+// readiness gate and the handlers: every query/view/mutate request must win
+// a concurrency slot (possibly after a short bounded queue wait) or is
+// answered 429 "overloaded" with a Retry-After estimate. Control-plane
+// routes — /healthz, /metrics, /v1/slo, /v1/traces, the WAL replication
+// endpoints — bypass the gate: the signals used to diagnose an overload
+// must stay readable during one.
+func WithAdmission(cfg AdmissionConfig) ServerOption {
+	return func(s *Server) {
+		s.admission = cfg.Controller
+		s.priorityHeader = cfg.PriorityHeader
+		roles := cfg.HighPriorityRoles
+		if len(roles) == 0 {
+			roles = []string{"EmergencyResponse"}
+		}
+		s.highRoles = make(map[rdf.IRI]bool, len(roles))
+		for _, r := range roles {
+			if iri, err := resolveRole(r); err == nil {
+				s.highRoles[iri] = true
+			}
+		}
+	}
+}
+
 // routes are the fixed mux patterns, reused as bounded metric label values.
 // The /v1/ names are canonical; the bare names are legacy aliases.
 var routes = []string{
@@ -272,8 +326,84 @@ func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Serv
 			s.writeError(w, r, http.StatusInternalServerError, "internal",
 				"internal server error")
 		},
-	}, s.readinessGate(s.mux))
+	}, s.readinessGate(s.admissionGate(s.mux)))
 	return s
+}
+
+// admissionClass maps a request path onto its admission pool; ok is false
+// for routes that bypass admission entirely (health, metrics, SLO and trace
+// inspection, WAL replication — the overload-diagnosis surface).
+func admissionClass(path string) (admission.Class, bool) {
+	switch path {
+	case "/v1/query", "/query", "/v1/resource", "/resource":
+		return admission.ClassQuery, true
+	case "/v1/view", "/view":
+		return admission.ClassView, true
+	case "/v1/insert", "/insert", "/v1/delete", "/delete",
+		"/v1/update", "/update", "/v1/mutate":
+		return admission.ClassMutate, true
+	}
+	return 0, false
+}
+
+// requestPriority classifies one request's admission tier: an explicit
+// priority header wins, then mutations and the configured high-priority
+// roles (EmergencyResponse by default) ride High, and everything else is
+// Normal. The header wins even downward — a client may deliberately
+// downgrade its own traffic (a bulk loader tagging itself "low").
+func (s *Server) requestPriority(r *http.Request, class admission.Class) admission.Priority {
+	if s.priorityHeader != "" {
+		if p, ok := admission.ParsePriority(r.Header.Get(s.priorityHeader)); ok {
+			return p
+		}
+	}
+	if class == admission.ClassMutate {
+		return admission.High
+	}
+	if raw := r.URL.Query().Get("role"); raw != "" {
+		if iri, err := resolveRole(raw); err == nil && s.highRoles[iri] {
+			return admission.High
+		}
+	}
+	return admission.Normal
+}
+
+// admissionGate asks the controller for a slot before any handler runs.
+// A shed answers 429 with the uniform error envelope and a Retry-After
+// estimate; the obs middleware upstream still records the request (status
+// and latency), so shed traffic stays visible in metrics and the SLO
+// engine without burning the error budget (429 < 500).
+func (s *Server) admissionGate(next http.Handler) http.Handler {
+	if s.admission == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		class, gated := admissionClass(r.URL.Path)
+		if !gated {
+			next.ServeHTTP(w, r)
+			return
+		}
+		pri := s.requestPriority(r, class)
+		release, err := s.admission.Admit(r.Context(), class, pri)
+		if err != nil {
+			var shed *admission.ShedError
+			if errors.As(err, &shed) {
+				w.Header().Set("Retry-After",
+					strconv.Itoa(int(math.Ceil(shed.RetryAfter.Seconds()))))
+				s.writeError(w, r, http.StatusTooManyRequests, "overloaded",
+					err.Error())
+				return
+			}
+			// The client's context ended while it waited in queue; there is
+			// nobody left to answer, but the status line keeps the books
+			// straight.
+			s.writeError(w, r, http.StatusServiceUnavailable, "canceled",
+				"client gave up while queued for admission")
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // readinessGate holds every route except /healthz and /metrics behind the
@@ -424,6 +554,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// Saturation signals: the resources that exhaust first under load, so
 	// an external load generator can distinguish "saturated" from "broken".
 	body["saturation"] = obs.ReadSaturation(s.metrics)
+	if s.admission != nil {
+		body["admission"] = s.admission.Status()
+	}
 	if s.replStatus != nil {
 		rs := s.replStatus()
 		body["replication"] = rs

@@ -32,6 +32,12 @@ const (
 	Degraded
 	// Error is a failed request: transport error or 5xx.
 	Error
+	// Shed is a request the server refused with 429 under admission control:
+	// a deliberate, fast rejection carrying Retry-After. Sheds are counted
+	// apart from errors and excluded from the latency distributions — a
+	// refusal answered in microseconds is not service, and folding it in
+	// would flatter the latency verdict of an overloaded server.
+	Shed
 )
 
 // Arm is one traffic class in the mix: a weight and a request function.
@@ -131,6 +137,7 @@ type armStats struct {
 	ok        atomic.Uint64
 	degraded  atomic.Uint64
 	errors    atomic.Uint64
+	shed      atomic.Uint64
 }
 
 // Result is the raw outcome of one Run; Report renders it.
@@ -217,6 +224,10 @@ dispatch:
 			}
 			callStart := time.Now()
 			out, _ := cfg.Arms[arm].Do(ctx)
+			if out == Shed {
+				stats[arm].shed.Add(1)
+				return
+			}
 			stats[arm].service.Record(time.Since(callStart))
 			stats[arm].corrected.Record(time.Since(intended))
 			switch out {
@@ -262,6 +273,7 @@ type ArmReport struct {
 	OK        uint64    `json:"ok"`
 	Degraded  uint64    `json:"degraded"`
 	Errors    uint64    `json:"errors"`
+	Shed      uint64    `json:"shed"`
 	Corrected Quantiles `json:"corrected"`
 	Service   Quantiles `json:"service"`
 }
@@ -287,6 +299,16 @@ type Report struct {
 	OK          uint64  `json:"ok"`
 	Degraded    uint64  `json:"degraded"`
 	Errors      uint64  `json:"errors"`
+	// Shed counts 429 refusals from server-side admission control. They are
+	// reported apart from errors: a shed is the overload policy working (the
+	// client got a fast, honest refusal with a Retry-After), not a fault.
+	Shed uint64 `json:"shed"`
+	// ShedRate is Shed / Requests.
+	ShedRate float64 `json:"shed_rate"`
+	// GoodputRPS is the rate of full-fidelity-or-degraded answers actually
+	// delivered — the number that must not collapse when offered load
+	// exceeds capacity.
+	GoodputRPS float64 `json:"goodput_rps"`
 	// Corrected is the coordinated-omission-corrected distribution: every
 	// sample anchored at its intended start on the arrival schedule.
 	Corrected Quantiles `json:"corrected"`
@@ -302,23 +324,25 @@ type Report struct {
 func (r *Result) Report() Report {
 	var armReports []ArmReport
 	var corrected, service []*obs.LatencySketch
-	var ok, degraded, errs uint64
+	var ok, degraded, errs, shed uint64
 	for _, a := range r.arms {
 		ar := ArmReport{
 			Name:      a.name,
 			OK:        a.ok.Load(),
 			Degraded:  a.degraded.Load(),
 			Errors:    a.errors.Load(),
+			Shed:      a.shed.Load(),
 			Corrected: quantilesOf(a.corrected),
 			Service:   quantilesOf(a.service),
 		}
-		ar.Requests = ar.OK + ar.Degraded + ar.Errors
+		ar.Requests = ar.OK + ar.Degraded + ar.Errors + ar.Shed
 		armReports = append(armReports, ar)
 		corrected = append(corrected, a.corrected)
 		service = append(service, a.service)
 		ok += ar.OK
 		degraded += ar.Degraded
 		errs += ar.Errors
+		shed += ar.Shed
 	}
 	allCorrected := obs.MergeSketches(corrected...)
 	rep := Report{
@@ -328,12 +352,17 @@ func (r *Result) Report() Report {
 		OK:          ok,
 		Degraded:    degraded,
 		Errors:      errs,
+		Shed:        shed,
 		Corrected:   quantilesOf(allCorrected),
 		Service:     quantilesOf(obs.MergeSketches(service...)),
 		Arms:        armReports,
 	}
 	if r.elapsed > 0 {
 		rep.AchievedRPS = float64(r.sent) / r.elapsed.Seconds()
+		rep.GoodputRPS = float64(ok+degraded) / r.elapsed.Seconds()
+	}
+	if r.sent > 0 {
+		rep.ShedRate = float64(shed) / float64(r.sent)
 	}
 	slo := r.cfg.SLO
 	v := Verdict{
@@ -343,8 +372,14 @@ func (r *Result) Report() Report {
 		AvailabilityTarget: slo.Availability,
 	}
 	v.LatencyOK = v.LatencyMs <= v.LatencyTargetMs
-	if r.sent > 0 {
-		v.Availability = float64(ok+degraded) / float64(r.sent)
+	// Availability judges admitted traffic only: a shed is the server
+	// refusing work honestly, not failing it, so it leaves the denominator.
+	// The shed rate is reported alongside — a server that sheds everything
+	// is vacuously available at zero goodput, and the report shows both.
+	if admitted := r.sent - shed; admitted > 0 {
+		v.Availability = float64(ok+degraded) / float64(admitted)
+	} else if r.sent > 0 {
+		v.Availability = 1
 	}
 	v.AvailabilityOK = v.Availability >= slo.Availability
 	v.Pass = v.LatencyOK && v.AvailabilityOK
@@ -356,8 +391,10 @@ func (r *Result) Report() Report {
 // highest rate that passed its SLO.
 type SweepReport struct {
 	Steps []Report `json:"steps"`
-	// MaxSustainedRPS is the highest *achieved* RPS among SLO-passing
-	// steps, 0 when every step breached.
+	// MaxSustainedRPS is the highest *goodput* among SLO-passing steps, 0
+	// when every step breached. Goodput, not offered rate: an admission-
+	// controlled step may pass its SLO while shedding part of the offered
+	// load, and only the answered part was sustained.
 	MaxSustainedRPS float64 `json:"max_sustained_rps"`
 	Pass            bool    `json:"pass"`
 }
@@ -380,8 +417,8 @@ func Sweep(ctx context.Context, base Config, rpsList []float64) (SweepReport, er
 		sw.Steps = append(sw.Steps, rep)
 		if rep.SLO.Pass {
 			sw.Pass = true
-			if rep.AchievedRPS > sw.MaxSustainedRPS {
-				sw.MaxSustainedRPS = rep.AchievedRPS
+			if rep.GoodputRPS > sw.MaxSustainedRPS {
+				sw.MaxSustainedRPS = rep.GoodputRPS
 			}
 		}
 		if ctx.Err() != nil {

@@ -74,6 +74,64 @@ func TestRunCountsAndReport(t *testing.T) {
 	}
 }
 
+// TestShedAccounting: 429s land in the shed bucket, not errors; they leave
+// the availability denominator and the latency sketches, but goodput and the
+// shed rate expose them.
+func TestShedAccounting(t *testing.T) {
+	slow := func(ctx context.Context) (Outcome, error) {
+		time.Sleep(5 * time.Millisecond)
+		return OK, nil
+	}
+	res, err := Run(context.Background(), Config{
+		RPS:      400,
+		Duration: 250 * time.Millisecond,
+		Seed:     3,
+		Arms: []Arm{
+			{Name: "served", Weight: 1, Do: slow},
+			instantArm("shed", Shed),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if rep.Shed == 0 || rep.OK == 0 {
+		t.Fatalf("mix not exercised: %+v", rep)
+	}
+	if rep.Requests != rep.OK+rep.Degraded+rep.Errors+rep.Shed {
+		t.Fatalf("request accounting broken: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("sheds leaked into errors: %+v", rep)
+	}
+	// Half the traffic shed instantly; if sheds entered the sketches the
+	// merged count would include them.
+	var armShed ArmReport
+	for _, a := range rep.Arms {
+		if a.Name == "shed" {
+			armShed = a
+		}
+	}
+	if armShed.Shed != rep.Shed {
+		t.Fatalf("per-arm shed = %d, want all %d on the shed arm", armShed.Shed, rep.Shed)
+	}
+	if armShed.Corrected.MaxMs != 0 || armShed.Service.MaxMs != 0 {
+		t.Fatalf("shed samples entered the latency sketches: %+v", armShed)
+	}
+	// Availability judges admitted traffic only: every admitted request
+	// succeeded, so the verdict must not be dragged down by the sheds.
+	if rep.SLO.Availability < 0.999 {
+		t.Fatalf("availability = %v, want ~1 over admitted traffic", rep.SLO.Availability)
+	}
+	if rep.ShedRate <= 0 || rep.ShedRate >= 1 {
+		t.Fatalf("shed rate = %v, want in (0,1)", rep.ShedRate)
+	}
+	if rep.GoodputRPS <= 0 || rep.GoodputRPS >= rep.AchievedRPS {
+		t.Fatalf("goodput = %v vs achieved %v, want positive and below achieved",
+			rep.GoodputRPS, rep.AchievedRPS)
+	}
+}
+
 // TestCoordinatedOmissionCorrection is the heart of the harness: with one
 // in-flight slot and a service time far slower than the arrival interval,
 // requests pile up behind the slot. A closed-loop (service-time) view sees

@@ -182,6 +182,11 @@ func classify(resp *http.Response, err error) (Outcome, error) {
 		return Error, readErr
 	}
 	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Admission control refused the request on purpose. Count it as a
+		// shed, not an error — the overload policy working is a different
+		// finding from the server breaking.
+		return Shed, nil
 	case resp.StatusCode >= 500:
 		return Error, fmt.Errorf("load: status %d", resp.StatusCode)
 	case resp.StatusCode >= 400:

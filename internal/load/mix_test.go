@@ -178,6 +178,9 @@ func TestClassify(t *testing.T) {
 	if out, err := classify(mk(500, "boom")); out != Error || err == nil {
 		t.Errorf("500 = %v %v", out, err)
 	}
+	if out, err := classify(mk(429, `{"error":"shed","code":"overloaded"}`)); out != Shed || err != nil {
+		t.Errorf("429 = %v %v, want Shed with no error", out, err)
+	}
 	if out, err := classify(mk(403, "denied")); out != Error || err == nil {
 		t.Errorf("403 = %v %v", out, err)
 	}

@@ -75,6 +75,11 @@ type FollowerStatus struct {
 	Reconnects        uint64  `json:"reconnects"`
 	SnapshotTransfers uint64  `json:"snapshot_transfers"`
 	CorruptRecords    uint64  `json:"corrupt_records,omitempty"`
+	// LeaderSheds counts replication attempts the leader refused with 429:
+	// the leader is shedding load and this follower is part of it. A rising
+	// count with Ready=true means replication is riding out leader overload,
+	// not a fault.
+	LeaderSheds uint64 `json:"leader_sheds,omitempty"`
 }
 
 // Follower replicates a leader's WAL into st: bootstrap from a snapshot,
@@ -101,6 +106,7 @@ type Follower struct {
 	reconnects       uint64
 	snapshots        uint64
 	corrupt          uint64
+	leaderSheds      uint64
 
 	budget *federation.RetryBudget
 
@@ -108,6 +114,7 @@ type Follower struct {
 	mReconnects *obs.Counter
 	mSnapshots  *obs.Counter
 	mCorrupt    *obs.Counter
+	mSheds      *obs.Counter
 }
 
 // NewFollower builds a follower replicating into st. st should start empty;
@@ -139,6 +146,7 @@ func NewFollower(st *store.Store, opts FollowerOptions) (*Follower, error) {
 	f.mReconnects = reg.Counter("grdf_repl_reconnects_total", "Stream reconnects after transport or stream errors.")
 	f.mSnapshots = reg.Counter("grdf_repl_snapshot_transfers_total", "Bootstrap snapshot transfers performed.")
 	f.mCorrupt = reg.Counter("grdf_repl_corrupt_records_total", "Stream records refused for failing CRC or structural checks.")
+	f.mSheds = reg.Counter("grdf_repl_leader_sheds_total", "Replication attempts the leader refused with 429 (leader load shedding).")
 	reg.GaugeFunc("grdf_repl_lag_seconds", "Seconds since this follower last confirmed being caught up.", f.LagSeconds)
 	reg.GaugeFunc("grdf_repl_applied_generation", "Leader store generation this follower's state reflects.", func() float64 {
 		f.mu.Lock()
@@ -174,18 +182,18 @@ func (f *Follower) Run(ctx context.Context) {
 			f.mu.Unlock()
 			continue
 		}
+		if federation.IsShed(err) {
+			f.mSheds.Inc()
+			f.mu.Lock()
+			f.leaderSheds++
+			f.mu.Unlock()
+		}
 		f.mReconnects.Inc()
 		f.mu.Lock()
 		f.reconnects++
 		f.mu.Unlock()
 		retryN++
-		delay := f.opts.Retry.Backoff(retryN)
-		if !f.budget.Withdraw() {
-			// Retry budget exhausted: the leader is persistently unreachable.
-			// Fall back to the capped delay so a dead leader sees trickle
-			// probes, not a reconnect storm.
-			delay = f.opts.Retry.Backoff(1 << 10)
-		}
+		delay := f.reconnectDelay(err, retryN, f.budget.Withdraw())
 		f.logger.Warn("repl: stream attempt failed; backing off",
 			"attempt", retryN, "delay", delay, "err", err)
 		select {
@@ -194,6 +202,33 @@ func (f *Follower) Run(ctx context.Context) {
 		case <-time.After(delay):
 		}
 	}
+}
+
+// maxShedDelay caps how long a leader's Retry-After hint can stretch a
+// reconnect pause — the hint is advice from an overloaded machine, and a
+// replica that naps for minutes trades overload for staleness.
+const maxShedDelay = 30 * time.Second
+
+// reconnectDelay picks the pause before the next attempt: the retry policy's
+// capped exponential backoff (the budget-exhausted trickle when budgetOK is
+// false), stretched to the leader's Retry-After hint when it shed us — the
+// leader knows its own drain time better than our exponent does.
+func (f *Follower) reconnectDelay(err error, retryN int, budgetOK bool) time.Duration {
+	n := retryN
+	if !budgetOK {
+		// Retry budget exhausted: the leader is persistently unreachable.
+		// Fall back to the capped delay so a dead leader sees trickle
+		// probes, not a reconnect storm.
+		n = 1 << 10
+	}
+	delay := f.opts.Retry.Backoff(n)
+	if hint := federation.RetryAfterHint(err); hint > delay {
+		delay = hint
+		if delay > maxShedDelay {
+			delay = maxShedDelay
+		}
+	}
+	return delay
 }
 
 func (f *Follower) isBootstrapped() bool {
@@ -220,7 +255,7 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return &federation.StatusError{Status: resp.StatusCode, Msg: "snapshot transfer refused"}
+		return refusedError(resp, "snapshot transfer refused")
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxTransferBytes+1))
 	if err != nil {
@@ -310,8 +345,20 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 	case http.StatusGone:
 		return errCompactedRemote
 	default:
-		return &federation.StatusError{Status: resp.StatusCode, Msg: "stream refused"}
+		return refusedError(resp, "stream refused")
 	}
+}
+
+// refusedError wraps a non-200 leader answer, carrying its Retry-After hint
+// (integer seconds) so the reconnect pause can honor it.
+func refusedError(resp *http.Response, msg string) *federation.StatusError {
+	se := &federation.StatusError{Status: resp.StatusCode, Msg: msg}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
 }
 
 // applyFrames decodes and applies a stream body record by record. Every
@@ -453,5 +500,6 @@ func (f *Follower) Status() FollowerStatus {
 		Reconnects:        f.reconnects,
 		SnapshotTransfers: f.snapshots,
 		CorruptRecords:    f.corrupt,
+		LeaderSheds:       f.leaderSheds,
 	}
 }

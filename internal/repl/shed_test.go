@@ -1,0 +1,78 @@
+package repl
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/federation"
+	"repro/internal/store"
+)
+
+// TestReconnectDelayHonorsRetryAfter pins the pause policy: plain failures
+// follow the exponential backoff, a leader's Retry-After hint stretches it
+// (capped at maxShedDelay), and a hint shorter than the backoff is ignored.
+func TestReconnectDelayHonorsRetryAfter(t *testing.T) {
+	f, err := NewFollower(store.New(), FollowerOptions{
+		LeaderURL: "http://leader",
+		Retry: federation.RetryConfig{
+			BaseDelay: 10 * time.Millisecond,
+			MaxDelay:  100 * time.Millisecond,
+			Jitter:    0.000001,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := errors.New("transport reset")
+	if d := f.reconnectDelay(plain, 1, true); d < 9*time.Millisecond || d > 10*time.Millisecond {
+		t.Errorf("plain delay = %v, want ≈BaseDelay", d)
+	}
+	shed := &federation.StatusError{Status: 429, RetryAfter: 2 * time.Second}
+	if d := f.reconnectDelay(shed, 1, true); d != 2*time.Second {
+		t.Errorf("shed delay = %v, want the 2s Retry-After hint", d)
+	}
+	monster := &federation.StatusError{Status: 429, RetryAfter: 10 * time.Minute}
+	if d := f.reconnectDelay(monster, 1, true); d != maxShedDelay {
+		t.Errorf("oversized hint delay = %v, want capped at %v", d, maxShedDelay)
+	}
+	tiny := &federation.StatusError{Status: 429, RetryAfter: time.Millisecond}
+	if d := f.reconnectDelay(tiny, 5, true); d < 9*time.Millisecond {
+		t.Errorf("tiny hint delay = %v, want the larger computed backoff", d)
+	}
+	// Budget exhausted: the trickle cap applies before the hint comparison.
+	if d := f.reconnectDelay(plain, 1, false); d < 99*time.Millisecond {
+		t.Errorf("budget-exhausted delay = %v, want ≈MaxDelay trickle", d)
+	}
+}
+
+// TestFollowerCountsLeaderSheds: a leader refusing the snapshot with 429 is
+// recorded as a leader shed in Status(), distinct from generic reconnects.
+func TestFollowerCountsLeaderSheds(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	f, _, cancel := startFollower(t, FollowerOptions{LeaderURL: srv.URL})
+	waitFor(t, 2*time.Second, "leader shed counted", func() bool {
+		return f.Status().LeaderSheds >= 1
+	})
+	cancel()
+	st := f.Status()
+	if st.LeaderSheds < 1 || st.Reconnects < st.LeaderSheds {
+		t.Errorf("status = %+v, want LeaderSheds >= 1 and counted among reconnects", st)
+	}
+	if st.Bootstrapped {
+		t.Error("follower claims bootstrap despite pure 429s")
+	}
+	if hits.Load() == 0 {
+		t.Fatal("test server never hit")
+	}
+}
