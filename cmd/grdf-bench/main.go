@@ -1,5 +1,5 @@
 // Command grdf-bench regenerates every experiment table of the reproduction
-// (E1–E20, see DESIGN.md and EXPERIMENTS.md).
+// (E1–E21, see DESIGN.md and EXPERIMENTS.md).
 //
 // With -json DIR it additionally writes one machine-readable BENCH_<id>.json
 // per experiment — the table cells, the wall time, and a snapshot of the
@@ -107,6 +107,7 @@ func main() {
 		{"E18", func() *experiments.Table { return experiments.E18GroupCommit(*requests) }},
 		{"E19", func() *experiments.Table { return experiments.E19Replication(*requests) }},
 		{"E20", func() *experiments.Table { return experiments.E20Admission(*requests) }},
+		{"E21", func() *experiments.Table { return experiments.E21Workload(*requests) }},
 	}
 
 	selected := map[string]bool{}

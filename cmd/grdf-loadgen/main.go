@@ -26,6 +26,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -261,6 +263,11 @@ func main() {
 		report, pass = rep, rep.SLO.Pass
 	}
 
+	// Close the loop with the server's own workload lens: its top
+	// fingerprints after the run show which query shapes dominated, with
+	// server-side quantiles to hold against the client-side ones above.
+	printTopFingerprints(human, parseTargets(*target)[0], *timeout)
+
 	if *jsonOut != "" {
 		raw, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -277,6 +284,52 @@ func main() {
 	}
 	if !pass {
 		os.Exit(1)
+	}
+}
+
+// printTopFingerprints fetches the first target's /v1/queries and prints its
+// three heaviest query shapes. A server without workload introspection (404)
+// or an unreachable one just skips the section — the load report stands on
+// its own.
+func printTopFingerprints(w *os.File, base string, timeout time.Duration) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/v1/queries?limit=3")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var listing struct {
+		Queries []struct {
+			Fingerprint string  `json:"fingerprint"`
+			Kind        string  `json:"kind"`
+			Example     string  `json:"example"`
+			Count       uint64  `json:"count"`
+			Shed        uint64  `json:"shed"`
+			P50Ms       float64 `json:"p50_ms"`
+			P99Ms       float64 `json:"p99_ms"`
+			DriftBand   string  `json:"drift_band"`
+		} `json:"queries"`
+		Fingerprints int `json:"fingerprints"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&listing); err != nil ||
+		len(listing.Queries) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "server top fingerprints (%d tracked):\n", listing.Fingerprints)
+	for _, q := range listing.Queries {
+		example := q.Example
+		if len(example) > 72 {
+			example = example[:69] + "..."
+		}
+		fmt.Fprintf(w, "  %s %-9s count=%d shed=%d p50=%.2fms p99=%.2fms",
+			q.Fingerprint, q.Kind, q.Count, q.Shed, q.P50Ms, q.P99Ms)
+		if q.DriftBand != "" {
+			fmt.Fprintf(w, " drift=%s", q.DriftBand)
+		}
+		fmt.Fprintf(w, "\n    %s\n", example)
 	}
 }
 

@@ -74,6 +74,8 @@ import (
 	"repro/internal/grdf"
 	"repro/internal/gsacs"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
+	"repro/internal/obs/workload"
 	"repro/internal/owl"
 	"repro/internal/rdf"
 	"repro/internal/repl"
@@ -133,6 +135,11 @@ type flagConfig struct {
 	admissionOn   bool
 	maxQueue      int
 	queueDeadline time.Duration
+	workloadTopK  int
+	profileRing   int
+	profileWindow time.Duration
+	profileEvery  time.Duration
+	clusterOn     bool
 }
 
 // validateFlags rejects inconsistent or out-of-range configurations. It is a
@@ -236,6 +243,23 @@ func validateFlags(c flagConfig) error {
 			return fmt.Errorf("-queue-deadline must be positive")
 		}
 	}
+	if c.workloadTopK < 0 {
+		return fmt.Errorf("-workload-topk must be non-negative (0 disables workload introspection)")
+	}
+	if c.profileRing < 0 {
+		return fmt.Errorf("-profile-ring must be non-negative (0 disables continuous profiling)")
+	}
+	if c.profileRing > 0 {
+		if c.profileWindow <= 0 {
+			return fmt.Errorf("-profile-cpu-window must be positive")
+		}
+		if c.profileEvery < 0 {
+			return fmt.Errorf("-profile-every must be non-negative (0 = burn-triggered captures only)")
+		}
+	}
+	if c.clusterOn && len(c.sources) == 0 {
+		return fmt.Errorf("-cluster requires at least one -source peer to roll up")
+	}
 	return nil
 }
 
@@ -284,6 +308,11 @@ func main() {
 	maxQueue := flag.Int("max-queue", 128, "per-class admission queue bound (0 disables queueing; over-limit arrivals shed immediately)")
 	queueDeadline := flag.Duration("queue-deadline", 100*time.Millisecond, "longest a request may wait for an admission slot before it is shed")
 	priorityHeader := flag.String("priority-header", "X-Priority", "request header carrying the client priority tier (high/normal/low)")
+	workloadTopK := flag.Int("workload-topk", 256, "query fingerprints tracked for /v1/queries (0 disables workload introspection)")
+	profileRing := flag.Int("profile-ring", 8, "profile captures retained for /v1/profiles (0 disables continuous profiling)")
+	profileCPUWindow := flag.Duration("profile-cpu-window", 2*time.Second, "CPU profiling window per capture")
+	profileEvery := flag.Duration("profile-every", 0, "periodic capture cadence (0 = burn-triggered captures only)")
+	clusterOn := flag.Bool("cluster", false, "mount the /v1/cluster fleet rollup over the -source peers")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -305,6 +334,9 @@ func main() {
 		follow: *follow, maxReplicaLag: *maxReplicaLag,
 		router: *router, retainMinSeq: *walRetainMinSeq,
 		admissionOn: *admissionOn, maxQueue: *maxQueue, queueDeadline: *queueDeadline,
+		workloadTopK: *workloadTopK, profileRing: *profileRing,
+		profileWindow: *profileCPUWindow, profileEvery: *profileEvery,
+		clusterOn: *clusterOn,
 	}
 	if err := validateFlags(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "gsacs-server: %v\n\n", err)
@@ -379,6 +411,29 @@ func main() {
 	opts := []gsacs.ServerOption{gsacs.WithMetrics(reg), gsacs.WithLogger(logger),
 		gsacs.WithQueryTimeout(*queryTimeout), gsacs.WithMaxBodyBytes(*maxBodyBytes),
 		gsacs.WithReadiness(ready.Load), gsacs.WithTracer(tracer), gsacs.WithSLO(slo)}
+	if *workloadTopK > 0 {
+		opts = append(opts, gsacs.WithWorkload(workload.New(workload.Config{
+			Capacity: *workloadTopK,
+			Registry: reg,
+			Logger:   logger,
+		})))
+	}
+	var profiler *prof.Profiler
+	if *profileRing > 0 {
+		profiler = prof.New(prof.Config{
+			Ring:      *profileRing,
+			CPUWindow: *profileCPUWindow,
+			Every:     *profileEvery,
+			// The SLO engine's fast-burn verdict is the primary trigger: the
+			// watch loop captures the collapse while it starts, not after.
+			Burn:     func() bool { return !slo.Status().AvailabilityOK },
+			Registry: reg,
+			Logger:   logger,
+		})
+		profiler.Start()
+		defer profiler.Stop()
+		opts = append(opts, gsacs.WithProfiler(profiler))
+	}
 	if *admissionOn {
 		// The AIMD loop defends post-admission service latency; the SLO is
 		// end-to-end. Leave the queue deadline as headroom between the two so
@@ -393,12 +448,27 @@ func main() {
 		if mq == 0 {
 			mq = admission.NoQueue
 		}
+		// An overload signal flipping on is exactly the moment whose
+		// flamegraph matters: capture immediately instead of waiting for the
+		// burn-watch poll.
+		var onSignal func(prev, cur admission.Signal)
+		if profiler != nil {
+			onSignal = func(prev, cur admission.Signal) {
+				if cur.FastBurnBreached && !prev.FastBurnBreached {
+					profiler.Trigger("fast_burn")
+				}
+				if cur.Saturated && !prev.Saturated {
+					profiler.Trigger("overload")
+				}
+			}
+		}
 		opts = append(opts, gsacs.WithAdmission(gsacs.AdmissionConfig{
 			Controller: admission.NewController(admission.Config{
 				MaxQueue:      mq,
 				QueueDeadline: *queueDeadline,
 				LatencyTarget: target,
 				Signal:        admission.DefaultSignal(slo, reg),
+				OnSignal:      onSignal,
 				Metrics:       reg,
 			}),
 			PriorityHeader: *priorityHeader,
@@ -470,6 +540,13 @@ func main() {
 			os.Exit(1)
 		}
 		opts = append(opts, gsacs.WithFederator(fed))
+	}
+	if *clusterOn {
+		peers := make([]gsacs.ClusterPeer, 0, len(sources))
+		for i, base := range sources {
+			peers = append(peers, gsacs.ClusterPeer{Name: fmt.Sprintf("peer%d", i+1), Base: base})
+		}
+		opts = append(opts, gsacs.WithCluster(gsacs.ClusterConfig{Peers: peers}))
 	}
 
 	srv := &http.Server{

@@ -219,6 +219,11 @@ type Config struct {
 	// saturation) to every adjustment. Sampled at most once per period
 	// across all classes.
 	Signal func() Signal
+	// OnSignal, when set, observes every sampled Signal transition (a read
+	// whose value differs from the previous sample). It is called outside
+	// the sampler's lock and must be fast or hand off — the standard use is
+	// triggering an immediate profile capture the moment overload begins.
+	OnSignal func(prev, cur Signal)
 	// Metrics receives the admission instruments (nil disables).
 	Metrics *obs.Registry
 
@@ -289,7 +294,7 @@ type Controller struct {
 func NewController(cfg Config) *Controller {
 	cfg = cfg.withDefaults()
 	c := &Controller{cfg: cfg}
-	c.sig = newSignalCache(cfg.Signal, cfg.AdjustEvery/2, cfg.now)
+	c.sig = newSignalCache(cfg.Signal, cfg.OnSignal, cfg.AdjustEvery/2, cfg.now)
 	reg := cfg.Metrics
 	for i := range c.classes {
 		c.classes[i] = newClassLimiter(Class(i), cfg, c.sig, reg)

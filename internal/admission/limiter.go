@@ -413,20 +413,22 @@ func (l *classLimiter) status() ClassStatus {
 // the SLO status walk merges every route's sketches, so three limiters must
 // not each pay that per adjustment.
 type signalCache struct {
-	fn  func() Signal
-	ttl time.Duration
-	now func() time.Time
+	fn       func() Signal
+	onChange func(prev, cur Signal)
+	ttl      time.Duration
+	now      func() time.Time
 
-	mu  sync.Mutex
-	at  time.Time
-	val Signal
+	mu      sync.Mutex
+	at      time.Time
+	val     Signal
+	sampled bool
 }
 
-func newSignalCache(fn func() Signal, ttl time.Duration, now func() time.Time) *signalCache {
+func newSignalCache(fn func() Signal, onChange func(prev, cur Signal), ttl time.Duration, now func() time.Time) *signalCache {
 	if ttl <= 0 {
 		ttl = 100 * time.Millisecond
 	}
-	return &signalCache{fn: fn, ttl: ttl, now: now}
+	return &signalCache{fn: fn, onChange: onChange, ttl: ttl, now: now}
 }
 
 func (s *signalCache) read() Signal {
@@ -434,12 +436,22 @@ func (s *signalCache) read() Signal {
 		return Signal{}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := s.now()
 	if !s.at.IsZero() && now.Sub(s.at) < s.ttl {
-		return s.val
+		val := s.val
+		s.mu.Unlock()
+		return val
 	}
 	s.at = now
+	prev, hadPrev := s.val, s.sampled
 	s.val = s.fn()
-	return s.val
+	s.sampled = true
+	val := s.val
+	s.mu.Unlock()
+	// Notify outside the lock: the hook may be slow (profiling trigger) or
+	// re-enter the controller for status.
+	if s.onChange != nil && hadPrev && prev != val {
+		s.onChange(prev, val)
+	}
+	return val
 }

@@ -45,6 +45,56 @@ func NewRemoteSource(name, base string, client *http.Client) *RemoteSource {
 // Name implements Source.
 func (s *RemoteSource) Name() string { return s.name }
 
+// Base returns the peer's base URL.
+func (s *RemoteSource) Base() string { return s.base }
+
+// FetchJSON GETs {base}{path} (path must start with "/") and decodes the
+// JSON body into out, with the same trace propagation, body bound and
+// status handling as Query. Non-200 answers surface as *StatusError carrying
+// the peer's error envelope — the cluster rollup uses this to read a peer's
+// /v1/slo, /v1/queries and /healthz without duplicating client plumbing.
+func (s *RemoteSource) FetchJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("federation: build request for %s: %w", s.name, err)
+	}
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+	if sid := obs.CurrentSpanID(ctx); sid != "" {
+		req.Header.Set(obs.ParentSpanHeader, sid)
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, remoteBodyLimit))
+	if err != nil {
+		return fmt.Errorf("federation: read %s response: %w", s.name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{Status: resp.StatusCode}
+		var env struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if json.Unmarshal(body, &env) == nil {
+			se.Code, se.Msg = env.Code, env.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return se
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("federation: undecodable %s response: %w", s.name, err)
+	}
+	return nil
+}
+
 // wireResult is the union of the v1 /query success shapes plus the error
 // envelope.
 type wireResult struct {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/grdf"
 	"repro/internal/obs"
+	"repro/internal/obs/workload"
 	"repro/internal/owl"
 	"repro/internal/rdf"
 	"repro/internal/seconto"
@@ -73,7 +74,19 @@ type Engine struct {
 	metrics  *obs.Registry
 	mAllowed *obs.Counter
 	mDenied  *obs.Counter
+
+	// workload, when set, receives one observation per evaluated query —
+	// fingerprint, latency, rows, plan drift (see SetWorkload).
+	workload *workload.Table
 }
+
+// SetWorkload attaches the per-fingerprint workload stats table: every
+// QueryCtx evaluation is summarized into it through the SPARQL engine's
+// stats sink. Call before serving queries (nil detaches).
+func (e *Engine) SetWorkload(t *workload.Table) { e.workload = t }
+
+// Workload returns the attached stats table (nil when detached).
+func (e *Engine) Workload() *workload.Table { return e.workload }
 
 // Options configures New.
 type Options struct {

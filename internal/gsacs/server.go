@@ -19,6 +19,8 @@ import (
 	"repro/internal/federation"
 	"repro/internal/ntriples"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
+	"repro/internal/obs/workload"
 	"repro/internal/rdf"
 	"repro/internal/repl"
 	"repro/internal/seconto"
@@ -88,6 +90,16 @@ type Server struct {
 	// the paper's emergency-response roles, whose queries must outlive
 	// best-effort traffic under shed.
 	highRoles map[rdf.IRI]bool
+	// workload, when set, serves the per-fingerprint query stats at
+	// /v1/queries and attributes admission sheds to fingerprints (see
+	// WithWorkload).
+	workload *workload.Table
+	// profiler, when set, serves the burn-triggered capture ring at
+	// /v1/profiles (see WithProfiler).
+	profiler *prof.Profiler
+	// cluster, when set, serves the fleet rollup at /v1/cluster (see
+	// WithCluster).
+	cluster *clusterRollup
 }
 
 // ServerOption customizes NewServer.
@@ -236,12 +248,32 @@ func WithAdmission(cfg AdmissionConfig) ServerOption {
 	}
 }
 
+// WithWorkload attaches the per-fingerprint workload stats table: the
+// engine folds every evaluated query into it, the admission gate attributes
+// sheds to fingerprints, and GET /v1/queries serves the heavy-hitter view
+// (top-K by count, or one fingerprint's detail via ?fp=<hex>).
+func WithWorkload(t *workload.Table) ServerOption {
+	return func(s *Server) {
+		s.workload = t
+		s.engine.SetWorkload(t)
+	}
+}
+
+// WithProfiler mounts the burn-triggered capture ring at /v1/profiles: the
+// listing reports capture metadata, ?id=N&kind=cpu|heap serves raw pprof
+// bytes for `go tool pprof`. The route bypasses the readiness gate — the
+// profile of a collapse must stay fetchable while the server refuses work.
+func WithProfiler(p *prof.Profiler) ServerOption {
+	return func(s *Server) { s.profiler = p }
+}
+
 // routes are the fixed mux patterns, reused as bounded metric label values.
 // The /v1/ names are canonical; the bare names are legacy aliases.
 var routes = []string{
 	"/v1/roles", "/v1/view", "/v1/resource", "/v1/query",
 	"/v1/ontologies", "/v1/insert", "/v1/delete", "/v1/update", "/v1/mutate",
 	"/v1/store", "/v1/audit", "/v1/traces", "/v1/slo",
+	"/v1/queries", "/v1/profiles", "/v1/cluster",
 	"/v1/wal/stream", "/v1/wal/snapshot",
 	"/healthz", "/roles", "/view", "/resource", "/query",
 	"/ontologies", "/insert", "/delete", "/update", "/audit", "/metrics",
@@ -311,6 +343,15 @@ func NewServer(engine *Engine, repo *OntoRepository, opts ...ServerOption) *Serv
 	if s.replLeader != nil {
 		s.mux.HandleFunc("/v1/wal/stream", s.handleWALStream)
 		s.mux.HandleFunc("/v1/wal/snapshot", s.handleWALSnapshot)
+	}
+	if s.workload != nil {
+		s.mux.HandleFunc("/v1/queries", s.readOnly(s.handleQueries))
+	}
+	if s.profiler != nil {
+		s.mux.HandleFunc("/v1/profiles", s.readOnly(s.handleProfiles))
+	}
+	if s.cluster != nil {
+		s.mux.HandleFunc("/v1/cluster", s.readOnly(s.handleCluster))
 	}
 	s.handler = obs.Middleware(obs.MiddlewareConfig{
 		Registry: s.metrics,
@@ -392,6 +433,10 @@ func (s *Server) admissionGate(next http.Handler) http.Handler {
 					strconv.Itoa(int(math.Ceil(shed.RetryAfter.Seconds()))))
 				s.writeError(w, r, http.StatusTooManyRequests, "overloaded",
 					err.Error())
+				// The shed request never reaches the engine, but the query
+				// shape that drove the server into shedding is exactly the one
+				// worth seeing in /v1/queries — attribute it by fingerprint.
+				s.recordShed(r, class)
 				return
 			}
 			// The client's context ended while it waited in queue; there is
@@ -414,8 +459,13 @@ func (s *Server) admissionGate(next http.Handler) http.Handler {
 // reads are refused rather than silently served.
 func (s *Server) readinessGate(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		switch r.URL.Path {
-		case "/healthz", "/metrics":
+		switch {
+		case r.URL.Path == "/healthz", r.URL.Path == "/metrics":
+		// The diagnosis surface for a stuck recovery or a collapsed replica
+		// is the profiler: pprof endpoints and the capture ring stay
+		// reachable while the data plane refuses work.
+		case r.URL.Path == "/v1/profiles",
+			strings.HasPrefix(r.URL.Path, "/debug/pprof/"):
 		default:
 			if s.ready != nil && !s.ready() {
 				s.writeError(w, r, http.StatusServiceUnavailable, "recovering",
@@ -823,6 +873,13 @@ func (s *Server) handleFederatedQuery(w http.ResponseWriter, r *http.Request, ct
 	if resp.Degraded {
 		obs.Logger(r.Context()).Warn("federated query degraded",
 			"role", string(role), "sources", fmt.Sprintf("%+v", resp.Sources))
+		// A partial answer is a quality incident for this query shape; the
+		// local engine never saw the query, so attribute it here.
+		if s.workload != nil {
+			if pq, perr := sparql.ParseQuery(q, nil); perr == nil {
+				s.workload.RecordDegraded(pq.Fingerprint, pq.CanonicalForm, pq.Kind.String())
+			}
+		}
 	}
 	s.writeJSON(w, r, body)
 }

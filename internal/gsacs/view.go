@@ -3,8 +3,10 @@ package gsacs
 import (
 	"context"
 	"sort"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/workload"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -164,6 +166,26 @@ func (e *Engine) QueryCtx(ctx context.Context, subject, action rdf.IRI, query st
 	view := e.ViewCtx(ctx, subject, action)
 	eng := sparql.NewEngine(view).Instrument(e.metrics)
 	grdf.RegisterSpatialFuncs(eng, view)
+	if wl := e.workload; wl != nil {
+		// The sink fires exactly once, at evaluation end, so the elapsed
+		// time from here covers view assembly plus evaluation — the latency
+		// a client of this shape experiences.
+		start := time.Now()
+		eng.SetStatsSink(func(st sparql.EvalStats) {
+			wl.Observe(workload.Observation{
+				Fingerprint:    st.Fingerprint,
+				Canonical:      st.CanonicalForm,
+				Kind:           st.Kind.String(),
+				Latency:        time.Since(start),
+				RowsScanned:    st.RowsScanned,
+				RowsOut:        st.RowsOut,
+				Reordered:      st.Reordered,
+				MaxMisestimate: st.MaxMisestimate,
+				Err:            st.Failed,
+				TraceID:        obs.TraceID(ctx),
+			})
+		})
+	}
 	res, err := eng.QueryCtx(ctx, query)
 	if err != nil {
 		sp.Fail(err)

@@ -1,0 +1,274 @@
+// Package prof implements burn-triggered continuous profiling: a small ring
+// of delta CPU / heap pprof captures, taken on a periodic cadence and —
+// more importantly — immediately when the server's overload signals flip
+// (the SLO engine's fast-burn verdict, the admission controller's Signal).
+// The flamegraph of a collapse is worth little an hour later; this package
+// retains the one recorded while the collapse started.
+//
+// CPU captures are inherently deltas (a short profiling window); heap
+// captures are point-in-time snapshots whose metadata carries the allocated
+// delta against the previous capture. GET /v1/profiles lists the ring and
+// serves raw pprof bytes for `go tool pprof`.
+package prof
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"runtime"
+	runtimepprof "runtime/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config tunes a Profiler.
+type Config struct {
+	// Ring bounds retained captures (default 8).
+	Ring int
+	// CPUWindow is the CPU profiling window per capture (default 2s).
+	CPUWindow time.Duration
+	// Every enables periodic captures at this cadence (0 disables; burn
+	// triggers still fire).
+	Every time.Duration
+	// MinGap rate-limits triggered captures (default 10s): a flapping
+	// signal must not turn the server into a profiler.
+	MinGap time.Duration
+	// Burn, when set, is polled about once a second; a false→true flip
+	// triggers an immediate "fast_burn" capture. Wire it to the SLO
+	// engine's fast-burn verdict.
+	Burn func() bool
+	// Registry, when set, receives the grdf_prof_* metrics.
+	Registry *obs.Registry
+	// Logger, when set, records one line per capture.
+	Logger *slog.Logger
+}
+
+// Meta describes one retained capture without its payload bytes.
+type Meta struct {
+	ID   int       `json:"id"`
+	Time time.Time `json:"time"`
+	// Reason is "periodic", "fast_burn", "overload" or "manual".
+	Reason      string `json:"reason"`
+	CPUWindowMS int64  `json:"cpu_window_ms"`
+	// CPUBytes/HeapBytes size the gzipped pprof payloads; a zero CPUBytes
+	// means the CPU window was skipped (another profiler was running).
+	CPUBytes  int    `json:"cpu_bytes"`
+	HeapBytes int    `json:"heap_bytes"`
+	HeapAlloc uint64 `json:"heap_alloc_bytes"`
+	// HeapAllocDelta is the live-heap change since the previous capture.
+	HeapAllocDelta int64 `json:"heap_alloc_delta_bytes"`
+	Goroutines     int   `json:"goroutines"`
+}
+
+// Capture is a retained profile pair.
+type Capture struct {
+	Meta
+	CPU  []byte
+	Heap []byte
+}
+
+// Profiler owns the capture ring and the trigger discipline.
+type Profiler struct {
+	cfg Config
+
+	mu          sync.Mutex
+	ring        []*Capture
+	seq         int
+	inFlight    bool
+	lastTrigger time.Time
+	lastAlloc   uint64
+	stop        chan struct{}
+	stopOnce    sync.Once
+
+	captures func(reason string) *obs.Counter
+	skipped  *obs.Counter
+}
+
+// New builds a Profiler; call Start to launch the periodic / burn-watch
+// loop and Stop on shutdown.
+func New(cfg Config) *Profiler {
+	if cfg.Ring <= 0 {
+		cfg.Ring = 8
+	}
+	if cfg.CPUWindow <= 0 {
+		cfg.CPUWindow = 2 * time.Second
+	}
+	if cfg.MinGap <= 0 {
+		cfg.MinGap = 10 * time.Second
+	}
+	p := &Profiler{cfg: cfg, stop: make(chan struct{})}
+	if reg := cfg.Registry; reg != nil {
+		p.captures = func(reason string) *obs.Counter {
+			return reg.Counter("grdf_prof_captures_total",
+				"Profile captures retained, by trigger reason.", "reason", reason)
+		}
+		p.skipped = reg.Counter("grdf_prof_suppressed_total",
+			"Capture triggers suppressed (in-flight capture or min-gap).")
+	}
+	return p
+}
+
+// Start launches the background loop when there is periodic or burn-watch
+// work to do. Safe to call once.
+func (p *Profiler) Start() {
+	if p.cfg.Every <= 0 && p.cfg.Burn == nil {
+		return
+	}
+	go p.loop()
+}
+
+// Stop ends the background loop (captures already in flight finish).
+func (p *Profiler) Stop() { p.stopOnce.Do(func() { close(p.stop) }) }
+
+func (p *Profiler) loop() {
+	var periodic <-chan time.Time
+	if p.cfg.Every > 0 {
+		t := time.NewTicker(p.cfg.Every)
+		defer t.Stop()
+		periodic = t.C
+	}
+	var burnTick <-chan time.Time
+	if p.cfg.Burn != nil {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		burnTick = t.C
+	}
+	burning := false
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-periodic:
+			// Periodic captures ignore MinGap: the cadence is the limit.
+			p.start("periodic", false)
+		case <-burnTick:
+			now := p.cfg.Burn()
+			if now && !burning {
+				p.Trigger("fast_burn")
+			}
+			burning = now
+		}
+	}
+}
+
+// Trigger requests an immediate capture (reason "fast_burn", "overload",
+// "manual", …). It returns false when suppressed — a capture is already in
+// flight or the last triggered one is younger than MinGap. The capture runs
+// asynchronously; Trigger never blocks on the CPU window.
+func (p *Profiler) Trigger(reason string) bool {
+	return p.start(reason, true)
+}
+
+func (p *Profiler) start(reason string, gapLimited bool) bool {
+	p.mu.Lock()
+	if p.inFlight || (gapLimited && !p.lastTrigger.IsZero() && time.Since(p.lastTrigger) < p.cfg.MinGap) {
+		p.mu.Unlock()
+		if p.skipped != nil {
+			p.skipped.Inc()
+		}
+		return false
+	}
+	p.inFlight = true
+	if gapLimited {
+		p.lastTrigger = time.Now()
+	}
+	p.mu.Unlock()
+	go p.capture(reason)
+	return true
+}
+
+// capture runs one CPU window + heap snapshot and pushes it into the ring.
+func (p *Profiler) capture(reason string) {
+	meta := Meta{Time: time.Now(), Reason: reason, CPUWindowMS: p.cfg.CPUWindow.Milliseconds()}
+
+	var cpu bytes.Buffer
+	// StartCPUProfile fails when another CPU profile is running (e.g. an
+	// operator hitting /debug/pprof/profile); keep the heap half.
+	if err := runtimepprof.StartCPUProfile(&cpu); err == nil {
+		select {
+		case <-time.After(p.cfg.CPUWindow):
+		case <-p.stop:
+		}
+		runtimepprof.StopCPUProfile()
+	}
+
+	var heap bytes.Buffer
+	if hp := runtimepprof.Lookup("heap"); hp != nil {
+		_ = hp.WriteTo(&heap, 0)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	meta.CPUBytes = cpu.Len()
+	meta.HeapBytes = heap.Len()
+	meta.HeapAlloc = ms.HeapAlloc
+	meta.Goroutines = runtime.NumGoroutine()
+
+	p.mu.Lock()
+	p.seq++
+	meta.ID = p.seq
+	meta.HeapAllocDelta = int64(ms.HeapAlloc) - int64(p.lastAlloc)
+	if p.lastAlloc == 0 {
+		meta.HeapAllocDelta = 0
+	}
+	p.lastAlloc = ms.HeapAlloc
+	p.ring = append(p.ring, &Capture{Meta: meta, CPU: cpu.Bytes(), Heap: heap.Bytes()})
+	if len(p.ring) > p.cfg.Ring {
+		p.ring = p.ring[len(p.ring)-p.cfg.Ring:]
+	}
+	p.inFlight = false
+	p.mu.Unlock()
+
+	if p.captures != nil {
+		p.captures(reason).Inc()
+	}
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Info("profile captured",
+			"id", meta.ID, "reason", reason,
+			"cpu_bytes", meta.CPUBytes, "heap_bytes", meta.HeapBytes,
+			"heap_alloc", meta.HeapAlloc, "goroutines", meta.Goroutines)
+	}
+}
+
+// List returns the retained captures' metadata, newest first.
+func (p *Profiler) List() []Meta {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Meta, 0, len(p.ring))
+	for i := len(p.ring) - 1; i >= 0; i-- {
+		out = append(out, p.ring[i].Meta)
+	}
+	return out
+}
+
+// Get returns one retained capture with payloads.
+func (p *Profiler) Get(id int) (*Capture, bool) {
+	if p == nil {
+		return nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.ring {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Ring reports the configured capacity.
+func (p *Profiler) Ring() int {
+	if p == nil {
+		return 0
+	}
+	return p.cfg.Ring
+}
+
+// String implements fmt.Stringer for log contexts.
+func (p *Profiler) String() string {
+	return fmt.Sprintf("prof.Profiler(ring=%d, window=%s)", p.cfg.Ring, p.cfg.CPUWindow)
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func obsFor(fp uint64, d time.Duration) Observation {
+	return Observation{
+		Fingerprint: fp,
+		Canonical:   fmt.Sprintf("SELECT ?v0 WHERE {BGP[?v0 <http://ex/p%d> $iri.]}", fp),
+		Kind:        "SELECT",
+		Latency:     d,
+		RowsScanned: 10,
+		RowsOut:     3,
+	}
+}
+
+func TestTableAccumulates(t *testing.T) {
+	reg := obs.NewRegistry()
+	tab := New(Config{Capacity: 64, Registry: reg})
+	for i := 0; i < 100; i++ {
+		tab.Observe(obsFor(7, time.Millisecond))
+	}
+	tab.Observe(Observation{Fingerprint: 7, Latency: time.Millisecond, Err: true, Reordered: true, TraceID: "t-123"})
+	tab.RecordShed(7, "", "")
+	snap, ok := tab.Get(7)
+	if !ok {
+		t.Fatal("fingerprint 7 missing")
+	}
+	if snap.Count != 101 || snap.Errors != 1 || snap.Shed != 1 || snap.Reorders != 1 {
+		t.Errorf("unexpected snapshot: %+v", snap)
+	}
+	if snap.LastTraceID != "t-123" {
+		t.Errorf("trace exemplar not retained: %+v", snap)
+	}
+	if snap.P50Ms <= 0 || snap.P99Ms < snap.P50Ms {
+		t.Errorf("implausible quantiles: p50=%v p99=%v", snap.P50Ms, snap.P99Ms)
+	}
+	if snap.RowsScan != 1000 || snap.RowsOut != 300 {
+		t.Errorf("row totals wrong: %+v", snap)
+	}
+}
+
+func TestTableBounded(t *testing.T) {
+	tab := New(Config{Capacity: 64})
+	// A heavy hitter first, then a long tail of one-off shapes.
+	for i := 0; i < 500; i++ {
+		tab.Observe(obsFor(1, time.Millisecond))
+	}
+	for fp := uint64(2); fp < 5000; fp++ {
+		tab.Observe(obsFor(fp, time.Millisecond))
+	}
+	if n, cap := tab.Len(), tab.Capacity(); n > cap {
+		t.Fatalf("table exceeded its bound: %d > %d", n, cap)
+	}
+	// The space-saving discipline must keep the heavy hitter on top.
+	top := tab.TopK(1)
+	if len(top) != 1 || top[0].Fingerprint != fmt.Sprintf("%016x", uint64(1)) {
+		t.Fatalf("heavy hitter displaced: %+v", top)
+	}
+	if top[0].Count < 500 {
+		t.Errorf("heavy hitter count dropped: %+v", top[0])
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	tab := New(Config{Capacity: 64})
+	for fp := uint64(1); fp <= 5; fp++ {
+		for i := uint64(0); i < fp*10; i++ {
+			tab.Observe(obsFor(fp, time.Millisecond))
+		}
+	}
+	top := tab.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) returned %d", len(top))
+	}
+	if top[0].Count < top[1].Count || top[1].Count < top[2].Count {
+		t.Errorf("TopK not descending: %v %v %v", top[0].Count, top[1].Count, top[2].Count)
+	}
+}
+
+func TestMisestimateBandsAndDrift(t *testing.T) {
+	reg := obs.NewRegistry()
+	tab := New(Config{Capacity: 64, Registry: reg})
+	tab.Observe(Observation{Fingerprint: 9, Latency: time.Millisecond, MaxMisestimate: 1.5})
+	snap, _ := tab.Get(9)
+	if snap.DriftBand != "" {
+		t.Errorf("in-estimate observation got band %q", snap.DriftBand)
+	}
+	tab.Observe(Observation{Fingerprint: 9, Latency: time.Millisecond, MaxMisestimate: 40})
+	snap, _ = tab.Get(9)
+	if snap.DriftBand != "10x" || snap.MaxMisestimate != 40 || snap.DriftCount != 1 {
+		t.Errorf("drift not tracked: %+v", snap)
+	}
+	found := false
+	for _, m := range reg.Snapshot() {
+		if m.Name == "grdf_plan_misestimate_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("grdf_plan_misestimate_total not registered after a misestimate")
+	}
+}
+
+func TestTableRaceClean(t *testing.T) {
+	tab := New(Config{Capacity: 32, Registry: obs.NewRegistry()})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				fp := uint64(g*37+i) % 200
+				switch i % 3 {
+				case 0:
+					tab.Observe(obsFor(fp, time.Duration(i)*time.Microsecond))
+				case 1:
+					tab.RecordShed(fp, "", "")
+				default:
+					tab.TopK(10)
+					tab.Get(fp)
+					tab.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tab.Len() > tab.Capacity() {
+		t.Fatalf("bound violated under concurrency: %d > %d", tab.Len(), tab.Capacity())
+	}
+}

@@ -82,6 +82,20 @@ type FollowerStatus struct {
 	LeaderSheds uint64 `json:"leader_sheds,omitempty"`
 }
 
+// State collapses the follower lifecycle into one label — "ready",
+// "lagging" (bootstrapped but past the lag bound) or "bootstrapping" — the
+// form /healthz and the cluster rollup report.
+func (s FollowerStatus) State() string {
+	switch {
+	case s.Ready:
+		return "ready"
+	case s.Bootstrapped:
+		return "lagging"
+	default:
+		return "bootstrapping"
+	}
+}
+
 // Follower replicates a leader's WAL into st: bootstrap from a snapshot,
 // then stream and apply records, re-bootstrapping whenever the leader
 // fences it (restart) or compacts past it. Run drives the loop; the rest

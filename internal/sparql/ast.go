@@ -76,6 +76,14 @@ type Query struct {
 	GroupBy []Variable
 	// DescribeTargets lists the DESCRIBE targets (IRIs and/or variables).
 	DescribeTargets []rdf.Term
+	// Fingerprint is the FNV-64a hash of CanonicalForm, computed at parse
+	// time: the stable identity of the query's shape (see fingerprint.go).
+	Fingerprint uint64
+	// CanonicalForm is the normalized rendering hashed into Fingerprint —
+	// constants replaced by typed placeholders, variables renamed
+	// positionally, BGP patterns order-normalized. It doubles as the
+	// redacted example query in workload introspection output.
+	CanonicalForm string
 }
 
 // OrderKey is one ORDER BY criterion.

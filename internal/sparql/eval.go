@@ -31,6 +31,82 @@ type Engine struct {
 	funcs    map[rdf.IRI]CustomFunc
 	met      *engineMetrics
 	planning bool
+	// statsSink, when set, receives one EvalStats summary per EvalCtx call
+	// (see SetStatsSink).
+	statsSink func(EvalStats)
+	// stats accumulates the in-flight evaluation's per-step numbers; the
+	// pointer survives the pinned() and forGraph() copies so every BGP of
+	// one evaluation lands in the same accumulator.
+	stats *evalStepStats
+}
+
+// EvalStats summarizes one query evaluation for workload introspection: the
+// parse-time fingerprint next to what the join executor actually did.
+type EvalStats struct {
+	// Fingerprint and CanonicalForm identify the query shape (see
+	// fingerprint.go).
+	Fingerprint   uint64
+	CanonicalForm string
+	Kind          QueryKind
+	// Reordered reports whether any BGP plan deviated from textual order.
+	Reordered bool
+	// Steps counts executed BGP join steps.
+	Steps int
+	// RowsScanned and RowsOut total the index entries scanned and the
+	// solutions surviving each join step.
+	RowsScanned int64
+	RowsOut     int64
+	// MaxMisestimate is the worst per-step ratio between the planner's
+	// cardinality estimate and the step's actual output rows (both floored
+	// at 1; 0 when no planned step ran). A large value marks a query shape
+	// the planner misjudges.
+	MaxMisestimate float64
+	// Solutions is the result size (bindings, template triples, or 1 for a
+	// decided ASK); Failed marks an evaluation error.
+	Solutions int64
+	Failed    bool
+}
+
+// evalStepStats is the mutable accumulator behind EvalStats. Evaluation is
+// single-goroutine, so plain fields suffice.
+type evalStepStats struct {
+	reordered   bool
+	steps       int
+	rowsScanned int64
+	rowsOut     int64
+	maxMis      float64
+}
+
+// noteStep folds one executed BGP step into the accumulator. est is the
+// planner's estimate (-1 when planning was off).
+func (s *evalStepStats) noteStep(est float64, scanned, out int) {
+	s.steps++
+	s.rowsScanned += int64(scanned)
+	s.rowsOut += int64(out)
+	if est >= 0 {
+		e, a := est, float64(out)
+		if e < 1 {
+			e = 1
+		}
+		if a < 1 {
+			a = 1
+		}
+		ratio := e / a
+		if a > e {
+			ratio = a / e
+		}
+		if ratio > s.maxMis {
+			s.maxMis = ratio
+		}
+	}
+}
+
+// SetStatsSink registers fn to receive one EvalStats summary at the end of
+// every EvalCtx call (parse failures never reach it: without a parsed query
+// there is no fingerprint). Returns e for chaining.
+func (e *Engine) SetStatsSink(fn func(EvalStats)) *Engine {
+	e.statsSink = fn
+	return e
 }
 
 // engineMetrics holds the evaluator's per-phase instrumentation: the
@@ -96,7 +172,7 @@ func (e *Engine) SetPlanning(on bool) *Engine {
 func (e *Engine) forGraph(st *store.Store) *Engine {
 	// Metrics stay with the outer engine: nested GRAPH evaluation is part of
 	// the same query, so timing it separately would double-count.
-	return &Engine{store: st.View(), dataset: e.dataset, funcs: e.funcs, planning: e.planning}
+	return &Engine{store: st.View(), dataset: e.dataset, funcs: e.funcs, planning: e.planning, stats: e.stats}
 }
 
 // pinned returns a shallow engine copy whose store is pinned to the current
@@ -181,6 +257,42 @@ func (e *Engine) Eval(q *Query) (*Result, error) {
 // whole evaluation runs under a sparql.eval span that parents the per-stage
 // BGP spans, and the eval histogram's bucket gains the trace as an exemplar.
 func (e *Engine) EvalCtx(ctx context.Context, q *Query) (*Result, error) {
+	if e.statsSink == nil {
+		return e.evalSpanned(ctx, q)
+	}
+	// Give this evaluation its own accumulator (the engine may be shared),
+	// then summarize into the sink whatever the outcome.
+	ec := *e
+	ec.stats = &evalStepStats{}
+	res, err := ec.evalSpanned(ctx, q)
+	st := EvalStats{
+		Fingerprint:    q.Fingerprint,
+		CanonicalForm:  q.CanonicalForm,
+		Kind:           q.Kind,
+		Reordered:      ec.stats.reordered,
+		Steps:          ec.stats.steps,
+		RowsScanned:    ec.stats.rowsScanned,
+		RowsOut:        ec.stats.rowsOut,
+		MaxMisestimate: ec.stats.maxMis,
+		Failed:         err != nil,
+	}
+	if res != nil {
+		switch res.Kind {
+		case Ask:
+			st.Solutions = 1
+		case Construct, Describe:
+			st.Solutions = int64(res.Graph.Len())
+		default:
+			st.Solutions = int64(len(res.Bindings))
+		}
+	}
+	e.statsSink(st)
+	return res, err
+}
+
+// evalSpanned is EvalCtx minus the stats sink: the sparql.eval span, phase
+// timing and solution accounting around the raw evaluation.
+func (e *Engine) evalSpanned(ctx context.Context, q *Query) (*Result, error) {
 	ctx, sp := obs.StartSpan(ctx, "sparql.eval")
 	sp.SetAttr("kind", q.Kind.String())
 	if e.met == nil {
@@ -578,6 +690,9 @@ func (e *Engine) evalBGP(ctx context.Context, bgp *BGP, in []Binding) ([]Binding
 				e.met.planReorders.Inc()
 			}
 		}
+		if e.stats != nil && plan.Reordered {
+			e.stats.reordered = true
+		}
 	} else {
 		ordered := orderPatterns(bgp.Patterns)
 		steps = make([]PlanStep, len(ordered))
@@ -613,6 +728,9 @@ func (e *Engine) evalBGP(ctx context.Context, bgp *BGP, in []Binding) ([]Binding
 		}
 		sp.Add("rows_scanned", int64(scanned))
 		sp.Add("rows_out", int64(len(sols)))
+		if e.stats != nil && err == nil {
+			e.stats.noteStep(ps.Estimate, scanned, len(sols))
+		}
 		if err != nil {
 			sp.Fail(err)
 			sp.End()

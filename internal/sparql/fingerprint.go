@@ -1,0 +1,356 @@
+package sparql
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// This file implements query fingerprinting: a stable 64-bit identity for a
+// query's *shape*, computed once at parse time. Two queries share a
+// fingerprint when they differ only in constants, variable names or the
+// textual order of triple patterns inside a BGP — the equivalence classes a
+// workload profile wants to aggregate over. The canonical form doubles as
+// the redacted example query surfaced by /v1/queries: every literal and
+// non-predicate IRI is already replaced by a typed placeholder, so no data
+// values leak into observability output.
+//
+// Canonicalization rules:
+//
+//   - Constants become typed placeholders: IRIs in subject/object position
+//     render as $iri, blank nodes as $blank, literals as $lit:<datatype>
+//     (language tags collapse into rdf:langString), LIMIT/OFFSET values as
+//     $n, VALUES rows as $rows. Predicate-position IRIs (including every
+//     step of a property path) and function names are preserved: they define
+//     the shape.
+//   - Variables are renamed positionally: ?v0, ?v1, … in order of first
+//     appearance in the canonical rendering.
+//   - The patterns of each BGP are sorted by a name-free shape key before
+//     variables are numbered, so permuting patterns inside a BGP does not
+//     change the fingerprint. (Permutations of identically-shaped patterns
+//     that share variables differently can still diverge; full graph
+//     canonicalization is not worth its cost here.)
+
+// varMark delimits an unnumbered variable reference in the intermediate
+// rendering; variable names never contain NUL.
+const varMark = "\x00"
+
+// FingerprintQuery computes the canonical form of q and its FNV-64a hash.
+// ParseQuery calls it once per parse and stores both on the Query.
+func FingerprintQuery(q *Query) (uint64, string) {
+	form := CanonicalForm(q)
+	h := fnv.New64a()
+	h.Write([]byte(form))
+	return h.Sum64(), form
+}
+
+// CanonicalForm renders q's normalized shape (see the file comment for the
+// rules). The result is deterministic for a given parsed query.
+func CanonicalForm(q *Query) string {
+	var c canonWriter
+	c.query(q)
+	return numberVars(c.sb.String())
+}
+
+// canonWriter renders AST nodes into the intermediate canonical string.
+// With anonVars set, variables render as a bare "?" — the name-free shape
+// key used to order BGP patterns before numbering.
+type canonWriter struct {
+	sb       strings.Builder
+	anonVars bool
+}
+
+func (c *canonWriter) str(s string) { c.sb.WriteString(s) }
+
+func (c *canonWriter) variable(v Variable) {
+	if c.anonVars {
+		c.str("?")
+		return
+	}
+	c.str(varMark)
+	c.str(string(v))
+	c.str(varMark)
+}
+
+func (c *canonWriter) query(q *Query) {
+	c.str(q.Kind.String())
+	if q.Distinct {
+		c.str(" DISTINCT")
+	}
+	switch q.Kind {
+	case Select:
+		if len(q.Vars) == 0 && len(q.Aggregates) == 0 {
+			c.str(" *")
+		}
+		for _, v := range q.Vars {
+			c.str(" ")
+			c.variable(v)
+		}
+		for _, a := range q.Aggregates {
+			c.str(" (")
+			c.str(string(a.Func))
+			if a.Distinct {
+				c.str(" DISTINCT")
+			}
+			c.str("(")
+			if a.Arg != nil {
+				c.expr(a.Arg)
+			} else {
+				c.str("*")
+			}
+			c.str(") AS ")
+			c.variable(a.As)
+			c.str(")")
+		}
+	case Construct:
+		c.str(" ")
+		c.patterns(q.Template)
+	case Describe:
+		for _, t := range q.DescribeTargets {
+			c.str(" ")
+			c.term(t)
+		}
+	}
+	if q.Where != nil {
+		c.str(" WHERE ")
+		c.group(q.Where)
+	}
+	for i, v := range q.GroupBy {
+		if i == 0 {
+			c.str(" GROUP BY")
+		}
+		c.str(" ")
+		c.variable(v)
+	}
+	for i, k := range q.OrderBy {
+		if i == 0 {
+			c.str(" ORDER BY")
+		}
+		c.str(" ")
+		c.expr(k.Expr)
+		if k.Desc {
+			c.str(" DESC")
+		}
+	}
+	if q.Limit >= 0 {
+		c.str(" LIMIT $n")
+	}
+	if q.Offset > 0 {
+		c.str(" OFFSET $n")
+	}
+}
+
+func (c *canonWriter) group(g *GroupPattern) {
+	c.str("{")
+	for i, el := range g.Elements {
+		if i > 0 {
+			c.str(" ")
+		}
+		switch v := el.(type) {
+		case *BGP:
+			c.patterns(v.Patterns)
+		case *Filter:
+			c.str("FILTER(")
+			c.expr(v.Expr)
+			c.str(")")
+		case *Optional:
+			c.str("OPTIONAL")
+			c.group(v.Group)
+		case *Union:
+			c.str("UNION(")
+			c.group(v.Left)
+			c.str(",")
+			c.group(v.Right)
+			c.str(")")
+		case *Bind:
+			c.str("BIND(")
+			c.expr(v.Expr)
+			c.str(" AS ")
+			c.variable(v.Var)
+			c.str(")")
+		case *Values:
+			c.str("VALUES(")
+			for j, vv := range v.Vars {
+				if j > 0 {
+					c.str(" ")
+				}
+				c.variable(vv)
+			}
+			c.str(") $rows")
+		case *GraphPattern:
+			c.str("GRAPH ")
+			c.term(v.Name)
+			c.group(v.Group)
+		case *SubGroup:
+			c.group(v.Group)
+		}
+	}
+	c.str("}")
+}
+
+// patterns renders a BGP's triple patterns, ordered by their name-free shape
+// key (ties keep textual order, so the sort is total and stable).
+func (c *canonWriter) patterns(ps []TriplePattern) {
+	order := make([]int, len(ps))
+	for i := range order {
+		order[i] = i
+	}
+	if !c.anonVars {
+		keys := make([]string, len(ps))
+		for i, tp := range ps {
+			keys[i] = patternShapeKey(tp)
+		}
+		sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	}
+	c.str("BGP[")
+	for i, idx := range order {
+		if i > 0 {
+			c.str(" ")
+		}
+		c.pattern(ps[idx])
+	}
+	c.str("]")
+}
+
+// patternShapeKey renders one pattern with anonymous variables: the sort key
+// that makes BGP order canonical without depending on variable names.
+func patternShapeKey(tp TriplePattern) string {
+	k := canonWriter{anonVars: true}
+	k.pattern(tp)
+	return k.sb.String()
+}
+
+func (c *canonWriter) pattern(tp TriplePattern) {
+	c.term(tp.Subject)
+	c.str(" ")
+	c.path(tp.Predicate)
+	c.str(" ")
+	c.term(tp.Object)
+	c.str(".")
+}
+
+// term renders a subject/object position: variables by reference, constants
+// as typed placeholders.
+func (c *canonWriter) term(t rdf.Term) {
+	if v, ok := t.(Variable); ok {
+		c.variable(v)
+		return
+	}
+	switch tt := t.(type) {
+	case rdf.Literal:
+		c.str("$lit:")
+		c.str(string(tt.Datatype))
+	case rdf.BlankNode:
+		c.str("$blank")
+	default:
+		c.str("$iri")
+	}
+}
+
+// path renders a predicate-position path. Path IRIs are preserved — the
+// predicate is the backbone of a query's shape.
+func (c *canonWriter) path(p PathExpr) {
+	switch pe := p.(type) {
+	case Link:
+		c.str(pe.IRI.String())
+	case VarPath:
+		c.variable(pe.Var)
+	case Inverse:
+		c.str("^")
+		c.path(pe.Path)
+	case Seq:
+		c.str("(")
+		c.path(pe.Left)
+		c.str("/")
+		c.path(pe.Right)
+		c.str(")")
+	case Alt:
+		c.str("(")
+		c.path(pe.Left)
+		c.str("|")
+		c.path(pe.Right)
+		c.str(")")
+	case Repeat:
+		c.str("(")
+		c.path(pe.Path)
+		c.str(fmt.Sprintf("){%d,%d}", pe.Min, pe.Max))
+	}
+}
+
+func (c *canonWriter) expr(e Expression) {
+	switch ex := e.(type) {
+	case ExprVar:
+		c.variable(ex.Var)
+	case ExprConst:
+		c.term(ex.Term)
+	case ExprUnary:
+		c.str(ex.Op)
+		c.expr(ex.Expr)
+	case ExprBinary:
+		c.str("(")
+		c.expr(ex.Left)
+		c.str(" ")
+		c.str(ex.Op)
+		c.str(" ")
+		c.expr(ex.Right)
+		c.str(")")
+	case ExprExists:
+		if ex.Negate {
+			c.str("NOT ")
+		}
+		c.str("EXISTS")
+		c.group(ex.Group)
+	case ExprCall:
+		if ex.Name != "" {
+			c.str(ex.Name)
+		} else {
+			c.str(ex.IRI.String())
+		}
+		c.str("(")
+		for i, a := range ex.Args {
+			if i > 0 {
+				c.str(",")
+			}
+			c.expr(a)
+		}
+		c.str(")")
+	}
+}
+
+// numberVars rewrites the intermediate rendering's NUL-delimited variable
+// references into positional names (?v0, ?v1, …) assigned in order of first
+// appearance.
+func numberVars(s string) string {
+	if !strings.Contains(s, varMark) {
+		return s
+	}
+	var out strings.Builder
+	out.Grow(len(s))
+	names := make(map[string]int)
+	for {
+		i := strings.IndexByte(s, 0)
+		if i < 0 {
+			out.WriteString(s)
+			break
+		}
+		out.WriteString(s[:i])
+		rest := s[i+1:]
+		j := strings.IndexByte(rest, 0)
+		if j < 0 { // unterminated mark: cannot happen, but stay total
+			out.WriteString(rest)
+			break
+		}
+		name := rest[:j]
+		n, ok := names[name]
+		if !ok {
+			n = len(names)
+			names[name] = n
+		}
+		fmt.Fprintf(&out, "?v%d", n)
+		s = rest[j+1:]
+	}
+	return out.String()
+}

@@ -31,6 +31,7 @@ func ParseQuery(src string, defaults *rdf.Prefixes) (*Query, error) {
 		return nil, err
 	}
 	q.Prefixes = p.prefixes
+	q.Fingerprint, q.CanonicalForm = FingerprintQuery(q)
 	return q, nil
 }
 
